@@ -1,0 +1,125 @@
+// Ablation A1: the bounded-heap selection at the heart of OptSelect
+// ("all the heap operations are carried out on data structures having a
+// constant size bounded by k", Section 4) versus the obvious alternative
+// of fully sorting all n candidates by overall utility.
+//
+// The heap variant is O(n·|S_q|·log k); the sort variant O(n·log n +
+// n·|S_q|). The gap widens as n grows at fixed k — exactly the regime of
+// Table 2's rightmost column.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/optselect.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace optselect;  // NOLINT(build/namespaces)
+using bench::MakeTimingInstance;
+using bench::TimingInstance;
+
+// Full-sort reference implementation of the MaxUtility selection: same
+// quotas and fill rule as OptSelect but over globally sorted candidates.
+std::vector<size_t> SortBasedSelect(const core::DiversificationInput& input,
+                                    const core::UtilityMatrix& utilities,
+                                    const core::DiversifyParams& params) {
+  const size_t n = input.candidates.size();
+  const size_t m = input.specializations.size();
+  const size_t k = std::min(params.k, n);
+  if (k == 0) return {};
+
+  std::vector<double> overall(n);
+  for (size_t i = 0; i < n; ++i) {
+    overall[i] = core::OptSelectDiversifier::OverallUtility(
+        input, utilities, i, params.lambda);
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (overall[a] != overall[b]) return overall[a] > overall[b];
+    return a < b;
+  });
+
+  std::vector<size_t> selected;
+  selected.reserve(k);
+  std::vector<char> taken(n, 0);
+  for (size_t j = 0; j < m && selected.size() < k; ++j) {
+    size_t quota = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(k) *
+                               input.specializations[j].probability));
+    size_t got = 0;
+    for (size_t i : order) {
+      if (got >= quota || selected.size() >= k) break;
+      if (utilities.At(i, j) <= 0.0) continue;
+      ++got;
+      if (taken[i]) continue;
+      taken[i] = 1;
+      selected.push_back(i);
+    }
+  }
+  for (size_t i : order) {
+    if (selected.size() >= k) break;
+    if (!taken[i]) {
+      taken[i] = 1;
+      selected.push_back(i);
+    }
+  }
+  std::stable_sort(selected.begin(), selected.end(), [&](size_t a, size_t b) {
+    return overall[a] > overall[b];
+  });
+  return selected;
+}
+
+void BM_OptSelectBoundedHeap(benchmark::State& state) {
+  util::Rng rng(42);
+  TimingInstance ti =
+      MakeTimingInstance(&rng, static_cast<size_t>(state.range(0)), 6);
+  core::OptSelectDiversifier algo;
+  core::DiversifyParams params;
+  params.k = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto picks = algo.Select(ti.input, ti.utilities, params);
+    benchmark::DoNotOptimize(picks);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_OptSelectFullSort(benchmark::State& state) {
+  util::Rng rng(42);
+  TimingInstance ti =
+      MakeTimingInstance(&rng, static_cast<size_t>(state.range(0)), 6);
+  core::DiversifyParams params;
+  params.k = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto picks = SortBasedSelect(ti.input, ti.utilities, params);
+    benchmark::DoNotOptimize(picks);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_OptSelectBoundedHeap)
+    ->Args({1000, 10})
+    ->Args({10000, 10})
+    ->Args({100000, 10})
+    ->Args({1000, 100})
+    ->Args({10000, 100})
+    ->Args({100000, 100})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_OptSelectFullSort)
+    ->Args({1000, 10})
+    ->Args({10000, 10})
+    ->Args({100000, 10})
+    ->Args({1000, 100})
+    ->Args({10000, 100})
+    ->Args({100000, 100})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Micro-benchmarks of the primitives on the diversification hot path:
+// sparse cosine, utility computation, bounded-heap pushes, DPH scoring,
+// and end-to-end top-k search over a synthetic index.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/bounded_heap.h"
+#include "core/utility.h"
+#include "corpus/synthetic_corpus.h"
+#include "index/inverted_index.h"
+#include "index/searcher.h"
+#include "synth/topic_universe.h"
+#include "text/analyzer.h"
+#include "text/term_vector.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace optselect;  // NOLINT(build/namespaces)
+
+text::TermVector RandomVector(util::Rng* rng, size_t terms,
+                              size_t vocab = 5000) {
+  std::vector<text::TermVector::Entry> entries;
+  entries.reserve(terms);
+  for (size_t i = 0; i < terms; ++i) {
+    entries.emplace_back(static_cast<text::TermId>(rng->Uniform(vocab)),
+                         rng->UniformDouble() + 0.1);
+  }
+  return text::TermVector::FromEntries(std::move(entries));
+}
+
+void BM_SparseCosine(benchmark::State& state) {
+  util::Rng rng(1);
+  const size_t terms = static_cast<size_t>(state.range(0));
+  text::TermVector a = RandomVector(&rng, terms);
+  text::TermVector b = RandomVector(&rng, terms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Cosine(b));
+  }
+}
+BENCHMARK(BM_SparseCosine)->Arg(16)->Arg(32)->Arg(128);
+
+void BM_UtilityAgainstReferenceList(benchmark::State& state) {
+  util::Rng rng(2);
+  text::TermVector doc = RandomVector(&rng, 32);
+  std::vector<text::TermVector> rq_prime;
+  for (int i = 0; i < 20; ++i) rq_prime.push_back(RandomVector(&rng, 32));
+  core::UtilityComputer computer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computer.NormalizedUtility(doc, rq_prime));
+  }
+}
+BENCHMARK(BM_UtilityAgainstReferenceList);
+
+void BM_BoundedHeapPush(benchmark::State& state) {
+  util::Rng rng(3);
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  std::vector<double> keys(65536);
+  for (double& k : keys) k = rng.UniformDouble();
+  size_t i = 0;
+  core::BoundedTopK<size_t> heap(capacity);
+  for (auto _ : state) {
+    heap.Push(keys[i & 65535], i);
+    ++i;
+  }
+}
+BENCHMARK(BM_BoundedHeapPush)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TopKSearch(benchmark::State& state) {
+  synth::TopicUniverseConfig ucfg;
+  ucfg.num_topics = 10;
+  auto universe = synth::GenerateTopicUniverse(ucfg, 0);
+  corpus::SyntheticCorpusConfig ccfg;
+  ccfg.docs_per_intent = 20;
+  ccfg.background_docs = 2000;
+  auto corpus = corpus::GenerateSyntheticCorpus(ccfg, universe.topics);
+  text::Analyzer analyzer;
+  index::InvertedIndex index =
+      index::InvertedIndex::Build(corpus.store, &analyzer);
+  index::Searcher searcher(&index, &analyzer);
+  const std::string query = universe.topics[0].root_query;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        searcher.Search(query, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TopKSearch)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Scaling benchmark for ParallelOptSelect — the paper's future work
+// (iii): diversification running in parallel with (or like) the sharded
+// document-scoring phase. Measures the selection stage across thread
+// counts at Table 2's largest workload sizes; the output must stay
+// bit-identical to serial OptSelect (asserted here on every run).
+
+#include <cstdlib>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/optselect.h"
+#include "core/parallel_optselect.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace optselect;  // NOLINT(build/namespaces)
+using bench::MakeTimingInstance;
+using bench::TimingInstance;
+
+void BM_ParallelOptSelect(benchmark::State& state) {
+  util::Rng rng(7);
+  TimingInstance ti =
+      MakeTimingInstance(&rng, static_cast<size_t>(state.range(0)), 6);
+  core::DiversifyParams params;
+  params.k = 1000;
+
+  core::OptSelectDiversifier serial;
+  core::ParallelOptSelectDiversifier parallel(
+      static_cast<size_t>(state.range(1)));
+  if (serial.Select(ti.input, ti.utilities, params) !=
+      parallel.Select(ti.input, ti.utilities, params)) {
+    state.SkipWithError("parallel result diverged from serial");
+    return;
+  }
+  for (auto _ : state) {
+    auto picks = parallel.Select(ti.input, ti.utilities, params);
+    benchmark::DoNotOptimize(picks);
+  }
+}
+
+}  // namespace
+
+// Args: {n, threads}; threads = 1 is the serial-equivalent baseline.
+BENCHMARK(BM_ParallelOptSelect)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8})
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 4})
+    ->Args({1000000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Reproduces the Appendix C recall measure: "we measured the number of
+// times our method is able to provide diversified results when they are
+// actually needed, i.e., [...] the number of times a user, after
+// submitting an ambiguous/faceted query, issued a new query that is a
+// specialization of the previous one. [...] Concerning AOL, we are able
+// to diversify results for the 61% of the cases, whereas for MSN this
+// recall measure raises up to 65%."
+//
+// Protocol: 70/30 chronological split; mining stack trained on the train
+// part; every in-session (q → q′) refinement event in the test part where
+// q′ restates q more precisely counts as a "diversification needed"
+// event; the event is covered when Algorithm 1 (trained on the train
+// part) declares q ambiguous. The paper's shape: a clear majority of
+// events covered, MSN slightly above AOL.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "querylog/query_flow_graph.h"
+#include "querylog/session_segmenter.h"
+#include "querylog/synthetic_log.h"
+#include "recommend/ambiguity_detector.h"
+#include "recommend/shortcuts_recommender.h"
+#include "synth/topic_universe.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace optselect;  // NOLINT(build/namespaces)
+
+struct RecallResult {
+  size_t events = 0;
+  size_t covered = 0;
+  double recall() const {
+    return events == 0 ? 0.0
+                       : static_cast<double>(covered) /
+                             static_cast<double>(events);
+  }
+};
+
+RecallResult MeasureRecall(const querylog::SyntheticLogConfig& config,
+                           const synth::TopicUniverse& universe) {
+  querylog::SyntheticLogResult log_result =
+      querylog::SyntheticLogGenerator(config).Generate(
+          universe.topics, universe.noise_queries);
+
+  querylog::QueryLog train, test;
+  log_result.log.SplitChronological(0.7, &train, &test);
+
+  querylog::QueryFlowGraph graph = querylog::QueryFlowGraph::Build(train, {});
+  std::vector<querylog::Session> train_sessions =
+      querylog::SessionSegmenter().Segment(train, &graph);
+  recommend::ShortcutsRecommender recommender;
+  recommender.Train(train, train_sessions);
+  recommend::AmbiguityDetector detector(&recommender);
+
+  // Refinement events in the *test* part: consecutive in-session queries
+  // where the second restates the first more precisely.
+  querylog::QueryFlowGraph test_graph =
+      querylog::QueryFlowGraph::Build(test, {});
+  std::vector<querylog::Session> test_sessions =
+      querylog::SessionSegmenter().Segment(test, &test_graph);
+
+  RecallResult result;
+  for (const querylog::Session& session : test_sessions) {
+    for (size_t i = 0; i + 1 < session.record_indices.size(); ++i) {
+      const std::string& q = test.record(session.record_indices[i]).query;
+      const std::string& q_next =
+          test.record(session.record_indices[i + 1]).query;
+      if (q == q_next) continue;
+      if (!recommend::IsTermSuperset(q_next, q)) continue;
+      ++result.events;
+      if (detector.Detect(q).ambiguous()) ++result.covered;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  // A long-tailed ambiguous-topic universe: real logs contain many rare
+  // ambiguous queries whose specializations are too infrequent to survive
+  // the mining thresholds (min pair support, popularity filter f(q′) ≥
+  // f(q)/s) — that tail is what keeps the paper's recall at 61–65%
+  // rather than near 100%.
+  synth::TopicUniverseConfig ucfg;
+  ucfg.num_topics = 900;
+  ucfg.topic_zipf_skew = 0.55;
+  synth::TopicUniverse universe = synth::GenerateTopicUniverse(ucfg, 400);
+
+  util::TablePrinter tp;
+  tp.SetHeader({"log", "refinement events", "covered", "recall",
+                "paper"});
+
+  RecallResult aol = MeasureRecall(querylog::AolLikeConfig(), universe);
+  tp.AddRow({"AOL-like", std::to_string(aol.events),
+             std::to_string(aol.covered),
+             util::TablePrinter::Num(100.0 * aol.recall(), 1) + "%",
+             "61%"});
+
+  RecallResult msn = MeasureRecall(querylog::MsnLikeConfig(), universe);
+  tp.AddRow({"MSN-like", std::to_string(msn.events),
+             std::to_string(msn.covered),
+             util::TablePrinter::Num(100.0 * msn.recall(), 1) + "%",
+             "65%"});
+
+  std::printf("Appendix C recall reproduction: fraction of in-session "
+              "refinement events whose root\nquery is detected as "
+              "ambiguous by the train-split mining stack.\n\n%s\n",
+              tp.ToString().c_str());
+  return 0;
+}

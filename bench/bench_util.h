@@ -1,0 +1,63 @@
+// Shared helpers for the benchmark binaries: synthetic problem instances
+// for selection-phase timing, shaped like the paper's Table 2 workload.
+
+#ifndef OPTSELECT_BENCH_BENCH_UTIL_H_
+#define OPTSELECT_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/utility.h"
+#include "util/rng.h"
+
+namespace optselect {
+namespace bench {
+
+/// A timing instance: n candidates, m specializations, cluster-structured
+/// utilities (each candidate is strongly useful for one specialization,
+/// weakly or not at all for the others), Zipf-flavored probabilities.
+struct TimingInstance {
+  core::DiversificationInput input;
+  core::UtilityMatrix utilities;
+};
+
+inline TimingInstance MakeTimingInstance(util::Rng* rng, size_t n,
+                                         size_t m) {
+  TimingInstance ti;
+  ti.input.query = "bench";
+  ti.utilities = core::UtilityMatrix(n, m);
+
+  double norm = 0;
+  std::vector<double> probs(m);
+  for (size_t j = 0; j < m; ++j) {
+    probs[j] = 1.0 / static_cast<double>(j + 1);
+    norm += probs[j];
+  }
+  for (size_t j = 0; j < m; ++j) {
+    core::SpecializationProfile sp;
+    sp.query = "bench s" + std::to_string(j);
+    sp.probability = probs[j] / norm;
+    ti.input.specializations.push_back(std::move(sp));
+  }
+
+  ti.input.candidates.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    core::Candidate c;
+    c.doc = static_cast<DocId>(i);
+    c.relevance = rng->UniformDouble();
+    ti.input.candidates.push_back(std::move(c));
+    size_t home = rng->Uniform(m);
+    ti.utilities.Set(i, home, 0.3 + 0.7 * rng->UniformDouble());
+    // Mild off-cluster leakage for realism.
+    if (rng->Bernoulli(0.2)) {
+      ti.utilities.Set(i, (home + 1) % m, 0.1 * rng->UniformDouble());
+    }
+  }
+  return ti;
+}
+
+}  // namespace bench
+}  // namespace optselect
+
+#endif  // OPTSELECT_BENCH_BENCH_UTIL_H_

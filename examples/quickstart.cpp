@@ -1,0 +1,118 @@
+// Quickstart: diversify a hand-built result list with OptSelect.
+//
+// This example uses only the core public API — no query log, no index —
+// to show the minimal structure a caller must provide: candidates with
+// relevance and surrogate vectors, specializations with probabilities and
+// reference result vectors.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/diversifier.h"
+#include "core/optselect.h"
+#include "core/utility.h"
+#include "text/analyzer.h"
+
+using optselect::core::Candidate;
+using optselect::core::DiversificationInput;
+using optselect::core::DiversifyParams;
+using optselect::core::OptSelectDiversifier;
+using optselect::core::SpecializationProfile;
+using optselect::core::UtilityComputer;
+using optselect::core::UtilityMatrix;
+
+int main() {
+  // One analyzer provides the shared vocabulary for every snippet.
+  optselect::text::Analyzer analyzer;
+
+  // The ambiguous query: "jaguar". Candidate results mix three senses.
+  struct Raw {
+    const char* title;
+    const char* snippet;
+    double relevance;
+  };
+  const Raw raw_candidates[] = {
+      {"Jaguar cars", "jaguar luxury car dealership new models pricing",
+       1.00},
+      {"Jaguar XF review", "jaguar xf sedan road test car review engine",
+       0.95},
+      {"Jaguar XE pricing", "jaguar xe compact car price trim levels",
+       0.93},
+      {"Jaguar habitat", "jaguar big cat rainforest habitat prey range",
+       0.80},
+      {"Jaguar conservation", "jaguar wildlife conservation amazon jungle",
+       0.78},
+      {"Fender Jaguar", "fender jaguar electric guitar pickups review",
+       0.70},
+      {"Jaguar guitar setup", "fender jaguar guitar bridge setup strings",
+       0.65},
+      {"Jacksonville Jaguars", "jaguars nfl football team season schedule",
+       0.60},
+  };
+
+  // Specializations mined from a query log (here: stated directly), with
+  // their popularity-derived probabilities and reference result snippets.
+  struct RawSpec {
+    const char* query;
+    double probability;
+    std::initializer_list<const char*> reference_snippets;
+  };
+  const RawSpec raw_specs[] = {
+      {"jaguar car", 0.55,
+       {"jaguar luxury car dealership models",
+        "jaguar xf sedan car review",
+        "jaguar xe compact car price"}},
+      {"jaguar animal", 0.30,
+       {"jaguar big cat rainforest habitat",
+        "jaguar wildlife conservation jungle"}},
+      {"jaguar guitar", 0.15,
+       {"fender jaguar electric guitar review",
+        "fender jaguar guitar bridge setup"}},
+  };
+
+  DiversificationInput input;
+  input.query = "jaguar";
+  for (const Raw& r : raw_candidates) {
+    Candidate c;
+    c.doc = static_cast<optselect::DocId>(input.candidates.size());
+    c.relevance = r.relevance;
+    c.vector = analyzer.AnalyzeToVector(r.snippet);
+    input.candidates.push_back(std::move(c));
+  }
+  for (const RawSpec& rs : raw_specs) {
+    SpecializationProfile sp;
+    sp.query = rs.query;
+    sp.probability = rs.probability;
+    for (const char* snippet : rs.reference_snippets) {
+      sp.results.push_back(analyzer.AnalyzeToVector(snippet));
+    }
+    input.specializations.push_back(std::move(sp));
+  }
+
+  // Utility matrix (Definition 2). The threshold c (Section 5) zeroes the
+  // weak similarity every snippet shares through the word "jaguar", so
+  // "useful for a specialization" means genuinely about it.
+  UtilityMatrix utilities =
+      UtilityComputer(UtilityComputer::Options{0.3}).Compute(input);
+  DiversifyParams params;
+  params.k = 5;
+  params.lambda = 0.15;
+  OptSelectDiversifier optselect;
+  std::vector<size_t> picks = optselect.Select(input, utilities, params);
+
+  std::printf("Query: \"%s\" — specializations:\n", input.query.c_str());
+  for (const SpecializationProfile& sp : input.specializations) {
+    std::printf("  %-16s P(q'|q) = %.2f\n", sp.query.c_str(),
+                sp.probability);
+  }
+  std::printf("\nRelevance-only top-%zu:\n", params.k);
+  for (size_t i = 0; i < params.k; ++i) {
+    std::printf("  %zu. %s\n", i + 1, raw_candidates[i].title);
+  }
+  std::printf("\nOptSelect diversified top-%zu:\n", params.k);
+  for (size_t rank = 0; rank < picks.size(); ++rank) {
+    std::printf("  %zu. %s\n", rank + 1, raw_candidates[picks[rank]].title);
+  }
+  return 0;
+}

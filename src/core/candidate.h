@@ -1,0 +1,50 @@
+// Shared input model of all diversification algorithms.
+//
+// Diversification operates on:
+//   R_q   — the candidate ranking returned for the ambiguous query q,
+//           each candidate carrying a normalized relevance P(d|q) and a
+//           term-vector surrogate (its snippet);
+//   S_q   — the mined specializations with P(q′|q) and the surrogate
+//           vectors of their result lists R_q′ (|R_q′| is small, e.g. 20).
+
+#ifndef OPTSELECT_CORE_CANDIDATE_H_
+#define OPTSELECT_CORE_CANDIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "text/term_vector.h"
+#include "util/types.h"
+
+namespace optselect {
+namespace core {
+
+/// One candidate document d ∈ R_q.
+struct Candidate {
+  DocId doc = kInvalidDocId;
+  /// Normalized relevance P(d|q) ∈ [0, 1] (retrieval score / max score).
+  double relevance = 0.0;
+  /// Surrogate (snippet) term vector used by the distance function δ.
+  text::TermVector vector;
+};
+
+/// One mined specialization q′ ∈ S_q with its reference results R_q′.
+struct SpecializationProfile {
+  std::string query;
+  /// P(q′|q) from Definition 1.
+  double probability = 0.0;
+  /// Surrogate vectors of R_q′ in rank order (index i ⇒ rank i+1).
+  std::vector<text::TermVector> results;
+};
+
+/// Full problem instance.
+struct DiversificationInput {
+  std::string query;
+  std::vector<Candidate> candidates;                  ///< R_q, rank order
+  std::vector<SpecializationProfile> specializations; ///< S_q
+};
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_CANDIDATE_H_

@@ -1,0 +1,44 @@
+// Common interface of the diversification algorithms.
+
+#ifndef OPTSELECT_CORE_DIVERSIFIER_H_
+#define OPTSELECT_CORE_DIVERSIFIER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/utility.h"
+
+namespace optselect {
+namespace core {
+
+/// Algorithm parameters shared across methods.
+struct DiversifyParams {
+  /// Size of the diversified result list S.
+  size_t k = 10;
+  /// Relevance/diversity mixing parameter λ (xQuAD Eq. 5, MaxUtility
+  /// Eq. 7). The paper uses 0.15, "the value maximizing α-NDCG@20 in
+  /// [24]".
+  double lambda = 0.15;
+};
+
+/// A diversification algorithm: selects (and orders) k candidates.
+class Diversifier {
+ public:
+  virtual ~Diversifier() = default;
+
+  /// Human-readable algorithm name (e.g. "OptSelect").
+  virtual std::string name() const = 0;
+
+  /// Selects min(k, n) candidate indices (into input.candidates), in
+  /// output-ranking order. `utilities` must have matching dimensions.
+  virtual std::vector<size_t> Select(const DiversificationInput& input,
+                                     const UtilityMatrix& utilities,
+                                     const DiversifyParams& params) const = 0;
+};
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_DIVERSIFIER_H_

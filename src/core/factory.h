@@ -1,0 +1,28 @@
+// Construction of diversifiers by name.
+
+#ifndef OPTSELECT_CORE_FACTORY_H_
+#define OPTSELECT_CORE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/diversifier.h"
+#include "util/status.h"
+
+namespace optselect {
+namespace core {
+
+/// Names accepted by MakeDiversifier.
+std::vector<std::string> AvailableDiversifiers();
+
+/// Creates a diversifier by case-insensitive name ("optselect", "xquad",
+/// "iaselect", "mmr"). Returns an error status for unknown names.
+util::Result<std::unique_ptr<Diversifier>> MakeDiversifier(
+    std::string_view name);
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_FACTORY_H_

@@ -1,0 +1,32 @@
+#include "core/footprint.h"
+
+#include <cstdio>
+
+namespace optselect {
+namespace core {
+
+uint64_t MaxFootprintBytes(const FootprintParams& params) {
+  return params.num_ambiguous_queries * params.max_specializations *
+         params.results_per_specialization * params.surrogate_bytes;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(units)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace core
+}  // namespace optselect

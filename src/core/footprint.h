@@ -1,0 +1,38 @@
+// The feasibility estimate of Section 4.1: "storing N ambiguous queries
+// along with the data needed to assess the similarity among results lists
+// incurs in a maximal memory occupancy of N · |S_q̂| · |R_q̂′| · L bytes",
+// where q̂ is the ambiguous query with the most specializations and L the
+// average surrogate length in bytes.
+
+#ifndef OPTSELECT_CORE_FOOTPRINT_H_
+#define OPTSELECT_CORE_FOOTPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace optselect {
+namespace core {
+
+/// Inputs of the back-of-the-envelope computation.
+struct FootprintParams {
+  /// Number of ambiguous queries served from the side data structure.
+  uint64_t num_ambiguous_queries = 0;
+  /// Largest specialization count |S_q̂|.
+  uint64_t max_specializations = 0;
+  /// Reference results kept per specialization |R_q̂′|.
+  uint64_t results_per_specialization = 0;
+  /// Average surrogate (snippet) size in bytes.
+  uint64_t surrogate_bytes = 0;
+};
+
+/// Upper bound in bytes: N · |S_q̂| · |R_q̂′| · L.
+uint64_t MaxFootprintBytes(const FootprintParams& params);
+
+/// Human-readable rendering ("1.5 GiB", "640.0 MiB", ...).
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_FOOTPRINT_H_

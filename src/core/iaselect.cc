@@ -1,0 +1,59 @@
+#include "core/iaselect.h"
+
+#include <algorithm>
+
+namespace optselect {
+namespace core {
+
+double IaSelectDiversifier::Objective(const DiversificationInput& input,
+                                      const UtilityMatrix& utilities,
+                                      const std::vector<size_t>& selection) {
+  double total = 0.0;
+  for (size_t j = 0; j < input.specializations.size(); ++j) {
+    double miss = 1.0;
+    for (size_t i : selection) miss *= 1.0 - utilities.At(i, j);
+    total += input.specializations[j].probability * (1.0 - miss);
+  }
+  return total;
+}
+
+std::vector<size_t> IaSelectDiversifier::Select(
+    const DiversificationInput& input, const UtilityMatrix& utilities,
+    const DiversifyParams& params) const {
+  const size_t n = input.candidates.size();
+  const size_t m = input.specializations.size();
+  const size_t k = std::min(params.k, n);
+  if (k == 0) return {};
+
+  std::vector<double> coverage(m, 1.0);  // Π (1 − Ũ) over current S
+  std::vector<char> taken(n, 0);
+  std::vector<size_t> selected;
+  selected.reserve(k);
+
+  for (size_t step = 0; step < k; ++step) {
+    double best_gain = -1.0;
+    size_t best = static_cast<size_t>(-1);
+    for (size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      double gain = 0.0;
+      for (size_t j = 0; j < m; ++j) {
+        gain += input.specializations[j].probability * coverage[j] *
+                utilities.At(i, j);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == static_cast<size_t>(-1)) break;
+    taken[best] = 1;
+    selected.push_back(best);
+    for (size_t j = 0; j < m; ++j) {
+      coverage[j] *= 1.0 - utilities.At(best, j);
+    }
+  }
+  return selected;
+}
+
+}  // namespace core
+}  // namespace optselect

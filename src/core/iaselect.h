@@ -1,0 +1,47 @@
+// IASelect (Agrawal et al., WSDM'09) adapted to query-log specializations —
+// the QL Diversify(k) problem of Section 3.1.1.
+//
+// Objective (Eq. 4): choose S ⊆ R_q, |S| = k, maximizing
+//   P(S|q) = Σ_{q′∈S_q} P(q′|q)·(1 − Π_{d∈S}(1 − Ũ(d|R_q′))).
+//
+// Diversify(k) is NP-hard; the objective is submodular, so the standard
+// greedy gives a (1 − 1/e)-approximation [Nemhauser et al. 1978]. Each
+// step adds the document with the largest marginal gain
+//   g(d|S) = Σ_{q′} P(q′|q)·cov_{q′}(S)·Ũ(d|R_q′),
+// where cov_{q′}(S) = Π_{d∈S}(1 − Ũ(d|R_q′)).
+//
+// Cost: k iterations × n candidates × |S_q| ⇒ O(n·k) (Table 1).
+
+#ifndef OPTSELECT_CORE_IASELECT_H_
+#define OPTSELECT_CORE_IASELECT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/diversifier.h"
+
+namespace optselect {
+namespace core {
+
+/// Greedy IASelect. Note: unlike xQuAD/OptSelect it has no relevance
+/// mixing term — λ is ignored (the original formulation is coverage-only,
+/// relevance enters through the utility values).
+class IaSelectDiversifier : public Diversifier {
+ public:
+  std::string name() const override { return "IASelect"; }
+
+  std::vector<size_t> Select(const DiversificationInput& input,
+                             const UtilityMatrix& utilities,
+                             const DiversifyParams& params) const override;
+
+  /// Objective value P(S|q) of Eq. 4 for a given selection; exposed for
+  /// the greedy-vs-bruteforce property tests.
+  static double Objective(const DiversificationInput& input,
+                          const UtilityMatrix& utilities,
+                          const std::vector<size_t>& selection);
+};
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_IASELECT_H_

@@ -1,0 +1,36 @@
+// Maximal Marginal Relevance (Carbonell & Goldstein, SIGIR'98) — the
+// pioneering diversification method the paper's related work opens with
+// (reference [8]). Included as an additional baseline: it needs no mined
+// specializations, only pairwise candidate similarity.
+//
+// Greedy: at each step pick
+//   argmax_{d ∈ R\S} [ λ·rel(d) − (1−λ)·max_{d_j∈S} sim(d, d_j) ].
+//
+// Cost: O(n·k) with incremental max-similarity bookkeeping.
+
+#ifndef OPTSELECT_CORE_MMR_H_
+#define OPTSELECT_CORE_MMR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/diversifier.h"
+
+namespace optselect {
+namespace core {
+
+/// MMR re-ranker. Ignores the specialization profiles and the utility
+/// matrix (passes are accepted for interface compatibility).
+class MmrDiversifier : public Diversifier {
+ public:
+  std::string name() const override { return "MMR"; }
+
+  std::vector<size_t> Select(const DiversificationInput& input,
+                             const UtilityMatrix& utilities,
+                             const DiversifyParams& params) const override;
+};
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_MMR_H_

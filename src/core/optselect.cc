@@ -1,0 +1,135 @@
+#include "core/optselect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/optselect_stages.h"
+
+namespace optselect {
+namespace core {
+
+namespace internal {
+
+OptSelectHeaps MakeHeaps(const DiversificationInput& input, size_t k) {
+  OptSelectHeaps heaps(k);
+  const size_t m = input.specializations.size();
+
+  // "if |S_q| > k we select from S_q the k specializations with the
+  // largest probabilities" (Section 3.1.3).
+  heaps.spec_order.resize(m);
+  for (size_t j = 0; j < m; ++j) heaps.spec_order[j] = j;
+  std::sort(heaps.spec_order.begin(), heaps.spec_order.end(),
+            [&](size_t a, size_t b) {
+              double pa = input.specializations[a].probability;
+              double pb = input.specializations[b].probability;
+              if (pa != pb) return pa > pb;
+              return a < b;
+            });
+  if (heaps.spec_order.size() > k) heaps.spec_order.resize(k);
+
+  heaps.quota.resize(heaps.spec_order.size());
+  heaps.per_spec.reserve(heaps.spec_order.size());
+  for (size_t jj = 0; jj < heaps.spec_order.size(); ++jj) {
+    double p = input.specializations[heaps.spec_order[jj]].probability;
+    heaps.quota[jj] =
+        static_cast<size_t>(std::floor(static_cast<double>(k) * p));
+    heaps.per_spec.emplace_back(heaps.quota[jj] + 1);
+  }
+  return heaps;
+}
+
+void ScanRange(const DiversificationInput& input,
+               const UtilityMatrix& utilities,
+               const std::vector<double>& overall, size_t begin, size_t end,
+               OptSelectHeaps* heaps) {
+  (void)input;
+  for (size_t i = begin; i < end; ++i) {
+    heaps->global.Push(overall[i], i);
+    for (size_t jj = 0; jj < heaps->spec_order.size(); ++jj) {
+      if (utilities.At(i, heaps->spec_order[jj]) > 0.0) {
+        heaps->per_spec[jj].Push(overall[i], i);
+      }
+    }
+  }
+}
+
+std::vector<size_t> DrainAndFill(const std::vector<double>& overall,
+                                 size_t n, size_t k,
+                                 OptSelectHeaps* heaps) {
+  std::vector<size_t> selected;
+  selected.reserve(k);
+  std::vector<char> taken(n, 0);
+
+  // Drain per-specialization heaps: quota each (≥ 1 for coverage), most
+  // probable specialization first (Algorithm 2 lines 07-09 generalized to
+  // the ⌊k·P⌋ coverage constraint).
+  for (size_t jj = 0;
+       jj < heaps->spec_order.size() && selected.size() < k; ++jj) {
+    size_t want = std::max<size_t>(heaps->quota[jj], 1);
+    size_t got = 0;
+    for (auto& entry : heaps->per_spec[jj].ExtractDescending()) {
+      if (got >= want || selected.size() >= k) break;
+      if (taken[entry.value]) {
+        // A document useful for several specializations counts for each
+        // of them; it consumes this specialization's quota without being
+        // re-added.
+        ++got;
+        continue;
+      }
+      taken[entry.value] = 1;
+      selected.push_back(entry.value);
+      ++got;
+    }
+  }
+
+  // Fill the remainder from the global heap (Algorithm 2 lines 10-12).
+  for (auto& entry : heaps->global.ExtractDescending()) {
+    if (selected.size() >= k) break;
+    if (taken[entry.value]) continue;
+    taken[entry.value] = 1;
+    selected.push_back(entry.value);
+  }
+
+  // The SERP is ordered by overall utility (ties: original rank).
+  std::sort(selected.begin(), selected.end(), [&](size_t a, size_t b) {
+    if (overall[a] != overall[b]) return overall[a] > overall[b];
+    return a < b;
+  });
+  return selected;
+}
+
+}  // namespace internal
+
+double OptSelectDiversifier::OverallUtility(
+    const DiversificationInput& input, const UtilityMatrix& utilities,
+    size_t i, double lambda) {
+  const size_t m = input.specializations.size();
+  double weighted = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    weighted += input.specializations[j].probability * utilities.At(i, j);
+  }
+  return (1.0 - lambda) * static_cast<double>(m) *
+             input.candidates[i].relevance +
+         lambda * weighted;
+}
+
+std::vector<size_t> OptSelectDiversifier::Select(
+    const DiversificationInput& input, const UtilityMatrix& utilities,
+    const DiversifyParams& params) const {
+  const size_t n = input.candidates.size();
+  const size_t k = std::min(params.k, n);
+  if (k == 0) return {};
+
+  // Ũ(d|q) for every candidate — one O(m) row scan each.
+  std::vector<double> overall(n);
+  for (size_t i = 0; i < n; ++i) {
+    overall[i] = OverallUtility(input, utilities, i, params.lambda);
+  }
+
+  internal::OptSelectHeaps heaps = internal::MakeHeaps(input, k);
+  internal::ScanRange(input, utilities, overall, 0, n, &heaps);
+  return internal::DrainAndFill(overall, n, k, &heaps);
+}
+
+}  // namespace core
+}  // namespace optselect

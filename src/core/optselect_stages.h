@@ -1,0 +1,57 @@
+// Internal building blocks shared by the serial and parallel OptSelect
+// implementations. Not part of the public API surface — include from
+// core/*.cc only.
+//
+// Algorithm 2 decomposes into (1) a scan stage that pushes candidates
+// into bounded heaps and (2) a selection stage that drains them under
+// the proportional-coverage quotas. The scan is what the parallel
+// variant shards; the selection stage is shared verbatim so both agree
+// bit-for-bit.
+
+#ifndef OPTSELECT_CORE_OPTSELECT_STAGES_H_
+#define OPTSELECT_CORE_OPTSELECT_STAGES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bounded_heap.h"
+#include "core/candidate.h"
+#include "core/diversifier.h"
+
+namespace optselect {
+namespace core {
+namespace internal {
+
+/// The heap set of Algorithm 2: M (global) plus one M_q′ per retained
+/// specialization, with the retained specializations and their quotas.
+struct OptSelectHeaps {
+  BoundedTopK<size_t> global;
+  std::vector<BoundedTopK<size_t>> per_spec;  ///< parallel to spec_order
+  std::vector<size_t> spec_order;             ///< specialization indices
+  std::vector<size_t> quota;                  ///< ⌊k·P(q′|q)⌋ per entry
+
+  explicit OptSelectHeaps(size_t k) : global(k) {}
+};
+
+/// Builds empty heaps: retains the k most probable specializations (ties
+/// on index), sizes M_q′ to ⌊k·P⌋+1 and M to k.
+OptSelectHeaps MakeHeaps(const DiversificationInput& input, size_t k);
+
+/// Scan stage over candidates [begin, end): pushes every candidate into
+/// the global heap and into each specialization heap it is useful for.
+void ScanRange(const DiversificationInput& input,
+               const UtilityMatrix& utilities,
+               const std::vector<double>& overall, size_t begin, size_t end,
+               OptSelectHeaps* heaps);
+
+/// Selection stage: drains quotas most-probable-specialization first,
+/// fills from the global heap, and orders the result by overall utility
+/// (ties: candidate rank).
+std::vector<size_t> DrainAndFill(const std::vector<double>& overall,
+                                 size_t n, size_t k, OptSelectHeaps* heaps);
+
+}  // namespace internal
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_OPTSELECT_STAGES_H_

@@ -1,0 +1,81 @@
+#include "core/parallel_optselect.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/optselect.h"
+#include "core/optselect_stages.h"
+
+namespace optselect {
+namespace core {
+
+std::vector<size_t> ParallelOptSelectDiversifier::Select(
+    const DiversificationInput& input, const UtilityMatrix& utilities,
+    const DiversifyParams& params) const {
+  const size_t n = input.candidates.size();
+  const size_t k = std::min(params.k, n);
+  if (k == 0) return {};
+
+  size_t threads = num_threads_;
+  if (threads == 0) {
+    threads = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<size_t>(n / 1024, 1));
+
+  std::vector<double> overall(n);
+  internal::OptSelectHeaps merged = internal::MakeHeaps(input, k);
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      overall[i] = OptSelectDiversifier::OverallUtility(input, utilities, i,
+                                                        params.lambda);
+    }
+    internal::ScanRange(input, utilities, overall, 0, n, &merged);
+    return internal::DrainAndFill(overall, n, k, &merged);
+  }
+
+  // Shard the scan: each worker computes overall utilities and fills its
+  // own heap set over a contiguous candidate range.
+  std::vector<internal::OptSelectHeaps> shard_heaps;
+  shard_heaps.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    shard_heaps.push_back(internal::MakeHeaps(input, k));
+  }
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const size_t chunk = (n + threads - 1) / threads;
+    for (size_t t = 0; t < threads; ++t) {
+      size_t begin = t * chunk;
+      size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back([&, t, begin, end]() {
+        for (size_t i = begin; i < end; ++i) {
+          overall[i] = OptSelectDiversifier::OverallUtility(
+              input, utilities, i, params.lambda);
+        }
+        internal::ScanRange(input, utilities, overall, begin, end,
+                            &shard_heaps[t]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  // Merge: push every retained entry into the final heap set. Bounded
+  // heaps are order-independent (total-ordered keys), so the merged
+  // retained sets equal what a serial scan would have kept.
+  for (internal::OptSelectHeaps& shard : shard_heaps) {
+    for (auto& entry : shard.global.ExtractDescending()) {
+      merged.global.Push(entry.key, entry.value);
+    }
+    for (size_t jj = 0; jj < shard.per_spec.size(); ++jj) {
+      for (auto& entry : shard.per_spec[jj].ExtractDescending()) {
+        merged.per_spec[jj].Push(entry.key, entry.value);
+      }
+    }
+  }
+  return internal::DrainAndFill(overall, n, k, &merged);
+}
+
+}  // namespace core
+}  // namespace optselect

@@ -1,0 +1,52 @@
+// Parallel OptSelect — the paper's future work (iii): "the study of a
+// search architecture performing the diversification task in parallel
+// with the document scoring phase".
+//
+// OptSelect's single pass over R_q is embarrassingly parallel: shard the
+// candidates, build per-shard bounded heaps (per specialization plus
+// global), then merge the shards' heaps — heap merging costs
+// O(shards · (k + |S_q|·k) · log k), independent of n. The selection
+// stage over merged heaps is identical to the serial algorithm, so the
+// output is *bit-identical* to the serial OptSelect (ties break on
+// candidate rank in both).
+//
+// In the architecture the paper sketches, each shard would live inside a
+// posting-scoring worker and push into its heaps while scoring; this
+// class reproduces that dataflow with std::thread over an in-memory
+// utility matrix.
+
+#ifndef OPTSELECT_CORE_PARALLEL_OPTSELECT_H_
+#define OPTSELECT_CORE_PARALLEL_OPTSELECT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/diversifier.h"
+
+namespace optselect {
+namespace core {
+
+/// Multi-threaded drop-in replacement for OptSelectDiversifier.
+class ParallelOptSelectDiversifier : public Diversifier {
+ public:
+  /// `num_threads` = 0 picks std::thread::hardware_concurrency().
+  explicit ParallelOptSelectDiversifier(size_t num_threads = 0)
+      : num_threads_(num_threads) {}
+
+  std::string name() const override { return "ParallelOptSelect"; }
+
+  std::vector<size_t> Select(const DiversificationInput& input,
+                             const UtilityMatrix& utilities,
+                             const DiversifyParams& params) const override;
+
+  size_t num_threads() const { return num_threads_; }
+
+ private:
+  size_t num_threads_;
+};
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_PARALLEL_OPTSELECT_H_

@@ -1,0 +1,37 @@
+// xQuAD (Santos et al., WWW'10) adapted to query-log specializations —
+// the xQuAD Diversify(k) problem of Section 3.1.2.
+//
+// Greedy selection: at each step pick the candidate d ∈ R_q \ S maximizing
+//   (1−λ)·P(d|q) + λ·P(d, S̄|q)                                   (Eq. 5)
+//   P(d, S̄|q) = Σ_{q′∈S_q} P(q′|q)·P(d|q′)·Π_{d_j∈S}(1 − P(d_j|q′)) (Eq. 6)
+// where P(d|q′) is measured by Ũ(d|R_q′) ("we measure P(dj|q′) using
+// Ũ(d|R_q′)", Section 3.1.2).
+//
+// Cost: k iterations × n candidates × |S_q| ⇒ O(n·k) with |S_q| constant
+// (Table 1).
+
+#ifndef OPTSELECT_CORE_XQUAD_H_
+#define OPTSELECT_CORE_XQUAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/diversifier.h"
+
+namespace optselect {
+namespace core {
+
+/// Greedy xQuAD re-ranker.
+class XQuadDiversifier : public Diversifier {
+ public:
+  std::string name() const override { return "xQuAD"; }
+
+  std::vector<size_t> Select(const DiversificationInput& input,
+                             const UtilityMatrix& utilities,
+                             const DiversifyParams& params) const override;
+};
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_XQUAD_H_

@@ -1,0 +1,24 @@
+// Web document model.
+
+#ifndef OPTSELECT_CORPUS_DOCUMENT_H_
+#define OPTSELECT_CORPUS_DOCUMENT_H_
+
+#include <string>
+
+#include "util/types.h"
+
+namespace optselect {
+namespace corpus {
+
+/// One crawled document: the unit stored, indexed, and retrieved.
+struct Document {
+  DocId id = kInvalidDocId;
+  std::string url;
+  std::string title;
+  std::string body;
+};
+
+}  // namespace corpus
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORPUS_DOCUMENT_H_

@@ -1,0 +1,18 @@
+#include "corpus/document_store.h"
+
+namespace optselect {
+namespace corpus {
+
+DocId DocumentStore::Add(std::string url, std::string title,
+                         std::string body) {
+  Document doc;
+  doc.id = static_cast<DocId>(docs_.size());
+  doc.url = std::move(url);
+  doc.title = std::move(title);
+  doc.body = std::move(body);
+  docs_.push_back(std::move(doc));
+  return docs_.back().id;
+}
+
+}  // namespace corpus
+}  // namespace optselect

@@ -1,0 +1,37 @@
+// In-memory append-only document collection (the stand-in for ClueWeb-B).
+
+#ifndef OPTSELECT_CORPUS_DOCUMENT_STORE_H_
+#define OPTSELECT_CORPUS_DOCUMENT_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "util/status.h"
+
+namespace optselect {
+namespace corpus {
+
+/// Owns documents; ids are dense [0, size).
+class DocumentStore {
+ public:
+  /// Adds a document; its id is assigned and returned.
+  DocId Add(std::string url, std::string title, std::string body);
+
+  const Document& Get(DocId id) const { return docs_[id]; }
+  bool Contains(DocId id) const { return id < docs_.size(); }
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  std::vector<Document>::const_iterator begin() const { return docs_.begin(); }
+  std::vector<Document>::const_iterator end() const { return docs_.end(); }
+
+ private:
+  std::vector<Document> docs_;
+};
+
+}  // namespace corpus
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORPUS_DOCUMENT_STORE_H_

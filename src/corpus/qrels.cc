@@ -1,0 +1,57 @@
+#include "corpus/qrels.h"
+
+#include <algorithm>
+
+namespace optselect {
+namespace corpus {
+
+void Qrels::Add(TopicId topic, uint32_t subtopic, DocId doc, int grade) {
+  auto& m = judgments_[Key(topic, subtopic)];
+  auto [it, inserted] = m.insert_or_assign(doc, grade);
+  (void)it;
+  if (inserted) ++total_;
+  auto& cnt = subtopic_count_[topic];
+  cnt = std::max(cnt, subtopic + 1);
+}
+
+int Qrels::Grade(TopicId topic, uint32_t subtopic, DocId doc) const {
+  auto it = judgments_.find(Key(topic, subtopic));
+  if (it == judgments_.end()) return 0;
+  auto jt = it->second.find(doc);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+bool Qrels::RelevantToAny(TopicId topic, uint32_t num_subtopics,
+                          DocId doc) const {
+  for (uint32_t s = 0; s < num_subtopics; ++s) {
+    if (Relevant(topic, s, doc)) return true;
+  }
+  return false;
+}
+
+size_t Qrels::NumRelevant(TopicId topic, uint32_t subtopic) const {
+  auto it = judgments_.find(Key(topic, subtopic));
+  if (it == judgments_.end()) return 0;
+  size_t n = 0;
+  for (const auto& [doc, grade] : it->second) {
+    if (grade > 0) ++n;
+  }
+  return n;
+}
+
+uint32_t Qrels::NumSubtopics(TopicId topic) const {
+  auto it = subtopic_count_.find(topic);
+  return it == subtopic_count_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<DocId, int>> Qrels::Judgments(TopicId topic,
+                                                    uint32_t subtopic) const {
+  std::vector<std::pair<DocId, int>> out;
+  auto it = judgments_.find(Key(topic, subtopic));
+  if (it == judgments_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+}  // namespace corpus
+}  // namespace optselect

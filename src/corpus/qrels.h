@@ -1,0 +1,62 @@
+// Subtopic-level relevance judgments (TREC diversity-task qrels format:
+// topic / subtopic / document / grade).
+
+#ifndef OPTSELECT_CORPUS_QRELS_H_
+#define OPTSELECT_CORPUS_QRELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace optselect {
+namespace corpus {
+
+/// Judged relevance of documents to (topic, subtopic) pairs.
+class Qrels {
+ public:
+  /// Records `grade` (> 0 means relevant) for doc under the given
+  /// topic/subtopic. Re-adding overwrites.
+  void Add(TopicId topic, uint32_t subtopic, DocId doc, int grade);
+
+  /// Grade of (topic, subtopic, doc); 0 when unjudged.
+  int Grade(TopicId topic, uint32_t subtopic, DocId doc) const;
+
+  /// True if the doc is relevant (grade > 0) to the subtopic.
+  bool Relevant(TopicId topic, uint32_t subtopic, DocId doc) const {
+    return Grade(topic, subtopic, doc) > 0;
+  }
+
+  /// True if the doc is relevant to at least one subtopic of the topic.
+  bool RelevantToAny(TopicId topic, uint32_t num_subtopics, DocId doc) const;
+
+  /// Number of relevant documents for a subtopic.
+  size_t NumRelevant(TopicId topic, uint32_t subtopic) const;
+
+  /// Highest subtopic index judged for the topic, plus one (0 if none).
+  uint32_t NumSubtopics(TopicId topic) const;
+
+  /// All judged (doc, grade) pairs for a subtopic (unordered).
+  std::vector<std::pair<DocId, int>> Judgments(TopicId topic,
+                                               uint32_t subtopic) const;
+
+  size_t size() const { return total_; }
+
+ private:
+  // key: (topic << 8 | subtopic) — subtopic counts are tiny (3..8,
+  // bounded 255); value: doc → grade.
+  static uint64_t Key(TopicId topic, uint32_t subtopic) {
+    return (static_cast<uint64_t>(topic) << 8) | (subtopic & 0xFF);
+  }
+  std::unordered_map<uint64_t, std::unordered_map<DocId, int>> judgments_;
+  std::unordered_map<TopicId, uint32_t> subtopic_count_;
+  size_t total_ = 0;
+};
+
+}  // namespace corpus
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORPUS_QRELS_H_

@@ -1,0 +1,82 @@
+// Synthetic ClueWeb-B stand-in.
+//
+// For every planted sub-intent (see synth::TopicSpec) the generator emits
+// a cluster of relevant documents whose language model mixes: the root
+// query word, the sub-intent's modifier word, the sub-intent's content
+// words, and background vocabulary. It additionally emits "confusable"
+// documents that mention a root word without belonging to any sub-intent
+// (rank pollution for the baseline, judged non-relevant) and pure
+// background documents.
+//
+// The subtopic-level qrels are derived directly from the planting, which
+// is exactly the information TREC assessors supply for the real testbed.
+
+#ifndef OPTSELECT_CORPUS_SYNTHETIC_CORPUS_H_
+#define OPTSELECT_CORPUS_SYNTHETIC_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/document_store.h"
+#include "corpus/qrels.h"
+#include "corpus/trec_topics.h"
+#include "synth/topic_spec.h"
+
+namespace optselect {
+namespace corpus {
+
+/// Generator knobs.
+struct SyntheticCorpusConfig {
+  uint64_t seed = 7;
+  /// Relevant documents planted per sub-intent.
+  size_t docs_per_intent = 30;
+  /// When true, cluster sizes scale with sub-intent popularity
+  /// (≈ docs_per_intent · m · P(q′|q), at least min_docs_per_intent),
+  /// mirroring the web: popular interpretations have more pages. This
+  /// skews the relevance-only baseline toward dominant intents — the
+  /// redundancy diversification is meant to fix.
+  bool proportional_cluster_size = false;
+  /// Lower bound per cluster when proportional_cluster_size is on.
+  size_t min_docs_per_intent = 3;
+  /// Fraction of a planted cluster judged highly relevant (grade 2).
+  double highly_relevant_fraction = 0.2;
+  /// Confusable documents per topic (contain the root word only).
+  size_t confusable_docs_per_topic = 20;
+  /// Near-topic distractors per sub-intent: pages that match the
+  /// specialization query textually (modifier-dense, occasional root
+  /// mention) but are about something else and judged non-relevant.
+  /// They pollute R_q′ reference lists and carry high utility with low
+  /// relevance — the noise that separates utility-only selection
+  /// (IASelect) from relevance-mixed selection (OptSelect/xQuAD).
+  size_t distractor_docs_per_intent = 0;
+  /// Pure background documents.
+  size_t background_docs = 3000;
+  /// Mean body length in words.
+  size_t body_words_mean = 90;
+  /// +- spread of body length.
+  size_t body_words_spread = 40;
+  /// Background vocabulary size (word-bank indices offset away from
+  /// topical words).
+  size_t background_vocab = 2500;
+  /// Probability that a body word of a relevant doc is drawn from the
+  /// sub-intent's language model (vs background).
+  double intent_word_fraction = 0.45;
+};
+
+/// Generated testbed: collection + topic set + subtopic qrels.
+struct SyntheticCorpus {
+  DocumentStore store;
+  TopicSet topics;
+  Qrels qrels;
+};
+
+/// Builds the testbed for the given planted topics. Topic ids are assigned
+/// 1..N in order (TREC numbering starts at 1).
+SyntheticCorpus GenerateSyntheticCorpus(
+    const SyntheticCorpusConfig& config,
+    const std::vector<synth::TopicSpec>& specs);
+
+}  // namespace corpus
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORPUS_SYNTHETIC_CORPUS_H_

@@ -1,0 +1,14 @@
+#include "corpus/trec_topics.h"
+
+namespace optselect {
+namespace corpus {
+
+const TrecTopic* TopicSet::FindByQuery(const std::string& query) const {
+  for (const TrecTopic& t : topics_) {
+    if (t.query == query) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace corpus
+}  // namespace optselect

@@ -1,0 +1,55 @@
+// TREC 2009 Web track Diversity Task topic model: "Each topic includes
+// from 3 to 8 sub-topics manually identified by TREC assessors, with
+// relevance judgements provided at subtopic level" (Appendix B).
+
+#ifndef OPTSELECT_CORPUS_TREC_TOPICS_H_
+#define OPTSELECT_CORPUS_TREC_TOPICS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace optselect {
+namespace corpus {
+
+/// One assessor-identified subtopic of a faceted topic.
+struct Subtopic {
+  /// Natural-language description (e.g. "Find the TIME magazine photo
+  /// essay 'Barack Obama's Family Tree'").
+  std::string description;
+  /// The specialization query expressing the subtopic (the synthetic
+  /// testbed aligns it with a planted log specialization).
+  std::string query;
+  /// Ground-truth popularity of this subtopic (sums to 1 within a topic).
+  double probability = 0.0;
+};
+
+/// One diversity-task topic.
+struct TrecTopic {
+  TopicId id = 0;
+  /// The ambiguous/faceted query submitted to the engine.
+  std::string query;
+  std::vector<Subtopic> subtopics;
+};
+
+/// The 50-topic task set.
+class TopicSet {
+ public:
+  void Add(TrecTopic topic) { topics_.push_back(std::move(topic)); }
+
+  size_t size() const { return topics_.size(); }
+  const TrecTopic& topic(size_t i) const { return topics_[i]; }
+  const std::vector<TrecTopic>& topics() const { return topics_; }
+
+  /// Finds a topic by its query string; nullptr if absent.
+  const TrecTopic* FindByQuery(const std::string& query) const;
+
+ private:
+  std::vector<TrecTopic> topics_;
+};
+
+}  // namespace corpus
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORPUS_TREC_TOPICS_H_

@@ -1,0 +1,96 @@
+#include "eval/alpha_ndcg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/math_util.h"
+
+namespace optselect {
+namespace eval {
+namespace {
+
+// Gain of a document given per-subtopic coverage counts; increments the
+// counts for the subtopics the document is relevant to.
+double GainAndCover(const corpus::Qrels& qrels, TopicId topic,
+                    uint32_t num_subtopics, DocId doc, double alpha,
+                    std::vector<uint32_t>* coverage) {
+  double gain = 0.0;
+  for (uint32_t s = 0; s < num_subtopics; ++s) {
+    if (qrels.Relevant(topic, s, doc)) {
+      gain += std::pow(1.0 - alpha, static_cast<double>((*coverage)[s]));
+      ++(*coverage)[s];
+    }
+  }
+  return gain;
+}
+
+}  // namespace
+
+double AlphaNdcg::Dcg(TopicId topic, uint32_t num_subtopics,
+                      const std::vector<DocId>& ranking, size_t k) const {
+  std::vector<uint32_t> coverage(num_subtopics, 0);
+  double dcg = 0.0;
+  const size_t depth = std::min(k, ranking.size());
+  for (size_t r = 0; r < depth; ++r) {
+    double gain = GainAndCover(*qrels_, topic, num_subtopics, ranking[r],
+                               alpha_, &coverage);
+    dcg += gain / util::Log2Discount(r + 1);
+  }
+  return dcg;
+}
+
+double AlphaNdcg::IdealDcg(TopicId topic, uint32_t num_subtopics,
+                           size_t k) const {
+  // Pool: all docs judged relevant to any subtopic.
+  std::unordered_set<DocId> pool_set;
+  for (uint32_t s = 0; s < num_subtopics; ++s) {
+    for (const auto& [doc, grade] : qrels_->Judgments(topic, s)) {
+      if (grade > 0) pool_set.insert(doc);
+    }
+  }
+  std::vector<DocId> pool(pool_set.begin(), pool_set.end());
+  std::sort(pool.begin(), pool.end());  // determinism
+
+  std::vector<uint32_t> coverage(num_subtopics, 0);
+  std::vector<char> used(pool.size(), 0);
+  double idcg = 0.0;
+  const size_t depth = std::min(k, pool.size());
+  for (size_t r = 0; r < depth; ++r) {
+    // Greedy: the document with the largest marginal gain given current
+    // coverage.
+    double best_gain = -1.0;
+    size_t best = pool.size();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      double gain = 0.0;
+      for (uint32_t s = 0; s < num_subtopics; ++s) {
+        if (qrels_->Relevant(topic, s, pool[i])) {
+          gain +=
+              std::pow(1.0 - alpha_, static_cast<double>(coverage[s]));
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == pool.size() || best_gain <= 0.0) break;
+    used[best] = 1;
+    for (uint32_t s = 0; s < num_subtopics; ++s) {
+      if (qrels_->Relevant(topic, s, pool[best])) ++coverage[s];
+    }
+    idcg += best_gain / util::Log2Discount(r + 1);
+  }
+  return idcg;
+}
+
+double AlphaNdcg::Score(TopicId topic, uint32_t num_subtopics,
+                        const std::vector<DocId>& ranking, size_t k) const {
+  double idcg = IdealDcg(topic, num_subtopics, k);
+  if (idcg <= 0.0) return 0.0;
+  return Dcg(topic, num_subtopics, ranking, k) / idcg;
+}
+
+}  // namespace eval
+}  // namespace optselect

@@ -1,0 +1,59 @@
+// α-NDCG (Clarke et al., SIGIR'08) — the diversity-aware gain metric used
+// as the TREC 2009 Web track diversity task's primary measure.
+//
+// The gain of the document at rank r is
+//   G(r) = Σ_s J(d_r, s) · (1 − α)^{C_s(r−1)}
+// where J is the binary subtopic judgment and C_s(r−1) counts documents
+// relevant to subtopic s among the first r−1 positions: repeated coverage
+// of an already-covered subtopic is geometrically discounted by α. With
+// α = 0 the metric degenerates to (binary, subtopic-summed) NDCG.
+//
+//   DCG@k  = Σ_{r≤k} G(r) / log₂(1 + r)
+//   α-NDCG@k = DCG@k / IdealDCG@k
+//
+// The ideal gain vector is NP-hard to compute exactly; following standard
+// practice (and the official ndeval implementation) it is approximated
+// greedily over the judged pool.
+
+#ifndef OPTSELECT_EVAL_ALPHA_NDCG_H_
+#define OPTSELECT_EVAL_ALPHA_NDCG_H_
+
+#include <vector>
+
+#include "corpus/qrels.h"
+#include "util/types.h"
+
+namespace optselect {
+namespace eval {
+
+/// α-NDCG@k scorer for one topic.
+class AlphaNdcg {
+ public:
+  /// `alpha` is the redundancy penalty; the paper evaluates with α = 0.5
+  /// "to give an equal weight to relevance and diversity".
+  AlphaNdcg(const corpus::Qrels* qrels, double alpha = 0.5)
+      : qrels_(qrels), alpha_(alpha) {}
+
+  /// α-NDCG@k of `ranking` for `topic` with `num_subtopics` subtopics.
+  /// Returns 0 when the topic has no relevant documents.
+  double Score(TopicId topic, uint32_t num_subtopics,
+               const std::vector<DocId>& ranking, size_t k) const;
+
+  /// Un-normalized DCG@k of the ranking (exposed for tests).
+  double Dcg(TopicId topic, uint32_t num_subtopics,
+             const std::vector<DocId>& ranking, size_t k) const;
+
+  /// Greedy ideal DCG@k over the judged pool (exposed for tests).
+  double IdealDcg(TopicId topic, uint32_t num_subtopics, size_t k) const;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  const corpus::Qrels* qrels_;  // not owned
+  double alpha_;
+};
+
+}  // namespace eval
+}  // namespace optselect
+
+#endif  // OPTSELECT_EVAL_ALPHA_NDCG_H_

@@ -1,0 +1,65 @@
+#include "eval/diversity_evaluator.h"
+
+#include "eval/alpha_ndcg.h"
+#include "eval/ia_precision.h"
+#include "util/math_util.h"
+
+namespace optselect {
+namespace eval {
+namespace {
+
+const std::vector<DocId>& RankingFor(const Run& run, TopicId topic) {
+  static const std::vector<DocId> kEmpty;
+  auto it = run.rankings.find(topic);
+  return it == run.rankings.end() ? kEmpty : it->second;
+}
+
+}  // namespace
+
+MetricRow DiversityEvaluator::Evaluate(const Run& run) const {
+  MetricRow row;
+  row.run_name = run.name;
+  for (size_t cutoff : options_.cutoffs) {
+    row.alpha_ndcg[cutoff] = util::Mean(PerTopicAlphaNdcg(run, cutoff));
+    row.ia_precision[cutoff] = util::Mean(PerTopicIaPrecision(run, cutoff));
+  }
+  return row;
+}
+
+std::vector<double> DiversityEvaluator::PerTopicAlphaNdcg(
+    const Run& run, size_t cutoff) const {
+  AlphaNdcg metric(qrels_, options_.alpha);
+  std::vector<double> values;
+  values.reserve(topics_->size());
+  for (const corpus::TrecTopic& topic : topics_->topics()) {
+    uint32_t m = static_cast<uint32_t>(topic.subtopics.size());
+    values.push_back(
+        metric.Score(topic.id, m, RankingFor(run, topic.id), cutoff));
+  }
+  return values;
+}
+
+std::vector<double> DiversityEvaluator::PerTopicIaPrecision(
+    const Run& run, size_t cutoff) const {
+  IntentAwarePrecision metric(qrels_);
+  std::vector<double> values;
+  values.reserve(topics_->size());
+  for (const corpus::TrecTopic& topic : topics_->topics()) {
+    const std::vector<DocId>& ranking = RankingFor(run, topic.id);
+    uint32_t m = static_cast<uint32_t>(topic.subtopics.size());
+    if (options_.uniform_intent_weights) {
+      values.push_back(metric.ScoreUniform(topic.id, m, ranking, cutoff));
+    } else {
+      std::vector<double> weights;
+      weights.reserve(m);
+      for (const corpus::Subtopic& st : topic.subtopics) {
+        weights.push_back(st.probability);
+      }
+      values.push_back(metric.Score(topic.id, weights, ranking, cutoff));
+    }
+  }
+  return values;
+}
+
+}  // namespace eval
+}  // namespace optselect

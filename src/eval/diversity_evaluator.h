@@ -1,0 +1,73 @@
+// Batch evaluation of diversity runs: α-NDCG and IA-P at the paper's rank
+// cutoffs {5, 10, 20, 100, 1000}, averaged over topics (Table 3 rows).
+
+#ifndef OPTSELECT_EVAL_DIVERSITY_EVALUATOR_H_
+#define OPTSELECT_EVAL_DIVERSITY_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/qrels.h"
+#include "corpus/trec_topics.h"
+#include "util/types.h"
+
+namespace optselect {
+namespace eval {
+
+/// One system's output: per-topic ranked document lists.
+struct Run {
+  std::string name;
+  std::map<TopicId, std::vector<DocId>> rankings;
+};
+
+/// Metric values at the standard cutoffs.
+struct MetricRow {
+  std::string run_name;
+  /// cutoff → mean metric over topics.
+  std::map<size_t, double> alpha_ndcg;
+  std::map<size_t, double> ia_precision;
+};
+
+/// Evaluates runs against a topic set + qrels.
+class DiversityEvaluator {
+ public:
+  struct Options {
+    double alpha = 0.5;
+    std::vector<size_t> cutoffs = {5, 10, 20, 100, 1000};
+    /// Weight IA-P intents uniformly (TREC convention) or by the planted
+    /// subtopic probabilities.
+    bool uniform_intent_weights = true;
+  };
+
+  DiversityEvaluator(const corpus::TopicSet* topics,
+                     const corpus::Qrels* qrels, Options options)
+      : topics_(topics), qrels_(qrels), options_(options) {}
+
+  DiversityEvaluator(const corpus::TopicSet* topics,
+                     const corpus::Qrels* qrels)
+      : DiversityEvaluator(topics, qrels, Options{}) {}
+
+  /// Mean metrics of a run over all topics present in the topic set.
+  /// Topics missing from the run score 0.
+  MetricRow Evaluate(const Run& run) const;
+
+  /// Per-topic α-NDCG@cutoff values (for significance testing).
+  std::vector<double> PerTopicAlphaNdcg(const Run& run, size_t cutoff) const;
+
+  /// Per-topic IA-P@cutoff values.
+  std::vector<double> PerTopicIaPrecision(const Run& run,
+                                          size_t cutoff) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const corpus::TopicSet* topics_;  // not owned
+  const corpus::Qrels* qrels_;      // not owned
+  Options options_;
+};
+
+}  // namespace eval
+}  // namespace optselect
+
+#endif  // OPTSELECT_EVAL_DIVERSITY_EVALUATOR_H_

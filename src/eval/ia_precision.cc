@@ -1,0 +1,37 @@
+#include "eval/ia_precision.h"
+
+#include <algorithm>
+
+namespace optselect {
+namespace eval {
+
+double IntentAwarePrecision::Score(TopicId topic,
+                                   const std::vector<double>& subtopic_weights,
+                                   const std::vector<DocId>& ranking,
+                                   size_t k) const {
+  if (k == 0 || subtopic_weights.empty()) return 0.0;
+  const size_t depth = std::min(k, ranking.size());
+  double iap = 0.0;
+  for (uint32_t s = 0; s < subtopic_weights.size(); ++s) {
+    size_t hits = 0;
+    for (size_t r = 0; r < depth; ++r) {
+      if (qrels_->Relevant(topic, s, ranking[r])) ++hits;
+    }
+    iap += subtopic_weights[s] *
+           (static_cast<double>(hits) / static_cast<double>(k));
+  }
+  return iap;
+}
+
+double IntentAwarePrecision::ScoreUniform(TopicId topic,
+                                          uint32_t num_subtopics,
+                                          const std::vector<DocId>& ranking,
+                                          size_t k) const {
+  if (num_subtopics == 0) return 0.0;
+  std::vector<double> weights(num_subtopics,
+                              1.0 / static_cast<double>(num_subtopics));
+  return Score(topic, weights, ranking, k);
+}
+
+}  // namespace eval
+}  // namespace optselect

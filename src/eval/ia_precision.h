@@ -1,0 +1,40 @@
+// Intent-aware precision IA-P@k (Agrawal et al., WSDM'09) — the second
+// official metric of the TREC 2009 diversity task: classic precision,
+// averaged over query intents weighted by their likelihood.
+//
+//   IA-P@k = Σ_s P(s|q) · ( |{d ∈ top-k : relevant to s}| / k ).
+
+#ifndef OPTSELECT_EVAL_IA_PRECISION_H_
+#define OPTSELECT_EVAL_IA_PRECISION_H_
+
+#include <vector>
+
+#include "corpus/qrels.h"
+#include "util/types.h"
+
+namespace optselect {
+namespace eval {
+
+/// IA-P@k scorer for one topic.
+class IntentAwarePrecision {
+ public:
+  explicit IntentAwarePrecision(const corpus::Qrels* qrels)
+      : qrels_(qrels) {}
+
+  /// IA-P@k with explicit subtopic weights (must sum to 1; pass the
+  /// planted probabilities to weight intents by popularity).
+  double Score(TopicId topic, const std::vector<double>& subtopic_weights,
+               const std::vector<DocId>& ranking, size_t k) const;
+
+  /// IA-P@k with uniform subtopic weights — TREC's official convention.
+  double ScoreUniform(TopicId topic, uint32_t num_subtopics,
+                      const std::vector<DocId>& ranking, size_t k) const;
+
+ private:
+  const corpus::Qrels* qrels_;  // not owned
+};
+
+}  // namespace eval
+}  // namespace optselect
+
+#endif  // OPTSELECT_EVAL_IA_PRECISION_H_

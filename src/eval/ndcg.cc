@@ -1,0 +1,30 @@
+#include "eval/ndcg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace optselect {
+namespace eval {
+
+double Ndcg::Dcg(const std::vector<int>& grades, size_t k) {
+  double dcg = 0.0;
+  const size_t depth = std::min(k, grades.size());
+  for (size_t r = 0; r < depth; ++r) {
+    double gain = std::pow(2.0, static_cast<double>(grades[r])) - 1.0;
+    dcg += gain / util::Log2Discount(r + 1);
+  }
+  return dcg;
+}
+
+double Ndcg::Score(const std::vector<int>& ranking_grades,
+                   std::vector<int> all_grades, size_t k) {
+  std::sort(all_grades.begin(), all_grades.end(), std::greater<int>());
+  double idcg = Dcg(all_grades, k);
+  if (idcg <= 0.0) return 0.0;
+  return Dcg(ranking_grades, k) / idcg;
+}
+
+}  // namespace eval
+}  // namespace optselect

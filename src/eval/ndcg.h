@@ -1,0 +1,34 @@
+// Classic graded NDCG (Järvelin & Kekäläinen 2002) — the metric α-NDCG
+// generalizes; kept for sanity baselines and ablations.
+//
+//   DCG@k  = Σ_{r≤k} (2^{grade(d_r)} − 1) / log₂(1 + r)
+//   NDCG@k = DCG@k / IdealDCG@k.
+
+#ifndef OPTSELECT_EVAL_NDCG_H_
+#define OPTSELECT_EVAL_NDCG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace optselect {
+namespace eval {
+
+/// NDCG over an explicit grade lookup: grades[i] is the grade of
+/// ranking[i]; `all_grades` is the full judged grade pool for the ideal.
+class Ndcg {
+ public:
+  /// DCG of a grade sequence.
+  static double Dcg(const std::vector<int>& grades, size_t k);
+
+  /// NDCG@k given the ranking's grades and the complete pool of judged
+  /// grades (the ideal ranking sorts the pool descending).
+  static double Score(const std::vector<int>& ranking_grades,
+                      std::vector<int> all_grades, size_t k);
+};
+
+}  // namespace eval
+}  // namespace optselect
+
+#endif  // OPTSELECT_EVAL_NDCG_H_

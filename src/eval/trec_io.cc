@@ -1,0 +1,162 @@
+#include "eval/trec_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "util/strings.h"
+
+namespace optselect {
+namespace eval {
+
+util::Status SaveTopics(const corpus::TopicSet& topics,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  for (const corpus::TrecTopic& topic : topics.topics()) {
+    out << topic.id << '\t' << topic.query << '\t';
+    for (size_t s = 0; s < topic.subtopics.size(); ++s) {
+      if (s > 0) out << " | ";
+      out << topic.subtopics[s].query;
+    }
+    out << '\n';
+  }
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<corpus::TopicSet> LoadTopics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  corpus::TopicSet topics;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() != 3) {
+      return util::Status::Corruption(
+          util::StrFormat("topics line %zu: expected 3 fields, got %zu",
+                          lineno, fields.size()));
+    }
+    corpus::TrecTopic topic;
+    topic.id = static_cast<TopicId>(
+        std::strtoul(fields[0].c_str(), nullptr, 10));
+    topic.query = fields[1];
+    for (std::string& piece : util::Split(fields[2], '|')) {
+      corpus::Subtopic st;
+      st.query = std::string(util::Trim(piece));
+      if (st.query.empty()) {
+        return util::Status::Corruption(
+            util::StrFormat("topics line %zu: empty subtopic", lineno));
+      }
+      topic.subtopics.push_back(std::move(st));
+    }
+    // Uniform probabilities when the file carries none.
+    for (corpus::Subtopic& st : topic.subtopics) {
+      st.probability = 1.0 / static_cast<double>(topic.subtopics.size());
+    }
+    topics.Add(std::move(topic));
+  }
+  return topics;
+}
+
+util::Status SaveQrels(const corpus::Qrels& qrels,
+                       const corpus::TopicSet& topics,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  for (const corpus::TrecTopic& topic : topics.topics()) {
+    for (uint32_t s = 0; s < topic.subtopics.size(); ++s) {
+      std::vector<std::pair<DocId, int>> judged =
+          qrels.Judgments(topic.id, s);
+      std::sort(judged.begin(), judged.end());
+      for (const auto& [doc, grade] : judged) {
+        out << topic.id << ' ' << s << ' ' << doc << ' ' << grade << '\n';
+      }
+    }
+  }
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<corpus::Qrels> LoadQrels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  corpus::Qrels qrels;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> f = util::SplitWhitespace(line);
+    if (f.size() != 4) {
+      return util::Status::Corruption(
+          util::StrFormat("qrels line %zu: expected 4 fields, got %zu",
+                          lineno, f.size()));
+    }
+    qrels.Add(static_cast<TopicId>(std::strtoul(f[0].c_str(), nullptr, 10)),
+              static_cast<uint32_t>(std::strtoul(f[1].c_str(), nullptr, 10)),
+              static_cast<DocId>(std::strtoul(f[2].c_str(), nullptr, 10)),
+              std::atoi(f[3].c_str()));
+  }
+  return qrels;
+}
+
+util::Status SaveRun(const Run& run, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  const std::string tag = run.name.empty() ? "optselect" : run.name;
+  for (const auto& [topic, ranking] : run.rankings) {
+    for (size_t r = 0; r < ranking.size(); ++r) {
+      out << topic << " Q0 " << ranking[r] << ' ' << (r + 1) << ' '
+          << util::StrFormat("%.6f", 1.0 / static_cast<double>(r + 1))
+          << ' ' << tag << '\n';
+    }
+  }
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<Run> LoadRun(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  Run run;
+  // (topic, rank) → doc; sorted map restores rank order per topic.
+  std::map<TopicId, std::map<uint64_t, DocId>> by_rank;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> f = util::SplitWhitespace(line);
+    if (f.size() != 6) {
+      return util::Status::Corruption(
+          util::StrFormat("run line %zu: expected 6 fields, got %zu",
+                          lineno, f.size()));
+    }
+    if (f[1] != "Q0") {
+      return util::Status::Corruption(
+          util::StrFormat("run line %zu: expected Q0", lineno));
+    }
+    TopicId topic =
+        static_cast<TopicId>(std::strtoul(f[0].c_str(), nullptr, 10));
+    DocId doc = static_cast<DocId>(std::strtoul(f[2].c_str(), nullptr, 10));
+    uint64_t rank = std::strtoull(f[3].c_str(), nullptr, 10);
+    run.name = f[5];
+    if (!by_rank[topic].emplace(rank, doc).second) {
+      return util::Status::Corruption(
+          util::StrFormat("run line %zu: duplicate rank", lineno));
+    }
+  }
+  for (const auto& [topic, ranked] : by_rank) {
+    std::vector<DocId>& list = run.rankings[topic];
+    list.reserve(ranked.size());
+    for (const auto& [rank, doc] : ranked) list.push_back(doc);
+  }
+  return run;
+}
+
+}  // namespace eval
+}  // namespace optselect

@@ -1,0 +1,54 @@
+// TREC-format interchange: diversity qrels, topic files, and run files.
+//
+// Users with access to the real TREC 2009 Web track data (topics wt09.xml
+// reduced to tab-separated form, diversity qrels "topic subtopic doc
+// grade", runs "topic Q0 doc rank score tag") can evaluate this library's
+// output with the official tooling and vice versa. Formats:
+//
+//   topics file   topic_id <TAB> query <TAB> subtopic1 | subtopic2 | ...
+//   qrels file    topic_id subtopic_id doc_id grade     (whitespace)
+//   run file      topic_id Q0 doc_id rank score tag     (whitespace)
+//
+// Document identifiers are this library's dense DocId integers; mapping
+// from TREC docnos to DocIds is the caller's concern (a corpus loader's
+// natural by-product).
+
+#ifndef OPTSELECT_EVAL_TREC_IO_H_
+#define OPTSELECT_EVAL_TREC_IO_H_
+
+#include <string>
+
+#include "corpus/qrels.h"
+#include "corpus/trec_topics.h"
+#include "eval/diversity_evaluator.h"
+#include "util/status.h"
+
+namespace optselect {
+namespace eval {
+
+/// Writes topics in the tab-separated topic format.
+util::Status SaveTopics(const corpus::TopicSet& topics,
+                        const std::string& path);
+
+/// Parses a topics file written by SaveTopics.
+util::Result<corpus::TopicSet> LoadTopics(const std::string& path);
+
+/// Writes diversity qrels ("topic subtopic doc grade" lines).
+util::Status SaveQrels(const corpus::Qrels& qrels,
+                       const corpus::TopicSet& topics,
+                       const std::string& path);
+
+/// Parses a diversity qrels file.
+util::Result<corpus::Qrels> LoadQrels(const std::string& path);
+
+/// Writes a run in the classic 6-column TREC format. Scores descend with
+/// rank (1/rank) to keep official tools happy.
+util::Status SaveRun(const Run& run, const std::string& path);
+
+/// Parses a TREC run file; ranks order the per-topic lists.
+util::Result<Run> LoadRun(const std::string& path);
+
+}  // namespace eval
+}  // namespace optselect
+
+#endif  // OPTSELECT_EVAL_TREC_IO_H_

@@ -1,0 +1,114 @@
+#include "eval/wilcoxon.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace optselect {
+namespace eval {
+namespace {
+
+// Exact two-sided p-value by enumerating sign assignments over the ranks.
+// Valid only without ties (integer ranks); with average ranks it remains a
+// close approximation, so we only use it for tie-free small samples.
+double ExactPValue(const std::vector<double>& ranks, double w_plus) {
+  size_t n = ranks.size();
+  assert(n <= 20);
+  const uint64_t total = 1ull << n;
+  // Statistic: min(W+, W−). Count assignments with min-statistic <= observed.
+  double total_rank_sum = 0.0;
+  for (double r : ranks) total_rank_sum += r;
+  double observed = std::min(w_plus, total_rank_sum - w_plus);
+  uint64_t count = 0;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    double wp = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) wp += ranks[i];
+    }
+    double stat = std::min(wp, total_rank_sum - wp);
+    if (stat <= observed + 1e-12) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(total);
+}
+
+double NormalSf(double z) {
+  // Survival function of the standard normal.
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  WilcoxonResult result;
+
+  // Non-zero differences with |d| and sign.
+  struct Diff {
+    double abs;
+    int sign;
+  };
+  std::vector<Diff> diffs;
+  diffs.reserve(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    double d = x[i] - y[i];
+    if (d != 0.0) diffs.push_back(Diff{std::fabs(d), d > 0 ? 1 : -1});
+  }
+  result.n = diffs.size();
+  if (diffs.empty()) return result;
+
+  // Average ranks over ties.
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& a, const Diff& b) { return a.abs < b.abs; });
+  std::vector<double> ranks(diffs.size());
+  bool has_ties = false;
+  size_t i = 0;
+  while (i < diffs.size()) {
+    size_t j = i;
+    while (j + 1 < diffs.size() && diffs[j + 1].abs == diffs[i].abs) ++j;
+    if (j > i) has_ties = true;
+    double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t t = i; t <= j; ++t) ranks[t] = avg_rank;
+    i = j + 1;
+  }
+
+  for (size_t t = 0; t < diffs.size(); ++t) {
+    if (diffs[t].sign > 0) {
+      result.w_plus += ranks[t];
+    } else {
+      result.w_minus += ranks[t];
+    }
+  }
+
+  const size_t n = diffs.size();
+  if (n <= 20 && !has_ties) {
+    result.p_value = ExactPValue(ranks, result.w_plus);
+  } else {
+    // Normal approximation with tie correction.
+    double mean = static_cast<double>(n) * (n + 1) / 4.0;
+    double var = static_cast<double>(n) * (n + 1) * (2.0 * n + 1) / 24.0;
+    // Tie correction: subtract Σ(t³ − t)/48 per tie group.
+    i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && diffs[j + 1].abs == diffs[i].abs) ++j;
+      double t = static_cast<double>(j - i + 1);
+      if (t > 1) var -= (t * t * t - t) / 48.0;
+      i = j + 1;
+    }
+    if (var <= 0.0) {
+      result.p_value = 1.0;
+      return result;
+    }
+    double w = std::min(result.w_plus, result.w_minus);
+    // Continuity correction toward the mean; w <= mean so z <= ~0 and the
+    // two-sided p-value is 2·Φ(z) = 2·SF(−z).
+    double z = (w - mean + 0.5) / std::sqrt(var);
+    result.p_value = std::min(1.0, 2.0 * NormalSf(-z));
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace optselect

@@ -1,0 +1,42 @@
+// Wilcoxon signed-rank test — the paper's significance test ("none of
+// these differences can be classified as statistically significant
+// according to the Wilcoxon signed-rank test at 0.05 level", Section 5).
+//
+// Exact null distribution for small samples (n ≤ 20, enumerating the 2^n
+// sign assignments over ranks), normal approximation with tie correction
+// and continuity correction beyond.
+
+#ifndef OPTSELECT_EVAL_WILCOXON_H_
+#define OPTSELECT_EVAL_WILCOXON_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace optselect {
+namespace eval {
+
+/// Test outcome.
+struct WilcoxonResult {
+  /// Number of non-zero paired differences actually used.
+  size_t n = 0;
+  /// Sum of ranks of positive differences (W+).
+  double w_plus = 0.0;
+  /// Sum of ranks of negative differences (W−).
+  double w_minus = 0.0;
+  /// Two-sided p-value. 1.0 when n == 0.
+  double p_value = 1.0;
+
+  /// Convenience: significant at the given level?
+  bool Significant(double level = 0.05) const { return p_value < level; }
+};
+
+/// Runs the two-sided Wilcoxon signed-rank test on paired samples.
+/// Zero differences are dropped (standard Wilcoxon treatment); tied
+/// absolute differences receive average ranks.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace eval
+}  // namespace optselect
+
+#endif  // OPTSELECT_EVAL_WILCOXON_H_

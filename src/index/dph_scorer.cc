@@ -1,0 +1,36 @@
+#include "index/dph_scorer.h"
+
+#include <cmath>
+
+namespace optselect {
+namespace index {
+
+double DphScorer::Score(const Posting& posting, text::TermId term,
+                        double query_term_weight) const {
+  const double tf = static_cast<double>(posting.tf);
+  const double l = static_cast<double>(index_->DocLength(posting.doc));
+  if (tf <= 0.0 || l <= 0.0) return 0.0;
+
+  const double avgl = index_->average_doc_length();
+  const double n_docs = static_cast<double>(index_->num_docs());
+  const double coll_freq =
+      static_cast<double>(index_->CollectionFrequency(term));
+  if (coll_freq <= 0.0) return 0.0;
+
+  const double f = tf / l;
+  // A term filling the whole document degenerates; cap f below 1.
+  const double f_capped = f >= 1.0 ? 1.0 - 1e-9 : f;
+  const double norm = (1.0 - f_capped) * (1.0 - f_capped) / (tf + 1.0);
+
+  const double arg = (tf * avgl / l) * (n_docs / coll_freq);
+  if (arg <= 0.0) return 0.0;
+
+  double score =
+      norm * (tf * std::log2(arg) +
+              0.5 * std::log2(2.0 * M_PI * tf * (1.0 - f_capped)));
+  if (score < 0.0) score = 0.0;
+  return query_term_weight * score;
+}
+
+}  // namespace index
+}  // namespace optselect

@@ -1,0 +1,46 @@
+// DPH Divergence-From-Randomness weighting model (Amati et al., the model
+// the paper uses as its retrieval baseline: "a probabilistic document
+// weighting model: DPH Divergence From Randomness (DFR) model [2]",
+// Section 5).
+//
+// DPH is parameter-free. For a term with within-document frequency tf in a
+// document of length l, collection frequency TF, and N documents of
+// average length avgl:
+//
+//   f    = tf / l
+//   norm = (1 − f)² / (tf + 1)
+//   score = qtw · norm · ( tf · log₂( (tf · avgl / l) · (N / TF) )
+//                          + 0.5 · log₂( 2π · tf · (1 − f) ) )
+//
+// Negative per-term contributions are clipped at 0 (Terrier behaviour).
+
+#ifndef OPTSELECT_INDEX_DPH_SCORER_H_
+#define OPTSELECT_INDEX_DPH_SCORER_H_
+
+#include <cstdint>
+
+#include "index/inverted_index.h"
+
+namespace optselect {
+namespace index {
+
+/// Stateless DPH scoring over an index's collection statistics.
+class DphScorer {
+ public:
+  explicit DphScorer(const InvertedIndex* index) : index_(index) {}
+
+  /// Per-term score contribution of one posting. `query_term_weight` is
+  /// the term's frequency in the query.
+  double Score(const Posting& posting, text::TermId term,
+               double query_term_weight = 1.0) const;
+
+  const InvertedIndex* index() const { return index_; }
+
+ private:
+  const InvertedIndex* index_;  // not owned
+};
+
+}  // namespace index
+}  // namespace optselect
+
+#endif  // OPTSELECT_INDEX_DPH_SCORER_H_

@@ -1,0 +1,65 @@
+#include "index/inverted_index.h"
+
+#include <map>
+
+namespace optselect {
+namespace index {
+
+const std::vector<Posting> InvertedIndex::kEmptyPostings = {};
+
+InvertedIndex InvertedIndex::Build(const corpus::DocumentStore& store,
+                                   text::Analyzer* analyzer) {
+  InvertedIndex idx;
+  idx.doc_lengths_.resize(store.size(), 0);
+
+  for (const corpus::Document& doc : store) {
+    // Index title and body as one field (field weighting is not part of
+    // the paper's setup).
+    std::vector<text::TermId> terms = analyzer->Analyze(doc.title);
+    std::vector<text::TermId> body_terms = analyzer->Analyze(doc.body);
+    terms.insert(terms.end(), body_terms.begin(), body_terms.end());
+
+    idx.doc_lengths_[doc.id] = static_cast<uint32_t>(terms.size());
+    idx.total_tokens_ += terms.size();
+
+    // Per-document tf aggregation; map keeps term ids sorted so posting
+    // lists stay doc-ordered (docs are visited in ascending id order).
+    std::map<text::TermId, uint32_t> tfs;
+    for (text::TermId t : terms) ++tfs[t];
+
+    for (const auto& [term, tf] : tfs) {
+      if (idx.postings_.size() <= term) {
+        idx.postings_.resize(term + 1);
+        idx.collection_freq_.resize(term + 1, 0);
+      }
+      idx.postings_[term].push_back(Posting{doc.id, tf});
+      idx.collection_freq_[term] += tf;
+    }
+  }
+
+  idx.avg_doc_length_ =
+      idx.doc_lengths_.empty()
+          ? 0.0
+          : static_cast<double>(idx.total_tokens_) /
+                static_cast<double>(idx.doc_lengths_.size());
+  return idx;
+}
+
+const std::vector<Posting>& InvertedIndex::Postings(
+    text::TermId term) const {
+  if (term >= postings_.size()) return kEmptyPostings;
+  return postings_[term];
+}
+
+uint32_t InvertedIndex::DocFrequency(text::TermId term) const {
+  if (term >= postings_.size()) return 0;
+  return static_cast<uint32_t>(postings_[term].size());
+}
+
+uint64_t InvertedIndex::CollectionFrequency(text::TermId term) const {
+  if (term >= collection_freq_.size()) return 0;
+  return collection_freq_[term];
+}
+
+}  // namespace index
+}  // namespace optselect

@@ -1,0 +1,63 @@
+// Inverted index over a DocumentStore (the Terrier stand-in).
+//
+// Term-at-a-time layout: one posting list (doc, tf) per term, plus the
+// collection statistics DFR weighting models need (document lengths,
+// average length, document and collection frequencies).
+
+#ifndef OPTSELECT_INDEX_INVERTED_INDEX_H_
+#define OPTSELECT_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/document_store.h"
+#include "text/analyzer.h"
+#include "util/types.h"
+
+namespace optselect {
+namespace index {
+
+/// One posting: document and within-document term frequency.
+struct Posting {
+  DocId doc = kInvalidDocId;
+  uint32_t tf = 0;
+};
+
+/// Immutable-after-build inverted index.
+class InvertedIndex {
+ public:
+  /// Indexes every document (title + body) in `store`, growing the
+  /// analyzer's vocabulary.
+  static InvertedIndex Build(const corpus::DocumentStore& store,
+                             text::Analyzer* analyzer);
+
+  /// Posting list of a term (docs ascending); empty list for unknown ids.
+  const std::vector<Posting>& Postings(text::TermId term) const;
+
+  /// Number of documents containing the term.
+  uint32_t DocFrequency(text::TermId term) const;
+
+  /// Total occurrences of the term in the collection.
+  uint64_t CollectionFrequency(text::TermId term) const;
+
+  /// Length (in indexed tokens) of a document.
+  uint32_t DocLength(DocId doc) const { return doc_lengths_[doc]; }
+
+  double average_doc_length() const { return avg_doc_length_; }
+  size_t num_docs() const { return doc_lengths_.size(); }
+  uint64_t total_tokens() const { return total_tokens_; }
+  size_t num_terms() const { return postings_.size(); }
+
+ private:
+  std::vector<std::vector<Posting>> postings_;   // by TermId
+  std::vector<uint64_t> collection_freq_;        // by TermId
+  std::vector<uint32_t> doc_lengths_;            // by DocId
+  double avg_doc_length_ = 0.0;
+  uint64_t total_tokens_ = 0;
+  static const std::vector<Posting> kEmptyPostings;
+};
+
+}  // namespace index
+}  // namespace optselect
+
+#endif  // OPTSELECT_INDEX_INVERTED_INDEX_H_

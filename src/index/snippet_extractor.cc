@@ -1,0 +1,82 @@
+#include "index/snippet_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace optselect {
+namespace index {
+
+std::string SnippetExtractor::Extract(
+    const corpus::Document& doc,
+    const std::vector<text::TermId>& query_terms) const {
+  text::Tokenizer tokenizer;
+  std::vector<std::string> tokens = tokenizer.Tokenize(doc.body);
+  const size_t window = std::min(options_.window_tokens, tokens.size());
+
+  if (tokens.empty()) return doc.title;
+
+  // Mark which body positions hit a query term (after analysis).
+  std::unordered_set<text::TermId> qset(query_terms.begin(),
+                                        query_terms.end());
+  std::vector<int> hit(tokens.size(), 0);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::vector<text::TermId> ids = analyzer_->AnalyzeReadOnly(tokens[i]);
+    for (text::TermId id : ids) {
+      if (qset.count(id)) {
+        hit[i] = 1;
+        break;
+      }
+    }
+  }
+
+  // Sliding-window maximum of query-term density.
+  size_t best_start = 0;
+  int best_hits = -1;
+  int current = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    current += hit[i];
+    if (i >= window) current -= hit[i - window];
+    if (i + 1 >= window) {
+      size_t start = i + 1 - window;
+      if (current > best_hits) {
+        best_hits = current;
+        best_start = start;
+      }
+    }
+  }
+  if (best_hits < 0) best_start = 0;  // body shorter than window
+
+  std::string snippet = doc.title;
+  for (size_t i = best_start;
+       i < std::min(best_start + window, tokens.size()); ++i) {
+    snippet.push_back(' ');
+    snippet.append(tokens[i]);
+  }
+  return snippet;
+}
+
+text::TermVector SnippetExtractor::ExtractVector(
+    const corpus::Document& doc,
+    const std::vector<text::TermId>& query_terms) const {
+  std::string snippet = Extract(doc, query_terms);
+  std::vector<text::TermId> ids = analyzer_->AnalyzeReadOnly(snippet);
+  if (index_ == nullptr) return text::TermVector::FromTermIds(ids);
+
+  // tf·idf weights: ubiquitous terms (the query itself, boilerplate)
+  // stop dominating the cosine; intent-specific vocabulary does.
+  std::vector<text::TermVector::Entry> entries;
+  entries.reserve(ids.size());
+  const double n_docs = static_cast<double>(index_->num_docs());
+  for (text::TermId id : ids) {
+    double df = static_cast<double>(index_->DocFrequency(id));
+    double idf = std::log2(1.0 + n_docs / (1.0 + df));
+    entries.emplace_back(id, idf);
+  }
+  return text::TermVector::FromEntries(std::move(entries));
+}
+
+}  // namespace index
+}  // namespace optselect

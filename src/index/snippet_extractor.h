@@ -1,0 +1,68 @@
+// Document surrogates ("We extended Terrier in order to obtain short
+// summaries of retrieved documents, which are used as document surrogates
+// in our diversification algorithm", Section 5; the feasibility argument
+// of Section 4.1 relies on surrogates being much smaller than documents).
+
+#ifndef OPTSELECT_INDEX_SNIPPET_EXTRACTOR_H_
+#define OPTSELECT_INDEX_SNIPPET_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "index/inverted_index.h"
+#include "text/analyzer.h"
+#include "text/term_vector.h"
+
+namespace optselect {
+namespace index {
+
+/// Produces query-biased snippets and their term vectors.
+class SnippetExtractor {
+ public:
+  struct Options {
+    /// Snippet window size in raw tokens.
+    size_t window_tokens = 30;
+  };
+
+  /// The analyzer (and index, when given) are used read-only and must
+  /// outlive the extractor. When an index is supplied, surrogate vectors
+  /// are tf·idf-weighted — standard vector-space practice, without which
+  /// the cosine of Equation (2) is dominated by the query terms that
+  /// every retrieved snippet shares.
+  SnippetExtractor(const text::Analyzer* analyzer,
+                   const InvertedIndex* index, Options options)
+      : analyzer_(analyzer), index_(index), options_(options) {}
+
+  SnippetExtractor(const text::Analyzer* analyzer, Options options)
+      : SnippetExtractor(analyzer, nullptr, options) {}
+
+  explicit SnippetExtractor(const text::Analyzer* analyzer)
+      : SnippetExtractor(analyzer, nullptr, Options{}) {}
+
+  SnippetExtractor(const text::Analyzer* analyzer,
+                   const InvertedIndex* index)
+      : SnippetExtractor(analyzer, index, Options{}) {}
+
+  /// Selects the fixed-size window of the body with the highest density
+  /// of query terms (ties: earliest), prepends the title, and returns the
+  /// snippet text.
+  std::string Extract(const corpus::Document& doc,
+                      const std::vector<text::TermId>& query_terms) const;
+
+  /// Extract + analyze into a term vector in one step (the surrogate
+  /// representation consumed by the utility function).
+  text::TermVector ExtractVector(
+      const corpus::Document& doc,
+      const std::vector<text::TermId>& query_terms) const;
+
+ private:
+  const text::Analyzer* analyzer_;
+  const InvertedIndex* index_;  // nullable: raw-tf vectors when absent
+  Options options_;
+};
+
+}  // namespace index
+}  // namespace optselect
+
+#endif  // OPTSELECT_INDEX_SNIPPET_EXTRACTOR_H_

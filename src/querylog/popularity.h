@@ -1,0 +1,58 @@
+// Query popularity f(·) — the frequency function used by Algorithm 1 to
+// filter specialization candidates and derive P(q′|q).
+
+#ifndef OPTSELECT_QUERYLOG_POPULARITY_H_
+#define OPTSELECT_QUERYLOG_POPULARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "querylog/query_log.h"
+
+namespace optselect {
+namespace querylog {
+
+/// Frequency table of distinct query strings in a log.
+///
+/// Optionally click-weighted (the paper's future work (ii): "the use of
+/// click-through data to improve our effectiveness results"): a record
+/// with clicks signals a satisfied information need, so each click adds
+/// `click_weight` to the query's mass on top of the submission count.
+class PopularityMap {
+ public:
+  PopularityMap() = default;
+
+  /// Counts every record in `log`; clicks are ignored.
+  explicit PopularityMap(const QueryLog& log) : PopularityMap(log, 0.0) {}
+
+  /// Counts every record, adding `click_weight` per clicked result.
+  /// Weighted frequencies are rounded to the nearest integer.
+  PopularityMap(const QueryLog& log, double click_weight);
+
+  /// Frequency f(q); 0 for unseen queries.
+  uint64_t Frequency(std::string_view query) const;
+
+  /// Number of distinct queries.
+  size_t distinct() const { return counts_.size(); }
+
+  /// Total number of counted submissions.
+  uint64_t total() const { return total_; }
+
+  /// Manually bumps a query (used by incremental construction in tests).
+  void Increment(std::string_view query, uint64_t by = 1);
+
+  const std::unordered_map<std::string, uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::string, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace querylog
+}  // namespace optselect
+
+#endif  // OPTSELECT_QUERYLOG_POPULARITY_H_

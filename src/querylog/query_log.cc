@@ -1,0 +1,114 @@
+#include "querylog/query_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace optselect {
+namespace querylog {
+namespace {
+
+std::string JoinIds(const std::vector<DocUrlId>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+util::Result<std::vector<DocUrlId>> ParseIds(const std::string& field) {
+  std::vector<DocUrlId> ids;
+  if (field.empty()) return ids;
+  for (const std::string& piece : util::Split(field, ',')) {
+    if (piece.empty()) {
+      return util::Status::Corruption("empty id in list: " + field);
+    }
+    char* end = nullptr;
+    unsigned long v = std::strtoul(piece.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return util::Status::Corruption("bad id: " + piece);
+    }
+    ids.push_back(static_cast<DocUrlId>(v));
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> QueryLog::UserStreams() const {
+  std::map<UserId, std::vector<size_t>> by_user;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    by_user[records_[i].user].push_back(i);
+  }
+  std::vector<std::vector<size_t>> streams;
+  streams.reserve(by_user.size());
+  for (auto& [user, idxs] : by_user) {
+    std::stable_sort(idxs.begin(), idxs.end(), [this](size_t a, size_t b) {
+      return records_[a].timestamp < records_[b].timestamp;
+    });
+    streams.push_back(std::move(idxs));
+  }
+  return streams;
+}
+
+void QueryLog::SplitChronological(double fraction, QueryLog* train,
+                                  QueryLog* test) const {
+  std::vector<size_t> order(records_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return records_[a].timestamp < records_[b].timestamp;
+  });
+  size_t cut = static_cast<size_t>(fraction * static_cast<double>(order.size()));
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < cut ? train : test)->Add(records_[order[i]]);
+  }
+}
+
+util::Status QueryLog::SaveTsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  for (const QueryRecord& r : records_) {
+    out << r.query << '\t' << r.user << '\t' << r.timestamp << '\t'
+        << JoinIds(r.results) << '\t' << JoinIds(r.clicks) << '\n';
+  }
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<QueryLog> QueryLog::LoadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  QueryLog log;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() != 5) {
+      return util::Status::Corruption(
+          util::StrFormat("line %zu: expected 5 fields, got %zu", lineno,
+                          fields.size()));
+    }
+    QueryRecord r;
+    r.query = fields[0];
+    r.user = static_cast<UserId>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    r.timestamp = std::strtoll(fields[2].c_str(), nullptr, 10);
+    auto results = ParseIds(fields[3]);
+    if (!results.ok()) return results.status();
+    auto clicks = ParseIds(fields[4]);
+    if (!clicks.ok()) return clicks.status();
+    r.results = std::move(results).value();
+    r.clicks = std::move(clicks).value();
+    log.Add(std::move(r));
+  }
+  return log;
+}
+
+}  // namespace querylog
+}  // namespace optselect

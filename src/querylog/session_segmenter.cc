@@ -1,0 +1,41 @@
+#include "querylog/session_segmenter.h"
+
+namespace optselect {
+namespace querylog {
+
+std::vector<Session> SessionSegmenter::Segment(
+    const QueryLog& log, const QueryFlowGraph* graph) const {
+  std::vector<Session> sessions;
+  for (const std::vector<size_t>& stream : log.UserStreams()) {
+    Session current;
+    for (size_t pos = 0; pos < stream.size(); ++pos) {
+      size_t idx = stream[pos];
+      const QueryRecord& rec = log.record(idx);
+      bool cut = false;
+      if (!current.record_indices.empty()) {
+        const QueryRecord& prev = log.record(current.record_indices.back());
+        int64_t gap = rec.timestamp - prev.timestamp;
+        if (gap > options_.max_gap_seconds) {
+          cut = true;
+        } else if (graph != nullptr && options_.min_chain_probability > 0 &&
+                   prev.query != rec.query) {
+          double p = graph->ChainingProbability(prev.query, rec.query);
+          if (p < options_.min_chain_probability) cut = true;
+        }
+      }
+      if (cut) {
+        sessions.push_back(std::move(current));
+        current = Session{};
+      }
+      if (current.record_indices.empty()) current.user = rec.user;
+      current.record_indices.push_back(idx);
+    }
+    if (!current.record_indices.empty()) {
+      sessions.push_back(std::move(current));
+    }
+  }
+  return sessions;
+}
+
+}  // namespace querylog
+}  // namespace optselect

@@ -1,0 +1,57 @@
+// Logical-session extraction ("by processing a query log Q we obtain the
+// set of logical user sessions exploited by our result diversification
+// solution", Section 3).
+//
+// A user's chronological stream is cut whenever (a) the time gap exceeds
+// the session window, or (b) the query-flow-graph chaining probability of
+// the transition falls below a threshold — i.e. the random surfer would
+// likely not have walked that edge.
+
+#ifndef OPTSELECT_QUERYLOG_SESSION_SEGMENTER_H_
+#define OPTSELECT_QUERYLOG_SESSION_SEGMENTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "querylog/query_flow_graph.h"
+#include "querylog/query_log.h"
+
+namespace optselect {
+namespace querylog {
+
+/// One logical session: indices into the QueryLog, in time order.
+struct Session {
+  UserId user = 0;
+  std::vector<size_t> record_indices;
+};
+
+/// Splits user streams into logical sessions.
+class SessionSegmenter {
+ public:
+  struct Options {
+    /// Hard time cut: a gap above this always starts a new session.
+    int64_t max_gap_seconds = 1800;
+    /// QFG cut: transitions with chaining probability below this start a
+    /// new session. Set to 0 to disable the QFG signal (time-only
+    /// splitting).
+    double min_chain_probability = 0.02;
+  };
+
+  SessionSegmenter() : SessionSegmenter(Options{}) {}
+  explicit SessionSegmenter(Options options) : options_(options) {}
+
+  /// Segments the log. `graph` may be null, in which case only the time
+  /// rule applies.
+  std::vector<Session> Segment(const QueryLog& log,
+                               const QueryFlowGraph* graph) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace querylog
+}  // namespace optselect
+
+#endif  // OPTSELECT_QUERYLOG_SESSION_SEGMENTER_H_

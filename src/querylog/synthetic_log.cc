@@ -1,0 +1,152 @@
+#include "querylog/synthetic_log.h"
+
+#include <cassert>
+
+#include "util/zipf.h"
+
+namespace optselect {
+namespace querylog {
+namespace {
+
+// Stable pseudo-URL ids per query string: hash-derived so that the same
+// query always "returns" the same result page across the log.
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<DocUrlId> ResultsFor(const std::string& query, size_t n) {
+  std::vector<DocUrlId> v;
+  v.reserve(n);
+  uint64_t base = HashString(query);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<DocUrlId>((base + i * 2654435761ull) & 0x7FFFFFFF));
+  }
+  return v;
+}
+
+}  // namespace
+
+SyntheticLogConfig AolLikeConfig(uint64_t seed) {
+  SyntheticLogConfig c;
+  c.seed = seed;
+  c.num_users = 3000;
+  c.num_sessions = 40000;
+  c.ambiguous_session_fraction = 0.35;
+  c.refinement_probability = 0.61;  // matches the AOL recall band
+  c.topic_zipf_skew = 1.0;
+  c.start_timestamp = 1141171200;  // 2006-03-01 (AOL window start)
+  return c;
+}
+
+SyntheticLogConfig MsnLikeConfig(uint64_t seed) {
+  SyntheticLogConfig c;
+  c.seed = seed;
+  c.num_users = 1800;
+  c.num_sessions = 30000;
+  c.ambiguous_session_fraction = 0.40;
+  c.refinement_probability = 0.65;  // matches the MSN recall band
+  c.topic_zipf_skew = 1.15;         // peakier topic distribution
+  c.start_timestamp = 1146528000;   // 2006-05-01 (one-month window)
+  return c;
+}
+
+SyntheticLogResult SyntheticLogGenerator::Generate(
+    const std::vector<synth::TopicSpec>& topics,
+    const std::vector<std::string>& noise_queries) const {
+  assert(!topics.empty() || config_.ambiguous_session_fraction == 0.0);
+  assert(!noise_queries.empty() || config_.ambiguous_session_fraction >= 1.0);
+
+  util::Rng rng(config_.seed);
+  SyntheticLogResult out;
+  out.topics = topics;
+
+  const util::ZipfSampler topic_dist(std::max<size_t>(topics.size(), 1),
+                                     config_.topic_zipf_skew);
+  const util::ZipfSampler noise_dist(std::max<size_t>(noise_queries.size(), 1),
+                                     config_.noise_zipf_skew);
+
+  // Per-topic specialization samplers reuse the ground-truth probabilities.
+  std::vector<std::vector<double>> intent_weights(topics.size());
+  for (size_t t = 0; t < topics.size(); ++t) {
+    for (const synth::SubIntent& si : topics[t].intents) {
+      intent_weights[t].push_back(si.probability);
+    }
+  }
+
+  std::vector<int64_t> user_clock(config_.num_users, 0);
+  for (size_t u = 0; u < config_.num_users; ++u) {
+    user_clock[u] =
+        config_.start_timestamp + rng.UniformInt(0, 24 * 3600);
+  }
+
+  auto emit = [&](UserId user, const std::string& query, int64_t ts,
+                  int32_t topic_idx) {
+    QueryRecord r;
+    r.query = query;
+    r.user = user;
+    r.timestamp = ts;
+    r.results = ResultsFor(query, config_.results_per_query);
+    for (DocUrlId doc : r.results) {
+      if (rng.Bernoulli(config_.click_probability / 3.0)) {
+        r.clicks.push_back(doc);
+      }
+    }
+    out.log.Add(std::move(r));
+    out.record_topic.push_back(topic_idx);
+  };
+
+  for (size_t s = 0; s < config_.num_sessions; ++s) {
+    UserId user = static_cast<UserId>(rng.Uniform(config_.num_users));
+    // Advance this user's clock to a fresh session.
+    user_clock[user] += config_.inter_session_gap +
+                        rng.UniformInt(0, config_.inter_session_gap);
+    int64_t ts = user_clock[user];
+
+    auto next_ts = [&]() {
+      // Exponential-ish in-session gap, always well under the 30-minute
+      // session threshold used by the segmenter.
+      double gap = 1.0 + config_.in_session_gap_mean * rng.UniformDouble() *
+                             2.0 * rng.UniformDouble();
+      ts += static_cast<int64_t>(gap) + 1;
+      user_clock[user] = ts;
+      return ts;
+    };
+
+    bool ambiguous =
+        !topics.empty() && rng.Bernoulli(config_.ambiguous_session_fraction);
+    if (ambiguous) {
+      size_t t = topic_dist.Sample(&rng);
+      const synth::TopicSpec& topic = topics[t];
+      emit(user, topic.root_query, ts, static_cast<int32_t>(t));
+      if (rng.Bernoulli(config_.refinement_probability) &&
+          !topic.intents.empty()) {
+        size_t i = rng.Categorical(intent_weights[t]);
+        emit(user, topic.intents[i].query, next_ts(),
+             static_cast<int32_t>(t));
+        ++out.refinement_events;
+        while (rng.Bernoulli(config_.extra_refinement_probability)) {
+          size_t j = rng.Categorical(intent_weights[t]);
+          if (j == i) break;
+          emit(user, topic.intents[j].query, next_ts(),
+               static_cast<int32_t>(t));
+        }
+      }
+    } else {
+      size_t n = noise_dist.Sample(&rng);
+      emit(user, noise_queries[n], ts, -1);
+      // Occasional noise reformulation (same query resubmitted).
+      if (rng.Bernoulli(0.15)) {
+        emit(user, noise_queries[n], next_ts(), -1);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace querylog
+}  // namespace optselect

@@ -1,0 +1,103 @@
+// Synthetic query-log generator — the stand-in for the AOL and MSN logs.
+//
+// The paper mines specializations from real logs; those logs are not
+// redistributable, so this generator produces a log with the same
+// *statistical interface*: per-user chronological query streams, sessions
+// containing refinement chains (root query followed by one of its
+// specializations), heavy-tailed query popularity, clicks, and background
+// noise traffic. Because the planted TopicSpec ground truth is known,
+// mining quality is measurable (precision/recall of Algorithm 1), which is
+// impossible with opaque real logs.
+//
+// Two presets mimic the scale *shape* of the paper's datasets:
+//   AolLikeConfig() — longer period, more users (AOL: 20M queries, 650k
+//   users over 3 months), scaled down to run in seconds;
+//   MsnLikeConfig() — one month, fewer users (MSN: 15M queries).
+
+#ifndef OPTSELECT_QUERYLOG_SYNTHETIC_LOG_H_
+#define OPTSELECT_QUERYLOG_SYNTHETIC_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "querylog/query_log.h"
+#include "synth/topic_spec.h"
+#include "util/rng.h"
+
+namespace optselect {
+namespace querylog {
+
+/// Knobs of the synthetic log generator.
+struct SyntheticLogConfig {
+  uint64_t seed = 42;
+  /// Number of distinct simulated users.
+  size_t num_users = 2000;
+  /// Number of sessions to emit (each session yields 1..5 records).
+  size_t num_sessions = 30000;
+  /// Fraction of sessions that start with an ambiguous root query.
+  double ambiguous_session_fraction = 0.35;
+  /// Probability that a root query is refined into a specialization within
+  /// the same session (the behaviour Appendix C's recall measure counts).
+  double refinement_probability = 0.7;
+  /// Probability of chaining one more specialization after the first.
+  double extra_refinement_probability = 0.2;
+  /// Probability that a result is clicked for a given record.
+  double click_probability = 0.6;
+  /// Results returned per query (|V_i|).
+  size_t results_per_query = 10;
+  /// Zipf skew over topics when picking the session's topic.
+  double topic_zipf_skew = 1.0;
+  /// Zipf skew over noise queries.
+  double noise_zipf_skew = 1.2;
+  /// Epoch of the first session (2006-03-01, matching AOL's period).
+  int64_t start_timestamp = 1141171200;
+  /// Mean in-session gap between consecutive queries, seconds.
+  double in_session_gap_mean = 45.0;
+  /// Minimum gap between two sessions of the same user, seconds.
+  int64_t inter_session_gap = 6 * 3600;
+};
+
+/// AOL-shaped preset (3-month window, larger user base).
+SyntheticLogConfig AolLikeConfig(uint64_t seed = 42);
+
+/// MSN-shaped preset (1-month window, smaller user base, peakier topics).
+SyntheticLogConfig MsnLikeConfig(uint64_t seed = 43);
+
+/// Generator output: the log plus the ground truth used to create it.
+struct SyntheticLogResult {
+  QueryLog log;
+  /// The planted topics (shared pointer semantics not needed: copied in).
+  std::vector<synth::TopicSpec> topics;
+  /// For each record index, the topic it was drawn from (-1 for noise).
+  std::vector<int32_t> record_topic;
+  /// Number of refinement events (root immediately followed, in-session,
+  /// by one of its specializations) actually emitted — the denominator of
+  /// the Appendix C recall measure.
+  size_t refinement_events = 0;
+};
+
+/// Generates a log from planted topics plus noise queries.
+class SyntheticLogGenerator {
+ public:
+  explicit SyntheticLogGenerator(SyntheticLogConfig config)
+      : config_(config) {}
+
+  /// Emits `config.num_sessions` sessions. `noise_queries` supplies the
+  /// unambiguous background traffic (must be non-empty if
+  /// ambiguous_session_fraction < 1).
+  SyntheticLogResult Generate(
+      const std::vector<synth::TopicSpec>& topics,
+      const std::vector<std::string>& noise_queries) const;
+
+  const SyntheticLogConfig& config() const { return config_; }
+
+ private:
+  SyntheticLogConfig config_;
+};
+
+}  // namespace querylog
+}  // namespace optselect
+
+#endif  // OPTSELECT_QUERYLOG_SYNTHETIC_LOG_H_

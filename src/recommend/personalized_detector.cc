@@ -1,0 +1,50 @@
+#include "recommend/personalized_detector.h"
+
+#include <algorithm>
+
+namespace optselect {
+namespace recommend {
+
+UserProfileStore::UserProfileStore(const querylog::QueryLog& log) {
+  for (const querylog::QueryRecord& r : log.records()) {
+    ++profiles_[r.user][r.query];
+  }
+}
+
+uint64_t UserProfileStore::Frequency(querylog::UserId user,
+                                     std::string_view query) const {
+  auto it = profiles_.find(user);
+  if (it == profiles_.end()) return 0;
+  auto jt = it->second.find(std::string(query));
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+SpecializationSet PersonalizedDetector::Detect(querylog::UserId user,
+                                               std::string_view query) const {
+  SpecializationSet set = base_->Detect(query);
+  if (!set.ambiguous() || options_.beta <= 0.0) return set;
+
+  const double fu_root =
+      static_cast<double>(profiles_->Frequency(user, query));
+  double total = 0.0;
+  for (Specialization& sp : set.items) {
+    double fu = static_cast<double>(profiles_->Frequency(user, sp.query));
+    sp.probability *= 1.0 + options_.beta * fu / (1.0 + fu_root);
+    total += sp.probability;
+  }
+  if (total > 0.0) {
+    for (Specialization& sp : set.items) sp.probability /= total;
+  }
+  // Keep the most-probable-first ordering after re-weighting.
+  std::sort(set.items.begin(), set.items.end(),
+            [](const Specialization& a, const Specialization& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.query < b.query;
+            });
+  return set;
+}
+
+}  // namespace recommend
+}  // namespace optselect

@@ -1,0 +1,81 @@
+// Personalized ambiguity detection — the paper's future work (i): "the
+// exploitation of users' search history for personalizing result
+// diversification".
+//
+// The global distribution P(q′|q) of Definition 1 is re-weighted by the
+// issuing user's own history: a user who has repeatedly searched within
+// one interpretation of an ambiguous query gets that interpretation
+// boosted,
+//
+//   P_u(q′|q) ∝ P(q′|q) · (1 + β · f_u(q′) / (1 + f_u(q)))
+//
+// where f_u counts the user's own past submissions. β = 0 recovers the
+// global distribution exactly.
+
+#ifndef OPTSELECT_RECOMMEND_PERSONALIZED_DETECTOR_H_
+#define OPTSELECT_RECOMMEND_PERSONALIZED_DETECTOR_H_
+
+#include <string_view>
+#include <unordered_map>
+
+#include "querylog/query_log.h"
+#include "recommend/ambiguity_detector.h"
+
+namespace optselect {
+namespace recommend {
+
+/// Per-user query-frequency profiles learned from a log.
+class UserProfileStore {
+ public:
+  UserProfileStore() = default;
+
+  /// Counts every (user, query) pair in `log`.
+  explicit UserProfileStore(const querylog::QueryLog& log);
+
+  /// The user's own frequency of `query` (0 for unseen pairs).
+  uint64_t Frequency(querylog::UserId user, std::string_view query) const;
+
+  /// Number of users with at least one recorded query.
+  size_t num_users() const { return profiles_.size(); }
+
+ private:
+  std::unordered_map<querylog::UserId,
+                     std::unordered_map<std::string, uint64_t>>
+      profiles_;
+};
+
+/// Wraps an AmbiguityDetector and personalizes its distribution.
+class PersonalizedDetector {
+ public:
+  struct Options {
+    /// Strength of the personal boost; 0 = global behaviour.
+    double beta = 1.0;
+  };
+
+  /// Neither pointer is owned; both must outlive this object.
+  PersonalizedDetector(const AmbiguityDetector* base,
+                       const UserProfileStore* profiles, Options options)
+      : base_(base), profiles_(profiles), options_(options) {}
+
+  PersonalizedDetector(const AmbiguityDetector* base,
+                       const UserProfileStore* profiles)
+      : PersonalizedDetector(base, profiles, Options{}) {}
+
+  /// Algorithm 1 with the user's history folded into P(q′|q). The
+  /// *detection* outcome (ambiguous or not) is unchanged — only the
+  /// probabilities shift, hence only the diversified mixture.
+  SpecializationSet Detect(querylog::UserId user,
+                           std::string_view query) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const AmbiguityDetector* base_;
+  const UserProfileStore* profiles_;
+  Options options_;
+};
+
+}  // namespace recommend
+}  // namespace optselect
+
+#endif  // OPTSELECT_RECOMMEND_PERSONALIZED_DETECTOR_H_

@@ -1,0 +1,47 @@
+// The recommendation-algorithm interface `A` of Algorithm 1.
+//
+// "any algorithm that exploits the knowledge present in query log
+//  sessions to provide users with useful suggestions of related queries,
+//  can be easily adapted to the purpose of devising specializations of
+//  submitted queries" (Section 3.1) — AmbiguousQueryDetect is
+//  parameterized by A and the popularity function f(·); this interface
+//  is that parameterization. ShortcutsRecommender is the paper's choice
+//  [7]; SuperstringRecommender is an alternative demonstrating the
+//  pluggability claim.
+
+#ifndef OPTSELECT_RECOMMEND_RECOMMENDER_H_
+#define OPTSELECT_RECOMMEND_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optselect {
+namespace recommend {
+
+/// One suggestion produced by a recommender.
+struct Suggestion {
+  std::string query;       ///< suggested query string (present in the log)
+  double score = 0.0;      ///< model score (higher = better)
+  uint64_t frequency = 0;  ///< global popularity f(q′) in the training log
+};
+
+/// Abstract query recommender + popularity function.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Returns up to `max_suggestions` suggestions for `query`, best
+  /// first. Unknown queries get an empty list.
+  virtual std::vector<Suggestion> Recommend(std::string_view query,
+                                            size_t max_suggestions) const = 0;
+
+  /// Global frequency f(q) of a query in the training log.
+  virtual uint64_t Frequency(std::string_view query) const = 0;
+};
+
+}  // namespace recommend
+}  // namespace optselect
+
+#endif  // OPTSELECT_RECOMMEND_RECOMMENDER_H_

@@ -1,0 +1,73 @@
+#include "recommend/superstring_recommender.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "recommend/ambiguity_detector.h"
+#include "util/strings.h"
+
+namespace optselect {
+namespace recommend {
+
+void SuperstringRecommender::Train(const querylog::QueryLog& log) {
+  popularity_ = querylog::PopularityMap(log);
+  token_index_.clear();
+  queries_.clear();
+
+  std::unordered_set<std::string> seen;
+  for (const auto& [query, freq] : popularity_.counts()) {
+    if (freq < options_.min_frequency) continue;
+    uint32_t id = static_cast<uint32_t>(queries_.size());
+    queries_.push_back(query);
+    for (const std::string& token : util::SplitWhitespace(query)) {
+      std::vector<uint32_t>& bucket = token_index_[token];
+      if (bucket.empty() || bucket.back() != id) bucket.push_back(id);
+    }
+  }
+  num_indexed_ = queries_.size();
+}
+
+std::vector<Suggestion> SuperstringRecommender::Recommend(
+    std::string_view query, size_t max_suggestions) const {
+  std::vector<std::string> tokens =
+      util::SplitWhitespace(query);
+  if (tokens.empty() || max_suggestions == 0) return {};
+
+  // Probe the rarest token's bucket, then verify the superset property.
+  const std::vector<uint32_t>* smallest = nullptr;
+  for (const std::string& token : tokens) {
+    auto it = token_index_.find(token);
+    if (it == token_index_.end()) return {};
+    if (smallest == nullptr || it->second.size() < smallest->size()) {
+      smallest = &it->second;
+    }
+  }
+
+  std::vector<Suggestion> out;
+  for (uint32_t id : *smallest) {
+    const std::string& candidate = queries_[id];
+    if (candidate == query) continue;
+    std::vector<std::string> cand_tokens =
+        util::SplitWhitespace(candidate);
+    if (cand_tokens.size() <= tokens.size() ||
+        cand_tokens.size() > tokens.size() + options_.max_extra_tokens) {
+      continue;
+    }
+    if (!IsTermSuperset(candidate, query)) continue;
+    Suggestion s;
+    s.query = candidate;
+    s.frequency = popularity_.Frequency(candidate);
+    s.score = static_cast<double>(s.frequency);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const Suggestion& a,
+                                       const Suggestion& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.query < b.query;
+  });
+  if (out.size() > max_suggestions) out.resize(max_suggestions);
+  return out;
+}
+
+}  // namespace recommend
+}  // namespace optselect

@@ -1,0 +1,65 @@
+// Superstring recommender: an alternative `A` for Algorithm 1.
+//
+// Suggests the log queries whose token set strictly contains the input
+// query's tokens, scored by popularity — no session model at all, only
+// the query strings and their frequencies. It demonstrates the paper's
+// pluggability claim (Section 3.1: any related-query algorithm over the
+// log can drive AmbiguousQueryDetect) and doubles as a baseline: it sees
+// every lexical refinement but, unlike Search Shortcuts, cannot find
+// non-superstring reformulations and has no behavioural evidence that
+// users actually follow the refinement.
+
+#ifndef OPTSELECT_RECOMMEND_SUPERSTRING_RECOMMENDER_H_
+#define OPTSELECT_RECOMMEND_SUPERSTRING_RECOMMENDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "querylog/popularity.h"
+#include "querylog/query_log.h"
+#include "recommend/recommender.h"
+
+namespace optselect {
+namespace recommend {
+
+/// Frequency-scored lexical-refinement recommender.
+class SuperstringRecommender : public Recommender {
+ public:
+  struct Options {
+    /// Suggestions must have at most this many tokens more than the
+    /// input query (long tails are rarely useful refinements).
+    size_t max_extra_tokens = 3;
+    /// Queries seen fewer times than this are not suggested.
+    uint64_t min_frequency = 2;
+  };
+
+  SuperstringRecommender() : SuperstringRecommender(Options{}) {}
+  explicit SuperstringRecommender(Options options) : options_(options) {}
+
+  /// Indexes every distinct query of the log by its tokens.
+  void Train(const querylog::QueryLog& log);
+
+  std::vector<Suggestion> Recommend(std::string_view query,
+                                    size_t max_suggestions) const override;
+
+  uint64_t Frequency(std::string_view query) const override {
+    return popularity_.Frequency(query);
+  }
+
+  size_t num_indexed_queries() const { return num_indexed_; }
+
+ private:
+  Options options_;
+  querylog::PopularityMap popularity_;
+  /// token → distinct queries containing it (by index into queries_).
+  std::unordered_map<std::string, std::vector<uint32_t>> token_index_;
+  std::vector<std::string> queries_;
+  size_t num_indexed_ = 0;
+};
+
+}  // namespace recommend
+}  // namespace optselect
+
+#endif  // OPTSELECT_RECOMMEND_SUPERSTRING_RECOMMENDER_H_

@@ -1,0 +1,236 @@
+#include "store/diversification_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "util/strings.h"
+
+namespace optselect {
+namespace store {
+namespace {
+
+// Binary layout (little-endian, as written by this process):
+//   magic "OSDS" | u32 version | u64 entry_count
+//   per entry:   u32 query_len | bytes | u32 spec_count
+//   per spec:    u32 query_len | bytes | f64 probability | u32 n_surrogates
+//   per vector:  u32 n_entries | (u32 term, f64 weight)*
+//   trailer:     u64 fnv1a checksum of everything after the header magic.
+constexpr char kMagic[4] = {'O', 'S', 'D', 'S'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (pos_ + len > size_) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  size_t pos() const { return pos_; }
+
+ private:
+  bool Raw(void* p, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+uint64_t Fnv1a(const char* data, size_t size) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+util::Status DiversificationStore::Put(StoredEntry entry) {
+  if (entry.specializations.size() < 2) {
+    return util::Status::InvalidArgument(
+        "entry for '" + entry.query + "' has " +
+        std::to_string(entry.specializations.size()) +
+        " specializations; an ambiguous query needs at least 2");
+  }
+  std::string key = entry.query;
+  entries_[std::move(key)] = std::move(entry);
+  return util::Status::Ok();
+}
+
+const StoredEntry* DiversificationStore::Find(std::string_view query) const {
+  auto it = entries_.find(std::string(query));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<core::SpecializationProfile> DiversificationStore::ToProfiles(
+    const StoredEntry& entry) {
+  std::vector<core::SpecializationProfile> profiles;
+  profiles.reserve(entry.specializations.size());
+  for (const StoredSpecialization& sp : entry.specializations) {
+    core::SpecializationProfile p;
+    p.query = sp.query;
+    p.probability = sp.probability;
+    p.results = sp.surrogates;
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+uint64_t DiversificationStore::SurrogatePayloadBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [query, entry] : entries_) {
+    for (const StoredSpecialization& sp : entry.specializations) {
+      for (const text::TermVector& v : sp.surrogates) {
+        bytes += v.entries().size() *
+                 (sizeof(text::TermId) + sizeof(double));
+      }
+    }
+  }
+  return bytes;
+}
+
+util::Status DiversificationStore::Save(const std::string& path) const {
+  Writer w;
+  w.U32(kVersion);
+  w.U64(entries_.size());
+  // Deterministic order: sort keys (useful for byte-identical snapshots).
+  std::vector<const StoredEntry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& [query, entry] : entries_) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const StoredEntry* a, const StoredEntry* b) {
+              return a->query < b->query;
+            });
+  for (const StoredEntry* entry : ordered) {
+    w.Str(entry->query);
+    w.U32(static_cast<uint32_t>(entry->specializations.size()));
+    for (const StoredSpecialization& sp : entry->specializations) {
+      w.Str(sp.query);
+      w.F64(sp.probability);
+      w.U32(static_cast<uint32_t>(sp.surrogates.size()));
+      for (const text::TermVector& v : sp.surrogates) {
+        w.U32(static_cast<uint32_t>(v.entries().size()));
+        for (const auto& [term, weight] : v.entries()) {
+          w.U32(term);
+          w.F64(weight);
+        }
+      }
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::string& body = w.buffer();
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  uint64_t checksum = Fnv1a(body.data(), body.size());
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<DiversificationStore> DiversificationStore::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (blob.size() < sizeof(kMagic) + sizeof(uint64_t)) {
+    return util::Status::Corruption("file too short: " + path);
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::Corruption("bad magic: " + path);
+  }
+  size_t body_size = blob.size() - sizeof(kMagic) - sizeof(uint64_t);
+  const char* body = blob.data() + sizeof(kMagic);
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, body + body_size, sizeof(stored_checksum));
+  if (Fnv1a(body, body_size) != stored_checksum) {
+    return util::Status::Corruption("checksum mismatch: " + path);
+  }
+
+  Reader r(body, body_size);
+  uint32_t version = 0;
+  if (!r.U32(&version)) return util::Status::Corruption("truncated header");
+  if (version != kVersion) {
+    return util::Status::Corruption(
+        util::StrFormat("unsupported version %u", version));
+  }
+  uint64_t count = 0;
+  if (!r.U64(&count)) return util::Status::Corruption("truncated count");
+
+  DiversificationStore store;
+  for (uint64_t e = 0; e < count; ++e) {
+    StoredEntry entry;
+    if (!r.Str(&entry.query)) return util::Status::Corruption("entry query");
+    uint32_t n_specs = 0;
+    if (!r.U32(&n_specs)) return util::Status::Corruption("spec count");
+    for (uint32_t s = 0; s < n_specs; ++s) {
+      StoredSpecialization sp;
+      if (!r.Str(&sp.query) || !r.F64(&sp.probability)) {
+        return util::Status::Corruption("spec header");
+      }
+      uint32_t n_surrogates = 0;
+      if (!r.U32(&n_surrogates)) {
+        return util::Status::Corruption("surrogate count");
+      }
+      for (uint32_t v = 0; v < n_surrogates; ++v) {
+        uint32_t n_entries = 0;
+        if (!r.U32(&n_entries)) {
+          return util::Status::Corruption("vector size");
+        }
+        std::vector<text::TermVector::Entry> vec_entries;
+        vec_entries.reserve(n_entries);
+        for (uint32_t t = 0; t < n_entries; ++t) {
+          uint32_t term = 0;
+          double weight = 0;
+          if (!r.U32(&term) || !r.F64(&weight)) {
+            return util::Status::Corruption("vector entry");
+          }
+          vec_entries.emplace_back(static_cast<text::TermId>(term), weight);
+        }
+        sp.surrogates.push_back(
+            text::TermVector::FromEntries(std::move(vec_entries)));
+      }
+      entry.specializations.push_back(std::move(sp));
+    }
+    OPTSELECT_RETURN_IF_ERROR(store.Put(std::move(entry)));
+  }
+  return store;
+}
+
+}  // namespace store
+}  // namespace optselect

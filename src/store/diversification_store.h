@@ -1,0 +1,89 @@
+// The serving-side data structure of Section 4.1.
+//
+// "The only information we need are: the ambiguous queries, the list of
+//  their possible specializations mined from a long-term query log, the
+//  probabilities associated with such specializations, and the sets R_q′
+//  of documents highly relevant for each specialization. [...] only short
+//  summaries, and not whole documents, can be used without significative
+//  loss in the precision of our method."
+//
+// A DiversificationStore holds exactly that: per ambiguous query, the
+// mined specializations with P(q′|q) and the surrogate term vectors of
+// R_q′. It is built offline from the mining stack + index, serialized to
+// a compact binary file, and loaded by serving nodes that then answer
+// "is q ambiguous, and what is its diversification input?" with no
+// query-log or recommender in memory. MaxFootprintBytes (core/footprint)
+// gives the paper's back-of-the-envelope bound for its size.
+
+#ifndef OPTSELECT_STORE_DIVERSIFICATION_STORE_H_
+#define OPTSELECT_STORE_DIVERSIFICATION_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidate.h"
+#include "util/status.h"
+
+namespace optselect {
+namespace store {
+
+/// One stored specialization: query string, probability, surrogates.
+struct StoredSpecialization {
+  std::string query;
+  double probability = 0.0;
+  /// Surrogate vectors of R_q′ in rank order.
+  std::vector<text::TermVector> surrogates;
+};
+
+/// Everything needed to diversify one ambiguous query at serving time.
+struct StoredEntry {
+  std::string query;
+  std::vector<StoredSpecialization> specializations;
+};
+
+/// In-memory map of ambiguous queries with binary persistence.
+class DiversificationStore {
+ public:
+  /// Inserts (or replaces) an entry. Entries with fewer than two
+  /// specializations are rejected (not ambiguous by definition).
+  util::Status Put(StoredEntry entry);
+
+  /// Looks up a query; nullptr when not stored (⇒ not ambiguous).
+  const StoredEntry* Find(std::string_view query) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Converts a stored entry into the specialization part of a
+  /// DiversificationInput (candidates are filled by the caller from the
+  /// live ranking).
+  static std::vector<core::SpecializationProfile> ToProfiles(
+      const StoredEntry& entry);
+
+  /// Total bytes of surrogate payload currently held (Section 4.1's
+  /// N·|S_q̂|·|R_q̂′|·L is the worst case of this number).
+  uint64_t SurrogatePayloadBytes() const;
+
+  /// Serializes all entries to `path` (binary, versioned, checksummed).
+  util::Status Save(const std::string& path) const;
+
+  /// Loads a store written by Save. Fails with kCorruption on version
+  /// mismatch, truncation, or checksum failure.
+  static util::Result<DiversificationStore> Load(const std::string& path);
+
+  /// Iteration support (read-only).
+  const std::unordered_map<std::string, StoredEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<std::string, StoredEntry> entries_;
+};
+
+}  // namespace store
+}  // namespace optselect
+
+#endif  // OPTSELECT_STORE_DIVERSIFICATION_STORE_H_

@@ -1,0 +1,45 @@
+#include "store/store_builder.h"
+
+namespace optselect {
+namespace store {
+
+size_t BuildStore(const recommend::AmbiguityDetector& detector,
+                  const index::Searcher& searcher,
+                  const index::SnippetExtractor& snippets,
+                  const text::Analyzer& analyzer,
+                  const corpus::DocumentStore& documents,
+                  const std::vector<std::string>& candidate_queries,
+                  const StoreBuilderOptions& options,
+                  DiversificationStore* out) {
+  size_t stored = 0;
+  for (const std::string& query : candidate_queries) {
+    recommend::SpecializationSet set = detector.Detect(query);
+    if (!set.ambiguous()) continue;
+
+    StoredEntry entry;
+    entry.query = query;
+    for (const recommend::Specialization& sp : set.items) {
+      StoredSpecialization stored_sp;
+      stored_sp.query = sp.query;
+      stored_sp.probability = sp.probability;
+      std::vector<text::TermId> terms = analyzer.AnalyzeReadOnly(sp.query);
+      index::ResultList results =
+          options.conjunctive_reference_lists
+              ? searcher.SearchTermsConjunctive(
+                    terms, options.results_per_specialization)
+              : searcher.SearchTerms(terms,
+                                     options.results_per_specialization);
+      stored_sp.surrogates.reserve(results.size());
+      for (const index::SearchResult& hit : results) {
+        stored_sp.surrogates.push_back(
+            snippets.ExtractVector(documents.Get(hit.doc), terms));
+      }
+      entry.specializations.push_back(std::move(stored_sp));
+    }
+    if (out->Put(std::move(entry)).ok()) ++stored;
+  }
+  return stored;
+}
+
+}  // namespace store
+}  // namespace optselect

@@ -1,0 +1,45 @@
+// Offline construction of the serving store from the mining stack and
+// the index — the "long-term query log" preprocessing step of Section
+// 4.1, run once per log refresh.
+
+#ifndef OPTSELECT_STORE_STORE_BUILDER_H_
+#define OPTSELECT_STORE_STORE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/document_store.h"
+#include "index/searcher.h"
+#include "index/snippet_extractor.h"
+#include "recommend/ambiguity_detector.h"
+#include "store/diversification_store.h"
+#include "text/analyzer.h"
+
+namespace optselect {
+namespace store {
+
+/// Builder options.
+struct StoreBuilderOptions {
+  /// |R_q′| surrogates kept per specialization (paper: 20).
+  size_t results_per_specialization = 20;
+  /// Use conjunctive (AND) retrieval for the reference lists.
+  bool conjunctive_reference_lists = true;
+};
+
+/// Runs Algorithm 1 on every query in `candidate_queries`, and for each
+/// detected ambiguous query materializes the specializations with their
+/// R_q′ surrogate vectors. Queries that are not ambiguous are skipped.
+/// Returns the number of entries stored.
+size_t BuildStore(const recommend::AmbiguityDetector& detector,
+                  const index::Searcher& searcher,
+                  const index::SnippetExtractor& snippets,
+                  const text::Analyzer& analyzer,
+                  const corpus::DocumentStore& documents,
+                  const std::vector<std::string>& candidate_queries,
+                  const StoreBuilderOptions& options,
+                  DiversificationStore* out);
+
+}  // namespace store
+}  // namespace optselect
+
+#endif  // OPTSELECT_STORE_STORE_BUILDER_H_

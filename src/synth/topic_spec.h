@@ -1,0 +1,43 @@
+// Ground-truth description of an ambiguous query topic.
+//
+// A topic is the planted analogue of the paper's "leopard" example: a root
+// query with several specializations ("leopard mac os x", "leopard tank",
+// "leopard pictures"), each with a popularity probability. The synthetic
+// query log, the synthetic corpus, and the TREC-style topic set are all
+// generated from the same TopicSpec list, which is what ties retrieval,
+// mining, and evaluation together.
+
+#ifndef OPTSELECT_SYNTH_TOPIC_SPEC_H_
+#define OPTSELECT_SYNTH_TOPIC_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace optselect {
+namespace synth {
+
+/// One planted specialization (sub-intent) of an ambiguous root query.
+struct SubIntent {
+  /// Specialization query string, e.g. "leopard tank".
+  std::string query;
+  /// Ground-truth probability P(q′|q); the per-topic vector sums to 1.
+  double probability = 0.0;
+  /// Content words characterizing documents relevant to this sub-intent
+  /// (beyond the query words themselves).
+  std::vector<std::string> content_words;
+};
+
+/// One ambiguous/faceted topic.
+struct TopicSpec {
+  /// Root (ambiguous) query string, e.g. "leopard".
+  std::string root_query;
+  /// Ground-truth popularity weight of the root topic itself.
+  double weight = 1.0;
+  /// The planted specializations, most popular first.
+  std::vector<SubIntent> intents;
+};
+
+}  // namespace synth
+}  // namespace optselect
+
+#endif  // OPTSELECT_SYNTH_TOPIC_SPEC_H_

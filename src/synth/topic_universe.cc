@@ -1,0 +1,64 @@
+#include "synth/topic_universe.h"
+
+#include <algorithm>
+
+#include "synth/word_bank.h"
+#include "util/zipf.h"
+
+namespace optselect {
+namespace synth {
+
+TopicUniverse GenerateTopicUniverse(const TopicUniverseConfig& config,
+                                    size_t num_noise_queries) {
+  util::Rng rng(config.seed);
+  TopicUniverse universe;
+  universe.topics.reserve(config.num_topics);
+
+  const util::ZipfSampler topic_weights(
+      std::max<size_t>(config.num_topics, 1), config.topic_zipf_skew);
+
+  size_t modifier_cursor = 0;
+  size_t content_cursor = 0;
+
+  for (size_t t = 0; t < config.num_topics; ++t) {
+    TopicSpec topic;
+    topic.root_query = WordBank::RootWord(t);
+    topic.weight = topic_weights.Pmf(t);
+
+    size_t n_intents = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(config.min_intents),
+        static_cast<int64_t>(config.max_intents)));
+    const util::ZipfSampler intent_dist(n_intents, config.intent_zipf_skew);
+
+    topic.intents.reserve(n_intents);
+    for (size_t s = 0; s < n_intents; ++s) {
+      SubIntent intent;
+      intent.query =
+          topic.root_query + " " + WordBank::ModifierWord(modifier_cursor++);
+      intent.probability = intent_dist.Pmf(s);
+      intent.content_words.reserve(config.content_words_per_intent);
+      for (size_t w = 0; w < config.content_words_per_intent; ++w) {
+        // Content words live in their own suffix namespace, so they can
+        // never collide with root or modifier tokens.
+        intent.content_words.push_back(
+            WordBank::ContentWord(7 * content_cursor + w));
+      }
+      ++content_cursor;
+      topic.intents.push_back(std::move(intent));
+    }
+    universe.topics.push_back(std::move(topic));
+  }
+
+  universe.noise_queries.reserve(num_noise_queries);
+  for (size_t i = 0; i < num_noise_queries; ++i) {
+    // Two-word queries over a slice of the bank disjoint from topic roots
+    // (offset by a large constant).
+    std::string q = WordBank::Word(1000 + 2 * i) + " " +
+                    WordBank::ModifierWord(500 + i);
+    universe.noise_queries.push_back(std::move(q));
+  }
+  return universe;
+}
+
+}  // namespace synth
+}  // namespace optselect

@@ -1,0 +1,51 @@
+// Generator for the planted topic universe shared by all synthetic data.
+
+#ifndef OPTSELECT_SYNTH_TOPIC_UNIVERSE_H_
+#define OPTSELECT_SYNTH_TOPIC_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/topic_spec.h"
+#include "util/rng.h"
+
+namespace optselect {
+namespace synth {
+
+/// Configuration of the planted universe.
+struct TopicUniverseConfig {
+  uint64_t seed = 17;
+  /// Number of ambiguous topics (the TREC 2009 diversity task has 50).
+  size_t num_topics = 50;
+  /// Range of specializations per topic (TREC subtopics: 3 to 8). A wider
+  /// range (up to 28) is used by the Figure 1 experiment.
+  size_t min_intents = 3;
+  size_t max_intents = 8;
+  /// Zipf skew of the per-topic specialization popularity distribution.
+  double intent_zipf_skew = 1.0;
+  /// Zipf skew across topics (topic weights).
+  double topic_zipf_skew = 1.0;
+  /// Content words planted per sub-intent.
+  size_t content_words_per_intent = 6;
+};
+
+/// The generated universe: topics plus a bank of unambiguous noise queries.
+struct TopicUniverse {
+  std::vector<TopicSpec> topics;
+  /// One-intent queries used as log background traffic.
+  std::vector<std::string> noise_queries;
+};
+
+/// Builds a deterministic universe from the config.
+///
+/// Roots use distinct base words; specializations are "root modifier"
+/// two-word queries; content words are drawn from a disjoint slice so each
+/// sub-intent has a separable language model.
+TopicUniverse GenerateTopicUniverse(const TopicUniverseConfig& config,
+                                    size_t num_noise_queries = 0);
+
+}  // namespace synth
+}  // namespace optselect
+
+#endif  // OPTSELECT_SYNTH_TOPIC_UNIVERSE_H_

@@ -1,0 +1,103 @@
+#include "synth/word_bank.h"
+
+namespace optselect {
+namespace synth {
+namespace {
+
+// 192 root-ish words followed by 128 modifier-ish words. Chosen to survive
+// stemming distinctly (no two map to the same Porter stem).
+constexpr std::string_view kWords[] = {
+    // --- roots (entities, 0..191) ---
+    "apple",    "jaguar",   "leopard",  "python",   "mercury",  "phoenix",
+    "delta",    "orion",    "atlas",    "titan",    "nova",     "vega",
+    "falcon",   "raven",    "cobra",    "viper",    "lynx",     "puma",
+    "bison",    "condor",   "heron",    "osprey",   "magpie",   "plover",
+    "walnut",   "cedar",    "maple",    "birch",    "aspen",    "willow",
+    "juniper",  "sequoia",  "lotus",    "orchid",   "tulip",    "dahlia",
+    "quartz",   "basalt",   "granite",  "marble",   "topaz",    "garnet",
+    "cobalt",   "nickel",   "radium",   "argon",    "xenon",    "krypton",
+    "fjord",    "lagoon",   "mesa",     "tundra",   "savanna",  "glacier",
+    "canyon",   "plateau",  "archipelago",          "isthmus",  "strait",
+    "harbor",   "anchor",   "compass",  "sextant",  "rudder",   "keel",
+    "galley",   "frigate",  "sloop",    "schooner", "clipper",  "barge",
+    "piston",   "turbine",  "dynamo",   "gasket",   "flywheel", "camshaft",
+    "sprocket", "gearbox",  "throttle", "manifold", "radiator", "chassis",
+    "violin",   "cello",    "oboe",     "bassoon",  "trumpet",  "trombone",
+    "marimba",  "zither",   "banjo",    "mandolin", "ocarina",  "bagpipe",
+    "saffron",  "paprika",  "turmeric", "coriander","cardamom", "nutmeg",
+    "ginger",   "fennel",   "anise",    "caraway",  "sorrel",   "tarragon",
+    "copper",   "bronze",   "pewter",   "brass",    "zinc",     "chrome",
+    "velvet",   "satin",    "linen",    "denim",    "tweed",    "flannel",
+    "comet",    "quasar",   "pulsar",   "nebula",   "meteor",   "eclipse",
+    "zenith",   "nadir",    "apogee",   "perigee",  "solstice", "equinox",
+    "badger",   "otter",    "weasel",   "marten",   "stoat",    "ferret",
+    "gopher",   "marmot",   "beaver",   "muskrat",  "vole",     "shrew",
+    "parka",    "poncho",   "tunic",    "kimono",   "sarong",   "cloak",
+    "goblet",   "chalice",  "flagon",   "tankard",  "beaker",   "carafe",
+    "bugle",    "fanfare",  "anthem",   "ballad",   "sonata",   "rondo",
+    "wharf",    "jetty",    "quay",     "marina",   "dock",     "berth",
+    "sickle",   "scythe",   "plough",   "harrow",   "tiller",   "winch",
+    "ledger",   "invoice",  "voucher",  "receipt",  "docket",   "manifest",
+    "summit",   "ridge",    "gorge",    "ravine",   "bluff",    "knoll",
+    "ember",    "cinder",   "beacon",   "lantern",  "torch",    "flare",
+    // --- modifiers (192..319) ---
+    "vintage",  "digital",  "portable", "wireless", "electric", "manual",
+    "classic",  "modern",   "compact",  "deluxe",   "budget",   "premium",
+    "northern", "southern", "eastern",  "western",  "coastal",  "alpine",
+    "crimson",  "amber",    "indigo",   "scarlet",  "emerald",  "sapphire",
+    "rapid",    "silent",   "hollow",   "frozen",   "molten",   "gilded",
+    "rustic",   "urban",    "rural",    "tropical", "arctic",   "desert",
+    "royal",    "imperial", "federal",  "municipal","provincial",
+    "organic",  "synthetic","hybrid",   "solar",    "lunar",    "stellar",
+    "antique",  "baroque",  "gothic",   "colonial", "nomadic",  "pastoral",
+    "crystal",  "ceramic",  "wooden",   "leather",  "woolen",   "silken",
+    "spicy",    "bitter",   "mellow",   "tangy",    "savory",   "zesty",
+    "swift",    "sturdy",   "nimble",   "rugged",   "sleek",    "slender",
+    "coastline","heritage", "festival", "museum",   "gallery",  "archive",
+    "recipe",   "tutorial", "manual2",  "review",   "catalog",  "almanac",
+    "voyage",   "expedition",           "pilgrimage",           "trek",
+    "safari",   "cruise",   "repair",   "rental",   "auction",  "bazaar",
+    "harvest",  "orchard",  "vineyard", "meadow",   "pasture",  "grove",
+    "castle",   "fortress", "citadel",  "palace",   "abbey",    "manor",
+    "bridge",   "viaduct",  "aqueduct", "causeway", "tunnel",   "culvert",
+    "lodge",    "hostel",   "tavern",   "bistro",   "cantina",  "brasserie",
+    "workshop", "foundry",  "smithy",   "atelier",  "studio",   "loft",
+    "carnival", "regatta",  "tournament",           "derby",    "gymkhana",
+};
+
+constexpr size_t kNumWords = std::size(kWords);
+constexpr size_t kModifierStart = 192;
+
+}  // namespace
+
+size_t WordBank::size() { return kNumWords; }
+
+std::string WordBank::Word(size_t i) {
+  std::string w(kWords[i % kNumWords]);
+  if (i >= kNumWords) {
+    w += std::to_string(i / kNumWords);
+  }
+  return w;
+}
+
+std::string WordBank::ModifierWord(size_t i) {
+  constexpr size_t kNumModifiers = kNumWords - kModifierStart;
+  size_t slot = kModifierStart + (i % kNumModifiers);
+  std::string w(kWords[slot]);
+  if (i >= kNumModifiers) {
+    w += std::to_string(i / kNumModifiers);
+  }
+  return w;
+}
+
+std::string WordBank::ContentWord(size_t i) {
+  std::string w(kWords[i % kNumWords]);
+  w += 'c';
+  if (i >= kNumWords) {
+    w += std::to_string(i / kNumWords);
+  }
+  return w;
+}
+
+}  // namespace synth
+}  // namespace optselect

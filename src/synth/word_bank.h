@@ -1,0 +1,43 @@
+// Deterministic English-like word inventory for synthetic data.
+//
+// Synthetic queries and documents are composed from this bank so that the
+// whole pipeline (tokenizer → stemmer → index → snippets) operates on
+// plausible text rather than opaque ids.
+
+#ifndef OPTSELECT_SYNTH_WORD_BANK_H_
+#define OPTSELECT_SYNTH_WORD_BANK_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace optselect {
+namespace synth {
+
+/// Fixed vocabulary of lowercase words. Index-stable across runs.
+class WordBank {
+ public:
+  /// Number of distinct base words.
+  static size_t size();
+
+  /// The i-th base word (i is taken modulo size(), with a numeric suffix
+  /// appended for wrapped indices so words stay distinct).
+  static std::string Word(size_t i);
+
+  /// A short noun-like word for topic roots ("entity" words).
+  static std::string RootWord(size_t i) { return Word(i); }
+
+  /// A modifier word for specializations, drawn from a disjoint slice of
+  /// the bank so specialization tokens never collide with root tokens.
+  static std::string ModifierWord(size_t i);
+
+  /// A content word for document bodies. Lives in its own suffix
+  /// namespace ("...c", "...c1", ...) so a content word can never equal
+  /// any root or modifier token regardless of wrapping.
+  static std::string ContentWord(size_t i);
+};
+
+}  // namespace synth
+}  // namespace optselect
+
+#endif  // OPTSELECT_SYNTH_WORD_BANK_H_

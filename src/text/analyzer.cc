@@ -1,0 +1,45 @@
+#include "text/analyzer.h"
+
+namespace optselect {
+namespace text {
+
+std::vector<TermId> Analyzer::Analyze(std::string_view raw) {
+  std::vector<TermId> ids;
+  for (const std::string& tok : tokenizer_.Tokenize(raw)) {
+    if (options_.remove_stopwords && stopwords_.Contains(tok)) continue;
+    const std::string term = options_.stem ? stemmer_.Stem(tok) : tok;
+    if (term.empty()) continue;
+    ids.push_back(vocab_.GetOrAdd(term));
+  }
+  return ids;
+}
+
+std::vector<TermId> Analyzer::AnalyzeReadOnly(std::string_view raw) const {
+  std::vector<TermId> ids;
+  for (const std::string& tok : tokenizer_.Tokenize(raw)) {
+    if (options_.remove_stopwords && stopwords_.Contains(tok)) continue;
+    const std::string term = options_.stem ? stemmer_.Stem(tok) : tok;
+    if (term.empty()) continue;
+    TermId id = vocab_.Lookup(term);
+    if (id != kInvalidTermId) ids.push_back(id);
+  }
+  return ids;
+}
+
+TermVector Analyzer::AnalyzeToVector(std::string_view raw) {
+  return TermVector::FromTermIds(Analyze(raw));
+}
+
+std::vector<std::string> Analyzer::AnalyzeToStrings(
+    std::string_view raw) const {
+  std::vector<std::string> out;
+  for (const std::string& tok : tokenizer_.Tokenize(raw)) {
+    if (options_.remove_stopwords && stopwords_.Contains(tok)) continue;
+    const std::string term = options_.stem ? stemmer_.Stem(tok) : tok;
+    if (!term.empty()) out.push_back(term);
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace optselect

@@ -1,0 +1,64 @@
+// Analysis pipeline: tokenize → stopword-filter → stem → term ids.
+//
+// One Analyzer instance owns the vocabulary shared by an index and the
+// query/snippet processing that must agree with it.
+
+#ifndef OPTSELECT_TEXT_ANALYZER_H_
+#define OPTSELECT_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/term_vector.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace optselect {
+namespace text {
+
+/// Converts raw text into stemmed term-id sequences over a shared
+/// vocabulary. Not thread-safe for Analyze* (vocabulary mutation);
+/// AnalyzeReadOnly is const and safe once the vocabulary is frozen.
+class Analyzer {
+ public:
+  struct Options {
+    bool remove_stopwords = true;
+    bool stem = true;
+  };
+
+  Analyzer() : Analyzer(Options{}) {}
+  explicit Analyzer(Options options) : options_(options) {}
+
+  /// Tokenizes, filters, stems, and interns the terms (growing the
+  /// vocabulary as needed).
+  std::vector<TermId> Analyze(std::string_view raw);
+
+  /// Like Analyze but never grows the vocabulary: unknown terms are
+  /// dropped. Used at query time against a built index.
+  std::vector<TermId> AnalyzeReadOnly(std::string_view raw) const;
+
+  /// Analyze + raw-tf TermVector in one call.
+  TermVector AnalyzeToVector(std::string_view raw);
+
+  /// Stemmed string tokens (without interning) — handy for tests.
+  std::vector<std::string> AnalyzeToStrings(std::string_view raw) const;
+
+  Vocabulary& vocabulary() { return vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Tokenizer tokenizer_;
+  StopwordSet stopwords_;
+  PorterStemmer stemmer_;
+  Vocabulary vocab_;
+};
+
+}  // namespace text
+}  // namespace optselect
+
+#endif  // OPTSELECT_TEXT_ANALYZER_H_

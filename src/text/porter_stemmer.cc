@@ -1,0 +1,302 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace optselect {
+namespace text {
+namespace {
+
+// Working buffer for one word. The algorithm operates on b[0..k].
+struct Ctx {
+  std::string b;
+  int k = 0;   // index of last character
+  int j = 0;   // general offset set by ends()
+
+  // True if b[i] is a consonant.
+  bool Cons(int i) const {
+    switch (b[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measures the number of consonant sequences between 0 and j:
+  //   <c><v>       -> 0
+  //   <c>vc<v>     -> 1
+  //   <c>vcvc<v>   -> 2 ...
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if 0..j contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b[i-1] == b[i] and both are consonants.
+  bool DoubleC(int i) const {
+    if (i < 1) return false;
+    if (b[static_cast<size_t>(i)] != b[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return Cons(i);
+  }
+
+  // True if i-2..i is consonant-vowel-consonant and the last consonant is
+  // not w, x or y; used to restore an 'e' (cav(e), lov(e)) and in step 5.
+  bool Cvc(int i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    char ch = b[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True if b ends with `s`; on success sets j to the stem end.
+  bool Ends(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    if (len > k + 1) return false;
+    if (std::memcmp(b.data() + (k - len + 1), s, static_cast<size_t>(len)) !=
+        0) {
+      return false;
+    }
+    j = k - len;
+    return true;
+  }
+
+  // Replaces b[j+1..k] with `s`.
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    b.replace(static_cast<size_t>(j + 1), static_cast<size_t>(k - j), s);
+    k = j + len;
+  }
+
+  // SetTo guarded by Measure() > 0.
+  void R(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+};
+
+// Step 1a: plurals. caresses->caress, ponies->poni, ties->ti, cats->cat.
+// Step 1b: -ed/-ing. feed->feed, agreed->agree, plastered->plaster,
+//          motoring->motor; with cleanup conflat(ed)->conflate etc.
+void Step1ab(Ctx* z) {
+  if (z->b[static_cast<size_t>(z->k)] == 's') {
+    if (z->Ends("sses")) {
+      z->k -= 2;
+    } else if (z->Ends("ies")) {
+      z->SetTo("i");
+    } else if (z->b[static_cast<size_t>(z->k - 1)] != 's') {
+      --z->k;
+    }
+  }
+  if (z->Ends("eed")) {
+    if (z->Measure() > 0) --z->k;
+  } else if ((z->Ends("ed") || z->Ends("ing")) && z->VowelInStem()) {
+    z->k = z->j;
+    if (z->Ends("at")) {
+      z->SetTo("ate");
+    } else if (z->Ends("bl")) {
+      z->SetTo("ble");
+    } else if (z->Ends("iz")) {
+      z->SetTo("ize");
+    } else if (z->DoubleC(z->k)) {
+      char ch = z->b[static_cast<size_t>(z->k)];
+      if (ch != 'l' && ch != 's' && ch != 'z') --z->k;
+    } else if (z->Measure() == 1 && z->Cvc(z->k)) {
+      z->j = z->k;  // SetTo appends after j
+      z->SetTo("e");
+    }
+  }
+}
+
+// Step 1c: y -> i when there is another vowel in the stem.
+void Step1c(Ctx* z) {
+  if (z->Ends("y") && z->VowelInStem()) {
+    z->b[static_cast<size_t>(z->k)] = 'i';
+  }
+}
+
+// Step 2: double suffixes mapped to single ones when Measure() > 0.
+void Step2(Ctx* z) {
+  switch (z->b[static_cast<size_t>(z->k - 1)]) {
+    case 'a':
+      if (z->Ends("ational")) { z->R("ate"); break; }
+      if (z->Ends("tional")) { z->R("tion"); }
+      break;
+    case 'c':
+      if (z->Ends("enci")) { z->R("ence"); break; }
+      if (z->Ends("anci")) { z->R("ance"); }
+      break;
+    case 'e':
+      if (z->Ends("izer")) { z->R("ize"); }
+      break;
+    case 'l':
+      if (z->Ends("bli")) { z->R("ble"); break; }  // DEPARTURE: -abli variant
+      if (z->Ends("alli")) { z->R("al"); break; }
+      if (z->Ends("entli")) { z->R("ent"); break; }
+      if (z->Ends("eli")) { z->R("e"); break; }
+      if (z->Ends("ousli")) { z->R("ous"); }
+      break;
+    case 'o':
+      if (z->Ends("ization")) { z->R("ize"); break; }
+      if (z->Ends("ation")) { z->R("ate"); break; }
+      if (z->Ends("ator")) { z->R("ate"); }
+      break;
+    case 's':
+      if (z->Ends("alism")) { z->R("al"); break; }
+      if (z->Ends("iveness")) { z->R("ive"); break; }
+      if (z->Ends("fulness")) { z->R("ful"); break; }
+      if (z->Ends("ousness")) { z->R("ous"); }
+      break;
+    case 't':
+      if (z->Ends("aliti")) { z->R("al"); break; }
+      if (z->Ends("iviti")) { z->R("ive"); break; }
+      if (z->Ends("biliti")) { z->R("ble"); }
+      break;
+    case 'g':
+      if (z->Ends("logi")) { z->R("log"); }  // DEPARTURE from 1980 paper
+      break;
+  }
+}
+
+// Step 3: -ic-, -full, -ness etc.
+void Step3(Ctx* z) {
+  switch (z->b[static_cast<size_t>(z->k)]) {
+    case 'e':
+      if (z->Ends("icate")) { z->R("ic"); break; }
+      if (z->Ends("ative")) { z->R(""); break; }
+      if (z->Ends("alize")) { z->R("al"); }
+      break;
+    case 'i':
+      if (z->Ends("iciti")) { z->R("ic"); }
+      break;
+    case 'l':
+      if (z->Ends("ical")) { z->R("ic"); break; }
+      if (z->Ends("ful")) { z->R(""); }
+      break;
+    case 's':
+      if (z->Ends("ness")) { z->R(""); }
+      break;
+  }
+}
+
+// Step 4: strip -ant, -ence etc. when Measure() > 1.
+void Step4(Ctx* z) {
+  switch (z->b[static_cast<size_t>(z->k - 1)]) {
+    case 'a':
+      if (z->Ends("al")) break;
+      return;
+    case 'c':
+      if (z->Ends("ance")) break;
+      if (z->Ends("ence")) break;
+      return;
+    case 'e':
+      if (z->Ends("er")) break;
+      return;
+    case 'i':
+      if (z->Ends("ic")) break;
+      return;
+    case 'l':
+      if (z->Ends("able")) break;
+      if (z->Ends("ible")) break;
+      return;
+    case 'n':
+      if (z->Ends("ant")) break;
+      if (z->Ends("ement")) break;
+      if (z->Ends("ment")) break;
+      if (z->Ends("ent")) break;
+      return;
+    case 'o':
+      if (z->Ends("ion") && z->j >= 0 &&
+          (z->b[static_cast<size_t>(z->j)] == 's' ||
+           z->b[static_cast<size_t>(z->j)] == 't')) {
+        break;
+      }
+      if (z->Ends("ou")) break;  // takes care of -ous
+      return;
+    case 's':
+      if (z->Ends("ism")) break;
+      return;
+    case 't':
+      if (z->Ends("ate")) break;
+      if (z->Ends("iti")) break;
+      return;
+    case 'u':
+      if (z->Ends("ous")) break;
+      return;
+    case 'v':
+      if (z->Ends("ive")) break;
+      return;
+    case 'z':
+      if (z->Ends("ize")) break;
+      return;
+    default:
+      return;
+  }
+  if (z->Measure() > 1) z->k = z->j;
+}
+
+// Step 5: remove final -e and double-l reduction.
+void Step5(Ctx* z) {
+  z->j = z->k;
+  if (z->b[static_cast<size_t>(z->k)] == 'e') {
+    int a = z->Measure();
+    if (a > 1 || (a == 1 && !z->Cvc(z->k - 1))) --z->k;
+  }
+  if (z->b[static_cast<size_t>(z->k)] == 'l' && z->DoubleC(z->k) &&
+      z->Measure() > 1) {
+    --z->k;
+  }
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() <= 2) return std::string(word);
+  Ctx z;
+  z.b.assign(word);
+  z.k = static_cast<int>(z.b.size()) - 1;
+  Step1ab(&z);
+  if (z.k > 0) Step1c(&z);
+  if (z.k > 0) Step2(&z);
+  if (z.k > 0) Step3(&z);
+  if (z.k > 0) Step4(&z);
+  if (z.k > 0) Step5(&z);
+  z.b.resize(static_cast<size_t>(z.k) + 1);
+  return z.b;
+}
+
+}  // namespace text
+}  // namespace optselect

@@ -1,0 +1,29 @@
+// The Porter stemming algorithm (M.F. Porter, 1980), as used by the paper's
+// Terrier indexing pipeline ("We used Porter's stemmer and standard English
+// stopword removal for producing the ClueWeb-B index", Section 5).
+//
+// This is a faithful reimplementation of the original algorithm: steps
+// 1a, 1b (+ cleanup), 1c, 2, 3, 4, 5a, 5b over the measure/vowel framework.
+
+#ifndef OPTSELECT_TEXT_PORTER_STEMMER_H_
+#define OPTSELECT_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace optselect {
+namespace text {
+
+/// Stateless Porter stemmer. Thread-safe; all methods are const.
+class PorterStemmer {
+ public:
+  /// Returns the stem of `word`. The input is assumed lowercase ASCII;
+  /// words shorter than 3 characters are returned unchanged (per Porter's
+  /// original implementation).
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace text
+}  // namespace optselect
+
+#endif  // OPTSELECT_TEXT_PORTER_STEMMER_H_

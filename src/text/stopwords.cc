@@ -1,0 +1,44 @@
+#include "text/stopwords.h"
+
+namespace optselect {
+namespace text {
+namespace {
+
+// String literals have static storage duration, so string_views into them
+// remain valid for the process lifetime.
+constexpr std::string_view kEnglishStopwords[] = {
+    "a",       "about",   "above",   "after",   "again",   "against",
+    "all",     "am",      "an",      "and",     "any",     "are",
+    "aren",    "as",      "at",      "be",      "because", "been",
+    "before",  "being",   "below",   "between", "both",    "but",
+    "by",      "can",     "cannot",  "could",   "couldn",  "did",
+    "didn",    "do",      "does",    "doesn",   "doing",   "don",
+    "down",    "during",  "each",    "few",     "for",     "from",
+    "further", "had",     "hadn",    "has",     "hasn",    "have",
+    "haven",   "having",  "he",      "her",     "here",    "hers",
+    "herself", "him",     "himself", "his",     "how",     "i",
+    "if",      "in",      "into",    "is",      "isn",     "it",
+    "its",     "itself",  "let",     "me",      "more",    "most",
+    "mustn",   "my",      "myself",  "no",      "nor",     "not",
+    "of",      "off",     "on",      "once",    "only",    "or",
+    "other",   "ought",   "our",     "ours",    "out",     "over",
+    "own",     "same",    "shan",    "she",     "should",  "shouldn",
+    "so",      "some",    "such",    "than",    "that",    "the",
+    "their",   "theirs",  "them",    "themselves",         "then",
+    "there",   "these",   "they",    "this",    "those",   "through",
+    "to",      "too",     "under",   "until",   "up",      "very",
+    "was",     "wasn",    "we",      "were",    "weren",   "what",
+    "when",    "where",   "which",   "while",   "who",     "whom",
+    "why",     "with",    "won",     "would",   "wouldn",  "you",
+    "your",    "yours",   "yourself",           "yourselves",
+};
+
+}  // namespace
+
+StopwordSet::StopwordSet() {
+  words_.reserve(std::size(kEnglishStopwords) * 2);
+  for (std::string_view w : kEnglishStopwords) words_.insert(w);
+}
+
+}  // namespace text
+}  // namespace optselect

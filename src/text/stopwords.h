@@ -1,0 +1,37 @@
+// Standard English stopword list ("standard English stopword removal",
+// paper Section 5). The list is the classic SMART-derived set commonly
+// shipped with IR toolkits, trimmed to frequent function words.
+
+#ifndef OPTSELECT_TEXT_STOPWORDS_H_
+#define OPTSELECT_TEXT_STOPWORDS_H_
+
+#include <string_view>
+#include <unordered_set>
+
+namespace optselect {
+namespace text {
+
+/// Immutable stopword set; default-constructed with the English list.
+class StopwordSet {
+ public:
+  /// Builds the default English list.
+  StopwordSet();
+
+  /// Builds from a custom list (e.g. empty set to disable stopping).
+  explicit StopwordSet(std::unordered_set<std::string_view> words)
+      : words_(std::move(words)) {}
+
+  bool Contains(std::string_view word) const {
+    return words_.count(word) > 0;
+  }
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string_view> words_;
+};
+
+}  // namespace text
+}  // namespace optselect
+
+#endif  // OPTSELECT_TEXT_STOPWORDS_H_

@@ -1,0 +1,34 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace optselect {
+namespace text {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  current.reserve(16);
+  auto flush = [&]() {
+    if (current.size() >= options_.min_token_length) {
+      if (current.size() > options_.max_token_length) {
+        current.resize(options_.max_token_length);
+      }
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char ch : input) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace text
+}  // namespace optselect

@@ -1,0 +1,43 @@
+// Word tokenization for documents and queries.
+//
+// Mirrors the preprocessing the paper applies through Terrier: lowercase
+// ASCII word tokens, digits kept (web queries contain model numbers, years),
+// everything else treated as a separator.
+
+#ifndef OPTSELECT_TEXT_TOKENIZER_H_
+#define OPTSELECT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optselect {
+namespace text {
+
+/// Splits text into lowercase alphanumeric tokens.
+class Tokenizer {
+ public:
+  struct Options {
+    /// Tokens longer than this are truncated (Terrier default behaviour for
+    /// pathological tokens).
+    size_t max_token_length = 64;
+    /// Drop tokens shorter than this many characters.
+    size_t min_token_length = 1;
+  };
+
+  Tokenizer() : Tokenizer(Options{}) {}
+  explicit Tokenizer(Options options) : options_(options) {}
+
+  /// Tokenizes `input` into lowercase tokens.
+  std::vector<std::string> Tokenize(std::string_view input) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace text
+}  // namespace optselect
+
+#endif  // OPTSELECT_TEXT_TOKENIZER_H_

@@ -1,0 +1,43 @@
+// Term dictionary: bidirectional mapping between terms and dense ids.
+
+#ifndef OPTSELECT_TEXT_VOCABULARY_H_
+#define OPTSELECT_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace optselect {
+namespace text {
+
+using TermId = uint32_t;
+
+/// Sentinel for "term not present".
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// Append-only term dictionary with O(1) lookups both ways.
+class Vocabulary {
+ public:
+  /// Returns the id of `term`, inserting it if absent.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTermId.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the term string for a valid id.
+  const std::string& term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace text
+}  // namespace optselect
+
+#endif  // OPTSELECT_TEXT_VOCABULARY_H_

@@ -1,0 +1,76 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace optselect {
+namespace util {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  // Compute column widths over header + all rows.
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const Row& r : rows_) {
+    if (!r.separator) widen(r.cells);
+  }
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+
+  std::string out;
+  auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      size_t pad = widths[i] - cell.size();
+      if (i == 0) {
+        out += cell;
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cell;
+      }
+      if (i + 1 < widths.size()) out += "  ";
+    }
+    out += '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      out.append(total, '-');
+      out += '\n';
+    } else {
+      emit(r.cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace optselect

@@ -1,0 +1,44 @@
+// Fixed-width text tables. The benchmark binaries use this to print rows
+// in the same layout as the paper's Tables 2 and 3 so that paper-vs-
+// measured comparison is a visual diff.
+
+#ifndef OPTSELECT_UTIL_TABLE_PRINTER_H_
+#define OPTSELECT_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace optselect {
+namespace util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Sets the header row (optional).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; ragged rows are allowed.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table. Columns are right-aligned except the first.
+  std::string ToString() const;
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace util
+}  // namespace optselect
+
+#endif  // OPTSELECT_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,3 @@
+#include "util/timer.h"
+
+// Header-only logic; this TU anchors the library target.

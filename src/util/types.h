@@ -1,0 +1,20 @@
+// Shared primitive identifier types.
+
+#ifndef OPTSELECT_UTIL_TYPES_H_
+#define OPTSELECT_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace optselect {
+
+/// Dense document identifier within a DocumentStore / InvertedIndex.
+using DocId = uint32_t;
+
+/// TREC-style topic number.
+using TopicId = uint32_t;
+
+inline constexpr DocId kInvalidDocId = static_cast<DocId>(-1);
+
+}  // namespace optselect
+
+#endif  // OPTSELECT_UTIL_TYPES_H_

@@ -1,0 +1,41 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace optselect {
+namespace util {
+
+ZipfSampler::ZipfSampler(size_t n, double skew) : skew_(skew) {
+  assert(n > 0);
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double norm = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    norm += pmf_[i];
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    pmf_[i] /= norm;
+    acc += pmf_[i];
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double x = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t i) const {
+  assert(i < pmf_.size());
+  return pmf_[i];
+}
+
+}  // namespace util
+}  // namespace optselect

@@ -1,0 +1,44 @@
+// Zipf-distributed sampling.
+//
+// Query and specialization popularities in real web logs are heavy-tailed;
+// the synthetic log generator uses this sampler to reproduce that shape.
+
+#ifndef OPTSELECT_UTIL_ZIPF_H_
+#define OPTSELECT_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace optselect {
+namespace util {
+
+/// Samples ranks in [0, n) with P(rank = i) ∝ 1 / (i + 1)^skew.
+///
+/// Uses a precomputed CDF with binary search, O(log n) per sample.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for `n` ranks with the given skew (s >= 0; s = 0 is
+  /// uniform). n must be > 0.
+  ZipfSampler(size_t n, double skew);
+
+  /// Draws one rank.
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank i.
+  double Pmf(size_t i) const;
+
+  size_t n() const { return pmf_.size(); }
+  double skew() const { return skew_; }
+
+ private:
+  double skew_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace util
+}  // namespace optselect
+
+#endif  // OPTSELECT_UTIL_ZIPF_H_

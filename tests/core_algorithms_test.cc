@@ -1,0 +1,586 @@
+// Tests for the diversification algorithms: OptSelect (Algorithm 2),
+// xQuAD, IASelect, MMR, and the factory. Includes hand-crafted instances,
+// cross-algorithm parameterized properties, and brute-force comparisons on
+// small instances.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/iaselect.h"
+#include "core/mmr.h"
+#include "core/optselect.h"
+#include "core/utility.h"
+#include "core/xquad.h"
+#include "util/rng.h"
+
+namespace optselect {
+namespace core {
+namespace {
+
+using text::TermVector;
+
+// Builds a random instance with explicit control over the utility matrix;
+// candidate vectors are only needed by MMR and are derived to loosely
+// match the utilities.
+struct RandomInstance {
+  DiversificationInput input;
+  UtilityMatrix utilities;
+};
+
+RandomInstance MakeRandomInstance(util::Rng* rng, size_t n, size_t m,
+                                  double sparsity = 0.5) {
+  RandomInstance ri;
+  ri.input.query = "q";
+  ri.utilities = UtilityMatrix(n, m);
+
+  std::vector<double> probs(m);
+  double total = 0;
+  for (double& p : probs) {
+    p = rng->UniformDouble() + 0.05;
+    total += p;
+  }
+  for (size_t j = 0; j < m; ++j) {
+    SpecializationProfile sp;
+    sp.query = "q s" + std::to_string(j);
+    sp.probability = probs[j] / total;
+    ri.input.specializations.push_back(sp);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    Candidate c;
+    c.doc = static_cast<DocId>(i);
+    c.relevance = rng->UniformDouble();
+    std::vector<TermVector::Entry> entries;
+    for (size_t j = 0; j < m; ++j) {
+      if (rng->UniformDouble() < sparsity) {
+        double u = rng->UniformDouble();
+        ri.utilities.Set(i, j, u);
+        entries.emplace_back(static_cast<text::TermId>(j), u);
+      }
+    }
+    entries.emplace_back(static_cast<text::TermId>(m + i), 0.3);
+    c.vector = TermVector::FromEntries(entries);
+    ri.input.candidates.push_back(std::move(c));
+  }
+  return ri;
+}
+
+// ----------------------------------------------- Cross-algorithm properties
+
+class AllAlgorithmsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Diversifier> Algo() const {
+    auto r = MakeDiversifier(GetParam());
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AllAlgorithmsTest,
+                         ::testing::Values("optselect", "xquad", "iaselect",
+                                           "mmr"));
+
+TEST_P(AllAlgorithmsTest, SelectsExactlyKDistinctValidIndices) {
+  util::Rng rng(99);
+  auto algo = Algo();
+  for (int round = 0; round < 10; ++round) {
+    size_t n = 5 + rng.Uniform(40);
+    size_t m = 2 + rng.Uniform(5);
+    RandomInstance ri = MakeRandomInstance(&rng, n, m);
+    DiversifyParams params;
+    params.k = 1 + rng.Uniform(n + 5);  // may exceed n
+    std::vector<size_t> picks =
+        algo->Select(ri.input, ri.utilities, params);
+    EXPECT_EQ(picks.size(), std::min(params.k, n));
+    std::set<size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), picks.size()) << "duplicate selections";
+    for (size_t i : picks) EXPECT_LT(i, n);
+  }
+}
+
+TEST_P(AllAlgorithmsTest, KZeroYieldsEmpty) {
+  util::Rng rng(7);
+  auto algo = Algo();
+  RandomInstance ri = MakeRandomInstance(&rng, 10, 3);
+  DiversifyParams params;
+  params.k = 0;
+  EXPECT_TRUE(algo->Select(ri.input, ri.utilities, params).empty());
+}
+
+TEST_P(AllAlgorithmsTest, EmptyInputYieldsEmpty) {
+  auto algo = Algo();
+  DiversificationInput input;
+  UtilityMatrix utilities(0, 0);
+  DiversifyParams params;
+  params.k = 5;
+  EXPECT_TRUE(algo->Select(input, utilities, params).empty());
+}
+
+TEST_P(AllAlgorithmsTest, Deterministic) {
+  util::Rng rng(1001);
+  auto algo = Algo();
+  RandomInstance ri = MakeRandomInstance(&rng, 60, 4);
+  DiversifyParams params;
+  params.k = 15;
+  auto a = algo->Select(ri.input, ri.utilities, params);
+  auto b = algo->Select(ri.input, ri.utilities, params);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(AllAlgorithmsTest, KEqualsNSelectsEverything) {
+  util::Rng rng(31);
+  auto algo = Algo();
+  RandomInstance ri = MakeRandomInstance(&rng, 12, 3);
+  DiversifyParams params;
+  params.k = 12;
+  auto picks = algo->Select(ri.input, ri.utilities, params);
+  std::set<size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+// ----------------------------------------------------------------- Factory
+
+TEST(FactoryTest, CreatesAllAdvertisedAlgorithms) {
+  for (const std::string& name : AvailableDiversifiers()) {
+    auto r = MakeDiversifier(name);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_FALSE(r.value()->name().empty());
+  }
+}
+
+TEST(FactoryTest, CaseInsensitive) {
+  EXPECT_TRUE(MakeDiversifier("OptSelect").ok());
+  EXPECT_TRUE(MakeDiversifier("XQUAD").ok());
+}
+
+TEST(FactoryTest, UnknownNameFails) {
+  auto r = MakeDiversifier("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- OptSelect
+
+TEST(OptSelectTest, OverallUtilityFormula) {
+  util::Rng rng(5);
+  RandomInstance ri = MakeRandomInstance(&rng, 6, 3);
+  const double lambda = 0.15;
+  for (size_t i = 0; i < 6; ++i) {
+    double expected = 0.0;
+    for (size_t j = 0; j < 3; ++j) {
+      expected += (1.0 - lambda) * ri.input.candidates[i].relevance +
+                  lambda * ri.input.specializations[j].probability *
+                      ri.utilities.At(i, j);
+    }
+    EXPECT_NEAR(OptSelectDiversifier::OverallUtility(ri.input, ri.utilities,
+                                                     i, lambda),
+                expected, 1e-12);
+  }
+}
+
+TEST(OptSelectTest, OutputOrderedByOverallUtility) {
+  util::Rng rng(6);
+  RandomInstance ri = MakeRandomInstance(&rng, 40, 4);
+  OptSelectDiversifier algo;
+  DiversifyParams params;
+  params.k = 10;
+  auto picks = algo.Select(ri.input, ri.utilities, params);
+  for (size_t i = 1; i < picks.size(); ++i) {
+    EXPECT_GE(OptSelectDiversifier::OverallUtility(ri.input, ri.utilities,
+                                                   picks[i - 1],
+                                                   params.lambda),
+              OptSelectDiversifier::OverallUtility(ri.input, ri.utilities,
+                                                   picks[i], params.lambda) -
+                  1e-12);
+  }
+}
+
+TEST(OptSelectTest, ProportionalCoverageConstraintHolds) {
+  // Constraint (Section 3.1.3): for each q′, at least ⌊k·P(q′|q)⌋ selected
+  // documents have positive utility for q′ (when enough exist).
+  util::Rng rng(8);
+  for (int round = 0; round < 20; ++round) {
+    size_t n = 30 + rng.Uniform(50);
+    size_t m = 2 + rng.Uniform(4);
+    RandomInstance ri = MakeRandomInstance(&rng, n, m, 0.6);
+    OptSelectDiversifier algo;
+    DiversifyParams params;
+    params.k = 10 + rng.Uniform(10);
+    auto picks = algo.Select(ri.input, ri.utilities, params);
+
+    for (size_t j = 0; j < m; ++j) {
+      size_t quota = static_cast<size_t>(std::floor(
+          static_cast<double>(params.k) *
+          ri.input.specializations[j].probability));
+      size_t available = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (ri.utilities.At(i, j) > 0) ++available;
+      }
+      size_t covered = 0;
+      for (size_t i : picks) {
+        if (ri.utilities.At(i, j) > 0) ++covered;
+      }
+      EXPECT_GE(covered, std::min(quota, available))
+          << "spec " << j << " quota " << quota << " available "
+          << available;
+    }
+  }
+}
+
+TEST(OptSelectTest, UnconstrainedCaseMatchesTopKByUtility) {
+  // When every candidate covers every specialization the constraints are
+  // satisfied by any selection, so OptSelect must return exactly the
+  // top-k by overall utility.
+  util::Rng rng(12);
+  size_t n = 30;
+  size_t m = 3;
+  RandomInstance ri = MakeRandomInstance(&rng, n, m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      ri.utilities.Set(i, j, 0.1 + 0.8 * rng.UniformDouble());
+    }
+  }
+  OptSelectDiversifier algo;
+  DiversifyParams params;
+  params.k = 8;
+  auto picks = algo.Select(ri.input, ri.utilities, params);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return OptSelectDiversifier::OverallUtility(ri.input, ri.utilities, a,
+                                                params.lambda) >
+           OptSelectDiversifier::OverallUtility(ri.input, ri.utilities, b,
+                                                params.lambda);
+  });
+  std::set<size_t> expected(order.begin(), order.begin() + params.k);
+  std::set<size_t> got(picks.begin(), picks.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(OptSelectTest, DisjointSupportsMatchBruteForceOptimum) {
+  // With disjoint specialization supports the constrained problem
+  // decomposes; compare the achieved objective against exhaustive search
+  // over all constraint-satisfying k-subsets.
+  util::Rng rng(14);
+  const size_t n = 12;
+  const size_t m = 3;
+  const size_t k = 4;
+
+  RandomInstance ri = MakeRandomInstance(&rng, n, m, 0.0);
+  // Candidate i supports spec i % m only.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      ri.utilities.Set(i, j, j == i % m ? 0.2 + rng.UniformDouble() : 0.0);
+    }
+  }
+  DiversifyParams params;
+  params.k = k;
+
+  auto overall = [&](size_t i) {
+    return OptSelectDiversifier::OverallUtility(ri.input, ri.utilities, i,
+                                                params.lambda);
+  };
+  auto satisfies = [&](const std::vector<size_t>& sel) {
+    for (size_t j = 0; j < m; ++j) {
+      size_t quota = static_cast<size_t>(std::floor(
+          static_cast<double>(k) * ri.input.specializations[j].probability));
+      size_t covered = 0;
+      for (size_t i : sel) {
+        if (ri.utilities.At(i, j) > 0) ++covered;
+      }
+      if (covered < quota) return false;
+    }
+    return true;
+  };
+
+  // Brute force all C(12,4) = 495 subsets.
+  double best = -1;
+  std::vector<size_t> idx(k);
+  std::function<void(size_t, size_t)> rec = [&](size_t start, size_t depth) {
+    if (depth == k) {
+      if (!satisfies(idx)) return;
+      double total = 0;
+      for (size_t i : idx) total += overall(i);
+      best = std::max(best, total);
+      return;
+    }
+    for (size_t i = start; i < n; ++i) {
+      idx[depth] = i;
+      rec(i + 1, depth + 1);
+    }
+  };
+  rec(0, 0);
+  ASSERT_GE(best, 0.0) << "no feasible subset";
+
+  OptSelectDiversifier algo;
+  auto picks = algo.Select(ri.input, ri.utilities, params);
+  double achieved = 0;
+  for (size_t i : picks) achieved += overall(i);
+  EXPECT_NEAR(achieved, best, 1e-9)
+      << "OptSelect should solve the decomposable case optimally";
+}
+
+TEST(OptSelectTest, QuotaSatisfiedByGenuinelyUsefulDocOnly) {
+  // Regression for the quickstart scenario: a relevance-heavy candidate
+  // with *zero* utility for a minority specialization must not satisfy
+  // that specialization's quota; the minority doc must be selected.
+  DiversificationInput input;
+  input.query = "jaguar";
+  for (int i = 0; i < 4; ++i) {
+    Candidate c;
+    c.doc = static_cast<DocId>(i);
+    c.relevance = 1.0 - 0.1 * i;
+    input.candidates.push_back(c);
+  }
+  SpecializationProfile cars, guitars;
+  cars.probability = 0.8;
+  guitars.probability = 0.2;
+  input.specializations = {cars, guitars};
+
+  UtilityMatrix u(4, 2);
+  u.Set(0, 0, 0.9);  // three strong car docs
+  u.Set(1, 0, 0.8);
+  u.Set(2, 0, 0.7);
+  u.Set(3, 1, 0.9);  // the only guitar doc, least relevant
+
+  OptSelectDiversifier algo;
+  DiversifyParams params;
+  params.k = 3;
+  auto picks = algo.Select(input, u, params);
+  ASSERT_EQ(picks.size(), 3u);
+  EXPECT_NE(std::find(picks.begin(), picks.end(), 3u), picks.end())
+      << "the guitar doc must occupy the minority quota slot";
+}
+
+TEST(OptSelectTest, SharedCoverageDocConsumesBothQuotas) {
+  // A document useful for two specializations covers both (set-cover
+  // semantics): with k = 2 the versatile doc plus one more must win over
+  // three single-intent docs.
+  DiversificationInput input;
+  input.query = "q";
+  for (int i = 0; i < 3; ++i) {
+    Candidate c;
+    c.doc = static_cast<DocId>(i);
+    c.relevance = 0.0;
+    input.candidates.push_back(c);
+  }
+  SpecializationProfile a, b;
+  a.probability = 0.5;
+  b.probability = 0.5;
+  input.specializations = {a, b};
+  UtilityMatrix u(3, 2);
+  u.Set(0, 0, 0.9);
+  u.Set(0, 1, 0.9);  // covers both
+  u.Set(1, 0, 0.5);
+  u.Set(2, 1, 0.5);
+  OptSelectDiversifier algo;
+  DiversifyParams params;
+  params.k = 2;
+  params.lambda = 1.0;
+  auto picks = algo.Select(input, u, params);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 0u) << "versatile doc has the highest utility";
+}
+
+// ------------------------------------------------------------------- xQuAD
+
+TEST(XQuadTest, FirstPickMaximizesEquation5) {
+  util::Rng rng(21);
+  RandomInstance ri = MakeRandomInstance(&rng, 25, 3);
+  XQuadDiversifier algo;
+  DiversifyParams params;
+  params.k = 5;
+  auto picks = algo.Select(ri.input, ri.utilities, params);
+  ASSERT_FALSE(picks.empty());
+
+  std::vector<double> probs;
+  for (const auto& sp : ri.input.specializations) {
+    probs.push_back(sp.probability);
+  }
+  double best = -1;
+  size_t best_i = 0;
+  for (size_t i = 0; i < ri.input.candidates.size(); ++i) {
+    double score = (1 - params.lambda) * ri.input.candidates[i].relevance +
+                   params.lambda * ri.utilities.WeightedRowSum(i, probs);
+    if (score > best) {
+      best = score;
+      best_i = i;
+    }
+  }
+  EXPECT_EQ(picks[0], best_i);
+}
+
+TEST(XQuadTest, PenalizesRedundantCoverage) {
+  // Two specializations, equal probability. Candidates 0,1 cover spec 0
+  // with high utility; candidate 2 covers spec 1 with moderate utility.
+  // After picking 0, xQuAD must prefer 2 over 1 despite 1's higher
+  // isolated score.
+  DiversificationInput input;
+  input.query = "q";
+  for (int i = 0; i < 3; ++i) {
+    Candidate c;
+    c.doc = i;
+    c.relevance = 0.0;  // isolate the diversity term
+    input.candidates.push_back(c);
+  }
+  SpecializationProfile s0, s1;
+  s0.probability = 0.5;
+  s1.probability = 0.5;
+  input.specializations = {s0, s1};
+  UtilityMatrix u(3, 2);
+  u.Set(0, 0, 0.9);
+  u.Set(1, 0, 0.8);
+  u.Set(2, 1, 0.5);
+
+  XQuadDiversifier algo;
+  DiversifyParams params;
+  params.k = 2;
+  params.lambda = 1.0;  // pure diversity
+  auto picks = algo.Select(input, u, params);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 0u);
+  EXPECT_EQ(picks[1], 2u) << "redundant candidate 1 must lose to 2";
+}
+
+TEST(XQuadTest, LambdaZeroIsPureRelevanceOrder) {
+  util::Rng rng(23);
+  RandomInstance ri = MakeRandomInstance(&rng, 20, 3);
+  XQuadDiversifier algo;
+  DiversifyParams params;
+  params.k = 20;
+  params.lambda = 0.0;
+  auto picks = algo.Select(ri.input, ri.utilities, params);
+  for (size_t i = 1; i < picks.size(); ++i) {
+    EXPECT_GE(ri.input.candidates[picks[i - 1]].relevance,
+              ri.input.candidates[picks[i]].relevance - 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------- IASelect
+
+TEST(IaSelectTest, ObjectiveHandComputed) {
+  DiversificationInput input;
+  input.query = "q";
+  input.candidates.resize(2);
+  SpecializationProfile s0;
+  s0.probability = 1.0;
+  input.specializations = {s0};
+  UtilityMatrix u(2, 1);
+  u.Set(0, 0, 0.5);
+  u.Set(1, 0, 0.5);
+  // P(S) = 1 · (1 − (1−0.5)(1−0.5)) = 0.75.
+  EXPECT_NEAR(IaSelectDiversifier::Objective(input, u, {0, 1}), 0.75,
+              1e-12);
+  EXPECT_NEAR(IaSelectDiversifier::Objective(input, u, {0}), 0.5, 1e-12);
+  EXPECT_NEAR(IaSelectDiversifier::Objective(input, u, {}), 0.0, 1e-12);
+}
+
+TEST(IaSelectTest, GreedyWithinSubmodularBoundOfBruteForce) {
+  // Greedy on a monotone submodular objective achieves ≥ (1 − 1/e)·OPT.
+  util::Rng rng(25);
+  for (int round = 0; round < 10; ++round) {
+    const size_t n = 10;
+    const size_t m = 3;
+    const size_t k = 3;
+    RandomInstance ri = MakeRandomInstance(&rng, n, m, 0.5);
+
+    double opt = 0;
+    std::vector<size_t> idx(k);
+    std::function<void(size_t, size_t)> rec = [&](size_t start,
+                                                  size_t depth) {
+      if (depth == k) {
+        opt = std::max(opt,
+                       IaSelectDiversifier::Objective(ri.input, ri.utilities,
+                                                      idx));
+        return;
+      }
+      for (size_t i = start; i < n; ++i) {
+        idx[depth] = i;
+        rec(i + 1, depth + 1);
+      }
+    };
+    rec(0, 0);
+
+    IaSelectDiversifier algo;
+    DiversifyParams params;
+    params.k = k;
+    auto picks = algo.Select(ri.input, ri.utilities, params);
+    double achieved =
+        IaSelectDiversifier::Objective(ri.input, ri.utilities, picks);
+    EXPECT_GE(achieved, (1.0 - 1.0 / M_E) * opt - 1e-9);
+    EXPECT_LE(achieved, opt + 1e-9);
+  }
+}
+
+TEST(IaSelectTest, CoversDominantSpecializationFirst) {
+  DiversificationInput input;
+  input.query = "q";
+  input.candidates.resize(2);
+  SpecializationProfile s0, s1;
+  s0.probability = 0.9;
+  s1.probability = 0.1;
+  input.specializations = {s0, s1};
+  UtilityMatrix u(2, 2);
+  u.Set(0, 1, 0.9);  // candidate 0 serves the rare intent
+  u.Set(1, 0, 0.9);  // candidate 1 serves the dominant intent
+  IaSelectDiversifier algo;
+  DiversifyParams params;
+  params.k = 1;
+  auto picks = algo.Select(input, u, params);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], 1u);
+}
+
+// --------------------------------------------------------------------- MMR
+
+TEST(MmrTest, FirstPickIsMostRelevant) {
+  util::Rng rng(29);
+  RandomInstance ri = MakeRandomInstance(&rng, 15, 3);
+  MmrDiversifier algo;
+  DiversifyParams params;
+  params.k = 3;
+  auto picks = algo.Select(ri.input, ri.utilities, params);
+  ASSERT_FALSE(picks.empty());
+  double max_rel = 0;
+  size_t best = 0;
+  for (size_t i = 0; i < ri.input.candidates.size(); ++i) {
+    if (ri.input.candidates[i].relevance > max_rel) {
+      max_rel = ri.input.candidates[i].relevance;
+      best = i;
+    }
+  }
+  EXPECT_EQ(picks[0], best);
+}
+
+TEST(MmrTest, AvoidsNearDuplicates) {
+  DiversificationInput input;
+  input.query = "q";
+  TermVector a = TermVector::FromTermIds({1, 2, 3});
+  TermVector a_dup = TermVector::FromTermIds({1, 2, 3});
+  TermVector b = TermVector::FromTermIds({7, 8});
+  input.candidates.push_back(Candidate{0, 1.0, a});
+  input.candidates.push_back(Candidate{1, 0.95, a_dup});  // near-duplicate
+  input.candidates.push_back(Candidate{2, 0.4, b});
+  UtilityMatrix u(3, 0);
+
+  MmrDiversifier algo;
+  DiversifyParams params;
+  params.k = 2;
+  params.lambda = 0.7;  // strong diversity pressure
+  auto picks = algo.Select(input, u, params);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 0u);
+  EXPECT_EQ(picks[1], 2u) << "duplicate of the first pick must be avoided";
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace optselect

@@ -1,0 +1,342 @@
+// Unit tests for the eval module: α-NDCG, IA-P, NDCG, Wilcoxon, and the
+// batch evaluator.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/qrels.h"
+#include "corpus/trec_topics.h"
+#include "eval/alpha_ndcg.h"
+#include "eval/diversity_evaluator.h"
+#include "eval/ia_precision.h"
+#include "eval/ndcg.h"
+#include "eval/wilcoxon.h"
+#include "util/math_util.h"
+
+namespace optselect {
+namespace eval {
+namespace {
+
+// Fixture: one topic (id 1) with two subtopics.
+//   docs 10, 11 relevant to subtopic 0;
+//   doc  20    relevant to subtopic 1;
+//   doc  30    relevant to both.
+class DiversityMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    qrels_.Add(1, 0, 10, 1);
+    qrels_.Add(1, 0, 11, 1);
+    qrels_.Add(1, 1, 20, 1);
+    qrels_.Add(1, 0, 30, 1);
+    qrels_.Add(1, 1, 30, 1);
+  }
+  corpus::Qrels qrels_;
+};
+
+// ----------------------------------------------------------------- α-NDCG
+
+TEST_F(DiversityMetricsTest, AlphaNdcgPerfectFirstPick) {
+  AlphaNdcg metric(&qrels_, 0.5);
+  // Doc 30 covers both subtopics: its gain at rank 1 is 2, matching the
+  // greedy ideal's first pick, so α-NDCG@1 = 1.
+  EXPECT_NEAR(metric.Score(1, 2, {30}, 1), 1.0, 1e-12);
+}
+
+TEST_F(DiversityMetricsTest, AlphaNdcgDcgHandComputed) {
+  AlphaNdcg metric(&qrels_, 0.5);
+  // Ranking {10, 11}: gains 1 and (1-0.5)^1 = 0.5.
+  // DCG = 1/log2(2) + 0.5/log2(3).
+  double expected = 1.0 + 0.5 / std::log2(3.0);
+  EXPECT_NEAR(metric.Dcg(1, 2, {10, 11}, 2), expected, 1e-12);
+}
+
+TEST_F(DiversityMetricsTest, AlphaNdcgRewardsDiverseOrdering) {
+  AlphaNdcg metric(&qrels_, 0.5);
+  // {10, 20} covers both subtopics; {10, 11} repeats subtopic 0.
+  double diverse = metric.Score(1, 2, {10, 20}, 2);
+  double redundant = metric.Score(1, 2, {10, 11}, 2);
+  EXPECT_GT(diverse, redundant);
+}
+
+TEST_F(DiversityMetricsTest, AlphaZeroIgnoresRedundancy) {
+  AlphaNdcg metric(&qrels_, 0.0);
+  double diverse = metric.Dcg(1, 2, {10, 20}, 2);
+  double redundant = metric.Dcg(1, 2, {10, 11}, 2);
+  EXPECT_NEAR(diverse, redundant, 1e-12);
+}
+
+TEST_F(DiversityMetricsTest, AlphaNdcgBounds) {
+  AlphaNdcg metric(&qrels_, 0.5);
+  for (const std::vector<DocId>& ranking :
+       {std::vector<DocId>{10, 11, 20, 30}, std::vector<DocId>{99, 98},
+        std::vector<DocId>{30, 20, 10, 11}}) {
+    double v = metric.Score(1, 2, ranking, 4);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST_F(DiversityMetricsTest, AlphaNdcgIrrelevantRankingIsZero) {
+  AlphaNdcg metric(&qrels_, 0.5);
+  EXPECT_DOUBLE_EQ(metric.Score(1, 2, {99, 98, 97}, 3), 0.0);
+}
+
+TEST_F(DiversityMetricsTest, AlphaNdcgUnjudgedTopicIsZero) {
+  AlphaNdcg metric(&qrels_, 0.5);
+  EXPECT_DOUBLE_EQ(metric.Score(42, 3, {10, 11}, 2), 0.0);
+}
+
+TEST_F(DiversityMetricsTest, IdealDcgGreedyPicksCoverageFirst) {
+  AlphaNdcg metric(&qrels_, 0.5);
+  // Greedy ideal first pick is doc 30 (gain 2); second-best adds the
+  // best remaining gain 1·(0.5)^1 + ... — verify the ideal at depth 1.
+  EXPECT_NEAR(metric.IdealDcg(1, 2, 1), 2.0, 1e-12);
+}
+
+// Property sweep: α-NDCG bounds and monotone redundancy penalty across
+// the α range.
+class AlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweepTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 0.99));
+
+TEST_P(AlphaSweepTest, ScoreBoundedAndIdealIsOne) {
+  corpus::Qrels qrels;
+  qrels.Add(1, 0, 10, 1);
+  qrels.Add(1, 0, 11, 1);
+  qrels.Add(1, 1, 20, 1);
+  AlphaNdcg metric(&qrels, GetParam());
+  for (const std::vector<DocId>& ranking :
+       {std::vector<DocId>{10, 20, 11}, std::vector<DocId>{11, 10, 20},
+        std::vector<DocId>{20, 99, 10}}) {
+    double v = metric.Score(1, 2, ranking, 3);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+  // The greedy-ideal ordering scores 1 against itself at depth 1.
+  EXPECT_NEAR(metric.IdealDcg(1, 2, 1),
+              metric.Dcg(1, 2, {10}, 1) > metric.Dcg(1, 2, {20}, 1)
+                  ? metric.Dcg(1, 2, {10}, 1)
+                  : metric.Dcg(1, 2, {20}, 1),
+              1e-9);
+}
+
+TEST_P(AlphaSweepTest, LargerAlphaPenalizesRedundancyMore) {
+  corpus::Qrels qrels;
+  qrels.Add(1, 0, 10, 1);
+  qrels.Add(1, 0, 11, 1);
+  qrels.Add(1, 1, 20, 1);
+  AlphaNdcg metric(&qrels, GetParam());
+  // Redundant ranking's *gain* at rank 2 is (1-α)^1; with larger α the
+  // redundant DCG falls relative to the diverse one.
+  double redundant = metric.Dcg(1, 2, {10, 11}, 2);
+  double diverse = metric.Dcg(1, 2, {10, 20}, 2);
+  EXPECT_NEAR(diverse - redundant,
+              GetParam() / std::log2(3.0), 1e-12);
+}
+
+// -------------------------------------------------------------------- IA-P
+
+TEST_F(DiversityMetricsTest, IaPrecisionHandComputed) {
+  IntentAwarePrecision metric(&qrels_);
+  // top-2 = {10, 20}: subtopic 0 precision 1/2, subtopic 1 precision 1/2.
+  EXPECT_NEAR(metric.ScoreUniform(1, 2, {10, 20}, 2), 0.5, 1e-12);
+  // top-2 = {10, 11}: subtopic 0 precision 1, subtopic 1 precision 0.
+  EXPECT_NEAR(metric.ScoreUniform(1, 2, {10, 11}, 2), 0.5, 1e-12);
+  // Doc relevant to both subtopics counts for each.
+  EXPECT_NEAR(metric.ScoreUniform(1, 2, {30}, 1), 1.0, 1e-12);
+}
+
+TEST_F(DiversityMetricsTest, IaPrecisionWeighted) {
+  IntentAwarePrecision metric(&qrels_);
+  // Weights 0.8/0.2; top-1 = {20} hits only subtopic 1.
+  EXPECT_NEAR(metric.Score(1, {0.8, 0.2}, {20}, 1), 0.2, 1e-12);
+  EXPECT_NEAR(metric.Score(1, {0.8, 0.2}, {10}, 1), 0.8, 1e-12);
+}
+
+TEST_F(DiversityMetricsTest, IaPrecisionDeepCutoffDividesByK) {
+  IntentAwarePrecision metric(&qrels_);
+  // k=10 with only one relevant hit for each subtopic in the ranking.
+  EXPECT_NEAR(metric.ScoreUniform(1, 2, {10, 20}, 10),
+              0.5 * (1.0 / 10.0) + 0.5 * (1.0 / 10.0), 1e-12);
+}
+
+TEST_F(DiversityMetricsTest, IaPrecisionEdgeCases) {
+  IntentAwarePrecision metric(&qrels_);
+  EXPECT_DOUBLE_EQ(metric.ScoreUniform(1, 0, {10}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(metric.ScoreUniform(1, 2, {}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(metric.ScoreUniform(1, 2, {10}, 0), 0.0);
+}
+
+// -------------------------------------------------------------------- NDCG
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  std::vector<int> pool{2, 1, 1, 0};
+  EXPECT_NEAR(Ndcg::Score({2, 1, 1}, pool, 3), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, ReversedRankingScoresBelowOne) {
+  std::vector<int> pool{2, 1, 0};
+  double v = Ndcg::Score({0, 1, 2}, pool, 3);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(NdcgTest, DcgHandComputed) {
+  // grades {2, 1}: (2^2-1)/log2(2) + (2^1-1)/log2(3) = 3 + 1/log2(3).
+  EXPECT_NEAR(Ndcg::Dcg({2, 1}, 2), 3.0 + 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(NdcgTest, NoRelevantPoolIsZero) {
+  EXPECT_DOUBLE_EQ(Ndcg::Score({0, 0}, {0, 0}, 2), 0.0);
+}
+
+// ---------------------------------------------------------------- Wilcoxon
+
+TEST(WilcoxonTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  WilcoxonResult r = WilcoxonSignedRank(x, x);
+  EXPECT_EQ(r.n, 0u);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_FALSE(r.Significant());
+}
+
+TEST(WilcoxonTest, RankSumsPartitionTotal) {
+  std::vector<double> x{1.0, 5.0, 3.0, 8.0, 2.0, 9.0};
+  std::vector<double> y{2.0, 3.0, 4.0, 4.0, 1.0, 9.5};
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  double total = static_cast<double>(r.n) * (r.n + 1) / 2.0;
+  EXPECT_NEAR(r.w_plus + r.w_minus, total, 1e-9);
+}
+
+TEST(WilcoxonTest, StrongConsistentShiftIsSignificant) {
+  // 10 pairs, all differences positive and distinct: the exact two-sided
+  // p-value is 2/2^10 ≈ 0.002.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 10; ++i) {
+    x.push_back(i + 10.0 + 0.1 * i);
+    y.push_back(static_cast<double>(i));
+  }
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_EQ(r.n, 10u);
+  EXPECT_NEAR(r.p_value, 2.0 / 1024.0, 1e-9);
+  EXPECT_TRUE(r.Significant(0.05));
+}
+
+TEST(WilcoxonTest, TinySampleNeverSignificant) {
+  // n = 3: the smallest attainable two-sided exact p is 0.25.
+  std::vector<double> x{2, 3, 4};
+  std::vector<double> y{1, 1, 1};
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_GE(r.p_value, 0.25 - 1e-12);
+  EXPECT_FALSE(r.Significant(0.05));
+}
+
+TEST(WilcoxonTest, MixedNoisyDifferencesNotSignificant) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  std::vector<double> y{1.5, 1.5, 3.5, 3.5, 5.5, 5.5};
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_FALSE(r.Significant(0.05));
+}
+
+TEST(WilcoxonTest, LargeSampleNormalApproximation) {
+  // 60 pairs with alternating small ± differences: p must be large.
+  std::vector<double> x, y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back(i);
+    y.push_back(i + ((i % 2 == 0) ? 0.5 : -0.5) * (1 + i % 3));
+  }
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_GT(r.p_value, 0.05);
+
+  // 60 pairs, all shifted by +1 (plus distinct noise): p must be tiny.
+  std::vector<double> x2, y2;
+  for (int i = 0; i < 60; ++i) {
+    x2.push_back(i + 1.0 + 0.001 * i);
+    y2.push_back(i);
+  }
+  WilcoxonResult r2 = WilcoxonSignedRank(x2, y2);
+  EXPECT_LT(r2.p_value, 0.001);
+}
+
+// ---------------------------------------------------- DiversityEvaluator
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus::TrecTopic t1;
+    t1.id = 1;
+    t1.query = "alpha";
+    t1.subtopics.resize(2);
+    t1.subtopics[0].probability = 0.7;
+    t1.subtopics[1].probability = 0.3;
+    topics_.Add(t1);
+    corpus::TrecTopic t2;
+    t2.id = 2;
+    t2.query = "beta";
+    t2.subtopics.resize(1);
+    t2.subtopics[0].probability = 1.0;
+    topics_.Add(t2);
+
+    qrels_.Add(1, 0, 10, 1);
+    qrels_.Add(1, 1, 20, 1);
+    qrels_.Add(2, 0, 30, 1);
+  }
+
+  corpus::TopicSet topics_;
+  corpus::Qrels qrels_;
+};
+
+TEST_F(EvaluatorTest, PerfectRunScoresOneAtCutoff) {
+  DiversityEvaluator::Options opt;
+  opt.cutoffs = {2};
+  DiversityEvaluator evaluator(&topics_, &qrels_, opt);
+  ::optselect::eval::Run run;
+  run.name = "perfect";
+  run.rankings[1] = {10, 20};
+  run.rankings[2] = {30};
+  MetricRow row = evaluator.Evaluate(run);
+  EXPECT_NEAR(row.alpha_ndcg[2], 1.0, 1e-12);
+}
+
+TEST_F(EvaluatorTest, MissingTopicScoresZero) {
+  DiversityEvaluator::Options opt;
+  opt.cutoffs = {2};
+  DiversityEvaluator evaluator(&topics_, &qrels_, opt);
+  ::optselect::eval::Run run;
+  run.name = "half";
+  run.rankings[1] = {10, 20};  // topic 2 missing
+  MetricRow row = evaluator.Evaluate(run);
+  EXPECT_NEAR(row.alpha_ndcg[2], 0.5, 1e-12);
+  auto per_topic = evaluator.PerTopicAlphaNdcg(run, 2);
+  ASSERT_EQ(per_topic.size(), 2u);
+  EXPECT_NEAR(per_topic[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(per_topic[1], 0.0);
+}
+
+TEST_F(EvaluatorTest, WeightedIntentOptionChangesIaP) {
+  DiversityEvaluator::Options uniform;
+  uniform.cutoffs = {1};
+  uniform.uniform_intent_weights = true;
+  DiversityEvaluator ev_u(&topics_, &qrels_, uniform);
+
+  DiversityEvaluator::Options weighted = uniform;
+  weighted.uniform_intent_weights = false;
+  DiversityEvaluator ev_w(&topics_, &qrels_, weighted);
+
+  ::optselect::eval::Run run;
+  run.name = "top1";
+  run.rankings[1] = {10};  // hits the 0.7-probability subtopic
+  run.rankings[2] = {30};
+
+  double u = ev_u.Evaluate(run).ia_precision[1];   // (0.5 + 1) / 2
+  double w = ev_w.Evaluate(run).ia_precision[1];   // (0.7 + 1) / 2
+  EXPECT_NEAR(u, 0.75, 1e-12);
+  EXPECT_NEAR(w, 0.85, 1e-12);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace optselect

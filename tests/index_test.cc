@@ -1,0 +1,413 @@
+// Unit tests for the index module: inverted index statistics, DPH scoring
+// properties, top-k search, snippet extraction.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/document_store.h"
+#include "corpus/synthetic_corpus.h"
+#include "index/dph_scorer.h"
+#include "index/inverted_index.h"
+#include "index/searcher.h"
+#include "index/snippet_extractor.h"
+#include "synth/topic_universe.h"
+#include "text/analyzer.h"
+
+namespace optselect {
+namespace index {
+namespace {
+
+class SmallIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.Add("u0", "leopard tank", "leopard tank armor battle leopard");
+    store_.Add("u1", "leopard cat", "leopard feline jungle cat");
+    store_.Add("u2", "walnut", "walnut tree orchard walnut walnut");
+    store_.Add("u3", "empty", "");
+    index_ = InvertedIndex::Build(store_, &analyzer_);
+  }
+
+  corpus::DocumentStore store_;
+  text::Analyzer analyzer_;
+  InvertedIndex index_;
+};
+
+// ------------------------------------------------------------ InvertedIndex
+
+TEST_F(SmallIndexTest, CollectionStats) {
+  EXPECT_EQ(index_.num_docs(), 4u);
+  EXPECT_GT(index_.num_terms(), 0u);
+  EXPECT_GT(index_.total_tokens(), 0u);
+  EXPECT_GT(index_.average_doc_length(), 0.0);
+  // Doc 3 is title-only ("empty" → one token, not a stopword).
+  EXPECT_EQ(index_.DocLength(3), 1u);
+}
+
+TEST_F(SmallIndexTest, PostingsSortedWithCorrectTf) {
+  text::TermId leopard = analyzer_.vocabulary().Lookup("leopard");
+  ASSERT_NE(leopard, text::kInvalidTermId);
+  const auto& plist = index_.Postings(leopard);
+  ASSERT_EQ(plist.size(), 2u);
+  EXPECT_EQ(plist[0].doc, 0u);
+  EXPECT_EQ(plist[0].tf, 3u);  // title + 2 body occurrences
+  EXPECT_EQ(plist[1].doc, 1u);
+  EXPECT_EQ(plist[1].tf, 2u);
+  EXPECT_TRUE(std::is_sorted(
+      plist.begin(), plist.end(),
+      [](const Posting& a, const Posting& b) { return a.doc < b.doc; }));
+}
+
+TEST_F(SmallIndexTest, FrequencyAccessors) {
+  text::TermId leopard = analyzer_.vocabulary().Lookup("leopard");
+  text::TermId walnut = analyzer_.vocabulary().Lookup("walnut");
+  EXPECT_EQ(index_.DocFrequency(leopard), 2u);
+  EXPECT_EQ(index_.CollectionFrequency(leopard), 5u);
+  EXPECT_EQ(index_.DocFrequency(walnut), 1u);
+  EXPECT_EQ(index_.CollectionFrequency(walnut), 4u);
+  EXPECT_EQ(index_.DocFrequency(999999), 0u);
+  EXPECT_TRUE(index_.Postings(999999).empty());
+}
+
+// -------------------------------------------------------------- DphScorer
+
+TEST_F(SmallIndexTest, DphPositiveForMatch) {
+  text::TermId leopard = analyzer_.vocabulary().Lookup("leopard");
+  DphScorer scorer(&index_);
+  for (const Posting& p : index_.Postings(leopard)) {
+    EXPECT_GT(scorer.Score(p, leopard), 0.0);
+  }
+}
+
+TEST_F(SmallIndexTest, DphZeroForZeroTf) {
+  DphScorer scorer(&index_);
+  text::TermId leopard = analyzer_.vocabulary().Lookup("leopard");
+  EXPECT_DOUBLE_EQ(scorer.Score(Posting{0, 0}, leopard), 0.0);
+}
+
+TEST_F(SmallIndexTest, DphScalesWithQueryTermWeight) {
+  DphScorer scorer(&index_);
+  text::TermId leopard = analyzer_.vocabulary().Lookup("leopard");
+  Posting p = index_.Postings(leopard)[0];
+  EXPECT_NEAR(scorer.Score(p, leopard, 2.0), 2.0 * scorer.Score(p, leopard),
+              1e-12);
+}
+
+TEST(DphPropertyTest, HandComputedValueRegression) {
+  // Frozen regression value for the DPH formula on a tiny collection:
+  // two docs, the scored term appears tf=2 in a doc of length 4; the
+  // other doc has length 4 as well; N=2, TF=2, avgl=4.
+  corpus::DocumentStore store;
+  store.Add("u0", "t0", "apple apple pear plum");
+  store.Add("u1", "t1", "grape melon fig date");
+  text::Analyzer analyzer;
+  InvertedIndex index = InvertedIndex::Build(store, &analyzer);
+  ASSERT_EQ(index.num_docs(), 2u);
+  ASSERT_DOUBLE_EQ(index.average_doc_length(), 5.0);  // + title tokens
+
+  text::TermId apple = analyzer.vocabulary().Lookup("appl");
+  ASSERT_NE(apple, text::kInvalidTermId);
+  const Posting& p = index.Postings(apple)[0];
+  ASSERT_EQ(p.tf, 2u);
+  double l = index.DocLength(p.doc);
+  double f = 2.0 / l;
+  double norm = (1.0 - f) * (1.0 - f) / 3.0;
+  double expected =
+      norm * (2.0 * std::log2((2.0 * 5.0 / l) * (2.0 / 2.0)) +
+              0.5 * std::log2(2.0 * M_PI * 2.0 * (1.0 - f)));
+  DphScorer scorer(&index);
+  EXPECT_NEAR(scorer.Score(p, apple), expected, 1e-12);
+}
+
+TEST(DphPropertyTest, RarerTermsScoreHigher) {
+  // Build a synthetic collection where "rare" appears in 1 doc and
+  // "common" in many, same tf and doc length.
+  corpus::DocumentStore store;
+  store.Add("u", "t", "rare common filler1 filler2");
+  for (int i = 0; i < 20; ++i) {
+    store.Add("u", "t", "common fillerx fillery fillerz");
+  }
+  text::Analyzer analyzer;
+  InvertedIndex index = InvertedIndex::Build(store, &analyzer);
+  DphScorer scorer(&index);
+
+  text::TermId rare = analyzer.vocabulary().Lookup("rare");
+  text::TermId common = analyzer.vocabulary().Lookup("common");
+  const Posting& rare_p = index.Postings(rare)[0];
+  const Posting& common_p = index.Postings(common)[0];
+  ASSERT_EQ(rare_p.doc, common_p.doc);  // same document, same length
+  EXPECT_GT(scorer.Score(rare_p, rare), scorer.Score(common_p, common));
+}
+
+// ---------------------------------------------------------------- Searcher
+
+TEST_F(SmallIndexTest, SearchReturnsExactlyTheMatchingDocs) {
+  Searcher searcher(&index_, &analyzer_);
+  ResultList results = searcher.Search("leopard", 10);
+  ASSERT_EQ(results.size(), 2u);
+  std::set<DocId> docs{results[0].doc, results[1].doc};
+  EXPECT_EQ(docs, (std::set<DocId>{0u, 1u}));
+  EXPECT_GE(results[0].score, results[1].score);
+}
+
+TEST(SearchTfRankingTest, HigherTfWinsAtEqualLength) {
+  // DPH normalizes by document length; with equal lengths the document
+  // with more query-term occurrences must rank first.
+  corpus::DocumentStore store;
+  store.Add("uA", "docA",
+            "leopard leopard leopard filler1 filler2 filler3 filler4");
+  store.Add("uB", "docB",
+            "leopard filler5 filler6 filler7 filler8 filler9 fillera");
+  text::Analyzer analyzer;
+  InvertedIndex index = InvertedIndex::Build(store, &analyzer);
+  Searcher searcher(&index, &analyzer);
+  ResultList results = searcher.Search("leopard", 10);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].doc, 0u);
+  EXPECT_GT(results[0].score, results[1].score);
+}
+
+TEST_F(SmallIndexTest, SearchRespectsK) {
+  Searcher searcher(&index_, &analyzer_);
+  EXPECT_EQ(searcher.Search("leopard", 1).size(), 1u);
+  EXPECT_TRUE(searcher.Search("leopard", 0).empty());
+}
+
+TEST_F(SmallIndexTest, MultiTermQueryFavorsDocsMatchingBoth) {
+  Searcher searcher(&index_, &analyzer_);
+  ResultList results = searcher.Search("leopard tank", 10);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc, 0u);  // only doc with both terms
+}
+
+TEST_F(SmallIndexTest, UnknownQueryYieldsNothing) {
+  Searcher searcher(&index_, &analyzer_);
+  EXPECT_TRUE(searcher.Search("zzzqqq", 10).empty());
+  EXPECT_TRUE(searcher.Search("", 10).empty());
+}
+
+TEST_F(SmallIndexTest, ScoresSortedDescending) {
+  Searcher searcher(&index_, &analyzer_);
+  ResultList results = searcher.Search("leopard walnut cat", 10);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST(SearcherDeterminismTest, RepeatedSearchesIdentical) {
+  synth::TopicUniverseConfig ucfg;
+  ucfg.num_topics = 4;
+  auto universe = synth::GenerateTopicUniverse(ucfg, 0);
+  corpus::SyntheticCorpusConfig ccfg;
+  ccfg.docs_per_intent = 8;
+  ccfg.background_docs = 200;
+  auto corpus = corpus::GenerateSyntheticCorpus(ccfg, universe.topics);
+  text::Analyzer analyzer;
+  InvertedIndex index = InvertedIndex::Build(corpus.store, &analyzer);
+  Searcher searcher(&index, &analyzer);
+
+  const std::string query = universe.topics[0].root_query;
+  ResultList a = searcher.Search(query, 50);
+  ResultList b = searcher.Search(query, 50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(SearcherRetrievalQualityTest, PlantedDocsRankAboveBackground) {
+  synth::TopicUniverseConfig ucfg;
+  ucfg.num_topics = 3;
+  auto universe = synth::GenerateTopicUniverse(ucfg, 0);
+  corpus::SyntheticCorpusConfig ccfg;
+  ccfg.docs_per_intent = 10;
+  ccfg.background_docs = 500;
+  auto corpus = corpus::GenerateSyntheticCorpus(ccfg, universe.topics);
+  text::Analyzer analyzer;
+  InvertedIndex index = InvertedIndex::Build(corpus.store, &analyzer);
+  Searcher searcher(&index, &analyzer);
+
+  // Searching a specialization query should surface its planted cluster.
+  const auto& topic = corpus.topics.topic(0);
+  const std::string& sub_query = topic.subtopics[0].query;
+  ResultList results = searcher.Search(sub_query, 10);
+  ASSERT_FALSE(results.empty());
+  size_t relevant_in_top = 0;
+  for (const SearchResult& hit : results) {
+    if (corpus.qrels.Relevant(topic.id, 0, hit.doc)) ++relevant_in_top;
+  }
+  EXPECT_GE(relevant_in_top, results.size() / 2)
+      << "planted cluster should dominate its own specialization query";
+}
+
+// ------------------------------------------------- Conjunctive retrieval
+
+TEST_F(SmallIndexTest, ConjunctiveRequiresAllTerms) {
+  Searcher searcher(&index_, &analyzer_);
+  // "leopard tank": only doc 0 contains both.
+  ResultList results = searcher.SearchConjunctive("leopard tank", 10);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc, 0u);
+  // Disjunctive over the same query returns both leopard docs.
+  EXPECT_EQ(searcher.Search("leopard tank", 10).size(), 2u);
+}
+
+TEST_F(SmallIndexTest, ConjunctiveEmptyIntersectionIsEmpty) {
+  Searcher searcher(&index_, &analyzer_);
+  // "leopard" and "walnut" occur in disjoint documents.
+  EXPECT_TRUE(searcher.SearchConjunctive("leopard walnut", 10).empty());
+  EXPECT_TRUE(searcher.SearchConjunctive("", 10).empty());
+  // Unknown terms are dropped by read-only analysis (consistent with the
+  // disjunctive path), so the remaining terms still match.
+  EXPECT_FALSE(
+      searcher.SearchConjunctive("leopard unicornxyz", 10).empty());
+}
+
+TEST_F(SmallIndexTest, ConjunctiveSingleTermEqualsDisjunctive) {
+  Searcher searcher(&index_, &analyzer_);
+  ResultList conj = searcher.SearchConjunctive("leopard", 10);
+  ResultList disj = searcher.Search("leopard", 10);
+  ASSERT_EQ(conj.size(), disj.size());
+  for (size_t i = 0; i < conj.size(); ++i) {
+    EXPECT_EQ(conj[i].doc, disj[i].doc);
+    EXPECT_DOUBLE_EQ(conj[i].score, disj[i].score);
+  }
+}
+
+TEST_F(SmallIndexTest, ConjunctiveScoresSumBothTerms) {
+  Searcher searcher(&index_, &analyzer_);
+  ResultList conj = searcher.SearchConjunctive("leopard tank", 10);
+  ResultList root_only = searcher.Search("leopard", 10);
+  ASSERT_FALSE(conj.empty());
+  // Conjunctive score (both terms) exceeds the single-term score of the
+  // same document.
+  double root_score = 0;
+  for (const SearchResult& r : root_only) {
+    if (r.doc == conj[0].doc) root_score = r.score;
+  }
+  EXPECT_GT(conj[0].score, root_score);
+}
+
+TEST(ConjunctivePropertyTest, SubsetOfDisjunctiveMatches) {
+  synth::TopicUniverseConfig ucfg;
+  ucfg.num_topics = 5;
+  auto universe = synth::GenerateTopicUniverse(ucfg, 0);
+  corpus::SyntheticCorpusConfig ccfg;
+  ccfg.docs_per_intent = 10;
+  ccfg.background_docs = 300;
+  auto corpus = corpus::GenerateSyntheticCorpus(ccfg, universe.topics);
+  text::Analyzer analyzer;
+  InvertedIndex index = InvertedIndex::Build(corpus.store, &analyzer);
+  Searcher searcher(&index, &analyzer);
+
+  for (const auto& topic : universe.topics) {
+    for (const auto& intent : topic.intents) {
+      ResultList conj =
+          searcher.SearchConjunctive(intent.query, 1000);
+      ResultList disj = searcher.Search(intent.query, 100000);
+      std::set<DocId> disj_docs;
+      for (const SearchResult& r : disj) disj_docs.insert(r.doc);
+      std::vector<text::TermId> terms =
+          analyzer.AnalyzeReadOnly(intent.query);
+      for (const SearchResult& r : conj) {
+        EXPECT_TRUE(disj_docs.count(r.doc));
+        // Every conjunctive hit contains every query term.
+        for (text::TermId t : terms) {
+          bool found = false;
+          for (const Posting& p : index.Postings(t)) {
+            if (p.doc == r.doc) {
+              found = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(found) << "doc " << r.doc << " misses a term";
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- SnippetExtractor
+
+TEST_F(SmallIndexTest, SnippetContainsQueryNeighborhood) {
+  SnippetExtractor extractor(&analyzer_);
+  std::vector<text::TermId> q = analyzer_.AnalyzeReadOnly("battle");
+  std::string snippet = extractor.Extract(store_.Get(0), q);
+  EXPECT_NE(snippet.find("battle"), std::string::npos);
+  // Title always included.
+  EXPECT_NE(snippet.find("leopard tank"), std::string::npos);
+}
+
+TEST_F(SmallIndexTest, SnippetOfEmptyBodyIsTitle) {
+  SnippetExtractor extractor(&analyzer_);
+  std::vector<text::TermId> q = analyzer_.AnalyzeReadOnly("empty");
+  EXPECT_EQ(extractor.Extract(store_.Get(3), q), "empty");
+}
+
+TEST(SnippetWindowTest, PicksDensestWindow) {
+  corpus::DocumentStore store;
+  // Query terms clustered at the far end of a long body.
+  std::string body;
+  for (int i = 0; i < 200; ++i) body += "filler ";
+  body += "target target target nearby";
+  store.Add("u", "doc", body);
+  text::Analyzer analyzer;
+  InvertedIndex index = InvertedIndex::Build(store, &analyzer);
+
+  SnippetExtractor::Options opt;
+  opt.window_tokens = 4;
+  SnippetExtractor extractor(&analyzer, opt);
+  std::vector<text::TermId> q = analyzer.AnalyzeReadOnly("target nearby");
+  std::string snippet = extractor.Extract(store.Get(0), q);
+  EXPECT_NE(snippet.find("target"), std::string::npos);
+  EXPECT_NE(snippet.find("nearby"), std::string::npos);
+  // The densest 4-token window is exactly the query-term run at the end.
+  EXPECT_EQ(snippet.find("filler"), std::string::npos);
+}
+
+TEST_F(SmallIndexTest, ExtractVectorMatchesSnippetTerms) {
+  SnippetExtractor extractor(&analyzer_);
+  std::vector<text::TermId> q = analyzer_.AnalyzeReadOnly("leopard");
+  text::TermVector v = extractor.ExtractVector(store_.Get(0), q);
+  EXPECT_FALSE(v.empty());
+  text::TermId leopard = analyzer_.vocabulary().Lookup("leopard");
+  EXPECT_GT(v.WeightOf(leopard), 0.0);
+}
+
+TEST_F(SmallIndexTest, IdfWeightedVectorsDemoteCommonTerms) {
+  // "leopard" appears in two docs, "armor" in one: with idf weighting the
+  // rarer term must carry more weight per occurrence.
+  SnippetExtractor raw(&analyzer_);
+  SnippetExtractor weighted(&analyzer_, &index_);
+  std::vector<text::TermId> q = analyzer_.AnalyzeReadOnly("leopard armor");
+  text::TermVector v = weighted.ExtractVector(store_.Get(0), q);
+  text::TermId leopard = analyzer_.vocabulary().Lookup("leopard");
+  text::TermId armor = analyzer_.vocabulary().Lookup("armor");
+  // Raw tf: leopard 3, armor 1. idf flips the per-occurrence weight.
+  text::TermVector r = raw.ExtractVector(store_.Get(0), q);
+  double raw_ratio = r.WeightOf(leopard) / r.WeightOf(armor);
+  double weighted_ratio = v.WeightOf(leopard) / v.WeightOf(armor);
+  EXPECT_LT(weighted_ratio, raw_ratio);
+}
+
+TEST_F(SmallIndexTest, IdfWeightingReducesCrossTopicSimilarity) {
+  // Docs 0 and 1 share only "leopard" (a common term); idf weighting
+  // must shrink their cosine relative to raw tf vectors.
+  SnippetExtractor raw(&analyzer_);
+  SnippetExtractor weighted(&analyzer_, &index_);
+  std::vector<text::TermId> q = analyzer_.AnalyzeReadOnly("leopard");
+  double raw_cos = raw.ExtractVector(store_.Get(0), q)
+                       .Cosine(raw.ExtractVector(store_.Get(1), q));
+  double wtd_cos = weighted.ExtractVector(store_.Get(0), q)
+                       .Cosine(weighted.ExtractVector(store_.Get(1), q));
+  EXPECT_LT(wtd_cos, raw_cos);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace optselect

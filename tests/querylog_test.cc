@@ -1,0 +1,360 @@
+// Unit tests for the querylog module: log container + TSV round trip,
+// synthetic generation, query-flow graph, session segmentation.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "querylog/popularity.h"
+#include "querylog/query_flow_graph.h"
+#include "querylog/query_log.h"
+#include "querylog/session_segmenter.h"
+#include "querylog/synthetic_log.h"
+#include "synth/topic_universe.h"
+
+namespace optselect {
+namespace querylog {
+namespace {
+
+QueryRecord MakeRecord(const std::string& q, UserId user, int64_t ts,
+                       std::vector<DocUrlId> results = {},
+                       std::vector<DocUrlId> clicks = {}) {
+  QueryRecord r;
+  r.query = q;
+  r.user = user;
+  r.timestamp = ts;
+  r.results = std::move(results);
+  r.clicks = std::move(clicks);
+  return r;
+}
+
+// ---------------------------------------------------------------- QueryLog
+
+TEST(QueryLogTest, AddAndAccess) {
+  QueryLog log;
+  log.Add(MakeRecord("apple", 1, 100));
+  log.Add(MakeRecord("apple ipod", 1, 130));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.record(0).query, "apple");
+  EXPECT_EQ(log.record(1).timestamp, 130);
+}
+
+TEST(QueryLogTest, UserStreamsSortedByTime) {
+  QueryLog log;
+  log.Add(MakeRecord("c", 2, 300));
+  log.Add(MakeRecord("a", 1, 200));
+  log.Add(MakeRecord("b", 1, 100));
+  auto streams = log.UserStreams();
+  ASSERT_EQ(streams.size(), 2u);
+  // User 1 stream is time-ordered: "b" then "a".
+  EXPECT_EQ(log.record(streams[0][0]).query, "b");
+  EXPECT_EQ(log.record(streams[0][1]).query, "a");
+  EXPECT_EQ(log.record(streams[1][0]).query, "c");
+}
+
+TEST(QueryLogTest, TsvRoundTrip) {
+  QueryLog log;
+  log.Add(MakeRecord("leopard", 7, 1000, {1, 2, 3}, {2}));
+  log.Add(MakeRecord("leopard tank", 7, 1060, {4, 5}, {}));
+  std::string path = ::testing::TempDir() + "/qlog_roundtrip.tsv";
+  ASSERT_TRUE(log.SaveTsv(path).ok());
+
+  auto loaded = QueryLog::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const QueryLog& l = loaded.value();
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.record(0).query, "leopard");
+  EXPECT_EQ(l.record(0).user, 7u);
+  EXPECT_EQ(l.record(0).results, (std::vector<DocUrlId>{1, 2, 3}));
+  EXPECT_EQ(l.record(0).clicks, (std::vector<DocUrlId>{2}));
+  EXPECT_EQ(l.record(1).results, (std::vector<DocUrlId>{4, 5}));
+  EXPECT_TRUE(l.record(1).clicks.empty());
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, LoadMissingFileFails) {
+  auto r = QueryLog::LoadTsv("/nonexistent/path/x.tsv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(QueryLogTest, LoadCorruptLineFails) {
+  std::string path = ::testing::TempDir() + "/qlog_corrupt.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("only\ttwo\n", f);
+  fclose(f);
+  auto r = QueryLog::LoadTsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, SplitChronologicalFraction) {
+  QueryLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.Add(MakeRecord("q" + std::to_string(i), 1, 100 * i));
+  }
+  QueryLog train, test;
+  log.SplitChronological(0.7, &train, &test);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+  // Every train timestamp precedes every test timestamp.
+  int64_t max_train = 0;
+  for (const auto& r : train.records()) {
+    max_train = std::max(max_train, r.timestamp);
+  }
+  for (const auto& r : test.records()) EXPECT_GT(r.timestamp, max_train);
+}
+
+// -------------------------------------------------------------- Popularity
+
+TEST(PopularityTest, CountsFrequencies) {
+  QueryLog log;
+  log.Add(MakeRecord("a", 1, 1));
+  log.Add(MakeRecord("a", 2, 2));
+  log.Add(MakeRecord("b", 1, 3));
+  PopularityMap pop(log);
+  EXPECT_EQ(pop.Frequency("a"), 2u);
+  EXPECT_EQ(pop.Frequency("b"), 1u);
+  EXPECT_EQ(pop.Frequency("zzz"), 0u);
+  EXPECT_EQ(pop.distinct(), 2u);
+  EXPECT_EQ(pop.total(), 3u);
+}
+
+// ------------------------------------------------------------ SyntheticLog
+
+class SyntheticLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    synth::TopicUniverseConfig ucfg;
+    ucfg.num_topics = 6;
+    universe_ = synth::GenerateTopicUniverse(ucfg, 50);
+    SyntheticLogConfig cfg;
+    cfg.num_users = 100;
+    cfg.num_sessions = 4000;
+    SyntheticLogGenerator gen(cfg);
+    result_ = gen.Generate(universe_.topics, universe_.noise_queries);
+  }
+
+  synth::TopicUniverse universe_;
+  SyntheticLogResult result_;
+};
+
+TEST_F(SyntheticLogTest, EmitsRecords) {
+  EXPECT_GT(result_.log.size(), 4000u * 0.9);
+  EXPECT_EQ(result_.record_topic.size(), result_.log.size());
+}
+
+TEST_F(SyntheticLogTest, DeterministicForSeed) {
+  SyntheticLogConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_sessions = 4000;
+  SyntheticLogGenerator gen(cfg);
+  SyntheticLogResult again =
+      gen.Generate(universe_.topics, universe_.noise_queries);
+  ASSERT_EQ(again.log.size(), result_.log.size());
+  for (size_t i = 0; i < again.log.size(); ++i) {
+    EXPECT_EQ(again.log.record(i).query, result_.log.record(i).query);
+    EXPECT_EQ(again.log.record(i).timestamp,
+              result_.log.record(i).timestamp);
+  }
+}
+
+TEST_F(SyntheticLogTest, RootQueriesAppear) {
+  PopularityMap pop(result_.log);
+  for (const synth::TopicSpec& t : universe_.topics) {
+    EXPECT_GT(pop.Frequency(t.root_query), 0u)
+        << "missing root " << t.root_query;
+  }
+}
+
+TEST_F(SyntheticLogTest, SpecializationFrequenciesTrackProbabilities) {
+  PopularityMap pop(result_.log);
+  // For the most popular topic, the most probable specialization must be
+  // observed at least as often as the least probable one.
+  const synth::TopicSpec& t = universe_.topics[0];
+  uint64_t first = pop.Frequency(t.intents.front().query);
+  uint64_t last = pop.Frequency(t.intents.back().query);
+  EXPECT_GE(first, last);
+}
+
+TEST_F(SyntheticLogTest, RefinementEventsCounted) {
+  EXPECT_GT(result_.refinement_events, 0u);
+  EXPECT_LT(result_.refinement_events, result_.log.size());
+}
+
+TEST_F(SyntheticLogTest, ResultsAndClicksWellFormed) {
+  for (const QueryRecord& r : result_.log.records()) {
+    EXPECT_EQ(r.results.size(), 10u);
+    std::set<DocUrlId> rs(r.results.begin(), r.results.end());
+    for (DocUrlId c : r.clicks) {
+      EXPECT_TRUE(rs.count(c)) << "click outside result set";
+    }
+  }
+}
+
+TEST_F(SyntheticLogTest, PresetsDiffer) {
+  SyntheticLogConfig aol = AolLikeConfig();
+  SyntheticLogConfig msn = MsnLikeConfig();
+  EXPECT_NE(aol.start_timestamp, msn.start_timestamp);
+  EXPECT_NE(aol.refinement_probability, msn.refinement_probability);
+}
+
+// ---------------------------------------------------------- QueryFlowGraph
+
+class FlowGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two users, clear refinement chains.
+    log_.Add(MakeRecord("leopard", 1, 100));
+    log_.Add(MakeRecord("leopard tank", 1, 160));
+    log_.Add(MakeRecord("leopard", 2, 500));
+    log_.Add(MakeRecord("leopard tank", 2, 560));
+    log_.Add(MakeRecord("leopard", 3, 900));
+    log_.Add(MakeRecord("leopard pictures", 3, 930));
+    // A gap larger than the window: no edge.
+    log_.Add(MakeRecord("walnut", 4, 1000));
+    log_.Add(MakeRecord("leopard", 4, 1000 + 7200));
+    graph_ = QueryFlowGraph::Build(log_, QueryFlowGraph::Options{});
+  }
+
+  QueryLog log_;
+  QueryFlowGraph graph_;
+};
+
+TEST_F(FlowGraphTest, NodesForAllQueries) {
+  EXPECT_NE(graph_.NodeOf("leopard"), kInvalidQueryNode);
+  EXPECT_NE(graph_.NodeOf("leopard tank"), kInvalidQueryNode);
+  EXPECT_NE(graph_.NodeOf("walnut"), kInvalidQueryNode);
+  EXPECT_EQ(graph_.NodeOf("ghost"), kInvalidQueryNode);
+}
+
+TEST_F(FlowGraphTest, ObservedTransitionHasPositiveProbability) {
+  EXPECT_GT(graph_.ChainingProbability("leopard", "leopard tank"), 0.0);
+  EXPECT_GT(graph_.ChainingProbability("leopard", "leopard pictures"), 0.0);
+}
+
+TEST_F(FlowGraphTest, FrequentTransitionBeatsRareOne) {
+  // "leopard → leopard tank" seen twice, "→ leopard pictures" once.
+  EXPECT_GT(graph_.ChainingProbability("leopard", "leopard tank"),
+            graph_.ChainingProbability("leopard", "leopard pictures"));
+}
+
+TEST_F(FlowGraphTest, NoEdgeAcrossLongGap) {
+  EXPECT_DOUBLE_EQ(graph_.ChainingProbability("walnut", "leopard"), 0.0);
+}
+
+TEST_F(FlowGraphTest, UnknownQueriesHaveZeroProbability) {
+  EXPECT_DOUBLE_EQ(graph_.ChainingProbability("ghost", "leopard"), 0.0);
+  EXPECT_DOUBLE_EQ(graph_.ChainingProbability("leopard", "ghost"), 0.0);
+}
+
+TEST_F(FlowGraphTest, TerminationProbabilityBounds) {
+  // "leopard tank" always ends its stream → termination 1.
+  EXPECT_DOUBLE_EQ(graph_.TerminationProbability("leopard tank"), 1.0);
+  // Unknown queries terminate trivially.
+  EXPECT_DOUBLE_EQ(graph_.TerminationProbability("ghost"), 1.0);
+  double t = graph_.TerminationProbability("leopard");
+  EXPECT_GE(t, 0.0);
+  EXPECT_LE(t, 1.0);
+}
+
+TEST_F(FlowGraphTest, LexicalAffinityJaccard) {
+  EXPECT_DOUBLE_EQ(QueryFlowGraph::LexicalAffinity("a b", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(QueryFlowGraph::LexicalAffinity("a", "b"), 0.0);
+  EXPECT_NEAR(QueryFlowGraph::LexicalAffinity("leopard", "leopard tank"),
+              0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(QueryFlowGraph::LexicalAffinity("", "x"), 0.0);
+}
+
+TEST_F(FlowGraphTest, EdgeCountsAggregated) {
+  QueryNodeId u = graph_.NodeOf("leopard");
+  ASSERT_NE(u, kInvalidQueryNode);
+  uint32_t tank_count = 0;
+  for (const auto& e : graph_.OutEdges(u)) {
+    if (graph_.QueryOf(e.to) == "leopard tank") tank_count = e.count;
+  }
+  EXPECT_EQ(tank_count, 2u);
+}
+
+// -------------------------------------------------------- SessionSegmenter
+
+TEST(SessionSegmenterTest, TimeGapSplits) {
+  QueryLog log;
+  log.Add(MakeRecord("a", 1, 0));
+  log.Add(MakeRecord("b", 1, 100));
+  log.Add(MakeRecord("c", 1, 100 + 4000));  // > 1800s gap
+  SessionSegmenter seg;
+  auto sessions = seg.Segment(log, nullptr);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].record_indices.size(), 2u);
+  EXPECT_EQ(sessions[1].record_indices.size(), 1u);
+}
+
+TEST(SessionSegmenterTest, QfgCutsUnrelatedTransition) {
+  QueryLog log;
+  // Build a log where "apple → walnut" is a one-off unrelated jump while
+  // "apple → apple pie" is frequent.
+  for (UserId u = 1; u <= 20; ++u) {
+    log.Add(MakeRecord("apple", u, 100 * u));
+    log.Add(MakeRecord("apple pie", u, 100 * u + 30));
+  }
+  log.Add(MakeRecord("apple", 99, 50000));
+  log.Add(MakeRecord("walnut", 99, 50030));
+
+  QueryFlowGraph graph = QueryFlowGraph::Build(log, {});
+  SessionSegmenter::Options opt;
+  opt.min_chain_probability = 0.05;
+  SessionSegmenter seg(opt);
+  auto sessions = seg.Segment(log, &graph);
+
+  // User 99's stream must be split (apple | walnut), users 1..20 not.
+  size_t user99_sessions = 0;
+  for (const Session& s : sessions) {
+    if (s.user == 99) ++user99_sessions;
+    if (s.user >= 1 && s.user <= 20) {
+      EXPECT_EQ(s.record_indices.size(), 2u);
+    }
+  }
+  EXPECT_EQ(user99_sessions, 2u);
+}
+
+TEST(SessionSegmenterTest, SessionsPartitionTheLog) {
+  synth::TopicUniverseConfig ucfg;
+  ucfg.num_topics = 4;
+  auto universe = synth::GenerateTopicUniverse(ucfg, 30);
+  SyntheticLogConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_sessions = 1000;
+  auto result =
+      SyntheticLogGenerator(cfg).Generate(universe.topics,
+                                          universe.noise_queries);
+  QueryFlowGraph graph = QueryFlowGraph::Build(result.log, {});
+  auto sessions = SessionSegmenter().Segment(result.log, &graph);
+
+  std::set<size_t> covered;
+  for (const Session& s : sessions) {
+    EXPECT_FALSE(s.record_indices.empty());
+    for (size_t idx : s.record_indices) {
+      EXPECT_TRUE(covered.insert(idx).second) << "index in two sessions";
+      EXPECT_EQ(result.log.record(idx).user, s.user);
+    }
+  }
+  EXPECT_EQ(covered.size(), result.log.size());
+}
+
+TEST(SessionSegmenterTest, EmptyLog) {
+  QueryLog log;
+  auto sessions = SessionSegmenter().Segment(log, nullptr);
+  EXPECT_TRUE(sessions.empty());
+}
+
+}  // namespace
+}  // namespace querylog
+}  // namespace optselect

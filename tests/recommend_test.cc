@@ -1,0 +1,335 @@
+// Unit tests for the recommend module: the Search-Shortcuts-style
+// recommender and Algorithm 1 (AmbiguousQueryDetect).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "querylog/query_flow_graph.h"
+#include "querylog/session_segmenter.h"
+#include "querylog/synthetic_log.h"
+#include "recommend/ambiguity_detector.h"
+#include "recommend/shortcuts_recommender.h"
+#include "recommend/superstring_recommender.h"
+#include "synth/topic_universe.h"
+
+namespace optselect {
+namespace recommend {
+namespace {
+
+querylog::QueryRecord MakeRecord(const std::string& q, querylog::UserId user,
+                                 int64_t ts) {
+  querylog::QueryRecord r;
+  r.query = q;
+  r.user = user;
+  r.timestamp = ts;
+  return r;
+}
+
+// Builds a tiny hand-crafted log: "leopard" refined into "leopard tank"
+// (8 users), "leopard pictures" (4 users), and a one-off "walnut" jump.
+querylog::QueryLog HandLog() {
+  querylog::QueryLog log;
+  int64_t ts = 0;
+  querylog::UserId user = 1;
+  for (int i = 0; i < 8; ++i) {
+    log.Add(MakeRecord("leopard", user, ts));
+    log.Add(MakeRecord("leopard tank", user, ts + 30));
+    ++user;
+    ts += 10000;
+  }
+  for (int i = 0; i < 4; ++i) {
+    log.Add(MakeRecord("leopard", user, ts));
+    log.Add(MakeRecord("leopard pictures", user, ts + 30));
+    ++user;
+    ts += 10000;
+  }
+  log.Add(MakeRecord("leopard", user, ts));
+  log.Add(MakeRecord("walnut", user, ts + 30));
+  return log;
+}
+
+class RecommenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log_ = HandLog();
+    graph_ = querylog::QueryFlowGraph::Build(log_, {});
+    sessions_ = querylog::SessionSegmenter().Segment(log_, nullptr);
+    recommender_.Train(log_, sessions_);
+  }
+
+  querylog::QueryLog log_;
+  querylog::QueryFlowGraph graph_;
+  std::vector<querylog::Session> sessions_;
+  ShortcutsRecommender recommender_;
+};
+
+TEST_F(RecommenderTest, RecommendsObservedFollowers) {
+  auto suggestions = recommender_.Recommend("leopard", 10);
+  ASSERT_GE(suggestions.size(), 2u);
+  std::vector<std::string> queries;
+  for (const auto& s : suggestions) queries.push_back(s.query);
+  EXPECT_NE(std::find(queries.begin(), queries.end(), "leopard tank"),
+            queries.end());
+  EXPECT_NE(std::find(queries.begin(), queries.end(), "leopard pictures"),
+            queries.end());
+}
+
+TEST_F(RecommenderTest, MoreFrequentFollowerScoresHigher) {
+  auto suggestions = recommender_.Recommend("leopard", 10);
+  ASSERT_GE(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].query, "leopard tank");
+  EXPECT_GT(suggestions[0].score, suggestions[1].score);
+}
+
+TEST_F(RecommenderTest, MinSupportFiltersOneOffs) {
+  // "walnut" followed "leopard" once; default min_pair_support = 2.
+  for (const auto& s : recommender_.Recommend("leopard", 50)) {
+    EXPECT_NE(s.query, "walnut");
+  }
+}
+
+TEST_F(RecommenderTest, UnknownQueryYieldsNothing) {
+  EXPECT_TRUE(recommender_.Recommend("ghost", 10).empty());
+}
+
+TEST_F(RecommenderTest, MaxSuggestionsRespected) {
+  EXPECT_LE(recommender_.Recommend("leopard", 1).size(), 1u);
+  EXPECT_TRUE(recommender_.Recommend("leopard", 0).empty());
+}
+
+TEST_F(RecommenderTest, FrequencyTracksLog) {
+  EXPECT_EQ(recommender_.Frequency("leopard"), 13u);
+  EXPECT_EQ(recommender_.Frequency("leopard tank"), 8u);
+  EXPECT_EQ(recommender_.Frequency("nothing"), 0u);
+}
+
+// ----------------------------------------------------------- IsTermSuperset
+
+TEST(TermSupersetTest, Basic) {
+  EXPECT_TRUE(IsTermSuperset("leopard tank", "leopard"));
+  EXPECT_TRUE(IsTermSuperset("big leopard tank", "leopard tank"));
+  EXPECT_FALSE(IsTermSuperset("leopard", "leopard tank"));
+  EXPECT_FALSE(IsTermSuperset("walnut", "leopard"));
+  EXPECT_TRUE(IsTermSuperset("anything", ""));
+}
+
+// -------------------------------------------------------- AmbiguityDetector
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log_ = HandLog();
+    sessions_ = querylog::SessionSegmenter().Segment(log_, nullptr);
+    recommender_.Train(log_, sessions_);
+  }
+
+  querylog::QueryLog log_;
+  std::vector<querylog::Session> sessions_;
+  ShortcutsRecommender recommender_;
+};
+
+TEST_F(DetectorTest, DetectsPlantedAmbiguity) {
+  AmbiguityDetector detector(&recommender_);
+  SpecializationSet set = detector.Detect("leopard");
+  ASSERT_TRUE(set.ambiguous());
+  EXPECT_EQ(set.root_query, "leopard");
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.items[0].query, "leopard tank");
+  EXPECT_EQ(set.items[1].query, "leopard pictures");
+}
+
+TEST_F(DetectorTest, ProbabilitiesMatchDefinition1) {
+  AmbiguityDetector detector(&recommender_);
+  SpecializationSet set = detector.Detect("leopard");
+  ASSERT_EQ(set.size(), 2u);
+  // f(tank)=8, f(pictures)=4 → P = 8/12, 4/12.
+  EXPECT_NEAR(set.items[0].probability, 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(set.items[1].probability, 4.0 / 12.0, 1e-12);
+  double sum = 0;
+  for (const auto& sp : set.items) sum += sp.probability;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST_F(DetectorTest, UnambiguousQueryRejected) {
+  AmbiguityDetector detector(&recommender_);
+  // "leopard tank" has no followers at all.
+  EXPECT_FALSE(detector.Detect("leopard tank").ambiguous());
+  EXPECT_FALSE(detector.Detect("never seen").ambiguous());
+}
+
+TEST_F(DetectorTest, PopularityFilterDropsRareCandidates) {
+  // With a harsh divisor (s < f(q)/f(q′)) both specializations fall below
+  // f(q)/s and the query stops being ambiguous.
+  AmbiguityDetector::Options opt;
+  opt.popularity_divisor = 1.0;  // threshold = f(leopard) = 13 > 8, 4
+  AmbiguityDetector detector(&recommender_, opt);
+  EXPECT_FALSE(detector.Detect("leopard").ambiguous());
+}
+
+TEST_F(DetectorTest, SupersetFilterTogglable) {
+  // Add a frequent non-superset follower.
+  querylog::QueryLog log = HandLog();
+  int64_t ts = 1000000;
+  for (int i = 0; i < 6; ++i) {
+    log.Add(MakeRecord("leopard", 100 + i, ts));
+    log.Add(MakeRecord("mac os", 100 + i, ts + 20));
+    ts += 10000;
+  }
+  auto sessions = querylog::SessionSegmenter().Segment(log, nullptr);
+  ShortcutsRecommender rec;
+  rec.Train(log, sessions);
+
+  AmbiguityDetector::Options strict;
+  strict.require_term_superset = true;
+  AmbiguityDetector detector_strict(&rec, strict);
+  for (const auto& sp : detector_strict.Detect("leopard").items) {
+    EXPECT_NE(sp.query, "mac os");
+  }
+
+  AmbiguityDetector::Options loose;
+  loose.require_term_superset = false;
+  AmbiguityDetector detector_loose(&rec, loose);
+  bool found = false;
+  for (const auto& sp : detector_loose.Detect("leopard").items) {
+    found |= sp.query == "mac os";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DetectorTest, MaxSpecializationsKeepsMostProbable) {
+  AmbiguityDetector::Options opt;
+  opt.max_specializations = 1;  // forces truncation below the ≥2 rule
+  AmbiguityDetector detector(&recommender_, opt);
+  SpecializationSet set = detector.Detect("leopard");
+  // Truncation happens after the ambiguity check, so the set remains
+  // flagged ambiguous but holds only the top specialization.
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.items[0].query, "leopard tank");
+  EXPECT_NEAR(set.items[0].probability, 1.0, 1e-12);
+}
+
+// -------------------------------------------------- SuperstringRecommender
+
+class SuperstringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log_ = HandLog();
+    recommender_.Train(log_);
+  }
+  querylog::QueryLog log_;
+  SuperstringRecommender recommender_;
+};
+
+TEST_F(SuperstringTest, SuggestsLexicalRefinements) {
+  auto suggestions = recommender_.Recommend("leopard", 10);
+  ASSERT_EQ(suggestions.size(), 2u);
+  // Scored by frequency: tank (8) before pictures (4).
+  EXPECT_EQ(suggestions[0].query, "leopard tank");
+  EXPECT_EQ(suggestions[0].frequency, 8u);
+  EXPECT_EQ(suggestions[1].query, "leopard pictures");
+}
+
+TEST_F(SuperstringTest, NeverSuggestsNonSuperstrings) {
+  for (const auto& s : recommender_.Recommend("leopard", 50)) {
+    EXPECT_TRUE(IsTermSuperset(s.query, "leopard"));
+  }
+  EXPECT_TRUE(recommender_.Recommend("walnut", 10).empty());
+  EXPECT_TRUE(recommender_.Recommend("ghost", 10).empty());
+  EXPECT_TRUE(recommender_.Recommend("", 10).empty());
+}
+
+TEST_F(SuperstringTest, MinFrequencyFiltersRareQueries) {
+  // "walnut" appears once; default min_frequency = 2 keeps it out of the
+  // index entirely.
+  EXPECT_EQ(recommender_.Frequency("walnut"), 1u);
+  auto suggestions = recommender_.Recommend("walnut", 10);
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST_F(SuperstringTest, PlugsIntoAlgorithmOne) {
+  // The pluggability claim: Algorithm 1 runs unchanged on a different A.
+  AmbiguityDetector detector(&recommender_);
+  SpecializationSet set = detector.Detect("leopard");
+  ASSERT_TRUE(set.ambiguous());
+  EXPECT_EQ(set.items[0].query, "leopard tank");
+  EXPECT_NEAR(set.items[0].probability, 8.0 / 12.0, 1e-12);
+}
+
+TEST_F(SuperstringTest, MaxExtraTokensBound) {
+  querylog::QueryLog log;
+  for (int i = 0; i < 3; ++i) {
+    log.Add(MakeRecord("a", 1, i * 100));
+    log.Add(MakeRecord("a b", 1, i * 100 + 10));
+    log.Add(MakeRecord("a b c d e f g", 1, i * 100 + 20));
+  }
+  SuperstringRecommender::Options opt;
+  opt.max_extra_tokens = 2;
+  SuperstringRecommender rec(opt);
+  rec.Train(log);
+  auto suggestions = rec.Recommend("a", 10);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].query, "a b");
+}
+
+// ------------------------------------------------- End-to-end mining check
+
+TEST(MiningQualityTest, RecoversPlantedTopicsFromSyntheticLog) {
+  synth::TopicUniverseConfig ucfg;
+  ucfg.num_topics = 10;
+  auto universe = synth::GenerateTopicUniverse(ucfg, 100);
+
+  querylog::SyntheticLogConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_sessions = 12000;
+  auto result = querylog::SyntheticLogGenerator(cfg).Generate(
+      universe.topics, universe.noise_queries);
+
+  auto graph = querylog::QueryFlowGraph::Build(result.log, {});
+  auto sessions = querylog::SessionSegmenter().Segment(result.log, &graph);
+  ShortcutsRecommender rec;
+  rec.Train(result.log, sessions);
+  AmbiguityDetector detector(&rec);
+
+  // Detection: planted ambiguous roots must be flagged.
+  size_t detected = 0;
+  for (const synth::TopicSpec& topic : universe.topics) {
+    SpecializationSet set = detector.Detect(topic.root_query);
+    if (set.ambiguous()) ++detected;
+  }
+  EXPECT_GE(detected, universe.topics.size() * 8 / 10)
+      << "most planted topics should be detected";
+
+  // Probability estimation: mined P(q′|q) of the most popular topic
+  // should correlate with the ground-truth probabilities.
+  SpecializationSet set = detector.Detect(universe.topics[0].root_query);
+  ASSERT_TRUE(set.ambiguous());
+  const synth::TopicSpec& truth = universe.topics[0];
+  // Find mined probability of the ground-truth top intent.
+  double mined_top = 0;
+  for (const auto& sp : set.items) {
+    if (sp.query == truth.intents[0].query) mined_top = sp.probability;
+  }
+  EXPECT_GT(mined_top, 0.0) << "dominant intent not mined";
+  // Dominant planted intent should be mined as (near-)dominant.
+  for (const auto& sp : set.items) {
+    EXPECT_LE(sp.probability, mined_top + 0.15);
+  }
+
+  // Noise queries must not be declared ambiguous (they have no planted
+  // refinements).
+  size_t false_positives = 0;
+  for (size_t i = 0; i < 50 && i < universe.noise_queries.size(); ++i) {
+    if (detector.Detect(universe.noise_queries[i]).ambiguous()) {
+      ++false_positives;
+    }
+  }
+  EXPECT_LE(false_positives, 5u);
+}
+
+}  // namespace
+}  // namespace recommend
+}  // namespace optselect

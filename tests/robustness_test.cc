@@ -1,0 +1,238 @@
+// Failure-injection and fuzz-style robustness tests: random-byte inputs
+// through the text pipeline, malformed files through every loader, and
+// adversarial parameter values through the algorithms. Nothing here may
+// crash, hang, or return out-of-contract values.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/utility.h"
+#include "eval/trec_io.h"
+#include "querylog/query_log.h"
+#include "store/diversification_store.h"
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace optselect {
+namespace {
+
+std::string RandomBytes(util::Rng* rng, size_t n) {
+  std::string s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return s;
+}
+
+std::string RandomAsciiWord(util::Rng* rng, size_t max_len) {
+  std::string s;
+  size_t len = 1 + rng->Uniform(max_len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng->Uniform(26)));
+  }
+  return s;
+}
+
+// ------------------------------------------------------- Text pipeline
+
+TEST(FuzzTest, TokenizerSurvivesRandomBytes) {
+  util::Rng rng(1);
+  text::Tokenizer tokenizer;
+  for (int round = 0; round < 200; ++round) {
+    std::string input = RandomBytes(&rng, rng.Uniform(2000));
+    std::vector<std::string> tokens = tokenizer.Tokenize(input);
+    for (const std::string& t : tokens) {
+      EXPECT_FALSE(t.empty());
+      EXPECT_LE(t.size(), tokenizer.options().max_token_length);
+      for (char c : t) {
+        EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+        EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)));
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, StemmerSurvivesRandomWords) {
+  // Porter stemming is deterministic and never grows a word, but it is
+  // *not* idempotent on arbitrary strings (a known property of the
+  // algorithm — e.g. artificial "...ee" endings lose one 'e' per pass);
+  // idempotence on real vocabulary is covered in text_test.cc.
+  util::Rng rng(2);
+  text::PorterStemmer stemmer;
+  for (int round = 0; round < 2000; ++round) {
+    std::string word = RandomAsciiWord(&rng, 24);
+    std::string once = stemmer.Stem(word);
+    EXPECT_LE(once.size(), word.size());
+    EXPECT_FALSE(once.empty());
+    EXPECT_EQ(stemmer.Stem(word), once) << "non-deterministic on " << word;
+    // Repeated stemming terminates (strictly shrinking or fixed).
+    std::string prev = once;
+    for (int pass = 0; pass < 30; ++pass) {
+      std::string next = stemmer.Stem(prev);
+      ASSERT_LE(next.size(), prev.size());
+      if (next == prev) break;
+      prev = next;
+    }
+  }
+}
+
+TEST(FuzzTest, AnalyzerSurvivesRandomBytes) {
+  util::Rng rng(3);
+  text::Analyzer analyzer;
+  for (int round = 0; round < 100; ++round) {
+    std::string input = RandomBytes(&rng, rng.Uniform(4000));
+    std::vector<text::TermId> ids = analyzer.Analyze(input);
+    for (text::TermId id : ids) {
+      EXPECT_LT(id, analyzer.vocabulary().size());
+    }
+    // Read-only analysis never grows the vocabulary.
+    size_t before = analyzer.vocabulary().size();
+    analyzer.AnalyzeReadOnly(RandomBytes(&rng, 500));
+    EXPECT_EQ(analyzer.vocabulary().size(), before);
+  }
+}
+
+// ------------------------------------------------------------ Loaders
+
+class GarbageFileTest : public ::testing::Test {
+ protected:
+  std::string WriteGarbage(const std::string& name, const std::string& data) {
+    std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    return path;
+  }
+};
+
+TEST_F(GarbageFileTest, QueryLogLoaderNeverCrashes) {
+  util::Rng rng(4);
+  for (int round = 0; round < 30; ++round) {
+    std::string path = WriteGarbage(
+        "garbage_log.tsv", RandomBytes(&rng, rng.Uniform(3000)));
+    auto result = querylog::QueryLog::LoadTsv(path);
+    // Either parses (random bytes can form valid lines) or errors; both
+    // are acceptable — crashing is not.
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(GarbageFileTest, StoreLoaderNeverCrashes) {
+  util::Rng rng(5);
+  for (int round = 0; round < 30; ++round) {
+    std::string blob = "OSDS" + RandomBytes(&rng, rng.Uniform(2000));
+    std::string path = WriteGarbage("garbage_store.bin", blob);
+    auto result = store::DiversificationStore::Load(path);
+    EXPECT_FALSE(result.ok()) << "random bytes must not checksum-validate";
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(GarbageFileTest, TrecLoadersRejectGarbage) {
+  util::Rng rng(6);
+  for (int round = 0; round < 20; ++round) {
+    std::string path =
+        WriteGarbage("garbage_trec.txt", RandomBytes(&rng, 500));
+    // Any of: parse error, or (rarely) an accepted parse — never a crash.
+    (void)eval::LoadTopics(path);
+    (void)eval::LoadQrels(path);
+    (void)eval::LoadRun(path);
+    std::remove(path.c_str());
+  }
+}
+
+// --------------------------------------------------- Algorithm contracts
+
+TEST(AdversarialInputTest, AlgorithmsHandleDegenerateUtilities) {
+  // All-zero utilities, zero relevance, extreme λ: selections must still
+  // be k distinct valid indices.
+  core::DiversificationInput input;
+  input.query = "q";
+  for (int i = 0; i < 20; ++i) {
+    core::Candidate c;
+    c.doc = static_cast<DocId>(i);
+    c.relevance = 0.0;
+    input.candidates.push_back(c);
+  }
+  for (int j = 0; j < 3; ++j) {
+    core::SpecializationProfile sp;
+    sp.probability = 1.0 / 3.0;
+    input.specializations.push_back(sp);
+  }
+  core::UtilityMatrix zeros(20, 3);
+
+  for (const std::string& name : core::AvailableDiversifiers()) {
+    auto algo = std::move(core::MakeDiversifier(name)).value();
+    for (double lambda : {0.0, 0.5, 1.0}) {
+      core::DiversifyParams params;
+      params.k = 7;
+      params.lambda = lambda;
+      auto picks = algo->Select(input, zeros, params);
+      EXPECT_EQ(picks.size(), 7u) << name << " λ=" << lambda;
+      std::vector<char> seen(20, 0);
+      for (size_t i : picks) {
+        ASSERT_LT(i, 20u);
+        EXPECT_FALSE(seen[i]) << name << " duplicated index";
+        seen[i] = 1;
+      }
+    }
+  }
+}
+
+TEST(AdversarialInputTest, SingleCandidateSingleSpecialization) {
+  core::DiversificationInput input;
+  input.query = "q";
+  core::Candidate c;
+  c.doc = 0;
+  c.relevance = 1.0;
+  input.candidates.push_back(c);
+  core::SpecializationProfile sp;
+  sp.probability = 1.0;
+  input.specializations.push_back(sp);
+  core::UtilityMatrix u(1, 1);
+  u.Set(0, 0, 0.5);
+
+  for (const std::string& name : core::AvailableDiversifiers()) {
+    auto algo = std::move(core::MakeDiversifier(name)).value();
+    core::DiversifyParams params;
+    params.k = 10;
+    EXPECT_EQ(algo->Select(input, u, params),
+              (std::vector<size_t>{0})) << name;
+  }
+}
+
+TEST(AdversarialInputTest, UtilityComputerHandlesEmptyVectors) {
+  core::DiversificationInput input;
+  input.query = "q";
+  core::Candidate c;
+  c.doc = 0;  // empty vector
+  input.candidates.push_back(c);
+  core::SpecializationProfile sp;
+  sp.probability = 1.0;
+  sp.results.push_back(text::TermVector());  // empty reference too
+  input.specializations.push_back(sp);
+  core::UtilityMatrix m = core::UtilityComputer().Compute(input);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(AdversarialInputTest, NegativeThresholdKeepsEverything) {
+  text::TermVector d = text::TermVector::FromTermIds({1});
+  std::vector<text::TermVector> refs = {text::TermVector::FromTermIds({2})};
+  core::UtilityComputer computer(core::UtilityComputer::Options{-1.0});
+  // Orthogonal vectors: utility 0, but a negative threshold must not
+  // manufacture values.
+  EXPECT_DOUBLE_EQ(computer.NormalizedUtility(d, refs), 0.0);
+}
+
+}  // namespace
+}  // namespace optselect

@@ -1,0 +1,166 @@
+// Tests for the synth module: word bank stability and the planted topic
+// universe every other synthetic component is derived from.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "synth/topic_universe.h"
+#include "synth/word_bank.h"
+#include "text/porter_stemmer.h"
+
+namespace optselect {
+namespace synth {
+namespace {
+
+TEST(WordBankTest, IndexStableWords) {
+  EXPECT_EQ(WordBank::Word(0), WordBank::Word(0));
+  EXPECT_EQ(WordBank::Word(12345), WordBank::Word(12345));
+  EXPECT_NE(WordBank::Word(0), WordBank::Word(1));
+}
+
+TEST(WordBankTest, WrappedIndicesStayDistinct) {
+  size_t n = WordBank::size();
+  EXPECT_NE(WordBank::Word(3), WordBank::Word(3 + n));
+  EXPECT_NE(WordBank::Word(3 + n), WordBank::Word(3 + 2 * n));
+}
+
+TEST(WordBankTest, ModifierSliceDisjointFromRootSlice) {
+  // The first 64 root words and the first 64 modifiers never collide —
+  // this is what keeps specialization tokens distinct from topic roots.
+  std::set<std::string> roots;
+  for (size_t i = 0; i < 64; ++i) roots.insert(WordBank::RootWord(i));
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(roots.count(WordBank::ModifierWord(i)), 0u)
+        << WordBank::ModifierWord(i);
+  }
+}
+
+TEST(WordBankTest, WordsSurviveStemmingDistinctly) {
+  // A sample of the bank must not collapse under Porter stemming (the
+  // planted vocabulary is chosen to stay separable in the index).
+  text::PorterStemmer stemmer;
+  std::set<std::string> stems;
+  size_t collisions = 0;
+  for (size_t i = 0; i < WordBank::size(); ++i) {
+    if (!stems.insert(stemmer.Stem(WordBank::Word(i))).second) {
+      ++collisions;
+    }
+  }
+  EXPECT_LE(collisions, 3u) << "stem collisions break cluster separation";
+}
+
+class TopicUniverseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.num_topics = 25;
+    config_.min_intents = 3;
+    config_.max_intents = 8;
+    universe_ = GenerateTopicUniverse(config_, 50);
+  }
+  TopicUniverseConfig config_;
+  TopicUniverse universe_;
+};
+
+TEST_F(TopicUniverseTest, TopicCountAndIntentRange) {
+  ASSERT_EQ(universe_.topics.size(), 25u);
+  for (const TopicSpec& t : universe_.topics) {
+    EXPECT_GE(t.intents.size(), 3u);
+    EXPECT_LE(t.intents.size(), 8u);
+  }
+  EXPECT_EQ(universe_.noise_queries.size(), 50u);
+}
+
+TEST_F(TopicUniverseTest, RootQueriesDistinct) {
+  std::set<std::string> roots;
+  for (const TopicSpec& t : universe_.topics) {
+    EXPECT_TRUE(roots.insert(t.root_query).second) << t.root_query;
+  }
+}
+
+TEST_F(TopicUniverseTest, SpecializationsExtendTheirRoot) {
+  for (const TopicSpec& t : universe_.topics) {
+    std::set<std::string> specs;
+    for (const SubIntent& si : t.intents) {
+      EXPECT_EQ(si.query.rfind(t.root_query + " ", 0), 0u)
+          << si.query << " does not extend " << t.root_query;
+      EXPECT_TRUE(specs.insert(si.query).second) << "duplicate " << si.query;
+      EXPECT_EQ(si.content_words.size(),
+                config_.content_words_per_intent);
+    }
+  }
+}
+
+TEST_F(TopicUniverseTest, IntentProbabilitiesSumToOneAndDecrease) {
+  for (const TopicSpec& t : universe_.topics) {
+    double sum = 0;
+    double prev = 2.0;
+    for (const SubIntent& si : t.intents) {
+      EXPECT_GT(si.probability, 0.0);
+      EXPECT_LE(si.probability, prev);
+      prev = si.probability;
+      sum += si.probability;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(TopicUniverseTest, ContentWordsDisjointFromAllQueries) {
+  std::set<std::string> query_tokens;
+  for (const TopicSpec& t : universe_.topics) {
+    query_tokens.insert(t.root_query);
+    for (const SubIntent& si : t.intents) {
+      size_t space = si.query.rfind(' ');
+      query_tokens.insert(si.query.substr(space + 1));
+    }
+  }
+  for (const TopicSpec& t : universe_.topics) {
+    for (const SubIntent& si : t.intents) {
+      for (const std::string& w : si.content_words) {
+        EXPECT_EQ(query_tokens.count(w), 0u)
+            << "content word '" << w << "' collides with a query token";
+      }
+    }
+  }
+}
+
+TEST_F(TopicUniverseTest, DeterministicForSeed) {
+  TopicUniverse again = GenerateTopicUniverse(config_, 50);
+  ASSERT_EQ(again.topics.size(), universe_.topics.size());
+  for (size_t t = 0; t < again.topics.size(); ++t) {
+    EXPECT_EQ(again.topics[t].root_query, universe_.topics[t].root_query);
+    ASSERT_EQ(again.topics[t].intents.size(),
+              universe_.topics[t].intents.size());
+    for (size_t s = 0; s < again.topics[t].intents.size(); ++s) {
+      EXPECT_EQ(again.topics[t].intents[s].query,
+                universe_.topics[t].intents[s].query);
+      EXPECT_DOUBLE_EQ(again.topics[t].intents[s].probability,
+                       universe_.topics[t].intents[s].probability);
+    }
+  }
+  TopicUniverseConfig other = config_;
+  other.seed = config_.seed + 1;
+  TopicUniverse different = GenerateTopicUniverse(other, 50);
+  bool any_diff = false;
+  for (size_t t = 0; t < different.topics.size(); ++t) {
+    any_diff |= different.topics[t].intents.size() !=
+                universe_.topics[t].intents.size();
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should differ somewhere";
+}
+
+TEST_F(TopicUniverseTest, NoiseQueriesDisjointFromTopicQueries) {
+  std::set<std::string> topical;
+  for (const TopicSpec& t : universe_.topics) {
+    topical.insert(t.root_query);
+    for (const SubIntent& si : t.intents) topical.insert(si.query);
+  }
+  for (const std::string& noise : universe_.noise_queries) {
+    EXPECT_EQ(topical.count(noise), 0u) << noise;
+  }
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace optselect

@@ -1,0 +1,172 @@
+// Tests for TREC-format interchange: topics, diversity qrels, run files.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/trec_io.h"
+
+namespace optselect {
+namespace eval {
+namespace {
+
+corpus::TopicSet MakeTopics() {
+  corpus::TopicSet topics;
+  corpus::TrecTopic t1;
+  t1.id = 1;
+  t1.query = "obama family tree";
+  t1.subtopics.resize(3);
+  t1.subtopics[0].query = "obama family tree photo essay";
+  t1.subtopics[1].query = "obama parents grandparents";
+  t1.subtopics[2].query = "obama mother biography";
+  topics.Add(t1);
+  corpus::TrecTopic t2;
+  t2.id = 2;
+  t2.query = "jaguar";
+  t2.subtopics.resize(2);
+  t2.subtopics[0].query = "jaguar car";
+  t2.subtopics[1].query = "jaguar animal";
+  topics.Add(t2);
+  return topics;
+}
+
+TEST(TrecTopicsIoTest, RoundTrip) {
+  corpus::TopicSet topics = MakeTopics();
+  std::string path = ::testing::TempDir() + "/topics.tsv";
+  ASSERT_TRUE(SaveTopics(topics, path).ok());
+
+  auto loaded = LoadTopics(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const corpus::TopicSet& l = loaded.value();
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.topic(0).id, 1u);
+  EXPECT_EQ(l.topic(0).query, "obama family tree");
+  ASSERT_EQ(l.topic(0).subtopics.size(), 3u);
+  EXPECT_EQ(l.topic(0).subtopics[1].query, "obama parents grandparents");
+  // Uniform probabilities assigned on load.
+  EXPECT_NEAR(l.topic(0).subtopics[0].probability, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(l.topic(1).subtopics.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TrecTopicsIoTest, RejectsMalformedLines) {
+  std::string path = ::testing::TempDir() + "/topics_bad.tsv";
+  {
+    std::ofstream out(path);
+    out << "1\tonly two fields\n";
+  }
+  auto r = LoadTopics(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TrecQrelsIoTest, RoundTrip) {
+  corpus::Qrels qrels;
+  qrels.Add(1, 0, 100, 2);
+  qrels.Add(1, 1, 101, 1);
+  qrels.Add(1, 2, 102, 1);
+  qrels.Add(2, 0, 200, 1);
+  qrels.Add(2, 1, 200, 1);
+
+  std::string path = ::testing::TempDir() + "/qrels.txt";
+  ASSERT_TRUE(SaveQrels(qrels, MakeTopics(), path).ok());
+
+  auto loaded = LoadQrels(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const corpus::Qrels& l = loaded.value();
+  EXPECT_EQ(l.Grade(1, 0, 100), 2);
+  EXPECT_EQ(l.Grade(1, 1, 101), 1);
+  EXPECT_EQ(l.Grade(2, 0, 200), 1);
+  EXPECT_EQ(l.Grade(2, 1, 200), 1);
+  EXPECT_EQ(l.Grade(2, 1, 999), 0);
+  EXPECT_EQ(l.size(), qrels.size());
+  std::remove(path.c_str());
+}
+
+TEST(TrecQrelsIoTest, RejectsShortLines) {
+  std::string path = ::testing::TempDir() + "/qrels_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "1 0 100\n";  // missing grade
+  }
+  auto r = LoadQrels(path);
+  ASSERT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TrecRunIoTest, RoundTrip) {
+  ::optselect::eval::Run run;
+  run.name = "optselect-c030";
+  run.rankings[1] = {10, 11, 12};
+  run.rankings[2] = {20, 21};
+
+  std::string path = ::testing::TempDir() + "/run.txt";
+  ASSERT_TRUE(SaveRun(run, path).ok());
+
+  auto loaded = LoadRun(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ::optselect::eval::Run& l = loaded.value();
+  EXPECT_EQ(l.name, "optselect-c030");
+  ASSERT_EQ(l.rankings.size(), 2u);
+  EXPECT_EQ(l.rankings.at(1), (std::vector<DocId>{10, 11, 12}));
+  EXPECT_EQ(l.rankings.at(2), (std::vector<DocId>{20, 21}));
+  std::remove(path.c_str());
+}
+
+TEST(TrecRunIoTest, FormatIsSixColumnTrec) {
+  ::optselect::eval::Run run;
+  run.name = "tag";
+  run.rankings[7] = {42};
+  std::string path = ::testing::TempDir() + "/run_fmt.txt";
+  ASSERT_TRUE(SaveRun(run, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "7 Q0 42 1 1.000000 tag");
+  std::remove(path.c_str());
+}
+
+TEST(TrecRunIoTest, RejectsDuplicateRanks) {
+  std::string path = ::testing::TempDir() + "/run_dup.txt";
+  {
+    std::ofstream out(path);
+    out << "1 Q0 10 1 1.0 t\n";
+    out << "1 Q0 11 1 0.9 t\n";
+  }
+  auto r = LoadRun(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TrecRunIoTest, RejectsMissingQ0) {
+  std::string path = ::testing::TempDir() + "/run_q0.txt";
+  {
+    std::ofstream out(path);
+    out << "1 XX 10 1 1.0 t\n";
+  }
+  auto r = LoadRun(path);
+  ASSERT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TrecRunIoTest, RanksRestoreOrderRegardlessOfLineOrder) {
+  std::string path = ::testing::TempDir() + "/run_shuffled.txt";
+  {
+    std::ofstream out(path);
+    out << "1 Q0 12 3 0.3 t\n";
+    out << "1 Q0 10 1 1.0 t\n";
+    out << "1 Q0 11 2 0.5 t\n";
+  }
+  auto r = LoadRun(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rankings.at(1), (std::vector<DocId>{10, 11, 12}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace optselect

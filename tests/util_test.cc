@@ -1,0 +1,375 @@
+// Unit tests for the util module: Status/Result, strings, RNG, Zipf,
+// math helpers, and the table printer.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "util/zipf.h"
+
+namespace optselect {
+namespace util {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kIoError,
+        StatusCode::kCorruption}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// --------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  leopard   tank \t os"),
+            (std::vector<std::string>{"leopard", "tank", "os"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC-123"), "abc-123");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("optselect", "opt"));
+  EXPECT_FALSE(StartsWith("opt", "optselect"));
+  EXPECT_TRUE(EndsWith("table2.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "table2.csv"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// ------------------------------------------------------------------- RNG
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen, (std::set<int64_t>{-2, -1, 0, 1, 2}));
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0, ss = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian();
+    sum += x;
+    ss += x * x;
+  }
+  double mean = sum / n;
+  double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(100, 30);
+    std::set<size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (size_t p : picks) EXPECT_LT(p, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullUniverse) {
+  Rng rng(41);
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+// ------------------------------------------------------------------ Zipf
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 1.0);
+  double sum = 0;
+  for (size_t i = 0; i < z.n(); ++i) sum += z.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfSampler z(50, 1.3);
+  for (size_t i = 1; i < z.n(); ++i) {
+    EXPECT_LE(z.Pmf(i), z.Pmf(i - 1));
+  }
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (size_t i = 0; i < z.n(); ++i) EXPECT_NEAR(z.Pmf(i), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  ZipfSampler z(5, 1.0);
+  Rng rng(43);
+  std::vector<int> counts(5, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), z.Pmf(i), 0.01);
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesHead) {
+  ZipfSampler flat(100, 0.5);
+  ZipfSampler steep(100, 2.0);
+  EXPECT_GT(steep.Pmf(0), flat.Pmf(0));
+}
+
+// ------------------------------------------------------------------ Math
+
+TEST(MathTest, HarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(MathTest, HarmonicTableMatchesScalar) {
+  std::vector<double> table = HarmonicTable(20);
+  ASSERT_EQ(table.size(), 21u);
+  for (size_t i = 0; i <= 20; ++i) {
+    EXPECT_NEAR(table[i], HarmonicNumber(i), 1e-12);
+  }
+}
+
+TEST(MathTest, Log2Discount) {
+  EXPECT_DOUBLE_EQ(Log2Discount(1), 1.0);  // log2(2)
+  EXPECT_NEAR(Log2Discount(3), 2.0, 1e-12);  // log2(4)
+}
+
+TEST(MathTest, SafeDiv) {
+  EXPECT_DOUBLE_EQ(SafeDiv(6, 3), 2.0);
+  EXPECT_DOUBLE_EQ(SafeDiv(6, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeDiv(6, 0, -1.0), -1.0);
+}
+
+TEST(MathTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MathTest, OlsSlopeExactLine) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{3, 5, 7, 9};  // slope 2
+  EXPECT_NEAR(OlsSlope(x, y), 2.0, 1e-12);
+}
+
+TEST(MathTest, OlsSlopeDegenerate) {
+  EXPECT_DOUBLE_EQ(OlsSlope({1}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(OlsSlope({2, 2, 2}, {1, 5, 9}), 0.0);
+}
+
+// ----------------------------------------------------------------- Timer
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer t;
+  int64_t a = t.ElapsedMicros();
+  int64_t b = t.ElapsedMicros();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, AccumulatorMean) {
+  TimerAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.mean_ms(), 0.0);
+  acc.Add(2.0);
+  acc.Add(4.0);
+  EXPECT_DOUBLE_EQ(acc.mean_ms(), 3.0);
+  EXPECT_EQ(acc.count(), 2);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0);
+}
+
+// ---------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp;
+  tp.SetHeader({"name", "value"});
+  tp.AddRow({"x", "1"});
+  tp.AddRow({"longer", "22"});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // All lines equal width for the data rows' columns.
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.12345, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Num(2.0, 1), "2.0");
+}
+
+TEST(TablePrinterTest, SeparatorAndRaggedRows) {
+  TablePrinter tp;
+  tp.AddRow({"a", "b", "c"});
+  tp.AddSeparator();
+  tp.AddRow({"only"});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace optselect

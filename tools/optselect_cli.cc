@@ -1,0 +1,251 @@
+// optselect — command-line front end for the library.
+//
+// Subcommands (run without arguments for usage):
+//
+//   generate <dir> [--topics N] [--seed S]
+//       Builds the synthetic testbed and writes its artifacts:
+//       <dir>/log.tsv (query log), <dir>/topics.tsv, <dir>/qrels.txt,
+//       and <dir>/store.bin (the serving-side specialization store).
+//
+//   mine <log.tsv> [--min-freq F]
+//       Rebuilds the mining stack from a query log file and prints every
+//       query Algorithm 1 flags as ambiguous, with its specializations.
+//
+//   run <dir> <out.run> [--algo A] [--c F] [--lambda F] [--k N]
+//       Regenerates the testbed of `generate` (same seed), diversifies
+//       every topic with algorithm A, writes a TREC run file.
+//
+//   evaluate <dir> <run...>
+//       Scores one or more run files against <dir>/topics.tsv and
+//       <dir>/qrels.txt (α-NDCG and IA-P at 5/10/20).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/footprint.h"
+#include "eval/diversity_evaluator.h"
+#include "eval/trec_io.h"
+#include "pipeline/diversification_pipeline.h"
+#include "pipeline/testbed.h"
+#include "querylog/query_flow_graph.h"
+#include "querylog/session_segmenter.h"
+#include "recommend/ambiguity_detector.h"
+#include "recommend/shortcuts_recommender.h"
+#include "store/diversification_store.h"
+#include "store/store_builder.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace optselect;  // NOLINT(build/namespaces)
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  optselect generate <dir> [--topics N] [--seed S]\n"
+      "  optselect mine <log.tsv> [--min-freq F]\n"
+      "  optselect run <dir> <out.run> [--algo A] [--c F] [--lambda F]"
+      " [--k N]\n"
+      "  optselect evaluate <dir> <run...>\n");
+  return 2;
+}
+
+struct Flags {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> positional;
+
+  static Flags Parse(int argc, char** argv, int start) {
+    Flags f;
+    for (int i = start; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+        f.values[argv[i] + 2] = argv[i + 1];
+        ++i;
+      } else {
+        f.positional.push_back(argv[i]);
+      }
+    }
+    return f;
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+pipeline::TestbedConfig ConfigFor(const Flags& flags) {
+  pipeline::TestbedConfig config = pipeline::TestbedConfig::TrecShaped();
+  config.universe.num_topics =
+      static_cast<size_t>(std::atoi(flags.Get("topics", "20").c_str()));
+  uint64_t seed =
+      static_cast<uint64_t>(std::atoll(flags.Get("seed", "17").c_str()));
+  config.universe.seed = seed;
+  config.corpus.seed = seed + 1;
+  config.log.seed = seed + 2;
+  return config;
+}
+
+int CmdGenerate(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  const std::string dir = flags.positional[0];
+  std::printf("building testbed...\n");
+  pipeline::Testbed testbed(ConfigFor(flags));
+
+  auto check = [](const util::Status& s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  check(testbed.log_result().log.SaveTsv(dir + "/log.tsv"));
+  check(eval::SaveTopics(testbed.corpus().topics, dir + "/topics.tsv"));
+  check(eval::SaveQrels(testbed.corpus().qrels, testbed.corpus().topics,
+                        dir + "/qrels.txt"));
+
+  store::DiversificationStore built;
+  std::vector<std::string> roots;
+  for (const auto& topic : testbed.universe().topics) {
+    roots.push_back(topic.root_query);
+  }
+  size_t stored = store::BuildStore(
+      testbed.detector(), testbed.searcher(), testbed.snippets(),
+      testbed.analyzer(), testbed.corpus().store, roots, {}, &built);
+  check(built.Save(dir + "/store.bin"));
+
+  std::printf(
+      "wrote %s/log.tsv (%zu records), topics.tsv (%zu topics), "
+      "qrels.txt (%zu judgments), store.bin (%zu entries, %s payload)\n",
+      dir.c_str(), testbed.log_result().log.size(),
+      testbed.corpus().topics.size(), testbed.corpus().qrels.size(), stored,
+      core::FormatBytes(built.SurrogatePayloadBytes()).c_str());
+  return 0;
+}
+
+int CmdMine(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  auto log = querylog::QueryLog::LoadTsv(flags.positional[0]);
+  if (!log.ok()) {
+    std::fprintf(stderr, "error: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t min_freq = static_cast<uint64_t>(
+      std::atoll(flags.Get("min-freq", "20").c_str()));
+
+  querylog::QueryFlowGraph graph =
+      querylog::QueryFlowGraph::Build(log.value(), {});
+  std::vector<querylog::Session> sessions =
+      querylog::SessionSegmenter().Segment(log.value(), &graph);
+  recommend::ShortcutsRecommender recommender;
+  recommender.Train(log.value(), sessions);
+  recommend::AmbiguityDetector detector(&recommender);
+
+  std::printf("log: %zu records, %zu sessions, %zu distinct queries\n",
+              log.value().size(), sessions.size(),
+              recommender.popularity().distinct());
+  size_t ambiguous = 0;
+  for (const auto& [query, freq] : recommender.popularity().counts()) {
+    if (freq < min_freq) continue;
+    recommend::SpecializationSet set = detector.Detect(query);
+    if (!set.ambiguous()) continue;
+    ++ambiguous;
+    std::printf("%-20s f=%-6llu", query.c_str(),
+                static_cast<unsigned long long>(freq));
+    for (const auto& sp : set.items) {
+      std::printf(" %s(%.2f)", sp.query.c_str(), sp.probability);
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu ambiguous queries (f >= %llu)\n", ambiguous,
+              static_cast<unsigned long long>(min_freq));
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  if (flags.positional.size() < 2) return Usage();
+  auto algo_result = core::MakeDiversifier(flags.Get("algo", "optselect"));
+  if (!algo_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 algo_result.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<core::Diversifier> algo = std::move(algo_result).value();
+
+  std::printf("rebuilding testbed...\n");
+  pipeline::Testbed testbed(ConfigFor(flags));
+  pipeline::PipelineParams params;
+  params.num_candidates = 1000;
+  params.threshold_c = std::atof(flags.Get("c", "0.3").c_str());
+  params.diversify.lambda = std::atof(flags.Get("lambda", "0.15").c_str());
+  params.diversify.k =
+      static_cast<size_t>(std::atoi(flags.Get("k", "1000").c_str()));
+  pipeline::DiversificationPipeline pipe(&testbed, params);
+
+  eval::Run run;
+  run.name = algo->name() + "-c" + flags.Get("c", "0.3");
+  for (const corpus::TrecTopic& topic : testbed.corpus().topics.topics()) {
+    run.rankings[topic.id] = pipe.Run(topic.query, *algo).ranking;
+  }
+  util::Status s = eval::SaveRun(run, flags.positional[1]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu topics)\n", flags.positional[1].c_str(),
+              run.rankings.size());
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  if (flags.positional.size() < 2) return Usage();
+  const std::string dir = flags.positional[0];
+  auto topics = eval::LoadTopics(dir + "/topics.tsv");
+  if (!topics.ok()) {
+    std::fprintf(stderr, "error: %s\n", topics.status().ToString().c_str());
+    return 1;
+  }
+  auto qrels = eval::LoadQrels(dir + "/qrels.txt");
+  if (!qrels.ok()) {
+    std::fprintf(stderr, "error: %s\n", qrels.status().ToString().c_str());
+    return 1;
+  }
+
+  eval::DiversityEvaluator::Options opt;
+  opt.cutoffs = {5, 10, 20};
+  eval::DiversityEvaluator evaluator(&topics.value(), &qrels.value(), opt);
+  util::TablePrinter tp;
+  tp.SetHeader({"run", "aN@5", "aN@10", "aN@20", "IA@5", "IA@10", "IA@20"});
+  for (size_t i = 1; i < flags.positional.size(); ++i) {
+    auto run = eval::LoadRun(flags.positional[i]);
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    eval::MetricRow row = evaluator.Evaluate(run.value());
+    tp.AddRow({row.run_name, util::TablePrinter::Num(row.alpha_ndcg[5], 3),
+               util::TablePrinter::Num(row.alpha_ndcg[10], 3),
+               util::TablePrinter::Num(row.alpha_ndcg[20], 3),
+               util::TablePrinter::Num(row.ia_precision[5], 3),
+               util::TablePrinter::Num(row.ia_precision[10], 3),
+               util::TablePrinter::Num(row.ia_precision[20], 3)});
+  }
+  std::printf("%s", tp.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Flags flags = Flags::Parse(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "mine") return CmdMine(flags);
+  if (cmd == "run") return CmdRun(flags);
+  if (cmd == "evaluate") return CmdEvaluate(flags);
+  return Usage();
+}
