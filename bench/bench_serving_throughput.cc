@@ -1,0 +1,183 @@
+// Serving throughput scaling — the subsystem the paper's efficiency
+// argument exists to enable: OptSelect inside a serving node answering a
+// production-shaped query stream.
+//
+// Replays a Zipf-distributed query mix (ranks drawn over the synthetic
+// log's popularity order, querylog::PopularityMap) against a ServingNode
+// while sweeping the worker-pool size 1, 2, 4, ... up to
+// max(4, hardware_concurrency), then contrasts cache-on vs cache-off at
+// the largest pool. Every distinct query's cached ranking is asserted
+// bit-identical to the uncached path before any timing is reported.
+//
+// Output: a human table plus BENCH_serving_throughput.json (bench_util).
+//
+//   bench_serving_throughput [requests] [zipf_skew]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "pipeline/testbed.h"
+#include "querylog/popularity.h"
+#include "serving/replay.h"
+#include "serving/serving_node.h"
+#include "store/store_builder.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace optselect;  // NOLINT(build/namespaces)
+
+struct RunResult {
+  double wall_ms = 0;
+  double qps = 0;
+  serving::ServingStats stats;
+};
+
+/// Replays the mix through one node configuration; wall time spans
+/// first submit to last completion (serving::ReplayMix).
+RunResult Replay(const store::DiversificationStore* store,
+                 const pipeline::Testbed* testbed,
+                 serving::ServingConfig config,
+                 const std::vector<std::string>& mix) {
+  serving::ServingNode node(store, testbed, config);
+  serving::ReplayOutcome out = serving::ReplayMix(&node, mix);
+  if (out.accepted != mix.size()) {
+    std::fprintf(stderr, "error: %zu of %zu requests shed (queue too small)\n",
+                 mix.size() - out.accepted, mix.size());
+    std::exit(1);
+  }
+  RunResult r;
+  r.wall_ms = out.wall_ms;
+  r.qps = out.qps;
+  r.stats = node.Stats();
+  return r;
+}
+
+/// Asserts cached rankings equal uncached ones for every distinct query.
+void CheckCacheBitIdentity(const store::DiversificationStore* store,
+                           const pipeline::Testbed* testbed,
+                           serving::ServingConfig config,
+                           const std::vector<std::string>& mix) {
+  std::set<std::string> distinct(mix.begin(), mix.end());
+  config.enable_cache = true;
+  serving::ServingNode cached(store, testbed, config);
+  config.enable_cache = false;
+  serving::ServingNode uncached(store, testbed, config);
+  for (const std::string& q : distinct) {
+    serving::ServeResult cold = cached.Serve(q);
+    serving::ServeResult warm = cached.Serve(q);
+    serving::ServeResult direct = uncached.Serve(q);
+    if (cold.ranking != direct.ranking || warm.ranking != direct.ranking) {
+      std::fprintf(stderr, "FATAL: cached ranking diverged for '%s'\n",
+                   q.c_str());
+      std::exit(1);
+    }
+  }
+  std::printf("cache bit-identity: OK over %zu distinct queries\n",
+              distinct.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_requests = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  double skew = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  std::printf("building testbed + store...\n");
+  pipeline::Testbed testbed(pipeline::TestbedConfig::Small());
+  store::DiversificationStore store;
+  std::vector<std::string> roots;
+  for (const auto& topic : testbed.universe().topics) {
+    roots.push_back(topic.root_query);
+  }
+  store::BuildStore(testbed.detector(), testbed.searcher(),
+                    testbed.snippets(), testbed.analyzer(),
+                    testbed.corpus().store, roots, {}, &store);
+
+  util::Rng rng(99);
+  std::vector<std::string> mix = querylog::ZipfQueryMix(
+      testbed.recommender().popularity(), num_requests, skew, &rng);
+
+  serving::ServingConfig base;
+  base.queue_capacity = num_requests;
+  base.max_batch = 8;
+  base.params.num_candidates = 200;
+  base.params.diversify.k = 10;
+
+  CheckCacheBitIdentity(&store, &testbed, base, mix);
+
+  size_t max_workers =
+      std::max<size_t>(4, std::thread::hardware_concurrency());
+  std::vector<size_t> worker_counts;
+  for (size_t w = 1; w <= max_workers; w *= 2) worker_counts.push_back(w);
+
+  bench::BenchJsonWriter json("serving_throughput");
+  util::TablePrinter tp;
+  tp.SetHeader({"config", "wall ms", "QPS", "p50 ms", "p99 ms", "hit rate",
+                "mean batch"});
+
+  auto add = [&](const std::string& name, const RunResult& r,
+                 size_t workers, bool cache) {
+    tp.AddRow({name, util::TablePrinter::Num(r.wall_ms, 1),
+               util::TablePrinter::Num(r.qps, 0),
+               util::TablePrinter::Num(r.stats.p50_ms, 2),
+               util::TablePrinter::Num(r.stats.p99_ms, 2),
+               util::TablePrinter::Num(r.stats.cache_hit_rate, 3),
+               util::TablePrinter::Num(r.stats.mean_batch, 2)});
+    json.Add(name,
+             {{"workers", static_cast<double>(workers)},
+              {"requests", static_cast<double>(num_requests)},
+              {"zipf_skew", skew},
+              {"cache", cache ? 1.0 : 0.0},
+              {"max_batch", static_cast<double>(8)},
+              {"p50_ms", r.stats.p50_ms},
+              {"p99_ms", r.stats.p99_ms},
+              {"cache_hit_rate", r.stats.cache_hit_rate}},
+             r.wall_ms, r.qps);
+  };
+
+  // The worker sweep runs cache-off so each request pays the full
+  // retrieve + diversify cost — that is the compute whose scaling the
+  // pool exists to provide. Cache-on rows ride along to show what the
+  // Zipf mix turns into once the LRU absorbs the head queries.
+  double qps_1 = 0, qps_4 = 0;
+  for (size_t workers : worker_counts) {
+    serving::ServingConfig config = base;
+    config.num_workers = workers;
+    config.enable_cache = false;
+    RunResult cold = Replay(&store, &testbed, config, mix);
+    if (workers == 1) qps_1 = cold.qps;
+    if (workers == 4) qps_4 = cold.qps;
+    add("workers=" + std::to_string(workers) + " cache=off", cold, workers,
+        false);
+
+    config.enable_cache = true;
+    RunResult warm = Replay(&store, &testbed, config, mix);
+    add("workers=" + std::to_string(workers) + " cache=on", warm, workers,
+        true);
+  }
+
+  std::printf("%s", tp.ToString().c_str());
+  if (qps_1 > 0 && qps_4 > 0) {
+    std::printf(
+        "scaling 1 -> 4 workers (cache off): %.2fx (on %u hardware "
+        "threads)\n",
+        qps_4 / qps_1, std::thread::hardware_concurrency());
+  }
+
+  util::Status s = json.WriteFile();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_serving_throughput.json (%zu records)\n",
+              json.size());
+  return 0;
+}

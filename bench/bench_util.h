@@ -1,15 +1,20 @@
 // Shared helpers for the benchmark binaries: synthetic problem instances
-// for selection-phase timing, shaped like the paper's Table 2 workload.
+// for selection-phase timing, shaped like the paper's Table 2 workload,
+// plus a machine-readable JSON emitter so CI and tooling can track bench
+// numbers without parsing the human tables.
 
 #ifndef OPTSELECT_BENCH_BENCH_UTIL_H_
 #define OPTSELECT_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/candidate.h"
 #include "core/utility.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace optselect {
 namespace bench {
@@ -56,6 +61,102 @@ inline TimingInstance MakeTimingInstance(util::Rng* rng, size_t n,
   }
   return ti;
 }
+
+/// Collects benchmark records and writes them as `BENCH_<bench>.json`
+/// next to the working directory, one object per record:
+///
+///   { "bench": "serving_throughput",
+///     "records": [ { "name": "workers=4", "wall_ms": 812.1,
+///                    "qps": 1231.5, "params": { "workers": 4 } }, ... ] }
+///
+/// Values are plain doubles; parameter maps are flat. Emit alongside the
+/// human-readable table, never instead of it.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Adds one record. `params` is a flat list of (key, value) pairs.
+  void Add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& params,
+           double wall_ms, double qps) {
+    records_.push_back(Record{name, params, wall_ms, qps});
+  }
+
+  /// Renders the full document.
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + Escape(bench_name_) +
+                      "\",\n  \"records\": [";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    { \"name\": \"" + Escape(r.name) + "\"";
+      out += ", \"wall_ms\": " + FormatDouble(r.wall_ms);
+      out += ", \"qps\": " + FormatDouble(r.qps);
+      out += ", \"params\": {";
+      for (size_t j = 0; j < r.params.size(); ++j) {
+        out += j == 0 ? " " : ", ";
+        out += "\"" + Escape(r.params[j].first) +
+               "\": " + FormatDouble(r.params[j].second);
+      }
+      out += r.params.empty() ? "}" : " }";
+      out += " }";
+    }
+    out += records_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Writes `BENCH_<bench_name>.json` into `dir` ("." by default).
+  util::Status WriteFile(const std::string& dir = ".") const {
+    std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return util::Status::IoError("cannot open " + path);
+    }
+    std::string doc = ToJson();
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    // fclose flushes stdio's buffer; a failure there (e.g. ENOSPC) is a
+    // failed write even when fwrite reported success.
+    bool closed_ok = std::fclose(f) == 0;
+    if (written != doc.size() || !closed_ok) {
+      return util::Status::IoError("short write to " + path);
+    }
+    return util::Status::Ok();
+  }
+
+  size_t size() const { return records_.size(); }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> params;
+    double wall_ms = 0;
+    double qps = 0;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string FormatDouble(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
 
 }  // namespace bench
 }  // namespace optselect

@@ -8,8 +8,10 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "querylog/query_log.h"
+#include "util/rng.h"
 
 namespace optselect {
 namespace querylog {
@@ -51,6 +53,15 @@ class PopularityMap {
   std::unordered_map<std::string, uint64_t> counts_;
   uint64_t total_ = 0;
 };
+
+/// Replay traffic for load tests and serving benchmarks: draws
+/// `num_requests` queries by sampling Zipf(skew)-distributed ranks over
+/// the popularity order (most frequent query = rank 0; frequency ties
+/// break lexicographically for determinism). `popularity` must be
+/// non-empty.
+std::vector<std::string> ZipfQueryMix(const PopularityMap& popularity,
+                                      size_t num_requests, double skew,
+                                      util::Rng* rng);
 
 }  // namespace querylog
 }  // namespace optselect

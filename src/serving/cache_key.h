@@ -1,0 +1,39 @@
+// Cache keys for the serving-side result cache.
+//
+// Two requests must share a cache slot exactly when they are guaranteed
+// to produce bit-identical rankings: same query after web-style
+// normalization (case folding, whitespace collapsing) and same pipeline
+// parameters. The parameter fingerprint is folded into the key so a node
+// reconfiguration (or two nodes sharing a cache in a future PR) can
+// never serve a ranking computed under different k / λ / c.
+
+#ifndef OPTSELECT_SERVING_CACHE_KEY_H_
+#define OPTSELECT_SERVING_CACHE_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pipeline/diversification_pipeline.h"
+
+namespace optselect {
+namespace serving {
+
+/// Canonical query form: ASCII-lowercased, leading/trailing whitespace
+/// stripped, internal whitespace runs collapsed to single spaces.
+/// "  Apple  IPhone " and "apple iphone" normalize identically.
+std::string NormalizeQuery(std::string_view raw);
+
+/// FNV-1a fingerprint of every parameter that affects the ranking.
+uint64_t ParamsFingerprint(const pipeline::PipelineParams& params);
+
+/// Composes the cache key string from a normalized query and a params
+/// fingerprint. The full normalized query is kept in the key (not just a
+/// hash) so distinct queries can never collide.
+std::string MakeCacheKey(std::string_view normalized_query,
+                         uint64_t params_fingerprint);
+
+}  // namespace serving
+}  // namespace optselect
+
+#endif  // OPTSELECT_SERVING_CACHE_KEY_H_

@@ -1,0 +1,40 @@
+#include "serving/replay.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/timer.h"
+
+namespace optselect {
+namespace serving {
+
+ReplayOutcome ReplayMix(ServingNode* node,
+                        const std::vector<std::string>& mix) {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+
+  util::WallTimer timer;
+  ReplayOutcome out;
+  for (const std::string& query : mix) {
+    if (node->Submit(query, [&](ServeResult) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++done;
+          cv.notify_one();
+        })) {
+      ++out.accepted;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == out.accepted; });
+  }
+  out.wall_ms = timer.ElapsedMillis();
+  out.qps = out.wall_ms > 0
+                ? 1000.0 * static_cast<double>(out.accepted) / out.wall_ms
+                : 0.0;
+  return out;
+}
+
+}  // namespace serving
+}  // namespace optselect

@@ -1,0 +1,38 @@
+// Replay driver shared by the load-test surfaces (`optselect loadtest`
+// and bench_serving_throughput): submit a prepared query mix through a
+// node's async API, wait for every accepted callback, and time the
+// whole drain.
+
+#ifndef OPTSELECT_SERVING_REPLAY_H_
+#define OPTSELECT_SERVING_REPLAY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serving/serving_node.h"
+
+namespace optselect {
+namespace serving {
+
+/// One replay run's outcome.
+struct ReplayOutcome {
+  /// Requests admitted (== mix size unless the queue shed load).
+  size_t accepted = 0;
+  /// First submit → last completion.
+  double wall_ms = 0.0;
+  /// accepted / wall, in queries per second.
+  double qps = 0.0;
+};
+
+/// Submits every query in `mix` (in order) and blocks until each
+/// accepted request's callback has fired. Requests shed by the bounded
+/// queue are skipped and reflected in `accepted`; size the node's
+/// queue_capacity to the mix when shedding is not intended.
+ReplayOutcome ReplayMix(ServingNode* node,
+                        const std::vector<std::string>& mix);
+
+}  // namespace serving
+}  // namespace optselect
+
+#endif  // OPTSELECT_SERVING_REPLAY_H_

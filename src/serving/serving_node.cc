@@ -1,0 +1,290 @@
+#include "serving/serving_node.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/utility.h"
+#include "serving/cache_key.h"
+
+namespace optselect {
+namespace serving {
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<unsigned>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ServingNode::ServingNode(
+    std::unique_ptr<store::DiversificationStore> owned_store,
+    const store::DiversificationStore* store,
+    const index::Searcher* searcher,
+    const index::SnippetExtractor* snippets,
+    const text::Analyzer* analyzer,
+    const corpus::DocumentStore* documents, ServingConfig config)
+    : config_(config),
+      owned_store_(std::move(owned_store)),
+      store_(store != nullptr ? store : owned_store_.get()),
+      searcher_(searcher),
+      snippets_(snippets),
+      analyzer_(analyzer),
+      documents_(documents),
+      diversifier_(std::max<size_t>(1, config.intra_query_threads)),
+      params_fingerprint_(ParamsFingerprint(config.params)),
+      queue_(config.queue_capacity),
+      cache_(config.cache),
+      start_time_(std::chrono::steady_clock::now()) {
+  size_t n = ResolveWorkers(config_.num_workers);
+  config_.num_workers = n;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingNode::ServingNode(const store::DiversificationStore* store,
+                         const index::Searcher* searcher,
+                         const index::SnippetExtractor* snippets,
+                         const text::Analyzer* analyzer,
+                         const corpus::DocumentStore* documents,
+                         ServingConfig config)
+    : ServingNode(nullptr, store, searcher, snippets, analyzer, documents,
+                  config) {}
+
+ServingNode::ServingNode(store::DiversificationStore store,
+                         const index::Searcher* searcher,
+                         const index::SnippetExtractor* snippets,
+                         const text::Analyzer* analyzer,
+                         const corpus::DocumentStore* documents,
+                         ServingConfig config)
+    : ServingNode(
+          std::make_unique<store::DiversificationStore>(std::move(store)),
+          nullptr, searcher, snippets, analyzer, documents, config) {}
+
+ServingNode::ServingNode(const store::DiversificationStore* store,
+                         const pipeline::Testbed* testbed,
+                         ServingConfig config)
+    : ServingNode(store, &testbed->searcher(), &testbed->snippets(),
+                  &testbed->analyzer(), &testbed->corpus().store, config) {}
+
+ServingNode::~ServingNode() { Shutdown(); }
+
+void ServingNode::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    return;  // Another caller already shut the node down.
+  }
+  queue_.Close();  // Workers drain the remaining requests, then exit.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+bool ServingNode::Submit(std::string query,
+                         std::function<void(ServeResult)> callback) {
+  Request req;
+  req.query = std::move(query);
+  req.callback = std::move(callback);
+  req.enqueue_time = std::chrono::steady_clock::now();
+  if (!queue_.TryPush(std::move(req))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ServeResult ServingNode::Serve(const std::string& query) {
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServeResult result;
+  };
+  auto state = std::make_shared<SyncState>();
+
+  Request req;
+  req.query = query;
+  req.enqueue_time = std::chrono::steady_clock::now();
+  req.callback = [state](ServeResult r) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(r);
+    state->done = true;
+    state->cv.notify_one();
+  };
+  // Blocking push: synchronous callers apply backpressure instead of
+  // shedding. Fails only when the node is shut down.
+  if (!queue_.Push(std::move(req))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ServeResult{};  // ok = false
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->done; });
+  return std::move(state->result);
+}
+
+std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
+    const std::string& normalized_query) const {
+  auto result = std::make_shared<ServeResult>();
+  result->ok = true;
+
+  const pipeline::PipelineParams& params = config_.params;
+  std::vector<text::TermId> query_terms =
+      analyzer_->AnalyzeReadOnly(normalized_query);
+  index::ResultList rq =
+      searcher_->SearchTerms(query_terms, params.num_candidates);
+  if (rq.empty()) return result;
+
+  // Serving-time step (a): the store *is* the precomputed answer of
+  // Algorithm 1, so ambiguity detection is one hash lookup.
+  const store::StoredEntry* entry = store_->Find(normalized_query);
+  if (entry == nullptr || entry->specializations.size() < 2) {
+    // Passthrough: the plain DPH ranking stands. No surrogate
+    // extraction needed — a real node only pays for snippets on the
+    // diversified path.
+    size_t k = std::min(params.diversify.k, rq.size());
+    result->ranking.reserve(k);
+    for (size_t i = 0; i < k; ++i) result->ranking.push_back(rq[i].doc);
+    return result;
+  }
+
+  // Steps (b) + (c): build the problem instance from R_q and the stored
+  // S_q / R_q′ surrogates, then run OptSelect.
+  core::DiversificationInput input;
+  input.query = normalized_query;
+  double max_score = rq.front().score;
+  for (const index::SearchResult& hit : rq) {
+    max_score = std::max(max_score, hit.score);
+  }
+  input.candidates.reserve(rq.size());
+  for (const index::SearchResult& hit : rq) {
+    core::Candidate c;
+    c.doc = hit.doc;
+    c.relevance = max_score > 0 ? hit.score / max_score : 0.0;
+    c.vector =
+        snippets_->ExtractVector(documents_->Get(hit.doc), query_terms);
+    input.candidates.push_back(std::move(c));
+  }
+  input.specializations = store::DiversificationStore::ToProfiles(*entry);
+
+  core::UtilityComputer computer(
+      core::UtilityComputer::Options{params.threshold_c});
+  core::UtilityMatrix utilities = computer.Compute(input);
+  std::vector<size_t> picks =
+      diversifier_.Select(input, utilities, params.diversify);
+
+  result->diversified = true;
+  result->num_specializations = input.specializations.size();
+  result->ranking =
+      pipeline::AssembleRanking(input, picks, params.diversify.k);
+  return result;
+}
+
+std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
+    const std::string& cache_key, const std::string& normalized_query,
+    bool* cache_hit) {
+  *cache_hit = false;
+  if (!config_.enable_cache) return ComputeRanking(normalized_query);
+  if (auto cached = cache_.Get(cache_key)) {
+    *cache_hit = true;
+    return cached;
+  }
+  auto computed = ComputeRanking(normalized_query);
+  cache_.Put(cache_key, computed);
+  return computed;
+}
+
+void ServingNode::Finish(Request* request, const ServeResult& result) {
+  if (result.diversified) {
+    diversified_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    passthrough_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto now = std::chrono::steady_clock::now();
+  latency_.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                      now - request->enqueue_time)
+                      .count());
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (request->callback) request->callback(result);
+}
+
+void ServingNode::WorkerLoop() {
+  std::vector<Request> batch;
+  // Payloads already computed in this batch, keyed like the cache:
+  // duplicate queries drained in one wakeup are computed exactly once
+  // even with the cache disabled (micro-batching's amortization).
+  std::unordered_map<std::string, std::shared_ptr<const ServeResult>>
+      batch_local;
+  while (queue_.PopBatch(&batch, config_.max_batch) > 0) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+    batch_local.clear();
+    for (Request& req : batch) {
+      std::string normalized = NormalizeQuery(req.query);
+      std::string key = MakeCacheKey(normalized, params_fingerprint_);
+
+      std::shared_ptr<const ServeResult> payload;
+      bool cache_hit = false;
+      bool dedup = false;
+      auto it = batch_local.find(key);
+      if (it != batch_local.end()) {
+        payload = it->second;
+        dedup = true;
+        batch_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        payload = LookupOrCompute(key, normalized, &cache_hit);
+        if (batch.size() > 1) batch_local.emplace(key, payload);
+      }
+
+      ServeResult result = *payload;  // copy; per-request flags below
+      result.cache_hit = cache_hit;
+      result.batch_dedup = dedup;
+      Finish(&req, result);
+    }
+  }
+}
+
+ServingStats ServingNode::Stats() const {
+  ServingStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.diversified = diversified_.load(std::memory_order_relaxed);
+  s.passthrough = passthrough_.load(std::memory_order_relaxed);
+  ResultCacheStats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.cache_evictions = cs.evictions;
+  s.cache_hit_rate = cs.HitRate();
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.batch_dedup_hits = batch_dedup_hits_.load(std::memory_order_relaxed);
+  s.mean_batch =
+      s.batches == 0
+          ? 0.0
+          : static_cast<double>(s.batched_requests) / s.batches;
+  s.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  s.qps = s.uptime_seconds > 0
+              ? static_cast<double>(s.completed) / s.uptime_seconds
+              : 0.0;
+  s.mean_ms = latency_.MeanMicros() / 1000.0;
+  s.p50_ms = latency_.PercentileMicros(0.50) / 1000.0;
+  s.p95_ms = latency_.PercentileMicros(0.95) / 1000.0;
+  s.p99_ms = latency_.PercentileMicros(0.99) / 1000.0;
+  s.queue_depth = queue_.size();
+  s.cache_entries = cache_.size();
+  return s;
+}
+
+}  // namespace serving
+}  // namespace optselect

@@ -1,0 +1,227 @@
+// Query-serving node — the production architecture of Section 4.1.
+//
+// The paper's efficiency argument is that OptSelect is cheap enough to
+// run *inside* the query pipeline of a serving node that keeps only the
+// precomputed DiversificationStore in memory (no query log, no
+// recommender). A ServingNode is that node: it owns the serving-time
+// flow
+//
+//     request ─> bounded MPMC queue ─> worker pool
+//       worker: normalize ─> sharded LRU result cache
+//               ─(miss)─> retrieve R_q ─> store lookup (S_q, R_q′)
+//               ─> utilities ─> OptSelect ─> ranking ─> cache fill
+//
+// with a fixed-size thread pool, optional micro-batching (each worker
+// wakeup drains up to max_batch queued requests and computes duplicate
+// queries once), and a ServingStats snapshot (QPS, latency quantiles
+// from a streaming histogram, cache and traffic counters).
+//
+// The ranking computed here is bit-identical to
+// DiversificationPipeline::Run for the same inputs whenever the store
+// entry matches what the live mining stack would produce — the store
+// *is* the serialized output of that stack (store_builder) — except that
+// specializations come from the store rather than a live detector, which
+// is exactly the serving/offline split the paper describes.
+
+#ifndef OPTSELECT_SERVING_SERVING_NODE_H_
+#define OPTSELECT_SERVING_SERVING_NODE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_optselect.h"
+#include "corpus/document_store.h"
+#include "index/searcher.h"
+#include "index/snippet_extractor.h"
+#include "pipeline/diversification_pipeline.h"
+#include "pipeline/testbed.h"
+#include "serving/latency_histogram.h"
+#include "serving/request_queue.h"
+#include "serving/result_cache.h"
+#include "store/diversification_store.h"
+#include "text/analyzer.h"
+#include "util/types.h"
+
+namespace optselect {
+namespace serving {
+
+/// Node configuration.
+struct ServingConfig {
+  /// Worker threads in the pool (0 ⇒ hardware_concurrency).
+  size_t num_workers = 0;
+  /// Bounded request queue capacity; Submit sheds load beyond this.
+  size_t queue_capacity = 1024;
+  /// Max requests drained per worker wakeup; 1 disables micro-batching.
+  size_t max_batch = 8;
+  /// Result cache switch + sizing.
+  bool enable_cache = true;
+  ResultCacheOptions cache;
+  /// Threads used *inside* one diversification (ParallelOptSelect
+  /// shards). Keep at 1 when the pool itself saturates the cores.
+  size_t intra_query_threads = 1;
+  /// Retrieval / diversification parameters (shared by every request).
+  pipeline::PipelineParams params;
+};
+
+/// Outcome of one request.
+struct ServeResult {
+  /// False only when the node was shut down before the request ran.
+  bool ok = false;
+  /// True when the query hit the store and OptSelect re-ranked it.
+  bool diversified = false;
+  /// True when the ranking was served from the result cache.
+  bool cache_hit = false;
+  /// True when the ranking was reused from an identical request in the
+  /// same micro-batch (set even when the cache is disabled).
+  bool batch_dedup = false;
+  /// Number of specializations diversified against (0 if passthrough).
+  size_t num_specializations = 0;
+  /// Final document ranking.
+  std::vector<DocId> ranking;
+};
+
+/// Point-in-time stats snapshot.
+struct ServingStats {
+  uint64_t accepted = 0;     ///< requests admitted to the queue
+  uint64_t rejected = 0;     ///< Submit calls shed (queue full / shutdown)
+  uint64_t completed = 0;    ///< requests answered (callback invoked)
+  uint64_t diversified = 0;  ///< answered via store + OptSelect
+  uint64_t passthrough = 0;  ///< answered with the plain DPH ranking
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t batches = 0;          ///< worker wakeups that did work
+  uint64_t batched_requests = 0; ///< requests served through batches
+  uint64_t batch_dedup_hits = 0; ///< duplicates computed once in a batch
+  double cache_hit_rate = 0.0;
+  double mean_batch = 0.0;
+  double uptime_seconds = 0.0;
+  double qps = 0.0;          ///< completed / uptime
+  double mean_ms = 0.0;      ///< request latency (queue wait included)
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t queue_depth = 0;
+  size_t cache_entries = 0;
+};
+
+/// Multithreaded serving front end over a loaded DiversificationStore.
+class ServingNode {
+ public:
+  /// Wires the node from serving-time components. All pointers are
+  /// non-owned and must outlive the node; every component is used
+  /// read-only (the retrieval stack is immutable after build, the
+  /// analyzer through AnalyzeReadOnly), which is what makes the worker
+  /// pool safe. Workers start immediately.
+  ServingNode(const store::DiversificationStore* store,
+              const index::Searcher* searcher,
+              const index::SnippetExtractor* snippets,
+              const text::Analyzer* analyzer,
+              const corpus::DocumentStore* documents,
+              ServingConfig config);
+
+  /// Same, but takes ownership of a store loaded from disk
+  /// (DiversificationStore::Load) — the deployment shape of Section 4.1.
+  ServingNode(store::DiversificationStore store,
+              const index::Searcher* searcher,
+              const index::SnippetExtractor* snippets,
+              const text::Analyzer* analyzer,
+              const corpus::DocumentStore* documents,
+              ServingConfig config);
+
+  /// Convenience wiring from a fully built testbed plus a store.
+  ServingNode(const store::DiversificationStore* store,
+              const pipeline::Testbed* testbed, ServingConfig config);
+
+  ServingNode(const ServingNode&) = delete;
+  ServingNode& operator=(const ServingNode&) = delete;
+
+  /// Drains and joins (Shutdown).
+  ~ServingNode();
+
+  /// Synchronous request: enqueues (blocking while the queue is full)
+  /// and waits for the worker pool to answer. Returns ok=false only
+  /// when the node is shut down.
+  ServeResult Serve(const std::string& query);
+
+  /// Asynchronous request: non-blocking enqueue; `callback` fires on a
+  /// worker thread exactly once. Returns false — and never invokes the
+  /// callback — when the queue is full or the node is shut down
+  /// (load shedding; counted in stats().rejected).
+  bool Submit(std::string query, std::function<void(ServeResult)> callback);
+
+  /// Stops admission, drains every queued request (their callbacks still
+  /// fire), and joins the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Snapshot of the counters and latency quantiles.
+  ServingStats Stats() const;
+
+  const ServingConfig& config() const { return config_; }
+  const store::DiversificationStore& store() const { return *store_; }
+
+ private:
+  struct Request {
+    std::string query;
+    std::function<void(ServeResult)> callback;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  /// Primary constructor: exactly one of `owned_store` / `store` is
+  /// set. Workers start only after every member (including the store
+  /// pointer) is initialized.
+  ServingNode(std::unique_ptr<store::DiversificationStore> owned_store,
+              const store::DiversificationStore* store,
+              const index::Searcher* searcher,
+              const index::SnippetExtractor* snippets,
+              const text::Analyzer* analyzer,
+              const corpus::DocumentStore* documents,
+              ServingConfig config);
+
+  void WorkerLoop();
+  /// Cache-aware compute for one normalized query (miss path).
+  std::shared_ptr<const ServeResult> ComputeRanking(
+      const std::string& normalized_query) const;
+  /// Full per-request flow: cache lookup, compute, cache fill.
+  std::shared_ptr<const ServeResult> LookupOrCompute(
+      const std::string& cache_key, const std::string& normalized_query,
+      bool* cache_hit);
+  void Finish(Request* request, const ServeResult& result);
+
+  ServingConfig config_;
+  std::unique_ptr<store::DiversificationStore> owned_store_;
+  const store::DiversificationStore* store_;
+  const index::Searcher* searcher_;
+  const index::SnippetExtractor* snippets_;
+  const text::Analyzer* analyzer_;
+  const corpus::DocumentStore* documents_;
+  core::ParallelOptSelectDiversifier diversifier_;
+  uint64_t params_fingerprint_;
+
+  BoundedRequestQueue<Request> queue_;
+  ShardedLruCache<ServeResult> cache_;
+  LatencyHistogram latency_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> diversified_{0};
+  std::atomic<uint64_t> passthrough_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> batch_dedup_hits_{0};
+};
+
+}  // namespace serving
+}  // namespace optselect
+
+#endif  // OPTSELECT_SERVING_SERVING_NODE_H_

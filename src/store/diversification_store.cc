@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace optselect {
@@ -67,13 +68,15 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Historical quirk, kept for file compatibility: v1 store files were
+// checksummed with this offset basis (the standard FNV-1a basis with
+// its last decimal digit dropped). Changing it would make every
+// existing store.bin fail Load with a spurious "checksum mismatch";
+// revisit only together with a kVersion bump.
+constexpr uint64_t kV1ChecksumBasis = 1469598103934665603ull;
+
 uint64_t Fnv1a(const char* data, size_t size) {
-  uint64_t h = 1469598103934665603ull;
-  for (size_t i = 0; i < size; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
+  return util::Fnv1a64(data, size, kV1ChecksumBasis);
 }
 
 }  // namespace
@@ -85,13 +88,15 @@ util::Status DiversificationStore::Put(StoredEntry entry) {
         std::to_string(entry.specializations.size()) +
         " specializations; an ambiguous query needs at least 2");
   }
-  std::string key = entry.query;
+  // Keys are normalized so serving-time lookups are insensitive to
+  // casing/spacing; entry.query keeps the original string.
+  std::string key = util::NormalizeQueryText(entry.query);
   entries_[std::move(key)] = std::move(entry);
   return util::Status::Ok();
 }
 
 const StoredEntry* DiversificationStore::Find(std::string_view query) const {
-  auto it = entries_.find(std::string(query));
+  auto it = entries_.find(util::NormalizeQueryText(query));
   return it == entries_.end() ? nullptr : &it->second;
 }
 

@@ -48,10 +48,14 @@ struct StoredEntry {
 class DiversificationStore {
  public:
   /// Inserts (or replaces) an entry. Entries with fewer than two
-  /// specializations are rejected (not ambiguous by definition).
+  /// specializations are rejected (not ambiguous by definition). The
+  /// map key is util::NormalizeQueryText(entry.query) — two entries
+  /// differing only in casing/spacing occupy one slot — while
+  /// entry.query itself is stored untouched.
   util::Status Put(StoredEntry entry);
 
-  /// Looks up a query; nullptr when not stored (⇒ not ambiguous).
+  /// Looks up a query (normalized the same way as Put keys); nullptr
+  /// when not stored (⇒ not ambiguous).
   const StoredEntry* Find(std::string_view query) const;
 
   size_t size() const { return entries_.size(); }

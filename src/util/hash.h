@@ -1,0 +1,36 @@
+// FNV-1a hashing, shared by every fingerprint/checksum in the library
+// (store file checksums, serving cache-key parameter fingerprints).
+
+#ifndef OPTSELECT_UTIL_HASH_H_
+#define OPTSELECT_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace optselect {
+namespace util {
+
+inline constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+/// Mixes `size` bytes into a running FNV-1a state (chainable).
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t state = kFnv1aOffsetBasis) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state ^= p[i];
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+/// Mixes one trivially copyable value (its object representation).
+template <typename T>
+uint64_t Fnv1a64Value(T value, uint64_t state = kFnv1aOffsetBasis) {
+  return Fnv1a64(&value, sizeof(value), state);
+}
+
+}  // namespace util
+}  // namespace optselect
+
+#endif  // OPTSELECT_UTIL_HASH_H_

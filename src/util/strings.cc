@@ -49,6 +49,25 @@ std::string ToLower(std::string_view s) {
   return out;
 }
 
+std::string NormalizeQueryText(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool pending_space = false;
+  for (char c : raw) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
 std::string_view Trim(std::string_view s) {
   size_t b = 0;
   size_t e = s.size();

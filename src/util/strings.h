@@ -22,6 +22,13 @@ std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
 /// ASCII lowercase copy.
 std::string ToLower(std::string_view s);
 
+/// Canonical query text: ASCII-lowercased, leading/trailing whitespace
+/// stripped, internal whitespace runs collapsed to single spaces.
+/// "  Apple  IPhone " and "apple iphone" normalize identically. Used
+/// wherever query strings are map keys (diversification store, serving
+/// result cache) so lookups are insensitive to casing and spacing.
+std::string NormalizeQueryText(std::string_view raw);
+
 /// Strips leading/trailing ASCII whitespace.
 std::string_view Trim(std::string_view s);
 

@@ -48,6 +48,20 @@ TEST(StoreTest, PutAndFind) {
   EXPECT_EQ(store.Find("nothing"), nullptr);
 }
 
+TEST(StoreTest, FindNormalizesCasingAndSpacing) {
+  DiversificationStore store;
+  ASSERT_TRUE(store.Put(MakeEntry("New  York", 2, 1)).ok());
+  const StoredEntry* entry = store.Find("new york");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->query, "New  York");  // original string preserved
+  EXPECT_NE(store.Find("  NEW YORK "), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+  // Differently cased Put lands in the same slot (replace, not grow).
+  ASSERT_TRUE(store.Put(MakeEntry("new york", 3, 1)).ok());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Find("new york")->specializations.size(), 3u);
+}
+
 TEST(StoreTest, RejectsNonAmbiguousEntries) {
   DiversificationStore store;
   util::Status s = store.Put(MakeEntry("solo", 1, 2));

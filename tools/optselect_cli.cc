@@ -18,6 +18,17 @@
 //   evaluate <dir> <run...>
 //       Scores one or more run files against <dir>/topics.tsv and
 //       <dir>/qrels.txt (α-NDCG and IA-P at 5/10/20).
+//
+//   serve <dir> [--workers N] [--batch B] [--cache 0|1] ...
+//       Regenerates the testbed retrieval stack (same seed), loads
+//       <dir>/store.bin, and starts a ServingNode REPL: one query per
+//       stdin line, ranking + latency per answer; ":stats" prints the
+//       node's counters, EOF exits.
+//
+//   loadtest <dir> [--requests N] [--skew Z] [--workers N] ...
+//       Same node, but replays a Zipf-distributed query mix sampled
+//       from the testbed log's popularity order and prints the
+//       ServingStats summary (QPS, latency quantiles, cache hit rate).
 
 #include <cstdio>
 #include <cstring>
@@ -32,13 +43,18 @@
 #include "eval/trec_io.h"
 #include "pipeline/diversification_pipeline.h"
 #include "pipeline/testbed.h"
+#include "querylog/popularity.h"
 #include "querylog/query_flow_graph.h"
 #include "querylog/session_segmenter.h"
 #include "recommend/ambiguity_detector.h"
 #include "recommend/shortcuts_recommender.h"
+#include "serving/replay.h"
+#include "serving/serving_node.h"
 #include "store/diversification_store.h"
 #include "store/store_builder.h"
+#include "util/rng.h"
 #include "util/table_printer.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -52,7 +68,11 @@ int Usage() {
       "  optselect mine <log.tsv> [--min-freq F]\n"
       "  optselect run <dir> <out.run> [--algo A] [--c F] [--lambda F]"
       " [--k N]\n"
-      "  optselect evaluate <dir> <run...>\n");
+      "  optselect evaluate <dir> <run...>\n"
+      "  optselect serve <dir> [--workers N] [--batch B] [--cache 0|1]"
+      " [--k N] [--c F] [--lambda F]\n"
+      "  optselect loadtest <dir> [--requests N] [--skew Z] [--workers N]"
+      " [--batch B] [--cache 0|1]\n");
   return 2;
 }
 
@@ -237,6 +257,147 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+/// Parses a non-negative integer flag; negative values (which would
+/// wrap when cast to size_t) fall back to `fallback`.
+size_t SizeFlag(const Flags& flags, const std::string& key,
+                const std::string& fallback) {
+  long long v = std::atoll(flags.Get(key, fallback).c_str());
+  if (v < 0) v = std::atoll(fallback.c_str());
+  return static_cast<size_t>(v);
+}
+
+serving::ServingConfig ServingConfigFor(const Flags& flags) {
+  serving::ServingConfig config;
+  config.num_workers = SizeFlag(flags, "workers", "0");
+  config.max_batch = SizeFlag(flags, "batch", "8");
+  config.enable_cache = flags.Get("cache", "1") != "0";
+  config.cache.capacity = SizeFlag(flags, "cache-capacity", "4096");
+  config.params.num_candidates = SizeFlag(flags, "candidates", "200");
+  config.params.threshold_c = std::atof(flags.Get("c", "0.3").c_str());
+  config.params.diversify.lambda =
+      std::atof(flags.Get("lambda", "0.15").c_str());
+  config.params.diversify.k = SizeFlag(flags, "k", "10");
+  return config;
+}
+
+void PrintServingStats(const serving::ServingStats& s) {
+  util::TablePrinter tp;
+  tp.SetHeader({"metric", "value"});
+  tp.AddRow({"uptime s", util::TablePrinter::Num(s.uptime_seconds, 1)});
+  tp.AddRow({"completed", std::to_string(s.completed)});
+  tp.AddRow({"rejected", std::to_string(s.rejected)});
+  tp.AddRow({"QPS", util::TablePrinter::Num(s.qps, 0)});
+  tp.AddRow({"p50 ms", util::TablePrinter::Num(s.p50_ms, 2)});
+  tp.AddRow({"p95 ms", util::TablePrinter::Num(s.p95_ms, 2)});
+  tp.AddRow({"p99 ms", util::TablePrinter::Num(s.p99_ms, 2)});
+  tp.AddRow({"diversified", std::to_string(s.diversified)});
+  tp.AddRow({"passthrough", std::to_string(s.passthrough)});
+  tp.AddRow({"cache hit rate", util::TablePrinter::Num(s.cache_hit_rate, 3)});
+  tp.AddRow({"cache entries", std::to_string(s.cache_entries)});
+  tp.AddRow({"cache evictions", std::to_string(s.cache_evictions)});
+  tp.AddRow({"mean batch", util::TablePrinter::Num(s.mean_batch, 2)});
+  tp.AddRow({"batch dedup hits", std::to_string(s.batch_dedup_hits)});
+  std::printf("%s", tp.ToString().c_str());
+}
+
+/// Rebuilds the retrieval stack and loads <dir>/store.bin. Returns
+/// nullptr (after printing the error) on failure.
+std::unique_ptr<store::DiversificationStore> LoadStoreOrDie(
+    const std::string& dir) {
+  auto loaded = store::DiversificationStore::Load(dir + "/store.bin");
+  if (!loaded.ok()) {
+    std::fprintf(stderr,
+                 "error: %s (run `optselect generate %s` first)\n",
+                 loaded.status().ToString().c_str(), dir.c_str());
+    return nullptr;
+  }
+  return std::make_unique<store::DiversificationStore>(
+      std::move(loaded).value());
+}
+
+int CmdServe(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  const std::string dir = flags.positional[0];
+  std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
+  if (store == nullptr) return 1;
+
+  std::printf("rebuilding testbed retrieval stack...\n");
+  pipeline::Testbed testbed(ConfigFor(flags));
+  serving::ServingNode node(store.get(), &testbed, ServingConfigFor(flags));
+  std::printf(
+      "serving %zu stored queries with %zu workers (batch %zu, cache %s)\n"
+      "one query per line; \":stats\" prints counters; EOF exits\n",
+      store->size(), node.config().num_workers, node.config().max_batch,
+      node.config().enable_cache ? "on" : "off");
+
+  char line[4096];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    std::string query(line);
+    while (!query.empty() &&
+           (query.back() == '\n' || query.back() == '\r')) {
+      query.pop_back();
+    }
+    if (query.empty()) continue;
+    if (query == ":stats") {
+      PrintServingStats(node.Stats());
+      continue;
+    }
+    util::WallTimer timer;
+    serving::ServeResult result = node.Serve(query);
+    double ms = timer.ElapsedMillis();
+    std::printf("%s | %s%s | %.2f ms |", query.c_str(),
+                result.diversified ? "diversified" : "passthrough",
+                result.cache_hit ? " (cached)" : "", ms);
+    for (DocId doc : result.ranking) {
+      std::printf(" %u", static_cast<unsigned>(doc));
+    }
+    std::printf("\n");
+  }
+  PrintServingStats(node.Stats());
+  return 0;
+}
+
+int CmdLoadtest(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  const std::string dir = flags.positional[0];
+  std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
+  if (store == nullptr) return 1;
+
+  std::printf("rebuilding testbed retrieval stack...\n");
+  pipeline::Testbed testbed(ConfigFor(flags));
+
+  long long requested = std::atoll(flags.Get("requests", "5000").c_str());
+  if (requested <= 0) {
+    std::fprintf(stderr, "error: --requests must be positive\n");
+    return 2;
+  }
+  size_t num_requests = static_cast<size_t>(requested);
+  double skew = std::atof(flags.Get("skew", "1.0").c_str());
+
+  if (testbed.recommender().popularity().counts().empty()) {
+    std::fprintf(stderr, "error: empty query log\n");
+    return 1;
+  }
+  // Zipf-distributed replay mix over the log's popularity order — the
+  // same traffic shape bench_serving_throughput measures.
+  util::Rng rng(static_cast<uint64_t>(
+      std::atoll(flags.Get("seed", "17").c_str())));
+  std::vector<std::string> mix = querylog::ZipfQueryMix(
+      testbed.recommender().popularity(), num_requests, skew, &rng);
+
+  serving::ServingConfig config = ServingConfigFor(flags);
+  config.queue_capacity = num_requests;
+  serving::ServingNode node(store.get(), &testbed, config);
+  std::printf("replaying %zu requests (skew %.2f) on %zu workers...\n",
+              num_requests, skew, node.config().num_workers);
+
+  serving::ReplayOutcome out = serving::ReplayMix(&node, mix);
+  std::printf("replayed %zu/%zu requests in %.1f ms (%.0f QPS)\n",
+              out.accepted, num_requests, out.wall_ms, out.qps);
+  PrintServingStats(node.Stats());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,5 +408,7 @@ int main(int argc, char** argv) {
   if (cmd == "mine") return CmdMine(flags);
   if (cmd == "run") return CmdRun(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "loadtest") return CmdLoadtest(flags);
   return Usage();
 }
