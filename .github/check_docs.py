@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Docs lint for CI: no broken relative links, no dangling references.
+
+Checks every tracked *.md file:
+  1. relative markdown links [text](path) resolve to an existing file
+     or directory (http/https/mailto links are skipped);
+  2. heading anchors referenced as path#anchor exist in the target file
+     (GitHub-style slugs: lowercase, spaces -> '-', punctuation dropped);
+  3. fenced code blocks are balanced (an odd number of ``` fences means
+     a broken render).
+
+Exit code 0 when clean, 1 with one line per finding otherwise.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    return {github_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def tracked_markdown() -> list:
+    out = subprocess.run(["git", "ls-files", "*.md"], capture_output=True,
+                         text=True, check=True)
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def main() -> int:
+    problems = []
+    for md in tracked_markdown():
+        base = os.path.dirname(md)
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+
+        if text.count("```") % 2 != 0:
+            problems.append(f"{md}: unbalanced ``` code fence")
+
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, anchor = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, path)) if path \
+                else md
+            if not os.path.exists(resolved):
+                problems.append(f"{md}: broken link -> {target}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if anchor not in anchors_of(resolved):
+                    problems.append(f"{md}: missing anchor -> {target}")
+
+    for p in problems:
+        print(p)
+    print(f"checked {len(tracked_markdown())} markdown files, "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,271 @@
+// Hot-reload latency impact — the zero-downtime half of the store
+// lifecycle. A ServingNode keeps answering a Zipf query mix while a
+// background thread repeatedly rebuilds the store snapshot (one entry's
+// specialization distribution perturbed, then restored) and swaps it
+// in with ReloadStore. Measured claims, all asserted, not just printed:
+//
+//   - zero failed requests across every swap (the RCU-style snapshot
+//     swap never rejects or drops an in-flight request);
+//   - a query whose entry is identical in both snapshot variants keeps
+//     a bit-identical ranking through every swap (per-key cache
+//     invalidation never touches unchanged keys);
+//   - p50/p99 latency under continuous swapping, reported next to the
+//     swap-free baseline of the same mix (the swap-window cost).
+//
+// Output: a human table plus BENCH_store_reload.json (bench_util).
+//
+//   bench_store_reload [requests] [swap_period_ms] [zipf_skew]
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "pipeline/testbed.h"
+#include "querylog/popularity.h"
+#include "serving/latency_histogram.h"
+#include "serving/serving_node.h"
+#include "store/store_builder.h"
+#include "store/store_snapshot.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace optselect;  // NOLINT(build/namespaces)
+
+struct PhaseResult {
+  double wall_ms = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  size_t failures = 0;          // !ok results or shed submissions
+  size_t pinned_mismatches = 0; // pinned-query rankings that diverged
+  size_t swaps = 0;             // reloads performed during the phase
+};
+
+/// Replays `mix`, recording per-request latency locally. While the
+/// phase runs, `swapper` (optional) flips the store between the two
+/// entry variants every `swap_period`. `pinned` is a stored query whose
+/// entry both variants share; every answer for it must equal
+/// `pinned_reference`.
+PhaseResult RunPhase(serving::ServingNode* node,
+                     const std::vector<std::string>& mix,
+                     const std::string& pinned,
+                     const std::vector<DocId>& pinned_reference,
+                     bool with_swaps, int swap_period_ms,
+                     const store::StoredEntry* variant_a,
+                     const store::StoredEntry* variant_b) {
+  PhaseResult out;
+  serving::LatencyHistogram hist;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  size_t accepted = 0;
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> mismatches{0};
+  std::atomic<bool> stop_swapper{false};
+
+  std::thread swapper;
+  std::atomic<size_t> swaps{0};
+  if (with_swaps) {
+    swapper = std::thread([&] {
+      bool use_b = true;
+      while (!stop_swapper.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const store::StoreSnapshot> cur = node->snapshot();
+        store::StoreDelta delta;
+        delta.upserts.push_back(use_b ? *variant_b : *variant_a);
+        use_b = !use_b;
+        store::SnapshotBuildResult built =
+            store::BuildSnapshot(cur.get(), delta);
+        node->ReloadStore(built.snapshot, built.changed_keys);
+        swaps.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(swap_period_ms));
+      }
+    });
+  }
+
+  util::WallTimer timer;
+  for (const std::string& query : mix) {
+    bool is_pinned = query == pinned;
+    auto enqueue = std::chrono::steady_clock::now();
+    bool ok = node->Submit(query, [&, is_pinned,
+                                   enqueue](serving::ServeResult r) {
+      auto now = std::chrono::steady_clock::now();
+      hist.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                      now - enqueue)
+                      .count());
+      if (!r.ok) failures.fetch_add(1, std::memory_order_relaxed);
+      if (is_pinned && r.ranking != pinned_reference) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_one();
+    });
+    if (ok) {
+      ++accepted;
+    } else {
+      failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == accepted; });
+  }
+  out.wall_ms = timer.ElapsedMillis();
+  if (with_swaps) {
+    stop_swapper.store(true, std::memory_order_relaxed);
+    swapper.join();
+  }
+
+  out.qps = out.wall_ms > 0
+                ? 1000.0 * static_cast<double>(accepted) / out.wall_ms
+                : 0.0;
+  out.p50_ms = hist.PercentileMicros(0.50) / 1000.0;
+  out.p99_ms = hist.PercentileMicros(0.99) / 1000.0;
+  out.failures = failures.load();
+  out.pinned_mismatches = mismatches.load();
+  out.swaps = swaps.load();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_requests = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  int swap_period_ms = argc > 2 ? std::atoi(argv[2]) : 5;
+  double skew = argc > 3 ? std::atof(argv[3]) : 1.0;
+  if (swap_period_ms < 1) swap_period_ms = 1;
+
+  std::printf("building testbed + store...\n");
+  pipeline::Testbed testbed(pipeline::TestbedConfig::Small());
+  store::DiversificationStore base;
+  std::vector<std::string> roots;
+  for (const auto& topic : testbed.universe().topics) {
+    roots.push_back(topic.root_query);
+  }
+  store::BuildStore(testbed.detector(), testbed.searcher(),
+                    testbed.snippets(), testbed.analyzer(),
+                    testbed.corpus().store, roots, {}, &base);
+  if (base.size() < 2) {
+    std::fprintf(stderr, "error: need >= 2 stored entries\n");
+    return 1;
+  }
+
+  // The swap target is the lexically-smallest stored key; the pinned
+  // (never-changing) query is the next one. Variant B perturbs the
+  // target's specialization distribution, which is exactly what a log
+  // refresh does to an entry.
+  std::string target_key, pinned_key;
+  for (const auto& [key, entry] : base.entries()) {
+    if (target_key.empty() || key < target_key) target_key = key;
+  }
+  for (const auto& [key, entry] : base.entries()) {
+    if (key != target_key && (pinned_key.empty() || key < pinned_key)) {
+      pinned_key = key;
+    }
+  }
+  store::StoredEntry variant_a = *base.Find(target_key);
+  store::StoredEntry variant_b = variant_a;
+  double norm = 0;
+  variant_b.specializations[0].probability *= 0.5;
+  for (const auto& sp : variant_b.specializations) norm += sp.probability;
+  for (auto& sp : variant_b.specializations) sp.probability /= norm;
+
+  util::Rng rng(99);
+  std::vector<std::string> mix = querylog::ZipfQueryMix(
+      testbed.recommender().popularity(), num_requests, skew, &rng);
+  // Guarantee pinned coverage inside the measured stream.
+  for (size_t i = 16; i < mix.size(); i += 97) mix[i] = pinned_key;
+
+  serving::ServingConfig config;
+  config.queue_capacity = num_requests;
+  config.max_batch = 8;
+  config.params.num_candidates = 200;
+  config.params.diversify.k = 10;
+  serving::ServingNode node(store::StoreSnapshot::Own(base),
+                            &testbed.searcher(), &testbed.snippets(),
+                            &testbed.analyzer(), &testbed.corpus().store,
+                            config);
+  std::vector<DocId> pinned_reference = node.Serve(pinned_key).ranking;
+
+  std::printf("replaying %zu requests, swap every %d ms...\n", num_requests,
+              swap_period_ms);
+  PhaseResult steady = RunPhase(&node, mix, pinned_key, pinned_reference,
+                                false, swap_period_ms, &variant_a,
+                                &variant_b);
+  PhaseResult reload = RunPhase(&node, mix, pinned_key, pinned_reference,
+                                true, swap_period_ms, &variant_a,
+                                &variant_b);
+  serving::ServingStats stats = node.Stats();
+
+  util::TablePrinter tp;
+  tp.SetHeader({"phase", "wall ms", "QPS", "p50 ms", "p99 ms", "swaps",
+                "failures"});
+  auto row = [&](const char* name, const PhaseResult& r) {
+    tp.AddRow({name, util::TablePrinter::Num(r.wall_ms, 1),
+               util::TablePrinter::Num(r.qps, 0),
+               util::TablePrinter::Num(r.p50_ms, 2),
+               util::TablePrinter::Num(r.p99_ms, 2),
+               std::to_string(r.swaps), std::to_string(r.failures)});
+  };
+  row("steady", steady);
+  row("under_reload", reload);
+  std::printf("%s", tp.ToString().c_str());
+  std::printf(
+      "store version %llu after %llu reloads, %llu cache invalidations\n",
+      static_cast<unsigned long long>(stats.store_version),
+      static_cast<unsigned long long>(stats.reloads),
+      static_cast<unsigned long long>(stats.cache_invalidations));
+
+  bench::BenchJsonWriter json("store_reload");
+  auto record = [&](const char* name, const PhaseResult& r) {
+    json.Add(name,
+             {{"requests", static_cast<double>(num_requests)},
+              {"zipf_skew", skew},
+              {"swap_period_ms", static_cast<double>(swap_period_ms)},
+              {"swaps", static_cast<double>(r.swaps)},
+              {"failures", static_cast<double>(r.failures)},
+              {"pinned_mismatches", static_cast<double>(r.pinned_mismatches)},
+              {"p50_ms", r.p50_ms},
+              {"p99_ms", r.p99_ms}},
+             r.wall_ms, r.qps);
+  };
+  record("steady", steady);
+  record("under_reload", reload);
+  util::Status s = json.WriteFile();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_store_reload.json (%zu records)\n", json.size());
+
+  if (steady.failures + reload.failures > 0) {
+    std::fprintf(stderr, "FATAL: %zu failed requests\n",
+                 steady.failures + reload.failures);
+    return 1;
+  }
+  if (steady.pinned_mismatches + reload.pinned_mismatches > 0) {
+    std::fprintf(stderr,
+                 "FATAL: %zu pinned-query rankings diverged across swaps\n",
+                 steady.pinned_mismatches + reload.pinned_mismatches);
+    return 1;
+  }
+  if (reload.swaps == 0) {
+    std::fprintf(stderr, "FATAL: no swap happened during the reload phase\n");
+    return 1;
+  }
+  std::printf("zero failed requests, pinned ranking bit-identical across "
+              "%zu swaps: OK\n",
+              reload.swaps);
+  return 0;
+}

@@ -54,6 +54,19 @@ class PopularityMap {
   uint64_t total_ = 0;
 };
 
+/// Popularity mass of one record under per-record rounding: the
+/// submission itself plus `click_weight` per clicked result, rounded
+/// to the nearest integer. Shared by the incremental ingestion paths
+/// (LogIngestor, ShortcutsRecommender::TrainIncremental) so their
+/// counts can never drift apart; the batch PopularityMap constructor
+/// instead accumulates fractional mass per query and rounds once,
+/// which may differ by ±0.5 per query (documented at the call sites).
+inline uint64_t ClickMass(double click_weight, size_t num_clicks) {
+  if (click_weight <= 0.0) return 1;
+  return static_cast<uint64_t>(
+      1.0 + click_weight * static_cast<double>(num_clicks) + 0.5);
+}
+
 /// Replay traffic for load tests and serving benchmarks: draws
 /// `num_requests` queries by sampling Zipf(skew)-distributed ranks over
 /// the popularity order (most frequent query = rank 0; frequency ties

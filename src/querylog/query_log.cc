@@ -80,6 +80,25 @@ util::Status QueryLog::SaveTsv(const std::string& path) const {
   return util::Status::Ok();
 }
 
+util::Result<QueryRecord> QueryLog::ParseTsvLine(const std::string& line) {
+  std::vector<std::string> fields = util::Split(line, '\t');
+  if (fields.size() != 5) {
+    return util::Status::Corruption(util::StrFormat(
+        "expected 5 fields, got %zu", fields.size()));
+  }
+  QueryRecord r;
+  r.query = fields[0];
+  r.user = static_cast<UserId>(std::strtoul(fields[1].c_str(), nullptr, 10));
+  r.timestamp = std::strtoll(fields[2].c_str(), nullptr, 10);
+  auto results = ParseIds(fields[3]);
+  if (!results.ok()) return results.status();
+  auto clicks = ParseIds(fields[4]);
+  if (!clicks.ok()) return clicks.status();
+  r.results = std::move(results).value();
+  r.clicks = std::move(clicks).value();
+  return r;
+}
+
 util::Result<QueryLog> QueryLog::LoadTsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::Status::IoError("cannot open for read: " + path);
@@ -89,23 +108,13 @@ util::Result<QueryLog> QueryLog::LoadTsv(const std::string& path) {
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
-    std::vector<std::string> fields = util::Split(line, '\t');
-    if (fields.size() != 5) {
+    auto record = ParseTsvLine(line);
+    if (!record.ok()) {
       return util::Status::Corruption(
-          util::StrFormat("line %zu: expected 5 fields, got %zu", lineno,
-                          fields.size()));
+          util::StrFormat("line %zu: ", lineno) +
+          record.status().message());
     }
-    QueryRecord r;
-    r.query = fields[0];
-    r.user = static_cast<UserId>(std::strtoul(fields[1].c_str(), nullptr, 10));
-    r.timestamp = std::strtoll(fields[2].c_str(), nullptr, 10);
-    auto results = ParseIds(fields[3]);
-    if (!results.ok()) return results.status();
-    auto clicks = ParseIds(fields[4]);
-    if (!clicks.ok()) return clicks.status();
-    r.results = std::move(results).value();
-    r.clicks = std::move(clicks).value();
-    log.Add(std::move(r));
+    log.Add(std::move(record).value());
   }
   return log;
 }

@@ -54,6 +54,10 @@ class QueryLog {
   /// Parses a TSV file written by SaveTsv.
   static util::Result<QueryLog> LoadTsv(const std::string& path);
 
+  /// Parses one SaveTsv line (no trailing newline). Shared by LoadTsv
+  /// and the incremental tail reader (LogIngestor).
+  static util::Result<QueryRecord> ParseTsvLine(const std::string& line);
+
  private:
   std::vector<QueryRecord> records_;
 };

@@ -12,7 +12,23 @@ void ShortcutsRecommender::Train(
   model_.clear();
   popularity_ = querylog::PopularityMap(log, options_.click_weight);
   max_pair_weight_ = 1.0;
+  AccumulateSessions(log, sessions);
+}
 
+void ShortcutsRecommender::TrainIncremental(
+    const querylog::QueryLog& delta,
+    const std::vector<querylog::Session>& delta_sessions) {
+  for (const querylog::QueryRecord& r : delta.records()) {
+    popularity_.Increment(
+        r.query, querylog::ClickMass(options_.click_weight,
+                                     r.clicks.size()));
+  }
+  AccumulateSessions(delta, delta_sessions);
+}
+
+void ShortcutsRecommender::AccumulateSessions(
+    const querylog::QueryLog& log,
+    const std::vector<querylog::Session>& sessions) {
   for (const querylog::Session& session : sessions) {
     const auto& idxs = session.record_indices;
     for (size_t i = 0; i < idxs.size(); ++i) {

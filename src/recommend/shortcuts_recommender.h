@@ -50,9 +50,21 @@ class ShortcutsRecommender : public Recommender {
   explicit ShortcutsRecommender(Options options) : options_(options) {}
 
   /// Trains the suggestion model from segmented sessions over `log`.
-  /// Also ingests global query frequencies from the log.
+  /// Also ingests global query frequencies from the log. Replaces any
+  /// previous model.
   void Train(const querylog::QueryLog& log,
              const std::vector<querylog::Session>& sessions);
+
+  /// Folds a log *delta* (e.g. one LogIngestor poll) into the existing
+  /// model without retraining: popularity and pair weights are pure
+  /// accumulations, so new sessions simply add their increments.
+  /// `delta_sessions` must index into `delta`, not into any earlier
+  /// log. With a non-zero click_weight the per-record popularity mass
+  /// is rounded per record instead of per query batch — a ±0.5
+  /// difference versus a full Train, which the incremental store
+  /// refresh accepts for never re-reading the full log.
+  void TrainIncremental(const querylog::QueryLog& delta,
+                        const std::vector<querylog::Session>& delta_sessions);
 
   /// Returns up to `max_suggestions` suggestions for `query`, best first.
   /// Unknown queries get an empty list.
@@ -68,6 +80,10 @@ class ShortcutsRecommender : public Recommender {
   size_t num_source_queries() const { return model_.size(); }
 
  private:
+  /// Shared accumulation core of Train / TrainIncremental.
+  void AccumulateSessions(const querylog::QueryLog& log,
+                          const std::vector<querylog::Session>& sessions);
+
   Options options_;
   querylog::PopularityMap popularity_;
   // q → (q′ → accumulated discounted co-occurrence weight, support count)

@@ -43,6 +43,7 @@ struct ResultCacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t insertions = 0;
+  uint64_t invalidations = 0;  ///< explicit Erase hits (store reloads)
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -99,6 +100,20 @@ class ShardedLruCache {
     insertions_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Drops one entry if present (store reloads invalidate exactly the
+  /// keys whose stored entries changed). Returns true when an entry was
+  /// removed; counted separately from capacity evictions.
+  bool Erase(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
   /// Total entries currently cached (sums shard sizes under their locks).
   size_t size() const {
     size_t n = 0;
@@ -124,6 +139,7 @@ class ShardedLruCache {
     st.misses = misses_.load(std::memory_order_relaxed);
     st.evictions = evictions_.load(std::memory_order_relaxed);
     st.insertions = insertions_.load(std::memory_order_relaxed);
+    st.invalidations = invalidations_.load(std::memory_order_relaxed);
     return st;
   }
 
@@ -159,6 +175,7 @@ class ShardedLruCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace serving

@@ -21,15 +21,13 @@ size_t ResolveWorkers(size_t requested) {
 }  // namespace
 
 ServingNode::ServingNode(
-    std::unique_ptr<store::DiversificationStore> owned_store,
-    const store::DiversificationStore* store,
+    std::shared_ptr<const store::StoreSnapshot> snapshot,
     const index::Searcher* searcher,
     const index::SnippetExtractor* snippets,
     const text::Analyzer* analyzer,
     const corpus::DocumentStore* documents, ServingConfig config)
     : config_(config),
-      owned_store_(std::move(owned_store)),
-      store_(store != nullptr ? store : owned_store_.get()),
+      snapshot_(std::move(snapshot)),
       searcher_(searcher),
       snippets_(snippets),
       analyzer_(analyzer),
@@ -53,8 +51,8 @@ ServingNode::ServingNode(const store::DiversificationStore* store,
                          const text::Analyzer* analyzer,
                          const corpus::DocumentStore* documents,
                          ServingConfig config)
-    : ServingNode(nullptr, store, searcher, snippets, analyzer, documents,
-                  config) {}
+    : ServingNode(store::StoreSnapshot::Borrow(store), searcher, snippets,
+                  analyzer, documents, config) {}
 
 ServingNode::ServingNode(store::DiversificationStore store,
                          const index::Searcher* searcher,
@@ -62,9 +60,8 @@ ServingNode::ServingNode(store::DiversificationStore store,
                          const text::Analyzer* analyzer,
                          const corpus::DocumentStore* documents,
                          ServingConfig config)
-    : ServingNode(
-          std::make_unique<store::DiversificationStore>(std::move(store)),
-          nullptr, searcher, snippets, analyzer, documents, config) {}
+    : ServingNode(store::StoreSnapshot::Own(std::move(store)), searcher,
+                  snippets, analyzer, documents, config) {}
 
 ServingNode::ServingNode(const store::DiversificationStore* store,
                          const pipeline::Testbed* testbed,
@@ -73,6 +70,34 @@ ServingNode::ServingNode(const store::DiversificationStore* store,
                   &testbed->analyzer(), &testbed->corpus().store, config) {}
 
 ServingNode::~ServingNode() { Shutdown(); }
+
+std::shared_ptr<const store::StoreSnapshot> ServingNode::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+ServingNode::ReloadOutcome ServingNode::ReloadStore(
+    std::shared_ptr<const store::StoreSnapshot> snapshot,
+    const std::vector<std::string>& changed_keys) {
+  ReloadOutcome outcome;
+  outcome.new_version = snapshot->version();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    outcome.old_version = snapshot_->version();
+    snapshot_ = std::move(snapshot);
+  }
+  // Invalidation runs after the swap: a request that recomputes one of
+  // these keys between the swap and its erase already sees the new
+  // snapshot, and the fill guard in LookupOrCompute keeps any compute
+  // still pinned to the old snapshot from repopulating the key.
+  for (const std::string& key : changed_keys) {
+    if (cache_.Erase(MakeCacheKey(key, params_fingerprint_))) {
+      ++outcome.invalidated;
+    }
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return outcome;
+}
 
 void ServingNode::Shutdown() {
   bool expected = false;
@@ -131,9 +156,11 @@ ServeResult ServingNode::Serve(const std::string& query) {
 }
 
 std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
-    const std::string& normalized_query) const {
+    const std::string& normalized_query,
+    const store::StoreSnapshot& snapshot) const {
   auto result = std::make_shared<ServeResult>();
   result->ok = true;
+  result->store_version = snapshot.version();
 
   const pipeline::PipelineParams& params = config_.params;
   std::vector<text::TermId> query_terms =
@@ -144,7 +171,7 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
 
   // Serving-time step (a): the store *is* the precomputed answer of
   // Algorithm 1, so ambiguity detection is one hash lookup.
-  const store::StoredEntry* entry = store_->Find(normalized_query);
+  const store::StoredEntry* entry = snapshot.store().Find(normalized_query);
   if (entry == nullptr || entry->specializations.size() < 2) {
     // Passthrough: the plain DPH ranking stands. No surrogate
     // extraction needed — a real node only pays for snippets on the
@@ -189,15 +216,27 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
 
 std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
     const std::string& cache_key, const std::string& normalized_query,
+    const std::shared_ptr<const store::StoreSnapshot>& snapshot,
     bool* cache_hit) {
   *cache_hit = false;
-  if (!config_.enable_cache) return ComputeRanking(normalized_query);
+  if (!config_.enable_cache) {
+    return ComputeRanking(normalized_query, *snapshot);
+  }
   if (auto cached = cache_.Get(cache_key)) {
     *cache_hit = true;
     return cached;
   }
-  auto computed = ComputeRanking(normalized_query);
-  cache_.Put(cache_key, computed);
+  auto computed = ComputeRanking(normalized_query, *snapshot);
+  // Fill guard: if a reload swapped the snapshot while we computed,
+  // this result may belong to a key the reload just invalidated — drop
+  // the fill (the request itself still answers on its pinned version).
+  // The Put happens under snapshot_mu_ so a swap cannot slip between
+  // the check and the fill; lock order (snapshot_mu_ → cache shard) is
+  // never taken in reverse.
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (snapshot_ == snapshot) cache_.Put(cache_key, computed);
+  }
   return computed;
 }
 
@@ -226,6 +265,10 @@ void ServingNode::WorkerLoop() {
     batches_.fetch_add(1, std::memory_order_relaxed);
     batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
     batch_local.clear();
+    // Pin the active snapshot once per batch: every request drained in
+    // this wakeup answers on one consistent store version, and the
+    // shared_ptr keeps that version alive across a concurrent reload.
+    std::shared_ptr<const store::StoreSnapshot> snapshot = this->snapshot();
     for (Request& req : batch) {
       std::string normalized = NormalizeQuery(req.query);
       std::string key = MakeCacheKey(normalized, params_fingerprint_);
@@ -239,7 +282,7 @@ void ServingNode::WorkerLoop() {
         dedup = true;
         batch_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        payload = LookupOrCompute(key, normalized, &cache_hit);
+        payload = LookupOrCompute(key, normalized, snapshot, &cache_hit);
         if (batch.size() > 1) batch_local.emplace(key, payload);
       }
 
@@ -262,7 +305,10 @@ ServingStats ServingNode::Stats() const {
   s.cache_hits = cs.hits;
   s.cache_misses = cs.misses;
   s.cache_evictions = cs.evictions;
+  s.cache_invalidations = cs.invalidations;
   s.cache_hit_rate = cs.HitRate();
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.store_version = snapshot()->version();
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   s.batch_dedup_hits = batch_dedup_hits_.load(std::memory_order_relaxed);

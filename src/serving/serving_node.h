@@ -16,6 +16,14 @@
 // queries once), and a ServingStats snapshot (QPS, latency quantiles
 // from a streaming histogram, cache and traffic counters).
 //
+// The store is held as a refcounted immutable StoreSnapshot and can be
+// hot-swapped mid-traffic with ReloadStore: workers pin the current
+// snapshot per batch, so in-flight requests finish on the version they
+// started with while new batches see the new one, and the result cache
+// is invalidated only for the keys whose stored entries actually
+// changed — unchanged queries keep serving bit-identical cached
+// rankings across the swap.
+//
 // The ranking computed here is bit-identical to
 // DiversificationPipeline::Run for the same inputs whenever the store
 // entry matches what the live mining stack would produce — the store
@@ -31,6 +39,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +54,7 @@
 #include "serving/request_queue.h"
 #include "serving/result_cache.h"
 #include "store/diversification_store.h"
+#include "store/store_snapshot.h"
 #include "text/analyzer.h"
 #include "util/types.h"
 
@@ -82,6 +92,9 @@ struct ServeResult {
   bool batch_dedup = false;
   /// Number of specializations diversified against (0 if passthrough).
   size_t num_specializations = 0;
+  /// Content version of the store snapshot that computed this ranking
+  /// (cached results keep the version they were computed under).
+  uint64_t store_version = 0;
   /// Final document ranking.
   std::vector<DocId> ranking;
 };
@@ -96,6 +109,9 @@ struct ServingStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;  ///< per-key erases from reloads
+  uint64_t reloads = 0;              ///< snapshot swaps since start
+  uint64_t store_version = 0;        ///< active snapshot's version
   uint64_t batches = 0;          ///< worker wakeups that did work
   uint64_t batched_requests = 0; ///< requests served through batches
   uint64_t batch_dedup_hits = 0; ///< duplicates computed once in a batch
@@ -139,6 +155,15 @@ class ServingNode {
   ServingNode(const store::DiversificationStore* store,
               const pipeline::Testbed* testbed, ServingConfig config);
 
+  /// Hot-reload-ready wiring: starts on an explicit snapshot (e.g. from
+  /// store::BuildSnapshot or StoreSnapshot::Own of a loaded store).
+  ServingNode(std::shared_ptr<const store::StoreSnapshot> snapshot,
+              const index::Searcher* searcher,
+              const index::SnippetExtractor* snippets,
+              const text::Analyzer* analyzer,
+              const corpus::DocumentStore* documents,
+              ServingConfig config);
+
   ServingNode(const ServingNode&) = delete;
   ServingNode& operator=(const ServingNode&) = delete;
 
@@ -160,11 +185,38 @@ class ServingNode {
   /// fire), and joins the workers. Idempotent; called by the destructor.
   void Shutdown();
 
+  /// Outcome of one ReloadStore call.
+  struct ReloadOutcome {
+    uint64_t old_version = 0;
+    uint64_t new_version = 0;
+    /// Cache entries actually erased (≤ changed_keys.size()).
+    size_t invalidated = 0;
+  };
+
+  /// Atomically swaps the active store snapshot mid-traffic. In-flight
+  /// batches finish on the snapshot they pinned; batches drained after
+  /// the swap see the new one. `changed_keys` (normalized store keys,
+  /// e.g. SnapshotBuildResult::changed_keys) drives per-key result
+  /// cache invalidation — every other cached ranking survives the swap
+  /// untouched. Safe to call from any thread, concurrently with
+  /// traffic. `snapshot` must be non-null.
+  ReloadOutcome ReloadStore(
+      std::shared_ptr<const store::StoreSnapshot> snapshot,
+      const std::vector<std::string>& changed_keys);
+
   /// Snapshot of the counters and latency quantiles.
   ServingStats Stats() const;
 
   const ServingConfig& config() const { return config_; }
-  const store::DiversificationStore& store() const { return *store_; }
+
+  /// The active snapshot (refcounted — safe to hold across reloads).
+  std::shared_ptr<const store::StoreSnapshot> snapshot() const;
+
+  /// The active snapshot's store. The reference is valid only while the
+  /// snapshot stays active; under hot reload prefer snapshot().
+  const store::DiversificationStore& store() const {
+    return snapshot()->store();
+  }
 
  private:
   struct Request {
@@ -173,30 +225,24 @@ class ServingNode {
     std::chrono::steady_clock::time_point enqueue_time;
   };
 
-  /// Primary constructor: exactly one of `owned_store` / `store` is
-  /// set. Workers start only after every member (including the store
-  /// pointer) is initialized.
-  ServingNode(std::unique_ptr<store::DiversificationStore> owned_store,
-              const store::DiversificationStore* store,
-              const index::Searcher* searcher,
-              const index::SnippetExtractor* snippets,
-              const text::Analyzer* analyzer,
-              const corpus::DocumentStore* documents,
-              ServingConfig config);
-
   void WorkerLoop();
-  /// Cache-aware compute for one normalized query (miss path).
+  /// Compute for one normalized query against a pinned snapshot.
   std::shared_ptr<const ServeResult> ComputeRanking(
-      const std::string& normalized_query) const;
-  /// Full per-request flow: cache lookup, compute, cache fill.
+      const std::string& normalized_query,
+      const store::StoreSnapshot& snapshot) const;
+  /// Full per-request flow: cache lookup, compute, cache fill. The
+  /// fill is skipped when the active snapshot moved past `snapshot`
+  /// mid-compute, so a stale ranking can never repopulate a key that a
+  /// concurrent ReloadStore just invalidated.
   std::shared_ptr<const ServeResult> LookupOrCompute(
       const std::string& cache_key, const std::string& normalized_query,
+      const std::shared_ptr<const store::StoreSnapshot>& snapshot,
       bool* cache_hit);
   void Finish(Request* request, const ServeResult& result);
 
   ServingConfig config_;
-  std::unique_ptr<store::DiversificationStore> owned_store_;
-  const store::DiversificationStore* store_;
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const store::StoreSnapshot> snapshot_;
   const index::Searcher* searcher_;
   const index::SnippetExtractor* snippets_;
   const text::Analyzer* analyzer_;
@@ -219,6 +265,7 @@ class ServingNode {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};
   std::atomic<uint64_t> batch_dedup_hits_{0};
+  std::atomic<uint64_t> reloads_{0};
 };
 
 }  // namespace serving

@@ -1,0 +1,131 @@
+#include "serving/store_refresher.h"
+
+#include <utility>
+#include <vector>
+
+#include "store/store_snapshot.h"
+#include "util/timer.h"
+
+namespace optselect {
+namespace serving {
+
+StoreRefresher::StoreRefresher(ServingNode* node,
+                               const index::Searcher* searcher,
+                               const index::SnippetExtractor* snippets,
+                               const text::Analyzer* analyzer,
+                               const corpus::DocumentStore* documents,
+                               const querylog::QueryLog& initial_log,
+                               StoreRefresherConfig config)
+    : node_(node),
+      searcher_(searcher),
+      snippets_(snippets),
+      analyzer_(analyzer),
+      documents_(documents),
+      config_(config),
+      ingestor_(config.log_path),
+      recommender_(config.recommender),
+      detector_(&recommender_, config.detector),
+      segmenter_(config.segmenter) {
+  if (!initial_log.empty()) {
+    // One-time seed: the mining state the base store was built from.
+    // Delta segmentation is time-only (see header), so the seed uses
+    // the same rule for consistency.
+    recommender_.Train(initial_log,
+                       segmenter_.Segment(initial_log, nullptr));
+  }
+  // Records already on disk are assumed reflected in the base store;
+  // tail only what arrives from here on. A missing file is fine — the
+  // tail starts at offset 0 once it appears.
+  ingestor_.SkipToEnd().IgnoreError();
+}
+
+StoreRefresher::~StoreRefresher() { Stop(); }
+
+void StoreRefresher::Start() {
+  std::lock_guard<std::mutex> lock(loop_mu_);
+  if (loop_.joinable()) return;
+  stop_requested_ = false;
+  loop_ = std::thread([this] { Loop(); });
+}
+
+void StoreRefresher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    if (!loop_.joinable()) return;
+    stop_requested_ = true;
+  }
+  loop_cv_.notify_all();
+  loop_.join();  // a joined thread is no longer joinable ⇒ Start works
+}
+
+void StoreRefresher::Loop() {
+  std::unique_lock<std::mutex> lock(loop_mu_);
+  while (!stop_requested_) {
+    if (loop_cv_.wait_for(lock, config_.interval,
+                          [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    TickOnce().IgnoreError();  // errors are counted in stats
+    lock.lock();
+  }
+}
+
+util::Status StoreRefresher::TickOnce() {
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  util::WallTimer timer;
+  auto finish = [&](util::Status status) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.ticks;
+    if (!status.ok()) ++stats_.errors;
+    stats_.last_tick_ms = timer.ElapsedMillis();
+    return status;
+  };
+
+  auto polled = ingestor_.Poll();
+  if (!polled.ok()) return finish(polled.status());
+  querylog::IngestDelta delta = std::move(polled).value();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.ingested_records += delta.log.size();
+    stats_.malformed_lines += delta.malformed_lines;
+  }
+  if (delta.empty()) return finish(util::Status::Ok());
+
+  // Fold the delta into the mining state, then re-run Algorithm 1 on
+  // exactly the queries whose statistics moved.
+  recommender_.TrainIncremental(delta.log,
+                                segmenter_.Segment(delta.log, nullptr));
+  std::shared_ptr<const store::StoreSnapshot> base = node_->snapshot();
+  store::StoreDelta mined = store::MineDelta(
+      detector_, *searcher_, *snippets_, *analyzer_, *documents_,
+      delta.dirty_queries, config_.builder, base->store());
+  if (mined.empty()) return finish(util::Status::Ok());
+
+  store::SnapshotBuildResult built = store::BuildSnapshot(base.get(), mined);
+  if (built.changed_keys.empty()) {
+    // Every re-mined entry came out identical — nothing to swap.
+    return finish(util::Status::Ok());
+  }
+
+  node_->ReloadStore(built.snapshot, built.changed_keys);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.swaps;
+    stats_.upserts += built.upserts_applied;
+    stats_.removals += built.removals_applied;
+    stats_.store_version = built.snapshot->version();
+  }
+  if (!config_.persist_path.empty()) {
+    return finish(built.snapshot->store().Save(config_.persist_path));
+  }
+  return finish(util::Status::Ok());
+}
+
+StoreRefresherStats StoreRefresher::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace serving
+}  // namespace optselect

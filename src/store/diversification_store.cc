@@ -13,13 +13,21 @@ namespace store {
 namespace {
 
 // Binary layout (little-endian, as written by this process):
-//   magic "OSDS" | u32 version | u64 entry_count
+//   magic "OSDS" | u32 format_version | [v2+: u64 store_version]
+//                | u64 entry_count
 //   per entry:   u32 query_len | bytes | u32 spec_count
 //   per spec:    u32 query_len | bytes | f64 probability | u32 n_surrogates
 //   per vector:  u32 n_entries | (u32 term, f64 weight)*
 //   trailer:     u64 fnv1a checksum of everything after the header magic.
+//
+// Format v1 (the original `store.bin`) has no store_version field and
+// is checksummed with the legacy basis below; it still loads (as
+// content version 0). Format v2 adds the monotonic store_version that
+// the snapshot-rebuild lifecycle bumps on every swap, and moves to the
+// standard FNV-1a offset basis.
 constexpr char kMagic[4] = {'O', 'S', 'D', 'S'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kLegacyVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 class Writer {
  public:
@@ -68,15 +76,18 @@ class Reader {
   size_t pos_ = 0;
 };
 
-// Historical quirk, kept for file compatibility: v1 store files were
-// checksummed with this offset basis (the standard FNV-1a basis with
-// its last decimal digit dropped). Changing it would make every
-// existing store.bin fail Load with a spurious "checksum mismatch";
-// revisit only together with a kVersion bump.
+// Historical quirk, kept for reading v1 files: they were checksummed
+// with this offset basis (the standard FNV-1a basis with its last
+// decimal digit dropped). v2 files use the standard basis; the reader
+// picks the basis from the format version it finds in the body.
 constexpr uint64_t kV1ChecksumBasis = 1469598103934665603ull;
 
-uint64_t Fnv1a(const char* data, size_t size) {
-  return util::Fnv1a64(data, size, kV1ChecksumBasis);
+uint64_t ChecksumFor(uint32_t format_version, const char* data,
+                     size_t size) {
+  uint64_t basis = format_version <= kLegacyVersion
+                       ? kV1ChecksumBasis
+                       : util::kFnv1aOffsetBasis;
+  return util::Fnv1a64(data, size, basis);
 }
 
 }  // namespace
@@ -98,6 +109,31 @@ util::Status DiversificationStore::Put(StoredEntry entry) {
 const StoredEntry* DiversificationStore::Find(std::string_view query) const {
   auto it = entries_.find(util::NormalizeQueryText(query));
   return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool DiversificationStore::Remove(std::string_view query) {
+  return entries_.erase(util::NormalizeQueryText(query)) > 0;
+}
+
+bool StoredEntriesEqual(const StoredEntry& a, const StoredEntry& b) {
+  if (a.query != b.query ||
+      a.specializations.size() != b.specializations.size()) {
+    return false;
+  }
+  for (size_t s = 0; s < a.specializations.size(); ++s) {
+    const StoredSpecialization& sa = a.specializations[s];
+    const StoredSpecialization& sb = b.specializations[s];
+    if (sa.query != sb.query || sa.probability != sb.probability ||
+        sa.surrogates.size() != sb.surrogates.size()) {
+      return false;
+    }
+    for (size_t v = 0; v < sa.surrogates.size(); ++v) {
+      if (sa.surrogates[v].entries() != sb.surrogates[v].entries()) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 std::vector<core::SpecializationProfile> DiversificationStore::ToProfiles(
@@ -130,6 +166,7 @@ uint64_t DiversificationStore::SurrogatePayloadBytes() const {
 util::Status DiversificationStore::Save(const std::string& path) const {
   Writer w;
   w.U32(kVersion);
+  w.U64(version_);
   w.U64(entries_.size());
   // Deterministic order: sort keys (useful for byte-identical snapshots).
   std::vector<const StoredEntry*> ordered;
@@ -161,7 +198,7 @@ util::Status DiversificationStore::Save(const std::string& path) const {
   out.write(kMagic, sizeof(kMagic));
   const std::string& body = w.buffer();
   out.write(body.data(), static_cast<std::streamsize>(body.size()));
-  uint64_t checksum = Fnv1a(body.data(), body.size());
+  uint64_t checksum = ChecksumFor(kVersion, body.data(), body.size());
   out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   if (!out) return util::Status::IoError("write failed: " + path);
   return util::Status::Ok();
@@ -183,21 +220,29 @@ util::Result<DiversificationStore> DiversificationStore::Load(
   const char* body = blob.data() + sizeof(kMagic);
   uint64_t stored_checksum;
   std::memcpy(&stored_checksum, body + body_size, sizeof(stored_checksum));
-  if (Fnv1a(body, body_size) != stored_checksum) {
-    return util::Status::Corruption("checksum mismatch: " + path);
-  }
 
+  // The format version picks the checksum basis, so read it (it is the
+  // first body field) before verifying the trailer.
   Reader r(body, body_size);
   uint32_t version = 0;
   if (!r.U32(&version)) return util::Status::Corruption("truncated header");
-  if (version != kVersion) {
+  if (version != kLegacyVersion && version != kVersion) {
     return util::Status::Corruption(
         util::StrFormat("unsupported version %u", version));
+  }
+  if (ChecksumFor(version, body, body_size) != stored_checksum) {
+    return util::Status::Corruption("checksum mismatch: " + path);
+  }
+
+  uint64_t store_version = 0;
+  if (version >= kVersion && !r.U64(&store_version)) {
+    return util::Status::Corruption("truncated store version");
   }
   uint64_t count = 0;
   if (!r.U64(&count)) return util::Status::Corruption("truncated count");
 
   DiversificationStore store;
+  store.set_version(store_version);
   for (uint64_t e = 0; e < count; ++e) {
     StoredEntry entry;
     if (!r.Str(&entry.query)) return util::Status::Corruption("entry query");

@@ -58,8 +58,21 @@ class DiversificationStore {
   /// when not stored (⇒ not ambiguous).
   const StoredEntry* Find(std::string_view query) const;
 
+  /// Drops the entry for a query (normalized like Put keys). Returns
+  /// false when no such entry existed. Used by delta rebuilds when a
+  /// query stops being ambiguous under fresh log statistics.
+  bool Remove(std::string_view query);
+
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+
+  /// Monotonic build version of this store's *contents* — bumped by
+  /// every snapshot rebuild (store::BuildSnapshot), persisted by Save,
+  /// and surfaced by the serving tier so a swap is observable. This is
+  /// independent of the on-disk *format* version: a legacy (format v1)
+  /// file loads as content version 0.
+  uint64_t version() const { return version_; }
+  void set_version(uint64_t version) { version_ = version; }
 
   /// Converts a stored entry into the specialization part of a
   /// DiversificationInput (candidates are filled by the caller from the
@@ -72,9 +85,12 @@ class DiversificationStore {
   uint64_t SurrogatePayloadBytes() const;
 
   /// Serializes all entries to `path` (binary, versioned, checksummed).
+  /// Writes the current (v2) format, which carries version().
   util::Status Save(const std::string& path) const;
 
-  /// Loads a store written by Save. Fails with kCorruption on version
+  /// Loads a store written by Save — either the current v2 format or
+  /// the legacy v1 format (pre-versioning `store.bin`; loads with
+  /// version() == 0). Fails with kCorruption on format-version
   /// mismatch, truncation, or checksum failure.
   static util::Result<DiversificationStore> Load(const std::string& path);
 
@@ -85,7 +101,14 @@ class DiversificationStore {
 
  private:
   std::unordered_map<std::string, StoredEntry> entries_;
+  uint64_t version_ = 0;
 };
+
+/// Deep equality of two stored entries (query strings, probabilities,
+/// surrogate vectors). Used by delta rebuilds to skip upserts that do
+/// not actually change an entry — and therefore to avoid invalidating
+/// cached rankings that are still bit-identical.
+bool StoredEntriesEqual(const StoredEntry& a, const StoredEntry& b);
 
 }  // namespace store
 }  // namespace optselect

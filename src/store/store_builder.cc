@@ -1,7 +1,48 @@
 #include "store/store_builder.h"
 
+#include <set>
+#include <string>
+#include <utility>
+
+#include "util/strings.h"
+
 namespace optselect {
 namespace store {
+namespace {
+
+/// Materializes the stored entry for one detected ambiguous query:
+/// specializations with P(q′|q) plus their R_q′ surrogate vectors.
+StoredEntry MaterializeEntry(const recommend::SpecializationSet& set,
+                             const std::string& query,
+                             const index::Searcher& searcher,
+                             const index::SnippetExtractor& snippets,
+                             const text::Analyzer& analyzer,
+                             const corpus::DocumentStore& documents,
+                             const StoreBuilderOptions& options) {
+  StoredEntry entry;
+  entry.query = query;
+  for (const recommend::Specialization& sp : set.items) {
+    StoredSpecialization stored_sp;
+    stored_sp.query = sp.query;
+    stored_sp.probability = sp.probability;
+    std::vector<text::TermId> terms = analyzer.AnalyzeReadOnly(sp.query);
+    index::ResultList results =
+        options.conjunctive_reference_lists
+            ? searcher.SearchTermsConjunctive(
+                  terms, options.results_per_specialization)
+            : searcher.SearchTerms(terms,
+                                   options.results_per_specialization);
+    stored_sp.surrogates.reserve(results.size());
+    for (const index::SearchResult& hit : results) {
+      stored_sp.surrogates.push_back(
+          snippets.ExtractVector(documents.Get(hit.doc), terms));
+    }
+    entry.specializations.push_back(std::move(stored_sp));
+  }
+  return entry;
+}
+
+}  // namespace
 
 size_t BuildStore(const recommend::AmbiguityDetector& detector,
                   const index::Searcher& searcher,
@@ -15,30 +56,50 @@ size_t BuildStore(const recommend::AmbiguityDetector& detector,
   for (const std::string& query : candidate_queries) {
     recommend::SpecializationSet set = detector.Detect(query);
     if (!set.ambiguous()) continue;
-
-    StoredEntry entry;
-    entry.query = query;
-    for (const recommend::Specialization& sp : set.items) {
-      StoredSpecialization stored_sp;
-      stored_sp.query = sp.query;
-      stored_sp.probability = sp.probability;
-      std::vector<text::TermId> terms = analyzer.AnalyzeReadOnly(sp.query);
-      index::ResultList results =
-          options.conjunctive_reference_lists
-              ? searcher.SearchTermsConjunctive(
-                    terms, options.results_per_specialization)
-              : searcher.SearchTerms(terms,
-                                     options.results_per_specialization);
-      stored_sp.surrogates.reserve(results.size());
-      for (const index::SearchResult& hit : results) {
-        stored_sp.surrogates.push_back(
-            snippets.ExtractVector(documents.Get(hit.doc), terms));
-      }
-      entry.specializations.push_back(std::move(stored_sp));
-    }
+    StoredEntry entry = MaterializeEntry(set, query, searcher, snippets,
+                                         analyzer, documents, options);
     if (out->Put(std::move(entry)).ok()) ++stored;
   }
   return stored;
+}
+
+StoreDelta MineDelta(const recommend::AmbiguityDetector& detector,
+                     const index::Searcher& searcher,
+                     const index::SnippetExtractor& snippets,
+                     const text::Analyzer& analyzer,
+                     const corpus::DocumentStore& documents,
+                     const std::vector<std::string>& dirty_queries,
+                     const StoreBuilderOptions& options,
+                     const DiversificationStore& base) {
+  // Widen the dirty set: a stored entry whose *specialization* got new
+  // traffic has a changed P(q′|q) distribution even if its root query
+  // never reappeared in the tail.
+  std::set<std::string> dirty_keys;
+  for (const std::string& q : dirty_queries) {
+    dirty_keys.insert(util::NormalizeQueryText(q));
+  }
+  std::set<std::string> to_mine(dirty_queries.begin(), dirty_queries.end());
+  for (const auto& [key, entry] : base.entries()) {
+    if (to_mine.count(entry.query) > 0) continue;
+    for (const StoredSpecialization& sp : entry.specializations) {
+      if (dirty_keys.count(util::NormalizeQueryText(sp.query)) > 0) {
+        to_mine.insert(entry.query);
+        break;
+      }
+    }
+  }
+
+  StoreDelta delta;
+  for (const std::string& query : to_mine) {
+    recommend::SpecializationSet set = detector.Detect(query);
+    if (set.ambiguous()) {
+      delta.upserts.push_back(MaterializeEntry(
+          set, query, searcher, snippets, analyzer, documents, options));
+    } else if (base.Find(query) != nullptr) {
+      delta.removals.push_back(query);
+    }
+  }
+  return delta;
 }
 
 }  // namespace store

@@ -13,6 +13,7 @@
 #include "index/snippet_extractor.h"
 #include "recommend/ambiguity_detector.h"
 #include "store/diversification_store.h"
+#include "store/store_snapshot.h"
 #include "text/analyzer.h"
 
 namespace optselect {
@@ -38,6 +39,23 @@ size_t BuildStore(const recommend::AmbiguityDetector& detector,
                   const std::vector<std::string>& candidate_queries,
                   const StoreBuilderOptions& options,
                   DiversificationStore* out);
+
+/// Incremental counterpart of BuildStore: re-mines only `dirty_queries`
+/// (queries whose log statistics changed since `base` was built) and
+/// returns the resulting delta instead of a full store. For each dirty
+/// query: detected ambiguous ⇒ an upsert with freshly materialized
+/// surrogates; not ambiguous but present in `base` ⇒ a removal. The
+/// dirty set is first widened with every base entry that *references* a
+/// dirty query as one of its specializations — their P(q′|q)
+/// denominators changed too. Feed the result to store::BuildSnapshot.
+StoreDelta MineDelta(const recommend::AmbiguityDetector& detector,
+                     const index::Searcher& searcher,
+                     const index::SnippetExtractor& snippets,
+                     const text::Analyzer& analyzer,
+                     const corpus::DocumentStore& documents,
+                     const std::vector<std::string>& dirty_queries,
+                     const StoreBuilderOptions& options,
+                     const DiversificationStore& base);
 
 }  // namespace store
 }  // namespace optselect

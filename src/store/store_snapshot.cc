@@ -1,0 +1,65 @@
+#include "store/store_snapshot.h"
+
+#include <set>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace optselect {
+namespace store {
+
+std::shared_ptr<const StoreSnapshot> StoreSnapshot::Own(
+    DiversificationStore store) {
+  auto owned = std::make_unique<DiversificationStore>(std::move(store));
+  return std::shared_ptr<const StoreSnapshot>(
+      new StoreSnapshot(std::move(owned), nullptr));
+}
+
+std::shared_ptr<const StoreSnapshot> StoreSnapshot::Borrow(
+    const DiversificationStore* store) {
+  return std::shared_ptr<const StoreSnapshot>(
+      new StoreSnapshot(nullptr, store));
+}
+
+SnapshotBuildResult BuildSnapshot(const StoreSnapshot* base,
+                                  const StoreDelta& delta) {
+  SnapshotBuildResult out;
+  DiversificationStore next =
+      base != nullptr ? base->store() : DiversificationStore();
+  std::set<std::string> changed;  // sorted ⇒ deterministic output
+
+  for (const StoredEntry& entry : delta.upserts) {
+    std::string key = util::NormalizeQueryText(entry.query);
+    if (entry.specializations.size() < 2) {
+      // No longer ambiguous: an upsert below the invariant is a removal.
+      if (next.Remove(entry.query)) {
+        changed.insert(std::move(key));
+        ++out.removals_applied;
+      }
+      continue;
+    }
+    const StoredEntry* existing = next.Find(entry.query);
+    if (existing != nullptr && StoredEntriesEqual(*existing, entry)) {
+      ++out.unchanged_skipped;
+      continue;
+    }
+    if (next.Put(entry).ok()) {
+      changed.insert(std::move(key));
+      ++out.upserts_applied;
+    }
+  }
+  for (const std::string& query : delta.removals) {
+    if (next.Remove(query)) {
+      changed.insert(util::NormalizeQueryText(query));
+      ++out.removals_applied;
+    }
+  }
+
+  next.set_version((base != nullptr ? base->version() : 0) + 1);
+  out.snapshot = StoreSnapshot::Own(std::move(next));
+  out.changed_keys.assign(changed.begin(), changed.end());
+  return out;
+}
+
+}  // namespace store
+}  // namespace optselect

@@ -1,0 +1,89 @@
+// Versioned, immutable store snapshots — the unit of hot reload.
+//
+// The serving tier never mutates a DiversificationStore in place: it
+// holds a shared_ptr<const StoreSnapshot> and swaps the pointer (RCU
+// style) when a rebuilt store is ready. In-flight requests keep their
+// reference to the old snapshot until they finish, so a swap is
+// zero-downtime by construction; the last reference reclaims the old
+// store. BuildSnapshot produces the next snapshot from a base plus a
+// delta of freshly mined entries, reports exactly which normalized
+// query keys changed (so the serving result cache can be invalidated
+// per-key instead of flushed), and bumps the monotonic content version
+// that DiversificationStore::Save persists.
+
+#ifndef OPTSELECT_STORE_STORE_SNAPSHOT_H_
+#define OPTSELECT_STORE_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/diversification_store.h"
+
+namespace optselect {
+namespace store {
+
+/// An immutable, refcounted view of one store build. Create with Own
+/// (snapshot owns the store — the serving deployment shape) or Borrow
+/// (aliases an externally owned store that must outlive the snapshot —
+/// test and embedding convenience).
+class StoreSnapshot {
+ public:
+  static std::shared_ptr<const StoreSnapshot> Own(
+      DiversificationStore store);
+  static std::shared_ptr<const StoreSnapshot> Borrow(
+      const DiversificationStore* store);
+
+  const DiversificationStore& store() const { return *view_; }
+  /// Monotonic content version (DiversificationStore::version()).
+  uint64_t version() const { return view_->version(); }
+
+  StoreSnapshot(const StoreSnapshot&) = delete;
+  StoreSnapshot& operator=(const StoreSnapshot&) = delete;
+
+ private:
+  StoreSnapshot(std::unique_ptr<DiversificationStore> owned,
+                const DiversificationStore* view)
+      : owned_(std::move(owned)),
+        view_(view != nullptr ? view : owned_.get()) {}
+
+  std::unique_ptr<DiversificationStore> owned_;
+  const DiversificationStore* view_;
+};
+
+/// A set of mined changes to apply on top of a base snapshot.
+struct StoreDelta {
+  /// Entries to insert or replace (from re-mining dirty queries).
+  std::vector<StoredEntry> upserts;
+  /// Queries that stopped being ambiguous and must be dropped.
+  std::vector<std::string> removals;
+
+  bool empty() const { return upserts.empty() && removals.empty(); }
+};
+
+/// Outcome of BuildSnapshot.
+struct SnapshotBuildResult {
+  std::shared_ptr<const StoreSnapshot> snapshot;
+  /// Normalized store keys whose entry changed (upserted with different
+  /// contents, newly inserted, or removed) — exactly the keys whose
+  /// cached rankings may now be stale.
+  std::vector<std::string> changed_keys;
+  size_t upserts_applied = 0;
+  size_t removals_applied = 0;
+  /// Upserts identical to the base entry, skipped without invalidating.
+  size_t unchanged_skipped = 0;
+};
+
+/// Builds the next snapshot: copies the base store (nullptr base ⇒
+/// empty store, version 0), applies the delta, and stamps
+/// base version + 1. Upserts that fail the store's ambiguity invariant
+/// (< 2 specializations) are treated as removals of that key, matching
+/// Algorithm 1's "not ambiguous ⇒ not stored".
+SnapshotBuildResult BuildSnapshot(const StoreSnapshot* base,
+                                  const StoreDelta& delta);
+
+}  // namespace store
+}  // namespace optselect
+
+#endif  // OPTSELECT_STORE_STORE_SNAPSHOT_H_

@@ -67,6 +67,10 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Explicitly discards the status (best-effort call sites where the
+  /// failure is surfaced elsewhere, e.g. a stats counter).
+  void IgnoreError() const {}
+
   /// Renders "OK" or "<CODE>: <message>".
   std::string ToString() const;
 

@@ -1,8 +1,10 @@
 // Unit tests for the querylog module: log container + TSV round trip,
-// synthetic generation, query-flow graph, session segmentation.
+// synthetic generation, query-flow graph, session segmentation, Zipf
+// replay mixes, and incremental log-tail ingestion.
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -10,12 +12,14 @@
 
 #include <gtest/gtest.h>
 
+#include "querylog/log_ingestor.h"
 #include "querylog/popularity.h"
 #include "querylog/query_flow_graph.h"
 #include "querylog/query_log.h"
 #include "querylog/session_segmenter.h"
 #include "querylog/synthetic_log.h"
 #include "synth/topic_universe.h"
+#include "util/rng.h"
 
 namespace optselect {
 namespace querylog {
@@ -125,6 +129,172 @@ TEST(PopularityTest, CountsFrequencies) {
   EXPECT_EQ(pop.Frequency("zzz"), 0u);
   EXPECT_EQ(pop.distinct(), 2u);
   EXPECT_EQ(pop.total(), 3u);
+}
+
+// ------------------------------------------------------------ ZipfQueryMix
+
+class ZipfQueryMixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Strictly decreasing frequencies: rank order is unambiguous.
+    pop_.Increment("head", 100);
+    pop_.Increment("middle", 50);
+    pop_.Increment("tail-a", 10);
+    pop_.Increment("tail-b", 10);  // frequency tie with tail-a
+    pop_.Increment("rare", 1);
+  }
+  PopularityMap pop_;
+};
+
+TEST_F(ZipfQueryMixTest, DeterministicForSeed) {
+  util::Rng rng_a(42), rng_b(42), rng_c(43);
+  std::vector<std::string> a = ZipfQueryMix(pop_, 500, 1.0, &rng_a);
+  std::vector<std::string> b = ZipfQueryMix(pop_, 500, 1.0, &rng_b);
+  std::vector<std::string> c = ZipfQueryMix(pop_, 500, 1.0, &rng_c);
+  ASSERT_EQ(a.size(), 500u);
+  EXPECT_EQ(a, b) << "same seed must replay the identical mix";
+  EXPECT_NE(a, c) << "different seeds should diverge";
+}
+
+TEST_F(ZipfQueryMixTest, DrawsOnlyKnownQueriesAndRespectsCount) {
+  util::Rng rng(7);
+  std::vector<std::string> mix = ZipfQueryMix(pop_, 200, 1.0, &rng);
+  EXPECT_EQ(mix.size(), 200u);
+  for (const std::string& q : mix) {
+    EXPECT_GT(pop_.Frequency(q), 0u) << "unknown query in mix: " << q;
+  }
+  EXPECT_TRUE(ZipfQueryMix(pop_, 0, 1.0, &rng).empty());
+}
+
+TEST_F(ZipfQueryMixTest, SkewBoundsHeadShare) {
+  // Higher skew concentrates mass on rank 0 ("head"); near-zero skew
+  // approaches uniform. With skew 2 the head must dominate every other
+  // query; with skew 0 its share must stay near 1/5.
+  util::Rng rng(11);
+  constexpr size_t kN = 4000;
+  auto head_share = [&](double skew) {
+    std::vector<std::string> mix = ZipfQueryMix(pop_, kN, skew, &rng);
+    size_t head = 0;
+    for (const std::string& q : mix) head += q == "head" ? 1 : 0;
+    return static_cast<double>(head) / kN;
+  };
+  double uniform = head_share(0.0);
+  double skewed = head_share(2.0);
+  EXPECT_NEAR(uniform, 0.2, 0.05);
+  EXPECT_GT(skewed, 0.55);  // 1/zeta(2,5 ranks) ≈ 0.68
+  EXPECT_GT(skewed, uniform);
+}
+
+TEST_F(ZipfQueryMixTest, FrequencyTiesBreakLexicographically) {
+  // "tail-a" < "tail-b" with equal frequency ⇒ tail-a gets the better
+  // (lower) rank, so at positive skew it must appear at least as often.
+  util::Rng rng(5);
+  std::vector<std::string> mix = ZipfQueryMix(pop_, 4000, 1.5, &rng);
+  size_t a = 0, b = 0;
+  for (const std::string& q : mix) {
+    a += q == "tail-a" ? 1 : 0;
+    b += q == "tail-b" ? 1 : 0;
+  }
+  EXPECT_GE(a, b);
+}
+
+// ------------------------------------------------------------- LogIngestor
+
+class LogIngestorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ingest_tail.tsv";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void Append(const std::string& chunk) {
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out << chunk;
+  }
+
+  std::string path_;
+};
+
+TEST_F(LogIngestorTest, PollsOnlyNewCompleteLines) {
+  Append("apple\t1\t100\t1,2\t1\n");
+  LogIngestor ingestor(path_);
+
+  auto first = ingestor.Poll();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().log.size(), 1u);
+  EXPECT_EQ(first.value().dirty_queries,
+            (std::vector<std::string>{"apple"}));
+
+  // Nothing new ⇒ empty delta, not an error.
+  auto idle = ingestor.Poll();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_TRUE(idle.value().empty());
+
+  // A complete line plus a partial line: only the complete one is
+  // consumed; the partial stays for the next poll.
+  Append("jaguar\t2\t200\t3\t\njaguar ca");
+  auto second = ingestor.Poll();
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second.value().log.size(), 1u);
+  EXPECT_EQ(second.value().log.record(0).query, "jaguar");
+
+  Append("r\t2\t230\t4\t4\n");
+  auto third = ingestor.Poll();
+  ASSERT_TRUE(third.ok());
+  ASSERT_EQ(third.value().log.size(), 1u);
+  EXPECT_EQ(third.value().log.record(0).query, "jaguar car");
+  EXPECT_EQ(third.value().log.record(0).clicks,
+            (std::vector<DocUrlId>{4}));
+  EXPECT_EQ(ingestor.records_ingested(), 3u);
+}
+
+TEST_F(LogIngestorTest, PopularityMatchesBatchConstruction) {
+  Append("apple\t1\t100\t1\t\n");
+  Append("apple\t2\t110\t1\t\n");
+  Append("jaguar\t1\t120\t2\t\n");
+  LogIngestor ingestor(path_);
+  ASSERT_TRUE(ingestor.Poll().ok());
+  Append("apple\t3\t130\t1\t\n");
+  ASSERT_TRUE(ingestor.Poll().ok());
+
+  auto full = QueryLog::LoadTsv(path_);
+  ASSERT_TRUE(full.ok());
+  PopularityMap batch(full.value());
+  EXPECT_EQ(ingestor.popularity().Frequency("apple"),
+            batch.Frequency("apple"));
+  EXPECT_EQ(ingestor.popularity().Frequency("jaguar"),
+            batch.Frequency("jaguar"));
+  EXPECT_EQ(ingestor.popularity().total(), batch.total());
+}
+
+TEST_F(LogIngestorTest, MalformedLinesSkippedNotFatal) {
+  Append("good\t1\t100\t1\t\nonly\ttwo\nalso good\t2\t110\t2\t\n");
+  LogIngestor ingestor(path_);
+  auto polled = ingestor.Poll();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value().log.size(), 2u);
+  EXPECT_EQ(polled.value().malformed_lines, 1u);
+  EXPECT_EQ(ingestor.malformed_lines(), 1u);
+}
+
+TEST_F(LogIngestorTest, SkipToEndIgnoresExistingRecords) {
+  Append("old\t1\t100\t1\t\n");
+  LogIngestor ingestor(path_);
+  ASSERT_TRUE(ingestor.SkipToEnd().ok());
+  Append("new\t2\t200\t2\t\n");
+  auto polled = ingestor.Poll();
+  ASSERT_TRUE(polled.ok());
+  ASSERT_EQ(polled.value().log.size(), 1u);
+  EXPECT_EQ(polled.value().log.record(0).query, "new");
+  EXPECT_EQ(ingestor.popularity().Frequency("old"), 0u);
+}
+
+TEST_F(LogIngestorTest, MissingFileIsIoError) {
+  LogIngestor ingestor("/nonexistent/dir/tail.tsv");
+  auto polled = ingestor.Poll();
+  ASSERT_FALSE(polled.ok());
+  EXPECT_EQ(polled.status().code(), util::StatusCode::kIoError);
 }
 
 // ------------------------------------------------------------ SyntheticLog

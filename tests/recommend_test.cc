@@ -277,6 +277,65 @@ TEST_F(SuperstringTest, MaxExtraTokensBound) {
 
 // ------------------------------------------------- End-to-end mining check
 
+TEST(TrainIncrementalTest, MatchesBatchTrainAtSessionBoundary) {
+  // Split the hand log at a session boundary (each HandLog user is one
+  // session, 10000s apart): batch-training on the full log must equal
+  // training on the head then folding the tail in incrementally.
+  querylog::QueryLog full = HandLog();
+  querylog::QueryLog head, tail;
+  for (const querylog::QueryRecord& r : full.records()) {
+    (r.timestamp < 60000 ? head : tail).Add(r);
+  }
+  ASSERT_FALSE(head.empty());
+  ASSERT_FALSE(tail.empty());
+
+  querylog::SessionSegmenter segmenter;
+  ShortcutsRecommender batch;
+  batch.Train(full, segmenter.Segment(full, nullptr));
+
+  ShortcutsRecommender incremental;
+  incremental.Train(head, segmenter.Segment(head, nullptr));
+  incremental.TrainIncremental(tail, segmenter.Segment(tail, nullptr));
+
+  EXPECT_EQ(incremental.Frequency("leopard"), batch.Frequency("leopard"));
+  EXPECT_EQ(incremental.Frequency("leopard tank"),
+            batch.Frequency("leopard tank"));
+  EXPECT_EQ(incremental.popularity().total(), batch.popularity().total());
+  EXPECT_EQ(incremental.num_source_queries(), batch.num_source_queries());
+
+  std::vector<Suggestion> a = batch.Recommend("leopard", 8);
+  std::vector<Suggestion> b = incremental.Recommend("leopard", 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query, b[i].query);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].frequency, b[i].frequency);
+  }
+}
+
+TEST(TrainIncrementalTest, NewFollowersChangeRecommendations) {
+  querylog::QueryLog head = HandLog();
+  querylog::SessionSegmenter segmenter;
+  ShortcutsRecommender rec;
+  rec.Train(head, segmenter.Segment(head, nullptr));
+  auto before = rec.Recommend("leopard", 1);
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(before[0].query, "leopard tank");
+
+  // A burst of "leopard → leopard gecko" refinements arrives.
+  querylog::QueryLog tail;
+  int64_t ts = 1000000;
+  for (querylog::UserId u = 100; u < 120; ++u) {
+    tail.Add(MakeRecord("leopard", u, ts));
+    tail.Add(MakeRecord("leopard gecko", u, ts + 30));
+    ts += 10000;
+  }
+  rec.TrainIncremental(tail, segmenter.Segment(tail, nullptr));
+  auto after = rec.Recommend("leopard", 1);
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].query, "leopard gecko");
+}
+
 TEST(MiningQualityTest, RecoversPlantedTopicsFromSyntheticLog) {
   synth::TopicUniverseConfig ucfg;
   ucfg.num_topics = 10;

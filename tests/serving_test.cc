@@ -18,6 +18,7 @@
 #include "pipeline/testbed.h"
 #include "serving/cache_key.h"
 #include "serving/latency_histogram.h"
+#include "serving/replay.h"
 #include "serving/request_queue.h"
 #include "serving/result_cache.h"
 #include "serving/serving_node.h"
@@ -364,6 +365,53 @@ TEST_F(ServingNodeTest, ShutdownDrainsInFlightRequests) {
   EXPECT_FALSE(node->Serve(StoredQuery()).ok);
   node->Shutdown();
   node.reset();
+}
+
+// ---------------------------------------------------------------- replay
+
+TEST_F(ServingNodeTest, ReplayMixDrivesEveryRequestToCompletion) {
+  ServingConfig config = BaseConfig();
+  config.queue_capacity = 256;  // ≥ mix size ⇒ no shedding
+  ServingNode node(store_, testbed_, config);
+
+  std::vector<std::string> mix;
+  for (int rep = 0; rep < 8; ++rep) {
+    mix.push_back(StoredQuery());
+    mix.push_back(NoiseQuery());
+  }
+  ReplayOutcome out = ReplayMix(&node, mix);
+  EXPECT_EQ(out.accepted, mix.size());
+  EXPECT_GT(out.wall_ms, 0.0);
+  EXPECT_GT(out.qps, 0.0);
+  // QPS is accepted / wall, by definition.
+  EXPECT_NEAR(out.qps, 1000.0 * static_cast<double>(out.accepted) /
+                           out.wall_ms,
+              1e-6);
+
+  ServingStats stats = node.Stats();
+  EXPECT_EQ(stats.accepted, mix.size());
+  EXPECT_EQ(stats.completed, mix.size());
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(ServingNodeTest, ReplayMixEmptyMixReturnsImmediately) {
+  ServingNode node(store_, testbed_, BaseConfig());
+  ReplayOutcome out = ReplayMix(&node, {});
+  EXPECT_EQ(out.accepted, 0u);
+  EXPECT_EQ(out.qps, 0.0);
+  EXPECT_EQ(node.Stats().accepted, 0u);
+}
+
+TEST_F(ServingNodeTest, ReplayMixCountsShedRequests) {
+  // A shut-down node rejects every submission: ReplayMix must report
+  // zero accepted and still return (no wait on callbacks that will
+  // never fire).
+  ServingNode node(store_, testbed_, BaseConfig());
+  node.Shutdown();
+  ReplayOutcome out =
+      ReplayMix(&node, {StoredQuery(), NoiseQuery(), StoredQuery()});
+  EXPECT_EQ(out.accepted, 0u);
+  EXPECT_EQ(node.Stats().rejected, 3u);
 }
 
 TEST_F(ServingNodeTest, StatsConsistentUnderConcurrentLoad) {

@@ -23,13 +23,23 @@
 //       Regenerates the testbed retrieval stack (same seed), loads
 //       <dir>/store.bin, and starts a ServingNode REPL: one query per
 //       stdin line, ranking + latency per answer; ":stats" prints the
-//       node's counters, EOF exits.
+//       node's counters, ":refresh" forces a store refresh tick (when
+//       refresh is enabled), EOF exits.
 //
 //   loadtest <dir> [--requests N] [--skew Z] [--workers N] ...
 //       Same node, but replays a Zipf-distributed query mix sampled
 //       from the testbed log's popularity order and prints the
 //       ServingStats summary (QPS, latency quantiles, cache hit rate).
+//
+// Both serving subcommands accept --refresh-interval S / --log-tail F
+// to run the live store lifecycle (tail the query log, re-mine dirty
+// queries, hot-swap versioned snapshots mid-traffic).
+//
+// `optselect --help` (or any unknown flag/subcommand) prints the full
+// usage; bad invocations exit with status 2.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -50,8 +60,10 @@
 #include "recommend/shortcuts_recommender.h"
 #include "serving/replay.h"
 #include "serving/serving_node.h"
+#include "serving/store_refresher.h"
 #include "store/diversification_store.h"
 #include "store/store_builder.h"
+#include "store/store_snapshot.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -60,30 +72,77 @@ namespace {
 
 using namespace optselect;  // NOLINT(build/namespaces)
 
-int Usage() {
+void PrintUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage:\n"
-      "  optselect generate <dir> [--topics N] [--seed S]\n"
-      "  optselect mine <log.tsv> [--min-freq F]\n"
-      "  optselect run <dir> <out.run> [--algo A] [--c F] [--lambda F]"
-      " [--k N]\n"
-      "  optselect evaluate <dir> <run...>\n"
-      "  optselect serve <dir> [--workers N] [--batch B] [--cache 0|1]"
-      " [--k N] [--c F] [--lambda F]\n"
-      "  optselect loadtest <dir> [--requests N] [--skew Z] [--workers N]"
-      " [--batch B] [--cache 0|1]\n");
+      out,
+      "optselect — OptSelect diversification testbed & serving CLI\n"
+      "\n"
+      "usage: optselect <subcommand> [args] [flags]\n"
+      "\n"
+      "subcommands:\n"
+      "  generate <dir>            build the synthetic testbed artifacts:\n"
+      "                            log.tsv, topics.tsv, qrels.txt, store.bin\n"
+      "      --topics N            planted ambiguous topics (default 20)\n"
+      "      --seed S              testbed seed (default 17)\n"
+      "\n"
+      "  mine <log.tsv>            run Algorithm 1 over a query log and\n"
+      "                            print every detected ambiguous query\n"
+      "      --min-freq F          popularity floor f(q) (default 20)\n"
+      "\n"
+      "  run <dir> <out.run>       diversify every topic, write a TREC run\n"
+      "      --algo A              optselect|xquad|iaselect|mmr\n"
+      "      --c F                 utility threshold c (default 0.3)\n"
+      "      --lambda F            trade-off lambda (default 0.15)\n"
+      "      --k N                 ranking depth (default 1000)\n"
+      "      --topics N  --seed S  must match `generate`\n"
+      "\n"
+      "  evaluate <dir> <run...>   score run files (alpha-NDCG, IA-P)\n"
+      "\n"
+      "  serve <dir>               interactive serving REPL over store.bin\n"
+      "                            (\":stats\" = counters, \":refresh\" =\n"
+      "                            force a refresh tick, EOF = exit)\n"
+      "  loadtest <dir>            replay a Zipf query mix, print stats\n"
+      "      --requests N          loadtest only: replay size (default 5000)\n"
+      "      --skew Z              loadtest only: Zipf skew (default 1.0)\n"
+      "    shared serving flags:\n"
+      "      --workers N           worker threads (0 = hw concurrency)\n"
+      "      --batch B             micro-batch size (1 disables)\n"
+      "      --cache 0|1           result cache off/on (default on)\n"
+      "      --cache-capacity N    cached rankings (default 4096)\n"
+      "      --candidates N        |R_q| retrieved (default 200)\n"
+      "      --k N  --c F  --lambda F   pipeline knobs\n"
+      "      --topics N  --seed S  must match `generate`\n"
+      "    live store lifecycle:\n"
+      "      --refresh-interval S  poll the log every S seconds (0 = off),\n"
+      "                            re-mine dirty queries, hot-swap the\n"
+      "                            store snapshot mid-traffic\n"
+      "      --log-tail F          log file to tail (default <dir>/log.tsv)\n"
+      "      --store-persist F     also save each swapped snapshot to F\n"
+      "\n"
+      "  help | --help | -h        this text\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
 struct Flags {
   std::map<std::string, std::string> values;
   std::vector<std::string> positional;
+  /// First parse problem ("--flag needs a value"), empty when clean.
+  std::string parse_error;
 
   static Flags Parse(int argc, char** argv, int start) {
     Flags f;
     for (int i = start; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        if (i + 1 >= argc) {
+          if (f.parse_error.empty()) {
+            f.parse_error = std::string(argv[i]) + " needs a value";
+          }
+          continue;
+        }
         f.values[argv[i] + 2] = argv[i + 1];
         ++i;
       } else {
@@ -96,7 +155,39 @@ struct Flags {
     auto it = values.find(key);
     return it == values.end() ? fallback : it->second;
   }
+
+  /// Returns false (and prints the offender) when a flag is outside the
+  /// subcommand's allowed set or failed to parse.
+  bool Validate(const char* subcommand,
+                const std::vector<std::string>& allowed) const {
+    if (!parse_error.empty()) {
+      std::fprintf(stderr, "error: %s\n\n", parse_error.c_str());
+      return false;
+    }
+    for (const auto& [key, value] : values) {
+      if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+        std::fprintf(stderr, "error: unknown flag --%s for `%s`\n\n",
+                     key.c_str(), subcommand);
+        return false;
+      }
+    }
+    return true;
+  }
 };
+
+/// Flags shared by `serve` and `loadtest`.
+std::vector<std::string> ServingFlagSet(bool loadtest) {
+  std::vector<std::string> flags = {
+      "workers",        "batch",    "cache",           "cache-capacity",
+      "candidates",     "k",        "c",               "lambda",
+      "topics",         "seed",     "refresh-interval", "log-tail",
+      "store-persist"};
+  if (loadtest) {
+    flags.push_back("requests");
+    flags.push_back("skew");
+  }
+  return flags;
+}
 
 pipeline::TestbedConfig ConfigFor(const Flags& flags) {
   pipeline::TestbedConfig config = pipeline::TestbedConfig::TrecShaped();
@@ -297,7 +388,47 @@ void PrintServingStats(const serving::ServingStats& s) {
   tp.AddRow({"cache evictions", std::to_string(s.cache_evictions)});
   tp.AddRow({"mean batch", util::TablePrinter::Num(s.mean_batch, 2)});
   tp.AddRow({"batch dedup hits", std::to_string(s.batch_dedup_hits)});
+  tp.AddRow({"store version", std::to_string(s.store_version)});
+  tp.AddRow({"store reloads", std::to_string(s.reloads)});
+  tp.AddRow({"cache invalidations", std::to_string(s.cache_invalidations)});
   std::printf("%s", tp.ToString().c_str());
+}
+
+/// Builds (and starts) the refresh loop when --refresh-interval > 0.
+/// Returns nullptr when refresh is disabled.
+std::unique_ptr<serving::StoreRefresher> MakeRefresher(
+    const Flags& flags, const std::string& dir, serving::ServingNode* node,
+    const pipeline::Testbed& testbed) {
+  double interval_s = std::atof(flags.Get("refresh-interval", "0").c_str());
+  if (interval_s <= 0) return nullptr;
+  serving::StoreRefresherConfig rc;
+  rc.log_path = flags.Get("log-tail", dir + "/log.tsv");
+  rc.interval = std::chrono::milliseconds(
+      static_cast<long long>(interval_s * 1000.0));
+  rc.persist_path = flags.Get("store-persist", "");
+  auto refresher = std::make_unique<serving::StoreRefresher>(
+      node, &testbed.searcher(), &testbed.snippets(), &testbed.analyzer(),
+      &testbed.corpus().store, testbed.log_result().log, rc);
+  refresher->Start();
+  std::printf(
+      "store refresh: tailing %s every %.1fs (offset %llu)\n",
+      rc.log_path.c_str(), interval_s,
+      static_cast<unsigned long long>(refresher->ingestor().offset()));
+  return refresher;
+}
+
+void PrintRefresherStats(const serving::StoreRefresher& refresher) {
+  serving::StoreRefresherStats rs = refresher.stats();
+  std::printf(
+      "refresh: %llu ticks, %llu records ingested, %llu swaps "
+      "(%llu upserts, %llu removals), store version %llu, %llu errors\n",
+      static_cast<unsigned long long>(rs.ticks),
+      static_cast<unsigned long long>(rs.ingested_records),
+      static_cast<unsigned long long>(rs.swaps),
+      static_cast<unsigned long long>(rs.upserts),
+      static_cast<unsigned long long>(rs.removals),
+      static_cast<unsigned long long>(rs.store_version),
+      static_cast<unsigned long long>(rs.errors));
 }
 
 /// Rebuilds the retrieval stack and loads <dir>/store.bin. Returns
@@ -324,9 +455,12 @@ int CmdServe(const Flags& flags) {
   std::printf("rebuilding testbed retrieval stack...\n");
   pipeline::Testbed testbed(ConfigFor(flags));
   serving::ServingNode node(store.get(), &testbed, ServingConfigFor(flags));
+  std::unique_ptr<serving::StoreRefresher> refresher =
+      MakeRefresher(flags, dir, &node, testbed);
   std::printf(
       "serving %zu stored queries with %zu workers (batch %zu, cache %s)\n"
-      "one query per line; \":stats\" prints counters; EOF exits\n",
+      "one query per line; \":stats\" prints counters; \":refresh\" forces"
+      " a refresh tick; EOF exits\n",
       store->size(), node.config().num_workers, node.config().max_batch,
       node.config().enable_cache ? "on" : "off");
 
@@ -340,6 +474,19 @@ int CmdServe(const Flags& flags) {
     if (query.empty()) continue;
     if (query == ":stats") {
       PrintServingStats(node.Stats());
+      if (refresher != nullptr) PrintRefresherStats(*refresher);
+      continue;
+    }
+    if (query == ":refresh") {
+      if (refresher == nullptr) {
+        std::printf("refresh disabled (run with --refresh-interval S)\n");
+        continue;
+      }
+      util::Status s = refresher->TickOnce();
+      if (!s.ok()) {
+        std::printf("refresh tick failed: %s\n", s.ToString().c_str());
+      }
+      PrintRefresherStats(*refresher);
       continue;
     }
     util::WallTimer timer;
@@ -354,6 +501,7 @@ int CmdServe(const Flags& flags) {
     std::printf("\n");
   }
   PrintServingStats(node.Stats());
+  if (refresher != nullptr) PrintRefresherStats(*refresher);
   return 0;
 }
 
@@ -388,13 +536,17 @@ int CmdLoadtest(const Flags& flags) {
   serving::ServingConfig config = ServingConfigFor(flags);
   config.queue_capacity = num_requests;
   serving::ServingNode node(store.get(), &testbed, config);
+  std::unique_ptr<serving::StoreRefresher> refresher =
+      MakeRefresher(flags, dir, &node, testbed);
   std::printf("replaying %zu requests (skew %.2f) on %zu workers...\n",
               num_requests, skew, node.config().num_workers);
 
   serving::ReplayOutcome out = serving::ReplayMix(&node, mix);
   std::printf("replayed %zu/%zu requests in %.1f ms (%.0f QPS)\n",
               out.accepted, num_requests, out.wall_ms, out.qps);
+  if (refresher != nullptr) refresher->Stop();
   PrintServingStats(node.Stats());
+  if (refresher != nullptr) PrintRefresherStats(*refresher);
   return 0;
 }
 
@@ -403,12 +555,45 @@ int CmdLoadtest(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    PrintUsage(stdout);
+    return 0;
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(stdout);
+      return 0;
+    }
+  }
   Flags flags = Flags::Parse(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(flags);
-  if (cmd == "mine") return CmdMine(flags);
-  if (cmd == "run") return CmdRun(flags);
-  if (cmd == "evaluate") return CmdEvaluate(flags);
-  if (cmd == "serve") return CmdServe(flags);
-  if (cmd == "loadtest") return CmdLoadtest(flags);
+  if (cmd == "generate") {
+    if (!flags.Validate("generate", {"topics", "seed"})) return Usage();
+    return CmdGenerate(flags);
+  }
+  if (cmd == "mine") {
+    if (!flags.Validate("mine", {"min-freq"})) return Usage();
+    return CmdMine(flags);
+  }
+  if (cmd == "run") {
+    if (!flags.Validate("run",
+                        {"algo", "c", "lambda", "k", "topics", "seed"})) {
+      return Usage();
+    }
+    return CmdRun(flags);
+  }
+  if (cmd == "evaluate") {
+    if (!flags.Validate("evaluate", {})) return Usage();
+    return CmdEvaluate(flags);
+  }
+  if (cmd == "serve") {
+    if (!flags.Validate("serve", ServingFlagSet(false))) return Usage();
+    return CmdServe(flags);
+  }
+  if (cmd == "loadtest") {
+    if (!flags.Validate("loadtest", ServingFlagSet(true))) return Usage();
+    return CmdLoadtest(flags);
+  }
+  std::fprintf(stderr, "error: unknown subcommand `%s`\n\n", cmd.c_str());
   return Usage();
 }
