@@ -59,6 +59,11 @@ int main(int argc, char** argv) {
   const std::vector<double> lambdas = {0.0, 0.05, 0.15, 0.3,
                                        0.5, 0.7,  0.9,  1.0};
   const double threshold_c = 0.3;  // the sparsifying regime (see Table 3)
+  // One fixed cutoff for the whole sweep — threshold once, in place,
+  // instead of deep-copying every matrix per (λ, algorithm) pair.
+  for (pipeline::DiversifiedResult& prep : prepared) {
+    prep.utilities.ThresholdInPlace(threshold_c);
+  }
 
   util::TablePrinter tp;
   tp.SetHeader({"lambda", "OptSelect aN@20", "OptSelect IA@20",
@@ -83,10 +88,9 @@ int main(int argc, char** argv) {
               pipeline::AssembleRanking(prep.input, {}, dp.k);
           continue;
         }
-        core::UtilityMatrix thresholded =
-            prep.utilities.Thresholded(threshold_c);
         run.rankings[topic.id] = pipeline::AssembleRanking(
-            prep.input, algo->Select(prep.input, thresholded, dp), dp.k);
+            prep.input, algo->Select(prep.input, prep.utilities, dp),
+            dp.k);
       }
       eval::MetricRow metrics = evaluator.Evaluate(run);
       row.push_back(util::TablePrinter::Num(metrics.alpha_ndcg[20], 3));

@@ -121,6 +121,14 @@ int main(int argc, char** argv) {
     const std::string name = name_cstr;
     std::unique_ptr<core::Diversifier> algo =
         std::move(core::MakeDiversifier(name)).value();
+    // kThresholds ascends, and thresholding is monotone in c, so one
+    // working copy per topic sharpened in place replaces a deep copy
+    // per (algorithm, threshold, topic) triple.
+    std::vector<core::UtilityMatrix> work;
+    work.reserve(prepared.size());
+    for (const DiversifiedResult& prep : prepared) {
+      work.push_back(prep.utilities);
+    }
     for (double c : kThresholds) {
       eval::Run run;
       run.name = algo->name();
@@ -132,9 +140,9 @@ int main(int argc, char** argv) {
           run.rankings[topic.id] = baseline.rankings[topic.id];
           continue;
         }
-        core::UtilityMatrix thresholded = prep.utilities.Thresholded(c);
+        work[t].ThresholdInPlace(c);
         std::vector<size_t> picks =
-            algo->Select(prep.input, thresholded, params.diversify);
+            algo->Select(prep.input, work[t], params.diversify);
         run.rankings[topic.id] =
             pipeline::AssembleRanking(prep.input, picks, params.diversify.k);
       }

@@ -36,7 +36,16 @@ class BoundedTopK {
     Value value{};
   };
 
+  BoundedTopK() = default;
   explicit BoundedTopK(size_t capacity) : capacity_(capacity) {}
+
+  /// Reinitializes for reuse under a new capacity. Keeps the backing
+  /// allocation, which is what makes per-worker scratch heaps
+  /// allocation-free across requests.
+  void Reset(size_t capacity) {
+    capacity_ = capacity;
+    heap_.clear();
+  }
 
   /// Offers (key, value). O(log capacity). Returns true if retained.
   bool Push(double key, Value value) {
@@ -70,6 +79,16 @@ class BoundedTopK {
     return out;
   }
 
+  /// Sorts the retained entries best-first *in place* and returns them,
+  /// keeping the backing allocation (unlike ExtractDescending, which
+  /// moves it away). The heap invariant is destroyed: the only valid
+  /// operation afterwards is Reset. This is the drain primitive of the
+  /// scratch-reuse selection path.
+  const std::vector<Entry>& SortDescending() {
+    std::sort(heap_.begin(), heap_.end(), Better);
+    return heap_;
+  }
+
  private:
   /// Strict total order: true iff a ranks ahead of b.
   static bool Better(const Entry& a, const Entry& b) {
@@ -82,7 +101,7 @@ class BoundedTopK {
     return Better(a, b);
   }
 
-  size_t capacity_;
+  size_t capacity_ = 0;
   std::vector<Entry> heap_;
 };
 

@@ -1,0 +1,17 @@
+#include "core/diversifier.h"
+
+namespace optselect {
+namespace core {
+
+std::vector<size_t> Diversifier::Select(const DiversificationInput& input,
+                                        const UtilityMatrix& utilities,
+                                        const DiversifyParams& params) const {
+  SelectScratch scratch;
+  DiversificationView view = MakeView(input, utilities, &scratch);
+  std::vector<size_t> out;
+  SelectInto(view, params, &scratch, &out);
+  return out;
+}
+
+}  // namespace core
+}  // namespace optselect

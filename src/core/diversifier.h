@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/candidate.h"
+#include "core/select_view.h"
 #include "core/utility.h"
 
 namespace optselect {
@@ -31,11 +32,23 @@ class Diversifier {
   /// Human-readable algorithm name (e.g. "OptSelect").
   virtual std::string name() const = 0;
 
-  /// Selects min(k, n) candidate indices (into input.candidates), in
-  /// output-ranking order. `utilities` must have matching dimensions.
-  virtual std::vector<size_t> Select(const DiversificationInput& input,
-                                     const UtilityMatrix& utilities,
-                                     const DiversifyParams& params) const = 0;
+  /// Selects min(k, n) candidate indices in output-ranking order into
+  /// `*out` (cleared first). Reads only through `view` and allocates
+  /// only through `scratch`, so a worker that reuses one scratch and
+  /// one output vector runs allocation-free after warmup. `scratch`
+  /// must not be shared concurrently; its contents are clobbered.
+  virtual void SelectInto(const DiversificationView& view,
+                          const DiversifyParams& params,
+                          SelectScratch* scratch,
+                          std::vector<size_t>* out) const = 0;
+
+  /// Legacy value-returning form: builds a view over the input pair
+  /// with a call-local scratch and forwards to SelectInto. Selections
+  /// are bit-identical to SelectInto over the same data; existing
+  /// pipeline/tool/experiment call sites keep working unchanged.
+  std::vector<size_t> Select(const DiversificationInput& input,
+                             const UtilityMatrix& utilities,
+                             const DiversifyParams& params) const;
 };
 
 }  // namespace core

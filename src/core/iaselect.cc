@@ -17,28 +17,30 @@ double IaSelectDiversifier::Objective(const DiversificationInput& input,
   return total;
 }
 
-std::vector<size_t> IaSelectDiversifier::Select(
-    const DiversificationInput& input, const UtilityMatrix& utilities,
-    const DiversifyParams& params) const {
-  const size_t n = input.candidates.size();
-  const size_t m = input.specializations.size();
+void IaSelectDiversifier::SelectInto(const DiversificationView& view,
+                                     const DiversifyParams& params,
+                                     SelectScratch* scratch,
+                                     std::vector<size_t>* out) const {
+  out->clear();
+  const size_t n = view.num_candidates;
+  const size_t m = view.num_specializations;
   const size_t k = std::min(params.k, n);
-  if (k == 0) return {};
+  if (k == 0) return;
 
-  std::vector<double> coverage(m, 1.0);  // Π (1 − Ũ) over current S
-  std::vector<char> taken(n, 0);
-  std::vector<size_t> selected;
+  scratch->coverage.assign(m, 1.0);  // Π (1 − Ũ) over current S
+  scratch->taken.assign(n, 0);
+  std::vector<size_t>& selected = *out;
   selected.reserve(k);
 
   for (size_t step = 0; step < k; ++step) {
     double best_gain = -1.0;
     size_t best = static_cast<size_t>(-1);
     for (size_t i = 0; i < n; ++i) {
-      if (taken[i]) continue;
+      if (scratch->taken[i]) continue;
       double gain = 0.0;
       for (size_t j = 0; j < m; ++j) {
-        gain += input.specializations[j].probability * coverage[j] *
-                utilities.At(i, j);
+        gain += view.probability[j] * scratch->coverage[j] *
+                view.UtilityAt(i, j);
       }
       if (gain > best_gain) {
         best_gain = gain;
@@ -46,13 +48,12 @@ std::vector<size_t> IaSelectDiversifier::Select(
       }
     }
     if (best == static_cast<size_t>(-1)) break;
-    taken[best] = 1;
+    scratch->taken[best] = 1;
     selected.push_back(best);
     for (size_t j = 0; j < m; ++j) {
-      coverage[j] *= 1.0 - utilities.At(best, j);
+      scratch->coverage[j] *= 1.0 - view.UtilityAt(best, j);
     }
   }
-  return selected;
 }
 
 }  // namespace core

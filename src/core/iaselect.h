@@ -30,9 +30,9 @@ class IaSelectDiversifier : public Diversifier {
  public:
   std::string name() const override { return "IASelect"; }
 
-  std::vector<size_t> Select(const DiversificationInput& input,
-                             const UtilityMatrix& utilities,
-                             const DiversifyParams& params) const override;
+  void SelectInto(const DiversificationView& view,
+                  const DiversifyParams& params, SelectScratch* scratch,
+                  std::vector<size_t>* out) const override;
 
   /// Objective value P(S|q) of Eq. 4 for a given selection; exposed for
   /// the greedy-vs-bruteforce property tests.

@@ -5,13 +5,14 @@
 namespace optselect {
 namespace core {
 
-std::vector<size_t> MmrDiversifier::Select(const DiversificationInput& input,
-                                           const UtilityMatrix& utilities,
-                                           const DiversifyParams& params) const {
-  (void)utilities;
-  const size_t n = input.candidates.size();
+void MmrDiversifier::SelectInto(const DiversificationView& view,
+                                const DiversifyParams& params,
+                                SelectScratch* scratch,
+                                std::vector<size_t>* out) const {
+  out->clear();
+  const size_t n = view.num_candidates;
   const size_t k = std::min(params.k, n);
-  if (k == 0) return {};
+  if (k == 0) return;
 
   // In MMR convention λ weights relevance; reuse params.lambda as the
   // relevance weight's complement mirror so λ=0.15 keeps the same
@@ -19,35 +20,36 @@ std::vector<size_t> MmrDiversifier::Select(const DiversificationInput& input,
   const double rel_w = 1.0 - params.lambda;
   const double div_w = params.lambda;
 
-  std::vector<double> max_sim(n, 0.0);  // max sim to selected set
-  std::vector<char> taken(n, 0);
-  std::vector<size_t> selected;
+  scratch->overall.assign(n, 0.0);  // max sim to the selected set
+  scratch->taken.assign(n, 0);
+  std::vector<size_t>& selected = *out;
   selected.reserve(k);
 
   for (size_t step = 0; step < k; ++step) {
     double best_score = -1e300;
     size_t best = static_cast<size_t>(-1);
     for (size_t i = 0; i < n; ++i) {
-      if (taken[i]) continue;
-      double score = rel_w * input.candidates[i].relevance -
-                     div_w * (step == 0 ? 0.0 : max_sim[i]);
+      if (scratch->taken[i]) continue;
+      double score = rel_w * view.relevance[i] -
+                     div_w * (step == 0 ? 0.0 : scratch->overall[i]);
       if (score > best_score) {
         best_score = score;
         best = i;
       }
     }
     if (best == static_cast<size_t>(-1)) break;
-    taken[best] = 1;
+    scratch->taken[best] = 1;
     selected.push_back(best);
-    // Incremental update of max-similarity against the grown set.
+    // Incremental update of max-similarity against the grown set. A
+    // vector-less view contributes 0 similarity (see header).
+    if (view.candidates == nullptr) continue;
     for (size_t i = 0; i < n; ++i) {
-      if (taken[i]) continue;
-      double sim = input.candidates[i].vector.Cosine(
-          input.candidates[best].vector);
-      if (sim > max_sim[i]) max_sim[i] = sim;
+      if (scratch->taken[i]) continue;
+      double sim = view.candidates[i].vector.Cosine(
+          view.candidates[best].vector);
+      if (sim > scratch->overall[i]) scratch->overall[i] = sim;
     }
   }
-  return selected;
 }
 
 }  // namespace core

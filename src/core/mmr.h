@@ -20,14 +20,18 @@ namespace optselect {
 namespace core {
 
 /// MMR re-ranker. Ignores the specialization profiles and the utility
-/// matrix (passes are accepted for interface compatibility).
+/// matrix (passes are accepted for interface compatibility). Pairwise
+/// similarity needs the candidate surrogate vectors, so the view must
+/// carry `candidates` (true on the shim path); on a vector-less view
+/// (e.g. a compiled query plan) similarity degrades to 0 and MMR
+/// reduces to top-k by relevance.
 class MmrDiversifier : public Diversifier {
  public:
   std::string name() const override { return "MMR"; }
 
-  std::vector<size_t> Select(const DiversificationInput& input,
-                             const UtilityMatrix& utilities,
-                             const DiversifyParams& params) const override;
+  void SelectInto(const DiversificationView& view,
+                  const DiversifyParams& params, SelectScratch* scratch,
+                  std::vector<size_t>* out) const override;
 };
 
 }  // namespace core

@@ -10,83 +10,85 @@ namespace core {
 
 namespace internal {
 
-OptSelectHeaps MakeHeaps(const DiversificationInput& input, size_t k) {
-  OptSelectHeaps heaps(k);
-  const size_t m = input.specializations.size();
+void PrepareHeaps(const DiversificationView& view, size_t k,
+                  SelectScratch* scratch) {
+  const size_t m = view.num_specializations;
 
   // "if |S_q| > k we select from S_q the k specializations with the
-  // largest probabilities" (Section 3.1.3).
-  heaps.spec_order.resize(m);
-  for (size_t j = 0; j < m; ++j) heaps.spec_order[j] = j;
-  std::sort(heaps.spec_order.begin(), heaps.spec_order.end(),
-            [&](size_t a, size_t b) {
-              double pa = input.specializations[a].probability;
-              double pb = input.specializations[b].probability;
-              if (pa != pb) return pa > pb;
-              return a < b;
-            });
-  if (heaps.spec_order.size() > k) heaps.spec_order.resize(k);
-
-  heaps.quota.resize(heaps.spec_order.size());
-  heaps.per_spec.reserve(heaps.spec_order.size());
-  for (size_t jj = 0; jj < heaps.spec_order.size(); ++jj) {
-    double p = input.specializations[heaps.spec_order[jj]].probability;
-    heaps.quota[jj] =
-        static_cast<size_t>(std::floor(static_cast<double>(k) * p));
-    heaps.per_spec.emplace_back(heaps.quota[jj] + 1);
+  // largest probabilities" (Section 3.1.3). A compiled plan carries the
+  // full probability-sorted order; otherwise sort here.
+  scratch->spec_order.resize(m);
+  if (view.spec_order != nullptr) {
+    for (size_t j = 0; j < m; ++j) {
+      scratch->spec_order[j] = view.spec_order[j];
+    }
+  } else {
+    for (size_t j = 0; j < m; ++j) scratch->spec_order[j] = j;
+    SortSpecOrderByProbability(view.probability, &scratch->spec_order);
   }
-  return heaps;
+  if (scratch->spec_order.size() > k) scratch->spec_order.resize(k);
+
+  const size_t retained = scratch->spec_order.size();
+  scratch->global.Reset(k);
+  scratch->quota.resize(retained);
+  if (scratch->per_spec.size() < retained) {
+    scratch->per_spec.resize(retained);
+  }
+  for (size_t jj = 0; jj < retained; ++jj) {
+    double p = view.probability[scratch->spec_order[jj]];
+    scratch->quota[jj] =
+        static_cast<size_t>(std::floor(static_cast<double>(k) * p));
+    scratch->per_spec[jj].Reset(scratch->quota[jj] + 1);
+  }
 }
 
-void ScanRange(const DiversificationInput& input,
-               const UtilityMatrix& utilities,
-               const std::vector<double>& overall, size_t begin, size_t end,
-               OptSelectHeaps* heaps) {
-  (void)input;
+void ScanRange(const DiversificationView& view, const double* overall,
+               size_t begin, size_t end, SelectScratch* scratch) {
+  const size_t retained = scratch->spec_order.size();
   for (size_t i = begin; i < end; ++i) {
-    heaps->global.Push(overall[i], i);
-    for (size_t jj = 0; jj < heaps->spec_order.size(); ++jj) {
-      if (utilities.At(i, heaps->spec_order[jj]) > 0.0) {
-        heaps->per_spec[jj].Push(overall[i], i);
+    scratch->global.Push(overall[i], i);
+    for (size_t jj = 0; jj < retained; ++jj) {
+      if (view.UtilityAt(i, scratch->spec_order[jj]) > 0.0) {
+        scratch->per_spec[jj].Push(overall[i], i);
       }
     }
   }
 }
 
-std::vector<size_t> DrainAndFill(const std::vector<double>& overall,
-                                 size_t n, size_t k,
-                                 OptSelectHeaps* heaps) {
-  std::vector<size_t> selected;
+void DrainAndFill(const double* overall, size_t n, size_t k,
+                  SelectScratch* scratch, std::vector<size_t>* out) {
+  std::vector<size_t>& selected = *out;
+  selected.clear();
   selected.reserve(k);
-  std::vector<char> taken(n, 0);
+  scratch->taken.assign(n, 0);
 
   // Drain per-specialization heaps: quota each (≥ 1 for coverage), most
   // probable specialization first (Algorithm 2 lines 07-09 generalized to
   // the ⌊k·P⌋ coverage constraint).
   for (size_t jj = 0;
-       jj < heaps->spec_order.size() && selected.size() < k; ++jj) {
-    size_t want = std::max<size_t>(heaps->quota[jj], 1);
+       jj < scratch->spec_order.size() && selected.size() < k; ++jj) {
+    size_t want = std::max<size_t>(scratch->quota[jj], 1);
     size_t got = 0;
-    for (auto& entry : heaps->per_spec[jj].ExtractDescending()) {
+    for (const auto& entry : scratch->per_spec[jj].SortDescending()) {
       if (got >= want || selected.size() >= k) break;
-      if (taken[entry.value]) {
+      if (scratch->taken[entry.value]) {
         // A document useful for several specializations counts for each
         // of them; it consumes this specialization's quota without being
         // re-added.
         ++got;
         continue;
       }
-      taken[entry.value] = 1;
+      scratch->taken[entry.value] = 1;
       selected.push_back(entry.value);
       ++got;
     }
   }
 
   // Fill the remainder from the global heap (Algorithm 2 lines 10-12).
-  for (auto& entry : heaps->global.ExtractDescending()) {
+  for (const auto& entry : scratch->global.SortDescending()) {
     if (selected.size() >= k) break;
-    if (taken[entry.value]) continue;
-    taken[entry.value] = 1;
+    if (scratch->taken[entry.value]) continue;
+    scratch->taken[entry.value] = 1;
     selected.push_back(entry.value);
   }
 
@@ -95,7 +97,6 @@ std::vector<size_t> DrainAndFill(const std::vector<double>& overall,
     if (overall[a] != overall[b]) return overall[a] > overall[b];
     return a < b;
   });
-  return selected;
 }
 
 }  // namespace internal
@@ -113,22 +114,25 @@ double OptSelectDiversifier::OverallUtility(
          lambda * weighted;
 }
 
-std::vector<size_t> OptSelectDiversifier::Select(
-    const DiversificationInput& input, const UtilityMatrix& utilities,
-    const DiversifyParams& params) const {
-  const size_t n = input.candidates.size();
+void OptSelectDiversifier::SelectInto(const DiversificationView& view,
+                                      const DiversifyParams& params,
+                                      SelectScratch* scratch,
+                                      std::vector<size_t>* out) const {
+  out->clear();
+  const size_t n = view.num_candidates;
   const size_t k = std::min(params.k, n);
-  if (k == 0) return {};
+  if (k == 0) return;
 
-  // Ũ(d|q) for every candidate — one O(m) row scan each.
-  std::vector<double> overall(n);
+  // Ũ(d|q) for every candidate — one O(m) row scan each, or a single
+  // read when the view carries the compiled weighted block.
+  scratch->overall.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    overall[i] = OverallUtility(input, utilities, i, params.lambda);
+    scratch->overall[i] = view.OverallUtility(i, params.lambda);
   }
 
-  internal::OptSelectHeaps heaps = internal::MakeHeaps(input, k);
-  internal::ScanRange(input, utilities, overall, 0, n, &heaps);
-  return internal::DrainAndFill(overall, n, k, &heaps);
+  internal::PrepareHeaps(view, k, scratch);
+  internal::ScanRange(view, scratch->overall.data(), 0, n, scratch);
+  internal::DrainAndFill(scratch->overall.data(), n, k, scratch, out);
 }
 
 }  // namespace core

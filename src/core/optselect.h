@@ -34,9 +34,9 @@ class OptSelectDiversifier : public Diversifier {
  public:
   std::string name() const override { return "OptSelect"; }
 
-  std::vector<size_t> Select(const DiversificationInput& input,
-                             const UtilityMatrix& utilities,
-                             const DiversifyParams& params) const override;
+  void SelectInto(const DiversificationView& view,
+                  const DiversifyParams& params, SelectScratch* scratch,
+                  std::vector<size_t>* out) const override;
 
   /// The overall per-document utility Ũ(d|q) of Eq. 9 for candidate i.
   /// Exposed for tests and for the Figure 1 utility-ratio experiment.

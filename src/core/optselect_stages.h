@@ -6,7 +6,10 @@
 // into bounded heaps and (2) a selection stage that drains them under
 // the proportional-coverage quotas. The scan is what the parallel
 // variant shards; the selection stage is shared verbatim so both agree
-// bit-for-bit.
+// bit-for-bit. All stages operate on a zero-copy DiversificationView
+// and keep their state (heaps, quotas, taken-bitmap) inside a
+// SelectScratch, so repeated calls on one scratch allocate nothing once
+// the buffers have grown to the workload's steady-state sizes.
 
 #ifndef OPTSELECT_CORE_OPTSELECT_STAGES_H_
 #define OPTSELECT_CORE_OPTSELECT_STAGES_H_
@@ -14,41 +17,33 @@
 #include <cstddef>
 #include <vector>
 
-#include "core/bounded_heap.h"
-#include "core/candidate.h"
-#include "core/diversifier.h"
+#include "core/select_view.h"
 
 namespace optselect {
 namespace core {
 namespace internal {
 
-/// The heap set of Algorithm 2: M (global) plus one M_q′ per retained
-/// specialization, with the retained specializations and their quotas.
-struct OptSelectHeaps {
-  BoundedTopK<size_t> global;
-  std::vector<BoundedTopK<size_t>> per_spec;  ///< parallel to spec_order
-  std::vector<size_t> spec_order;             ///< specialization indices
-  std::vector<size_t> quota;                  ///< ⌊k·P(q′|q)⌋ per entry
-
-  explicit OptSelectHeaps(size_t k) : global(k) {}
-};
-
-/// Builds empty heaps: retains the k most probable specializations (ties
-/// on index), sizes M_q′ to ⌊k·P⌋+1 and M to k.
-OptSelectHeaps MakeHeaps(const DiversificationInput& input, size_t k);
+/// (Re)initializes the heap set of Algorithm 2 inside `scratch`:
+/// retains the k most probable specializations (ties on index) into
+/// scratch->spec_order — taken from view.spec_order when the view
+/// carries a compiled order, sorted otherwise — sizes each M_q′ to
+/// ⌊k·P⌋+1 and M to k.
+void PrepareHeaps(const DiversificationView& view, size_t k,
+                  SelectScratch* scratch);
 
 /// Scan stage over candidates [begin, end): pushes every candidate into
 /// the global heap and into each specialization heap it is useful for.
-void ScanRange(const DiversificationInput& input,
-               const UtilityMatrix& utilities,
-               const std::vector<double>& overall, size_t begin, size_t end,
-               OptSelectHeaps* heaps);
+/// `overall` is the per-candidate overall utility Ũ(d|q); `scratch`
+/// must have been PrepareHeaps'd for this view.
+void ScanRange(const DiversificationView& view, const double* overall,
+               size_t begin, size_t end, SelectScratch* scratch);
 
 /// Selection stage: drains quotas most-probable-specialization first,
-/// fills from the global heap, and orders the result by overall utility
-/// (ties: candidate rank).
-std::vector<size_t> DrainAndFill(const std::vector<double>& overall,
-                                 size_t n, size_t k, OptSelectHeaps* heaps);
+/// fills from the global heap, and orders the result (into `*out`,
+/// cleared first) by overall utility (ties: candidate rank). Leaves the
+/// scratch heaps sorted, not heap-ordered — PrepareHeaps resets them.
+void DrainAndFill(const double* overall, size_t n, size_t k,
+                  SelectScratch* scratch, std::vector<size_t>* out);
 
 }  // namespace internal
 }  // namespace core

@@ -3,18 +3,18 @@
 #include <algorithm>
 #include <thread>
 
-#include "core/optselect.h"
 #include "core/optselect_stages.h"
 
 namespace optselect {
 namespace core {
 
-std::vector<size_t> ParallelOptSelectDiversifier::Select(
-    const DiversificationInput& input, const UtilityMatrix& utilities,
-    const DiversifyParams& params) const {
-  const size_t n = input.candidates.size();
+void ParallelOptSelectDiversifier::SelectInto(
+    const DiversificationView& view, const DiversifyParams& params,
+    SelectScratch* scratch, std::vector<size_t>* out) const {
+  out->clear();
+  const size_t n = view.num_candidates;
   const size_t k = std::min(params.k, n);
-  if (k == 0) return {};
+  if (k == 0) return;
 
   size_t threads = num_threads_;
   if (threads == 0) {
@@ -22,25 +22,27 @@ std::vector<size_t> ParallelOptSelectDiversifier::Select(
   }
   threads = std::min(threads, std::max<size_t>(n / 1024, 1));
 
-  std::vector<double> overall(n);
-  internal::OptSelectHeaps merged = internal::MakeHeaps(input, k);
+  scratch->overall.resize(n);
+  internal::PrepareHeaps(view, k, scratch);
 
   if (threads <= 1) {
     for (size_t i = 0; i < n; ++i) {
-      overall[i] = OptSelectDiversifier::OverallUtility(input, utilities, i,
-                                                        params.lambda);
+      scratch->overall[i] = view.OverallUtility(i, params.lambda);
     }
-    internal::ScanRange(input, utilities, overall, 0, n, &merged);
-    return internal::DrainAndFill(overall, n, k, &merged);
+    internal::ScanRange(view, scratch->overall.data(), 0, n, scratch);
+    internal::DrainAndFill(scratch->overall.data(), n, k, scratch, out);
+    return;
   }
 
   // Shard the scan: each worker computes overall utilities and fills its
-  // own heap set over a contiguous candidate range.
-  std::vector<internal::OptSelectHeaps> shard_heaps;
-  shard_heaps.reserve(threads);
+  // own heap set over a contiguous candidate range. Shard scratches are
+  // per-call (the sharded regime only triggers for n ≥ 2048, where their
+  // cost is noise); the caller's scratch holds the merged set.
+  std::vector<SelectScratch> shards(threads);
   for (size_t t = 0; t < threads; ++t) {
-    shard_heaps.push_back(internal::MakeHeaps(input, k));
+    internal::PrepareHeaps(view, k, &shards[t]);
   }
+  double* overall = scratch->overall.data();
   {
     std::vector<std::thread> workers;
     workers.reserve(threads);
@@ -51,11 +53,9 @@ std::vector<size_t> ParallelOptSelectDiversifier::Select(
       if (begin >= end) break;
       workers.emplace_back([&, t, begin, end]() {
         for (size_t i = begin; i < end; ++i) {
-          overall[i] = OptSelectDiversifier::OverallUtility(
-              input, utilities, i, params.lambda);
+          overall[i] = view.OverallUtility(i, params.lambda);
         }
-        internal::ScanRange(input, utilities, overall, begin, end,
-                            &shard_heaps[t]);
+        internal::ScanRange(view, overall, begin, end, &shards[t]);
       });
     }
     for (std::thread& w : workers) w.join();
@@ -64,17 +64,17 @@ std::vector<size_t> ParallelOptSelectDiversifier::Select(
   // Merge: push every retained entry into the final heap set. Bounded
   // heaps are order-independent (total-ordered keys), so the merged
   // retained sets equal what a serial scan would have kept.
-  for (internal::OptSelectHeaps& shard : shard_heaps) {
-    for (auto& entry : shard.global.ExtractDescending()) {
-      merged.global.Push(entry.key, entry.value);
+  for (SelectScratch& shard : shards) {
+    for (const auto& entry : shard.global.SortDescending()) {
+      scratch->global.Push(entry.key, entry.value);
     }
-    for (size_t jj = 0; jj < shard.per_spec.size(); ++jj) {
-      for (auto& entry : shard.per_spec[jj].ExtractDescending()) {
-        merged.per_spec[jj].Push(entry.key, entry.value);
+    for (size_t jj = 0; jj < shard.spec_order.size(); ++jj) {
+      for (const auto& entry : shard.per_spec[jj].SortDescending()) {
+        scratch->per_spec[jj].Push(entry.key, entry.value);
       }
     }
   }
-  return internal::DrainAndFill(overall, n, k, &merged);
+  internal::DrainAndFill(overall, n, k, scratch, out);
 }
 
 }  // namespace core

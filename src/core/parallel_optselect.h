@@ -36,9 +36,9 @@ class ParallelOptSelectDiversifier : public Diversifier {
 
   std::string name() const override { return "ParallelOptSelect"; }
 
-  std::vector<size_t> Select(const DiversificationInput& input,
-                             const UtilityMatrix& utilities,
-                             const DiversifyParams& params) const override;
+  void SelectInto(const DiversificationView& view,
+                  const DiversifyParams& params, SelectScratch* scratch,
+                  std::vector<size_t>* out) const override;
 
   size_t num_threads() const { return num_threads_; }
 

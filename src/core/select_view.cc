@@ -1,0 +1,33 @@
+#include "core/select_view.h"
+
+#include "core/utility.h"
+
+namespace optselect {
+namespace core {
+
+DiversificationView MakeView(const DiversificationInput& input,
+                             const UtilityMatrix& utilities,
+                             SelectScratch* scratch) {
+  const size_t n = input.candidates.size();
+  const size_t m = input.specializations.size();
+  scratch->relevance.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    scratch->relevance[i] = input.candidates[i].relevance;
+  }
+  scratch->probability.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    scratch->probability[j] = input.specializations[j].probability;
+  }
+
+  DiversificationView view;
+  view.num_candidates = n;
+  view.num_specializations = m;
+  view.relevance = scratch->relevance.data();
+  view.probability = scratch->probability.data();
+  view.utilities = utilities.data();
+  view.candidates = input.candidates.data();
+  return view;
+}
+
+}  // namespace core
+}  // namespace optselect

@@ -13,11 +13,15 @@ double UtilityMatrix::WeightedRowSum(size_t candidate,
   return sum;
 }
 
-UtilityMatrix UtilityMatrix::Thresholded(double c) const {
-  UtilityMatrix out = *this;
-  for (double& v : out.values_) {
+void UtilityMatrix::ThresholdInPlace(double c) {
+  for (double& v : values_) {
     if (v < c) v = 0.0;
   }
+}
+
+UtilityMatrix UtilityMatrix::Thresholded(double c) const {
+  UtilityMatrix out = *this;
+  out.ThresholdInPlace(c);
   return out;
 }
 

@@ -37,12 +37,23 @@ class UtilityMatrix {
   size_t num_candidates() const { return n_; }
   size_t num_specializations() const { return m_; }
 
+  /// Raw row-major [candidate][specialization] storage — the span a
+  /// zero-copy DiversificationView points at.
+  const double* data() const { return values_.data(); }
+
   /// Row view helper: sum over specializations of P(q′|q)·Ũ(d|R_q′).
   double WeightedRowSum(size_t candidate,
                         const std::vector<double>& probs) const;
 
+  /// Forces every value below `c` to 0 in place, allocation-free.
+  /// Thresholding is idempotent and monotone in c (re-applying a larger
+  /// cutoff to an already-thresholded matrix equals thresholding the
+  /// original), so ascending sweeps can reuse one working copy.
+  void ThresholdInPlace(double c);
+
   /// Copy with every value below `c` forced to 0 — lets experiments sweep
-  /// the threshold (Table 3) without recomputing the cosine sums.
+  /// the threshold (Table 3) without recomputing the cosine sums. Prefer
+  /// ThresholdInPlace when the pre-threshold values are not needed again.
   UtilityMatrix Thresholded(double c) const;
 
  private:

@@ -5,19 +5,21 @@
 namespace optselect {
 namespace core {
 
-std::vector<size_t> XQuadDiversifier::Select(
-    const DiversificationInput& input, const UtilityMatrix& utilities,
-    const DiversifyParams& params) const {
-  const size_t n = input.candidates.size();
-  const size_t m = input.specializations.size();
+void XQuadDiversifier::SelectInto(const DiversificationView& view,
+                                  const DiversifyParams& params,
+                                  SelectScratch* scratch,
+                                  std::vector<size_t>* out) const {
+  out->clear();
+  const size_t n = view.num_candidates;
+  const size_t m = view.num_specializations;
   const size_t k = std::min(params.k, n);
-  if (k == 0) return {};
+  if (k == 0) return;
 
   // Coverage degree of the current solution per specialization:
   // cov_j = Π_{d_j ∈ S} (1 − Ũ(d_j | R_q′)).
-  std::vector<double> coverage(m, 1.0);
-  std::vector<char> taken(n, 0);
-  std::vector<size_t> selected;
+  scratch->coverage.assign(m, 1.0);
+  scratch->taken.assign(n, 0);
+  std::vector<size_t>& selected = *out;
   selected.reserve(k);
 
   const double lambda = params.lambda;
@@ -26,27 +28,26 @@ std::vector<size_t> XQuadDiversifier::Select(
     double best_score = -1.0;
     size_t best = static_cast<size_t>(-1);
     for (size_t i = 0; i < n; ++i) {
-      if (taken[i]) continue;
+      if (scratch->taken[i]) continue;
       double diversity = 0.0;
       for (size_t j = 0; j < m; ++j) {
-        diversity += input.specializations[j].probability *
-                     utilities.At(i, j) * coverage[j];
+        diversity += view.probability[j] * view.UtilityAt(i, j) *
+                     scratch->coverage[j];
       }
       double score =
-          (1.0 - lambda) * input.candidates[i].relevance + lambda * diversity;
+          (1.0 - lambda) * view.relevance[i] + lambda * diversity;
       if (score > best_score) {
         best_score = score;
         best = i;
       }
     }
     if (best == static_cast<size_t>(-1)) break;
-    taken[best] = 1;
+    scratch->taken[best] = 1;
     selected.push_back(best);
     for (size_t j = 0; j < m; ++j) {
-      coverage[j] *= 1.0 - utilities.At(best, j);
+      scratch->coverage[j] *= 1.0 - view.UtilityAt(best, j);
     }
   }
-  return selected;
 }
 
 }  // namespace core

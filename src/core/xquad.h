@@ -26,9 +26,9 @@ class XQuadDiversifier : public Diversifier {
  public:
   std::string name() const override { return "xQuAD"; }
 
-  std::vector<size_t> Select(const DiversificationInput& input,
-                             const UtilityMatrix& utilities,
-                             const DiversifyParams& params) const override;
+  void SelectInto(const DiversificationView& view,
+                  const DiversifyParams& params, SelectScratch* scratch,
+                  std::vector<size_t>* out) const override;
 };
 
 }  // namespace core

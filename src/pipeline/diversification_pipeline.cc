@@ -5,6 +5,25 @@
 namespace optselect {
 namespace pipeline {
 
+std::vector<DocId> AssembleRanking(const DocId* docs, size_t n,
+                                   const std::vector<size_t>& picks,
+                                   size_t k,
+                                   std::vector<char>* taken_scratch) {
+  std::vector<DocId> ranking;
+  ranking.reserve(std::min(k, n));
+  std::vector<char> local;
+  std::vector<char>& taken = taken_scratch != nullptr ? *taken_scratch : local;
+  taken.assign(n, 0);
+  for (size_t i : picks) {
+    ranking.push_back(docs[i]);
+    taken[i] = 1;
+  }
+  for (size_t i = 0; i < n && ranking.size() < k; ++i) {
+    if (!taken[i]) ranking.push_back(docs[i]);
+  }
+  return ranking;
+}
+
 std::vector<DocId> AssembleRanking(const core::DiversificationInput& input,
                                    const std::vector<size_t>& picks,
                                    size_t k) {
@@ -20,6 +39,27 @@ std::vector<DocId> AssembleRanking(const core::DiversificationInput& input,
     if (!taken[i]) ranking.push_back(input.candidates[i].doc);
   }
   return ranking;
+}
+
+std::vector<core::Candidate> BuildCandidates(
+    const index::ResultList& rq, const index::SnippetExtractor& snippets,
+    const corpus::DocumentStore& documents,
+    const std::vector<text::TermId>& query_terms) {
+  std::vector<core::Candidate> candidates;
+  if (rq.empty()) return candidates;
+  double max_score = rq.front().score;
+  for (const index::SearchResult& hit : rq) {
+    max_score = std::max(max_score, hit.score);
+  }
+  candidates.reserve(rq.size());
+  for (const index::SearchResult& hit : rq) {
+    core::Candidate c;
+    c.doc = hit.doc;
+    c.relevance = max_score > 0 ? hit.score / max_score : 0.0;
+    c.vector = snippets.ExtractVector(documents.Get(hit.doc), query_terms);
+    candidates.push_back(std::move(c));
+  }
+  return candidates;
 }
 
 std::vector<DocId> DiversificationPipeline::BaselineRanking(
@@ -42,18 +82,8 @@ DiversifiedResult DiversificationPipeline::Prepare(
       searcher_->SearchTerms(query_terms, params_.num_candidates);
   if (rq.empty()) return result;
 
-  double max_score = rq.front().score;
-  for (const index::SearchResult& hit : rq) {
-    max_score = std::max(max_score, hit.score);
-  }
-  result.input.candidates.reserve(rq.size());
-  for (const index::SearchResult& hit : rq) {
-    core::Candidate c;
-    c.doc = hit.doc;
-    c.relevance = max_score > 0 ? hit.score / max_score : 0.0;
-    c.vector = snippets_->ExtractVector(store_->Get(hit.doc), query_terms);
-    result.input.candidates.push_back(std::move(c));
-  }
+  result.input.candidates =
+      BuildCandidates(rq, *snippets_, *store_, query_terms);
 
   // Step (a): Algorithm 1.
   result.specializations = detector_->Detect(query);

@@ -53,6 +53,26 @@ std::vector<DocId> AssembleRanking(const core::DiversificationInput& input,
                                    const std::vector<size_t>& picks,
                                    size_t k);
 
+/// Same pick-then-pad rule over a flat doc-id block (a compiled
+/// QueryPlan's candidate list). `taken_scratch`, when given, supplies
+/// the marking buffer so hot-path callers stay allocation-free; both
+/// overloads produce identical rankings for identical candidates.
+std::vector<DocId> AssembleRanking(const DocId* docs, size_t n,
+                                   const std::vector<size_t>& picks,
+                                   size_t k,
+                                   std::vector<char>* taken_scratch);
+
+/// Materializes the candidate block R_q from a retrieval result:
+/// normalized relevance P(d|q) (score / max score) plus the snippet
+/// surrogate vectors. The single definition shared by the offline
+/// pipeline, the store-time plan compiler, and the serving fallback —
+/// which is what makes their candidates (and therefore their rankings)
+/// bit-identical by construction rather than by manual sync.
+std::vector<core::Candidate> BuildCandidates(
+    const index::ResultList& rq, const index::SnippetExtractor& snippets,
+    const corpus::DocumentStore& documents,
+    const std::vector<text::TermId>& query_terms);
+
 /// Runs retrieval + mining + diversification. The components are not
 /// owned and must outlive the pipeline; any custom wiring (e.g. a
 /// detector trained on a log split) can be passed directly.

@@ -157,22 +157,48 @@ ServeResult ServingNode::Serve(const std::string& query) {
 
 std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
     const std::string& normalized_query,
-    const store::StoreSnapshot& snapshot) const {
+    const store::StoreSnapshot& snapshot,
+    core::SelectScratch* scratch) const {
   auto result = std::make_shared<ServeResult>();
   result->ok = true;
   result->store_version = snapshot.version();
 
   const pipeline::PipelineParams& params = config_.params;
+  // Serving-time step (a): the store *is* the precomputed answer of
+  // Algorithm 1, so ambiguity detection is one hash lookup.
+  const store::StoredEntry* entry = snapshot.store().Find(normalized_query);
+  const bool ambiguous =
+      entry != nullptr && entry->specializations.size() >= 2;
+
+  // Compiled path (store v3): the builder already retrieved R_q and
+  // computed the thresholded utilities against this same immutable
+  // index, so the request is pure selection over the entry's flat
+  // blocks — no retrieval, no snippet extraction, no cosine sums, and
+  // no allocation outside the worker's scratch.
+  if (ambiguous && !entry->plan.empty() &&
+      entry->plan.CompatibleWith(params.num_candidates,
+                                 params.threshold_c)) {
+    const store::QueryPlan& plan = entry->plan;
+    core::DiversificationView view = plan.View();
+    diversifier_.SelectInto(view, params.diversify, scratch,
+                            &scratch->picks);
+
+    result->diversified = true;
+    result->plan_served = true;
+    result->num_specializations = plan.num_specializations();
+    result->ranking = pipeline::AssembleRanking(
+        plan.docs.data(), plan.num_candidates(), scratch->picks,
+        params.diversify.k, &scratch->taken);
+    return result;
+  }
+
   std::vector<text::TermId> query_terms =
       analyzer_->AnalyzeReadOnly(normalized_query);
   index::ResultList rq =
       searcher_->SearchTerms(query_terms, params.num_candidates);
   if (rq.empty()) return result;
 
-  // Serving-time step (a): the store *is* the precomputed answer of
-  // Algorithm 1, so ambiguity detection is one hash lookup.
-  const store::StoredEntry* entry = snapshot.store().Find(normalized_query);
-  if (entry == nullptr || entry->specializations.size() < 2) {
+  if (!ambiguous) {
     // Passthrough: the plain DPH ranking stands. No surrogate
     // extraction needed — a real node only pays for snippets on the
     // diversified path.
@@ -182,51 +208,44 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
     return result;
   }
 
-  // Steps (b) + (c): build the problem instance from R_q and the stored
-  // S_q / R_q′ surrogates, then run OptSelect.
+  // Fallback (v1/v2 store entry or plan/params mismatch), steps (b) +
+  // (c): build the problem instance from R_q and the stored S_q / R_q′
+  // surrogates, then run OptSelect through the same view + scratch
+  // machinery the plan path uses.
   core::DiversificationInput input;
   input.query = normalized_query;
-  double max_score = rq.front().score;
-  for (const index::SearchResult& hit : rq) {
-    max_score = std::max(max_score, hit.score);
-  }
-  input.candidates.reserve(rq.size());
-  for (const index::SearchResult& hit : rq) {
-    core::Candidate c;
-    c.doc = hit.doc;
-    c.relevance = max_score > 0 ? hit.score / max_score : 0.0;
-    c.vector =
-        snippets_->ExtractVector(documents_->Get(hit.doc), query_terms);
-    input.candidates.push_back(std::move(c));
-  }
+  input.candidates =
+      pipeline::BuildCandidates(rq, *snippets_, *documents_, query_terms);
   input.specializations = store::DiversificationStore::ToProfiles(*entry);
 
   core::UtilityComputer computer(
       core::UtilityComputer::Options{params.threshold_c});
   core::UtilityMatrix utilities = computer.Compute(input);
-  std::vector<size_t> picks =
-      diversifier_.Select(input, utilities, params.diversify);
+  core::DiversificationView view =
+      core::MakeView(input, utilities, scratch);
+  diversifier_.SelectInto(view, params.diversify, scratch,
+                          &scratch->picks);
 
   result->diversified = true;
   result->num_specializations = input.specializations.size();
   result->ranking =
-      pipeline::AssembleRanking(input, picks, params.diversify.k);
+      pipeline::AssembleRanking(input, scratch->picks, params.diversify.k);
   return result;
 }
 
 std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
     const std::string& cache_key, const std::string& normalized_query,
     const std::shared_ptr<const store::StoreSnapshot>& snapshot,
-    bool* cache_hit) {
+    core::SelectScratch* scratch, bool* cache_hit) {
   *cache_hit = false;
   if (!config_.enable_cache) {
-    return ComputeRanking(normalized_query, *snapshot);
+    return ComputeRanking(normalized_query, *snapshot, scratch);
   }
   if (auto cached = cache_.Get(cache_key)) {
     *cache_hit = true;
     return cached;
   }
-  auto computed = ComputeRanking(normalized_query, *snapshot);
+  auto computed = ComputeRanking(normalized_query, *snapshot, scratch);
   // Fill guard: if a reload swapped the snapshot while we computed,
   // this result may belong to a key the reload just invalidated — drop
   // the fill (the request itself still answers on its pinned version).
@@ -243,6 +262,9 @@ std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
 void ServingNode::Finish(Request* request, const ServeResult& result) {
   if (result.diversified) {
     diversified_.fetch_add(1, std::memory_order_relaxed);
+    if (result.plan_served) {
+      plan_served_.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
     passthrough_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -256,6 +278,10 @@ void ServingNode::Finish(Request* request, const ServeResult& result) {
 
 void ServingNode::WorkerLoop() {
   std::vector<Request> batch;
+  // Per-worker selection scratch: heaps, bitmaps and gather buffers are
+  // reused across every request this worker ever computes, so the
+  // plan-served hot path performs no per-request allocation.
+  core::SelectScratch scratch;
   // Payloads already computed in this batch, keyed like the cache:
   // duplicate queries drained in one wakeup are computed exactly once
   // even with the cache disabled (micro-batching's amortization).
@@ -282,7 +308,8 @@ void ServingNode::WorkerLoop() {
         dedup = true;
         batch_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        payload = LookupOrCompute(key, normalized, snapshot, &cache_hit);
+        payload = LookupOrCompute(key, normalized, snapshot, &scratch,
+                                  &cache_hit);
         if (batch.size() > 1) batch_local.emplace(key, payload);
       }
 
@@ -300,6 +327,7 @@ ServingStats ServingNode::Stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.diversified = diversified_.load(std::memory_order_relaxed);
+  s.plan_served = plan_served_.load(std::memory_order_relaxed);
   s.passthrough = passthrough_.load(std::memory_order_relaxed);
   ResultCacheStats cs = cache_.stats();
   s.cache_hits = cs.hits;

@@ -8,13 +8,22 @@
 //
 //     request ─> bounded MPMC queue ─> worker pool
 //       worker: normalize ─> sharded LRU result cache
-//               ─(miss)─> retrieve R_q ─> store lookup (S_q, R_q′)
-//               ─> utilities ─> OptSelect ─> ranking ─> cache fill
+//               ─(miss)─> store lookup
+//                 ├─ compiled plan (store v3): selection directly over
+//                 │  the entry's precomputed utility blocks — no
+//                 │  retrieval, no utility recompute, no allocation
+//                 │  (per-worker SelectScratch) ─> ranking
+//                 └─ fallback: retrieve R_q ─> utilities ─> OptSelect
+//               ─> ranking ─> cache fill
 //
 // with a fixed-size thread pool, optional micro-batching (each worker
 // wakeup drains up to max_batch queued requests and computes duplicate
 // queries once), and a ServingStats snapshot (QPS, latency quantiles
-// from a streaming histogram, cache and traffic counters).
+// from a streaming histogram, cache and traffic counters). The plan
+// path and the fallback produce bit-identical rankings (the builder
+// compiles plans by running the fallback's exact code against the same
+// immutable retrieval stack); plans whose compile parameters disagree
+// with this node's pipeline params are ignored, never half-used.
 //
 // The store is held as a refcounted immutable StoreSnapshot and can be
 // hot-swapped mid-traffic with ReloadStore: workers pin the current
@@ -45,6 +54,7 @@
 #include <vector>
 
 #include "core/parallel_optselect.h"
+#include "core/select_view.h"
 #include "corpus/document_store.h"
 #include "index/searcher.h"
 #include "index/snippet_extractor.h"
@@ -90,6 +100,11 @@ struct ServeResult {
   /// True when the ranking was reused from an identical request in the
   /// same micro-batch (set even when the cache is disabled).
   bool batch_dedup = false;
+  /// True when the ranking was computed over the entry's compiled
+  /// query-plan blocks (store v3) instead of per-request retrieval +
+  /// utility computation. Cached results keep the flag of the compute
+  /// that filled them.
+  bool plan_served = false;
   /// Number of specializations diversified against (0 if passthrough).
   size_t num_specializations = 0;
   /// Content version of the store snapshot that computed this ranking
@@ -105,6 +120,7 @@ struct ServingStats {
   uint64_t rejected = 0;     ///< Submit calls shed (queue full / shutdown)
   uint64_t completed = 0;    ///< requests answered (callback invoked)
   uint64_t diversified = 0;  ///< answered via store + OptSelect
+  uint64_t plan_served = 0;  ///< of those, served off compiled v3 plans
   uint64_t passthrough = 0;  ///< answered with the plain DPH ranking
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -227,9 +243,13 @@ class ServingNode {
 
   void WorkerLoop();
   /// Compute for one normalized query against a pinned snapshot.
+  /// `scratch` is the calling worker's reusable selection memory; the
+  /// plan path runs entirely inside it (no per-request allocation
+  /// beyond the result object itself).
   std::shared_ptr<const ServeResult> ComputeRanking(
       const std::string& normalized_query,
-      const store::StoreSnapshot& snapshot) const;
+      const store::StoreSnapshot& snapshot,
+      core::SelectScratch* scratch) const;
   /// Full per-request flow: cache lookup, compute, cache fill. The
   /// fill is skipped when the active snapshot moved past `snapshot`
   /// mid-compute, so a stale ranking can never repopulate a key that a
@@ -237,7 +257,7 @@ class ServingNode {
   std::shared_ptr<const ServeResult> LookupOrCompute(
       const std::string& cache_key, const std::string& normalized_query,
       const std::shared_ptr<const store::StoreSnapshot>& snapshot,
-      bool* cache_hit);
+      core::SelectScratch* scratch, bool* cache_hit);
   void Finish(Request* request, const ServeResult& result);
 
   ServingConfig config_;
@@ -261,6 +281,7 @@ class ServingNode {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> diversified_{0};
+  std::atomic<uint64_t> plan_served_{0};
   std::atomic<uint64_t> passthrough_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};

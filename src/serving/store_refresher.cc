@@ -26,6 +26,10 @@ StoreRefresher::StoreRefresher(ServingNode* node,
       recommender_(config.recommender),
       detector_(&recommender_, config.detector),
       segmenter_(config.segmenter) {
+  // Re-mined entries must carry plans the node can serve (see header).
+  config_.builder.plan.num_candidates =
+      node_->config().params.num_candidates;
+  config_.builder.plan.threshold_c = node_->config().params.threshold_c;
   if (!initial_log.empty()) {
     // One-time seed: the mining state the base store was built from.
     // Delta segmentation is time-only (see header), so the seed uses

@@ -63,7 +63,12 @@ struct StoreRefresherConfig {
   /// When set, every swapped snapshot is also persisted here with its
   /// monotonic version (crash recovery / warm restart).
   std::string persist_path;
-  /// Surrogate materialization knobs for re-mined entries.
+  /// Surrogate materialization knobs for re-mined entries. The plan
+  /// compile sub-options (builder.plan) are overridden at construction
+  /// with the node's own pipeline params — a refresher must compile
+  /// plans the node it feeds can actually use, and bit-identical
+  /// serving across a swap requires the exact same (num_candidates,
+  /// threshold_c) pair.
   store::StoreBuilderOptions builder;
   /// Mining knobs — should match the offline build that produced the
   /// base store, or the first refresh will "correct" entries toward the

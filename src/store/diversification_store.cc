@@ -18,25 +18,41 @@ namespace {
 //   per entry:   u32 query_len | bytes | u32 spec_count
 //   per spec:    u32 query_len | bytes | f64 probability | u32 n_surrogates
 //   per vector:  u32 n_entries | (u32 term, f64 weight)*
+//   [v3+: per entry, after its specs — the compiled query plan]
+//     u8 has_plan; when 1:
+//       u32 num_candidates_requested | f64 threshold_c | u32 n | u32 m
+//       n×u32 docs | n×f64 relevance | m×f64 probability
+//       m×u32 spec_order | (n·m)×f64 utilities | n×f64 weighted
 //   trailer:     u64 fnv1a checksum of everything after the header magic.
 //
 // Format v1 (the original `store.bin`) has no store_version field and
 // is checksummed with the legacy basis below; it still loads (as
 // content version 0). Format v2 adds the monotonic store_version that
 // the snapshot-rebuild lifecycle bumps on every swap, and moves to the
-// standard FNV-1a offset basis.
+// standard FNV-1a offset basis. Format v3 appends the compiled query
+// plan blocks (store/query_plan.h) after each entry's specializations;
+// v1/v2 files load with empty plans and serve via per-request
+// computation until store::CompilePlans upgrades them.
 constexpr char kMagic[4] = {'O', 'S', 'D', 'S'};
 constexpr uint32_t kLegacyVersion = 1;
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kV2Version = 2;
+constexpr uint32_t kVersion = 3;
 
 class Writer {
  public:
+  void U8(uint8_t v) { Raw(&v, sizeof(v)); }
   void U32(uint32_t v) { Raw(&v, sizeof(v)); }
   void U64(uint64_t v) { Raw(&v, sizeof(v)); }
   void F64(double v) { Raw(&v, sizeof(v)); }
   void Str(const std::string& s) {
     U32(static_cast<uint32_t>(s.size()));
     Raw(s.data(), s.size());
+  }
+  void U32Array(const uint32_t* p, size_t count) {
+    if (count > 0) Raw(p, count * sizeof(uint32_t));
+  }
+  void F64Array(const double* p, size_t count) {
+    if (count > 0) Raw(p, count * sizeof(double));
   }
   const std::string& buffer() const { return buf_; }
 
@@ -51,9 +67,24 @@ class Reader {
  public:
   Reader(const char* data, size_t size) : data_(data), size_(size) {}
 
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
   bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
   bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
   bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool U32Array(std::vector<uint32_t>* out, size_t count) {
+    out->clear();
+    if (count == 0) return true;
+    if (count > (size_ - pos_) / sizeof(uint32_t)) return false;
+    out->resize(count);
+    return Raw(out->data(), count * sizeof(uint32_t));
+  }
+  bool F64Array(std::vector<double>* out, size_t count) {
+    out->clear();
+    if (count == 0) return true;
+    if (count > (size_ - pos_) / sizeof(double)) return false;
+    out->resize(count);
+    return Raw(out->data(), count * sizeof(double));
+  }
   bool Str(std::string* s) {
     uint32_t len = 0;
     if (!U32(&len)) return false;
@@ -90,6 +121,23 @@ uint64_t ChecksumFor(uint32_t format_version, const char* data,
   return util::Fnv1a64(data, size, basis);
 }
 
+// A plan is valid for its entry iff its blocks are internally
+// consistent and its probability copy matches the entry's mined
+// distribution exactly (the utilities/weighted/spec_order blocks are
+// all functions of it). Anything else is a stale compile.
+bool PlanMatchesEntry(const QueryPlan& plan, const StoredEntry& entry) {
+  if (!plan.SizesConsistent()) return false;
+  if (plan.num_specializations() != entry.specializations.size()) {
+    return false;
+  }
+  for (size_t j = 0; j < entry.specializations.size(); ++j) {
+    if (plan.probability[j] != entry.specializations[j].probability) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 util::Status DiversificationStore::Put(StoredEntry entry) {
@@ -98,6 +146,12 @@ util::Status DiversificationStore::Put(StoredEntry entry) {
         "entry for '" + entry.query + "' has " +
         std::to_string(entry.specializations.size()) +
         " specializations; an ambiguous query needs at least 2");
+  }
+  // Drop, rather than store, a plan that no longer matches the mined
+  // content — serving falls back to per-request computation, which is
+  // slower but always correct.
+  if (!entry.plan.empty() && !PlanMatchesEntry(entry.plan, entry)) {
+    entry.plan = QueryPlan();
   }
   // Keys are normalized so serving-time lookups are insensitive to
   // casing/spacing; entry.query keeps the original string.
@@ -191,6 +245,20 @@ util::Status DiversificationStore::Save(const std::string& path) const {
         }
       }
     }
+    const QueryPlan& plan = entry->plan;
+    w.U8(plan.empty() ? 0 : 1);
+    if (!plan.empty()) {
+      w.U32(plan.num_candidates_requested);
+      w.F64(plan.threshold_c);
+      w.U32(static_cast<uint32_t>(plan.num_candidates()));
+      w.U32(static_cast<uint32_t>(plan.num_specializations()));
+      w.U32Array(plan.docs.data(), plan.docs.size());
+      w.F64Array(plan.relevance.data(), plan.relevance.size());
+      w.F64Array(plan.probability.data(), plan.probability.size());
+      w.U32Array(plan.spec_order.data(), plan.spec_order.size());
+      w.F64Array(plan.utilities.data(), plan.utilities.size());
+      w.F64Array(plan.weighted.data(), plan.weighted.size());
+    }
   }
 
   std::ofstream out(path, std::ios::binary);
@@ -226,7 +294,8 @@ util::Result<DiversificationStore> DiversificationStore::Load(
   Reader r(body, body_size);
   uint32_t version = 0;
   if (!r.U32(&version)) return util::Status::Corruption("truncated header");
-  if (version != kLegacyVersion && version != kVersion) {
+  if (version != kLegacyVersion && version != kV2Version &&
+      version != kVersion) {
     return util::Status::Corruption(
         util::StrFormat("unsupported version %u", version));
   }
@@ -235,7 +304,7 @@ util::Result<DiversificationStore> DiversificationStore::Load(
   }
 
   uint64_t store_version = 0;
-  if (version >= kVersion && !r.U64(&store_version)) {
+  if (version >= kV2Version && !r.U64(&store_version)) {
     return util::Status::Corruption("truncated store version");
   }
   uint64_t count = 0;
@@ -276,6 +345,28 @@ util::Result<DiversificationStore> DiversificationStore::Load(
             text::TermVector::FromEntries(std::move(vec_entries)));
       }
       entry.specializations.push_back(std::move(sp));
+    }
+    if (version >= kVersion) {
+      uint8_t has_plan = 0;
+      if (!r.U8(&has_plan)) return util::Status::Corruption("plan flag");
+      if (has_plan != 0) {
+        QueryPlan& plan = entry.plan;
+        uint32_t n = 0, m = 0;
+        if (!r.U32(&plan.num_candidates_requested) ||
+            !r.F64(&plan.threshold_c) || !r.U32(&n) || !r.U32(&m)) {
+          return util::Status::Corruption("plan header");
+        }
+        if (!r.U32Array(&plan.docs, n) || !r.F64Array(&plan.relevance, n) ||
+            !r.F64Array(&plan.probability, m) ||
+            !r.U32Array(&plan.spec_order, m) ||
+            !r.F64Array(&plan.utilities,
+                        static_cast<size_t>(n) * static_cast<size_t>(m)) ||
+            !r.F64Array(&plan.weighted, n)) {
+          return util::Status::Corruption("plan blocks");
+        }
+        // Put re-validates the plan against the entry and drops a
+        // mismatch, so a file with stale plans loads as plan-less.
+      }
     }
     OPTSELECT_RETURN_IF_ERROR(store.Put(std::move(entry)));
   }

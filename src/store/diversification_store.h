@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/candidate.h"
+#include "store/query_plan.h"
 #include "util/status.h"
 
 namespace optselect {
@@ -42,6 +43,12 @@ struct StoredSpecialization {
 struct StoredEntry {
   std::string query;
   std::vector<StoredSpecialization> specializations;
+  /// Compiled selection blocks (store v3). Empty when the entry was
+  /// loaded from a v1/v2 file or built with plan compilation off;
+  /// serving then computes utilities per request. Derived data — Put
+  /// drops a plan that no longer matches the mined content above, and
+  /// StoredEntriesEqual deliberately ignores it.
+  QueryPlan plan;
 };
 
 /// In-memory map of ambiguous queries with binary persistence.
@@ -51,7 +58,11 @@ class DiversificationStore {
   /// specializations are rejected (not ambiguous by definition). The
   /// map key is util::NormalizeQueryText(entry.query) — two entries
   /// differing only in casing/spacing occupy one slot — while
-  /// entry.query itself is stored untouched.
+  /// entry.query itself is stored untouched. A non-empty plan whose
+  /// blocks are inconsistent or whose probabilities disagree with the
+  /// entry's specializations (e.g. the caller perturbed the mined
+  /// content without recompiling) is dropped, not stored: a stale plan
+  /// would serve rankings computed under the old distribution.
   util::Status Put(StoredEntry entry);
 
   /// Looks up a query (normalized the same way as Put keys); nullptr
@@ -85,13 +96,16 @@ class DiversificationStore {
   uint64_t SurrogatePayloadBytes() const;
 
   /// Serializes all entries to `path` (binary, versioned, checksummed).
-  /// Writes the current (v2) format, which carries version().
+  /// Writes the current (v3) format, which carries version() and the
+  /// compiled query plans.
   util::Status Save(const std::string& path) const;
 
-  /// Loads a store written by Save — either the current v2 format or
-  /// the legacy v1 format (pre-versioning `store.bin`; loads with
-  /// version() == 0). Fails with kCorruption on format-version
-  /// mismatch, truncation, or checksum failure.
+  /// Loads a store written by Save — the current v3 format or the
+  /// legacy v2 (no plan blocks) / v1 (pre-versioning; loads with
+  /// version() == 0) formats. v1/v2 entries load with empty plans;
+  /// store::CompilePlans recompiles them against a retrieval stack.
+  /// Fails with kCorruption on format-version mismatch, truncation, or
+  /// checksum failure.
   static util::Result<DiversificationStore> Load(const std::string& path);
 
   /// Iteration support (read-only).
@@ -104,10 +118,11 @@ class DiversificationStore {
   uint64_t version_ = 0;
 };
 
-/// Deep equality of two stored entries (query strings, probabilities,
-/// surrogate vectors). Used by delta rebuilds to skip upserts that do
-/// not actually change an entry — and therefore to avoid invalidating
-/// cached rankings that are still bit-identical.
+/// Deep equality of two stored entries' *mined content* (query strings,
+/// probabilities, surrogate vectors — not the derived plan). Used by
+/// delta rebuilds to skip upserts that do not actually change an entry
+/// — and therefore to avoid invalidating cached rankings that are still
+/// bit-identical.
 bool StoredEntriesEqual(const StoredEntry& a, const StoredEntry& b);
 
 }  // namespace store

@@ -1,9 +1,12 @@
 #include "store/store_builder.h"
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <utility>
 
+#include "core/utility.h"
+#include "pipeline/diversification_pipeline.h"
 #include "util/strings.h"
 
 namespace optselect {
@@ -39,10 +42,103 @@ StoredEntry MaterializeEntry(const recommend::SpecializationSet& set,
     }
     entry.specializations.push_back(std::move(stored_sp));
   }
+  if (options.compile_plans) {
+    entry.plan = CompileQueryPlan(entry, searcher, snippets, analyzer,
+                                  documents, options.plan);
+  }
   return entry;
 }
 
 }  // namespace
+
+QueryPlan CompileQueryPlan(const StoredEntry& entry,
+                           const index::Searcher& searcher,
+                           const index::SnippetExtractor& snippets,
+                           const text::Analyzer& analyzer,
+                           const corpus::DocumentStore& documents,
+                           const PlanCompileOptions& options) {
+  QueryPlan plan;
+  plan.num_candidates_requested =
+      static_cast<uint32_t>(options.num_candidates);
+  plan.threshold_c = options.threshold_c;
+
+  // Same normalized query, same retrieval, same candidate
+  // materialization (pipeline::BuildCandidates — one shared
+  // definition), same utility code as the serving fallback — so the
+  // compiled blocks are bit-identical to what a request would compute.
+  std::vector<text::TermId> query_terms =
+      analyzer.AnalyzeReadOnly(util::NormalizeQueryText(entry.query));
+  index::ResultList rq =
+      searcher.SearchTerms(query_terms, options.num_candidates);
+  if (rq.empty()) return plan;  // empty plan ⇒ serve-time fallback
+
+  core::DiversificationInput input;
+  input.query = entry.query;
+  input.candidates =
+      pipeline::BuildCandidates(rq, snippets, documents, query_terms);
+  input.specializations = DiversificationStore::ToProfiles(entry);
+
+  core::UtilityComputer computer(
+      core::UtilityComputer::Options{options.threshold_c});
+  core::UtilityMatrix matrix = computer.Compute(input);
+
+  const size_t n = input.candidates.size();
+  const size_t m = input.specializations.size();
+  plan.docs.reserve(n);
+  plan.relevance.reserve(n);
+  for (const core::Candidate& c : input.candidates) {
+    plan.docs.push_back(c.doc);
+    plan.relevance.push_back(c.relevance);
+  }
+  plan.probability.reserve(m);
+  for (const core::SpecializationProfile& sp : input.specializations) {
+    plan.probability.push_back(sp.probability);
+  }
+  plan.utilities.assign(matrix.data(), matrix.data() + n * m);
+  // The λ-independent half of Eq. 9; WeightedRowSum accumulates in the
+  // same j order as the serve-time row scan, so the sums match bitwise.
+  plan.weighted.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    plan.weighted.push_back(matrix.WeightedRowSum(i, plan.probability));
+  }
+  // "the k specializations with the largest probabilities" (3.1.3) —
+  // the full order is compiled; selection truncates to its k.
+  plan.spec_order.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    plan.spec_order[j] = static_cast<uint32_t>(j);
+  }
+  core::SortSpecOrderByProbability(plan.probability.data(),
+                                   &plan.spec_order);
+  return plan;
+}
+
+size_t CompilePlans(DiversificationStore* store,
+                    const index::Searcher& searcher,
+                    const index::SnippetExtractor& snippets,
+                    const text::Analyzer& analyzer,
+                    const corpus::DocumentStore& documents,
+                    const PlanCompileOptions& options) {
+  // Two phases (collect, then Put) because Put mutates the map being
+  // iterated. Entries with a compatible plan are skipped — the
+  // incremental property the reload path relies on.
+  std::vector<StoredEntry> updated;
+  for (const auto& [key, entry] : store->entries()) {
+    if (!entry.plan.empty() &&
+        entry.plan.CompatibleWith(options.num_candidates,
+                                  options.threshold_c)) {
+      continue;
+    }
+    StoredEntry copy = entry;
+    copy.plan = CompileQueryPlan(entry, searcher, snippets, analyzer,
+                                 documents, options);
+    if (copy.plan.empty()) continue;  // retrieval found nothing
+    updated.push_back(std::move(copy));
+  }
+  for (StoredEntry& entry : updated) {
+    store->Put(std::move(entry)).IgnoreError();
+  }
+  return updated.size();
+}
 
 size_t BuildStore(const recommend::AmbiguityDetector& detector,
                   const index::Searcher& searcher,

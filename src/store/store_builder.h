@@ -13,6 +13,7 @@
 #include "index/snippet_extractor.h"
 #include "recommend/ambiguity_detector.h"
 #include "store/diversification_store.h"
+#include "store/query_plan.h"
 #include "store/store_snapshot.h"
 #include "text/analyzer.h"
 
@@ -25,6 +26,13 @@ struct StoreBuilderOptions {
   size_t results_per_specialization = 20;
   /// Use conjunctive (AND) retrieval for the reference lists.
   bool conjunctive_reference_lists = true;
+  /// Compile a serving QueryPlan (store v3) into every materialized
+  /// entry. Off ⇒ entries serve via per-request computation (the v2
+  /// behaviour).
+  bool compile_plans = true;
+  /// Plan-compile knobs; must match the serving node's pipeline params
+  /// (num_candidates, threshold_c) or the node ignores the plans.
+  PlanCompileOptions plan;
 };
 
 /// Runs Algorithm 1 on every query in `candidate_queries`, and for each
@@ -56,6 +64,33 @@ StoreDelta MineDelta(const recommend::AmbiguityDetector& detector,
                      const std::vector<std::string>& dirty_queries,
                      const StoreBuilderOptions& options,
                      const DiversificationStore& base);
+
+/// Compiles the store-v3 selection blocks for one entry against the
+/// serving retrieval stack: retrieves R_q at options.num_candidates,
+/// extracts the candidate surrogates, computes the thresholded utility
+/// matrix plus the λ-independent weighted sums, and records the
+/// probability-sorted specialization order. Runs exactly the code the
+/// serving node's fallback path runs, so plan-served rankings are
+/// bit-identical to computing per request. Returns an empty plan when
+/// retrieval finds nothing (the node then falls back, cheaply).
+QueryPlan CompileQueryPlan(const StoredEntry& entry,
+                           const index::Searcher& searcher,
+                           const index::SnippetExtractor& snippets,
+                           const text::Analyzer& analyzer,
+                           const corpus::DocumentStore& documents,
+                           const PlanCompileOptions& options);
+
+/// Upgrades a store in place (the v2 → v3 path): compiles a plan for
+/// every entry whose plan is missing or incompatible with `options`.
+/// Entries that already carry a compatible plan are left untouched —
+/// this is what makes a post-reload recompile touch only the dirty
+/// queries. Returns the number of plans compiled.
+size_t CompilePlans(DiversificationStore* store,
+                    const index::Searcher& searcher,
+                    const index::SnippetExtractor& snippets,
+                    const text::Analyzer& analyzer,
+                    const corpus::DocumentStore& documents,
+                    const PlanCompileOptions& options);
 
 }  // namespace store
 }  // namespace optselect

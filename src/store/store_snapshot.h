@@ -79,7 +79,10 @@ struct SnapshotBuildResult {
 /// empty store, version 0), applies the delta, and stamps
 /// base version + 1. Upserts that fail the store's ambiguity invariant
 /// (< 2 specializations) are treated as removals of that key, matching
-/// Algorithm 1's "not ambiguous ⇒ not stored".
+/// Algorithm 1's "not ambiguous ⇒ not stored". Content-identical
+/// upserts are skipped without invalidating (their cached rankings are
+/// still exact), except that a compiled query plan on the upsert is
+/// adopted when the base entry had none — a free v2 → v3 upgrade.
 SnapshotBuildResult BuildSnapshot(const StoreSnapshot* base,
                                   const StoreDelta& delta);
 

@@ -16,6 +16,8 @@
 #include "core/iaselect.h"
 #include "core/mmr.h"
 #include "core/optselect.h"
+#include "core/parallel_optselect.h"
+#include "core/select_view.h"
 #include "core/utility.h"
 #include "core/xquad.h"
 #include "util/rng.h"
@@ -579,6 +581,89 @@ TEST(MmrTest, AvoidsNearDuplicates) {
   ASSERT_EQ(picks.size(), 2u);
   EXPECT_EQ(picks[0], 0u);
   EXPECT_EQ(picks[1], 2u) << "duplicate of the first pick must be avoided";
+}
+
+// ------------------------------------ Select shim vs SelectInto (views)
+
+// The legacy Select signature is a shim over the zero-copy SelectInto;
+// both must pick bit-identical selections for every algorithm, and a
+// SelectScratch reused across instances of different shapes (growing,
+// shrinking) must never leak state between calls.
+TEST(SelectIntoTest, ShimMatchesSelectIntoAcrossAlgorithmsAndShapes) {
+  util::Rng rng(20260727);
+  std::vector<std::unique_ptr<Diversifier>> algos;
+  for (const char* name :
+       {"optselect", "parallel-optselect", "xquad", "iaselect", "mmr"}) {
+    algos.push_back(std::move(MakeDiversifier(name)).value());
+  }
+
+  // One scratch and one output buffer reused by every call, across
+  // every algorithm — the serving worker's usage pattern.
+  SelectScratch scratch;
+  std::vector<size_t> picks;
+  const std::vector<std::pair<size_t, size_t>> shapes = {
+      {40, 5}, {200, 12}, {7, 3}, {120, 8}, {1, 2}, {64, 20}};
+
+  for (const auto& [n, m] : shapes) {
+    RandomInstance ri = MakeRandomInstance(&rng, n, m);
+    DiversifyParams params;
+    params.k = 10;
+    params.lambda = 0.15;
+    for (const auto& algo : algos) {
+      std::vector<size_t> shim =
+          algo->Select(ri.input, ri.utilities, params);
+      DiversificationView view =
+          MakeView(ri.input, ri.utilities, &scratch);
+      algo->SelectInto(view, params, &scratch, &picks);
+      EXPECT_EQ(shim, picks)
+          << algo->name() << " diverged at n=" << n << " m=" << m;
+    }
+  }
+}
+
+// A view carrying a precomputed weighted block and specialization order
+// (what a compiled query plan provides) must select identically to the
+// same view without them.
+TEST(SelectIntoTest, PrecomputedBlocksMatchOnTheFlyComputation) {
+  util::Rng rng(7);
+  RandomInstance ri = MakeRandomInstance(&rng, 150, 9);
+  DiversifyParams params;
+  params.k = 10;
+
+  SelectScratch scratch;
+  DiversificationView view = MakeView(ri.input, ri.utilities, &scratch);
+
+  std::vector<double> probs;
+  for (const auto& sp : ri.input.specializations) {
+    probs.push_back(sp.probability);
+  }
+  std::vector<double> weighted(view.num_candidates);
+  for (size_t i = 0; i < view.num_candidates; ++i) {
+    weighted[i] = ri.utilities.WeightedRowSum(i, probs);
+  }
+  std::vector<uint32_t> order(view.num_specializations);
+  for (size_t j = 0; j < order.size(); ++j) {
+    order[j] = static_cast<uint32_t>(j);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (probs[a] != probs[b]) return probs[a] > probs[b];
+    return a < b;
+  });
+
+  DiversificationView compiled = view;
+  compiled.weighted = weighted.data();
+  compiled.spec_order = order.data();
+
+  OptSelectDiversifier optselect;
+  ParallelOptSelectDiversifier parallel(4);
+  SelectScratch scratch2;
+  std::vector<size_t> plain, fast;
+  for (const Diversifier* algo :
+       std::initializer_list<const Diversifier*>{&optselect, &parallel}) {
+    algo->SelectInto(view, params, &scratch, &plain);
+    algo->SelectInto(compiled, params, &scratch2, &fast);
+    EXPECT_EQ(plain, fast) << algo->name();
+  }
 }
 
 }  // namespace

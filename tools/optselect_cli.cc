@@ -82,8 +82,17 @@ void PrintUsage(std::FILE* out) {
       "subcommands:\n"
       "  generate <dir>            build the synthetic testbed artifacts:\n"
       "                            log.tsv, topics.tsv, qrels.txt, store.bin\n"
+      "                            (store v3: entries carry compiled query\n"
+      "                            plans for the serving fast path)\n"
       "      --topics N            planted ambiguous topics (default 20)\n"
       "      --seed S              testbed seed (default 17)\n"
+      "      --candidates N        |R_q| the plans are compiled at (default\n"
+      "                            200 — must match the serving flag)\n"
+      "      --c F                 utility threshold the plans are compiled\n"
+      "                            at (default 0.3 — must match serving)\n"
+      "      --plans 0|1           compile plans (default 1; 0 writes a\n"
+      "                            v2-style store that serves via\n"
+      "                            per-request computation)\n"
       "\n"
       "  mine <log.tsv>            run Algorithm 1 over a query log and\n"
       "                            print every detected ambiguous query\n"
@@ -223,17 +232,29 @@ int CmdGenerate(const Flags& flags) {
   for (const auto& topic : testbed.universe().topics) {
     roots.push_back(topic.root_query);
   }
+  // Plans must be compiled at the exact (candidates, c) pair the node
+  // will serve with; defaults mirror the `serve`/`loadtest` defaults.
+  store::StoreBuilderOptions options;
+  options.compile_plans = flags.Get("plans", "1") != "0";
+  options.plan.num_candidates =
+      static_cast<size_t>(std::atoi(flags.Get("candidates", "200").c_str()));
+  options.plan.threshold_c = std::atof(flags.Get("c", "0.3").c_str());
   size_t stored = store::BuildStore(
       testbed.detector(), testbed.searcher(), testbed.snippets(),
-      testbed.analyzer(), testbed.corpus().store, roots, {}, &built);
+      testbed.analyzer(), testbed.corpus().store, roots, options, &built);
   check(built.Save(dir + "/store.bin"));
 
+  size_t plans = 0;
+  for (const auto& [key, entry] : built.entries()) {
+    if (!entry.plan.empty()) ++plans;
+  }
   std::printf(
       "wrote %s/log.tsv (%zu records), topics.tsv (%zu topics), "
-      "qrels.txt (%zu judgments), store.bin (%zu entries, %s payload)\n",
+      "qrels.txt (%zu judgments), store.bin (%zu entries, %zu compiled "
+      "plans, %s payload)\n",
       dir.c_str(), testbed.log_result().log.size(),
       testbed.corpus().topics.size(), testbed.corpus().qrels.size(), stored,
-      core::FormatBytes(built.SurrogatePayloadBytes()).c_str());
+      plans, core::FormatBytes(built.SurrogatePayloadBytes()).c_str());
   return 0;
 }
 
@@ -382,6 +403,7 @@ void PrintServingStats(const serving::ServingStats& s) {
   tp.AddRow({"p95 ms", util::TablePrinter::Num(s.p95_ms, 2)});
   tp.AddRow({"p99 ms", util::TablePrinter::Num(s.p99_ms, 2)});
   tp.AddRow({"diversified", std::to_string(s.diversified)});
+  tp.AddRow({"plan served", std::to_string(s.plan_served)});
   tp.AddRow({"passthrough", std::to_string(s.passthrough)});
   tp.AddRow({"cache hit rate", util::TablePrinter::Num(s.cache_hit_rate, 3)});
   tp.AddRow({"cache entries", std::to_string(s.cache_entries)});
@@ -446,6 +468,25 @@ std::unique_ptr<store::DiversificationStore> LoadStoreOrDie(
       std::move(loaded).value());
 }
 
+/// v2 → v3 upgrade on load: compiles query plans for every entry that
+/// lacks one compatible with this node's serving params (a v3 store
+/// generated with matching --candidates/--c compiles nothing here).
+void RecompilePlansForServing(store::DiversificationStore* store,
+                              const pipeline::Testbed& testbed,
+                              const serving::ServingConfig& config) {
+  store::PlanCompileOptions plan;
+  plan.num_candidates = config.params.num_candidates;
+  plan.threshold_c = config.params.threshold_c;
+  size_t compiled = store::CompilePlans(
+      store, testbed.searcher(), testbed.snippets(), testbed.analyzer(),
+      testbed.corpus().store, plan);
+  if (compiled > 0) {
+    std::printf("compiled %zu query plans (store lacked plans for "
+                "candidates=%zu c=%.2f)\n",
+                compiled, plan.num_candidates, plan.threshold_c);
+  }
+}
+
 int CmdServe(const Flags& flags) {
   if (flags.positional.empty()) return Usage();
   const std::string dir = flags.positional[0];
@@ -454,7 +495,9 @@ int CmdServe(const Flags& flags) {
 
   std::printf("rebuilding testbed retrieval stack...\n");
   pipeline::Testbed testbed(ConfigFor(flags));
-  serving::ServingNode node(store.get(), &testbed, ServingConfigFor(flags));
+  serving::ServingConfig serving_config = ServingConfigFor(flags);
+  RecompilePlansForServing(store.get(), testbed, serving_config);
+  serving::ServingNode node(store.get(), &testbed, serving_config);
   std::unique_ptr<serving::StoreRefresher> refresher =
       MakeRefresher(flags, dir, &node, testbed);
   std::printf(
@@ -535,6 +578,7 @@ int CmdLoadtest(const Flags& flags) {
 
   serving::ServingConfig config = ServingConfigFor(flags);
   config.queue_capacity = num_requests;
+  RecompilePlansForServing(store.get(), testbed, config);
   serving::ServingNode node(store.get(), &testbed, config);
   std::unique_ptr<serving::StoreRefresher> refresher =
       MakeRefresher(flags, dir, &node, testbed);
@@ -568,7 +612,10 @@ int main(int argc, char** argv) {
   }
   Flags flags = Flags::Parse(argc, argv, 2);
   if (cmd == "generate") {
-    if (!flags.Validate("generate", {"topics", "seed"})) return Usage();
+    if (!flags.Validate("generate",
+                        {"topics", "seed", "candidates", "c", "plans"})) {
+      return Usage();
+    }
     return CmdGenerate(flags);
   }
   if (cmd == "mine") {
