@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares the ``BENCH_*.json`` files emitted by the Release bench smokes
+(bench::BenchJsonWriter output) against the checked-in baselines in
+``bench/baselines/``. For every baseline file the emitted counterpart
+must exist, and for every baseline record (matched by ``name``):
+
+  1. correctness counters in the *emitted* record must be zero —
+     ``failures``, ``mismatches``, ``pinned_mismatches`` are gates, not
+     metrics (the bench binaries also exit non-zero on them; this
+     catches a bench that someone downgraded to warn-only);
+  2. ``qps`` must be at least baseline ``qps`` / slack;
+  3. ``wall_ms`` and every params key ending in ``_ms`` (p50_ms,
+     p99_ms, ...) must be at most baseline x slack.
+
+Slack defaults to 4.0: CI hardware differs from the machine that
+recorded the baselines, so this gate is tuned to catch order-of-
+magnitude regressions — a lost compiled-plan fast path, a serialized
+worker pool, a cache that stopped hitting — not single-digit noise.
+Tighten or relax per run with ``--slack`` (or env ``BENCH_SLACK``), or
+per baseline file by hand-adding a top-level object the bench writer
+never emits:
+
+    "gate": { "slack": 2.5, "skip": ["record name", ...] }
+
+Input/output params that are neither qps nor ``*_ms`` (workers,
+requests, swaps, hw_threads, ...) are never compared: they describe the
+run, they do not judge it.
+
+Usage: check_bench.py [--emitted-dir DIR] [--baseline-dir DIR]
+                      [--slack X] [--update]
+
+``--update`` copies the emitted files over the baselines instead of
+checking (for refreshing baselines deliberately, then committing).
+
+Exit code 0 when clean, 1 with one line per finding otherwise.
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+CORRECTNESS_KEYS = ("failures", "mismatches", "pinned_mismatches")
+DEFAULT_SLACK = 4.0
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def records_by_name(doc):
+    return {r["name"]: r for r in doc.get("records", [])}
+
+
+def check_file(baseline_path, emitted_path, slack, problems):
+    base_doc = load(baseline_path)
+    gate = base_doc.get("gate", {})
+    slack = float(gate.get("slack", slack))
+    skip = set(gate.get("skip", []))
+    rel = os.path.basename(emitted_path)
+
+    if not os.path.exists(emitted_path):
+        problems.append(f"{rel}: not emitted (did the smoke step run?)")
+        return
+    emitted = records_by_name(load(emitted_path))
+
+    for name, base in records_by_name(base_doc).items():
+        if name in skip:
+            continue
+        cur = emitted.get(name)
+        if cur is None:
+            problems.append(f"{rel}[{name}]: record missing from emitted file")
+            continue
+        cur_params = cur.get("params", {})
+        base_params = base.get("params", {})
+
+        for key in CORRECTNESS_KEYS:
+            if key in cur_params and cur_params[key] != 0:
+                problems.append(
+                    f"{rel}[{name}]: {key} = {cur_params[key]:g} (must be 0)")
+
+        base_qps = base.get("qps", 0)
+        if base_qps > 0 and cur.get("qps", 0) < base_qps / slack:
+            problems.append(
+                f"{rel}[{name}]: qps {cur.get('qps', 0):g} < baseline "
+                f"{base_qps:g} / {slack:g}")
+
+        latencies = [("wall_ms", base.get("wall_ms", 0),
+                      cur.get("wall_ms", 0))]
+        latencies += [(k, base_params[k], cur_params.get(k, 0))
+                      for k in base_params
+                      if k.endswith("_ms") and k in cur_params]
+        for key, base_v, cur_v in latencies:
+            if base_v > 0 and cur_v > base_v * slack:
+                problems.append(
+                    f"{rel}[{name}]: {key} {cur_v:g} > baseline "
+                    f"{base_v:g} x {slack:g}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--emitted-dir", default=".")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--slack", type=float,
+                        default=float(os.environ.get("BENCH_SLACK",
+                                                     DEFAULT_SLACK)))
+    parser.add_argument("--update", action="store_true",
+                        help="copy emitted files over the baselines")
+    args = parser.parse_args()
+
+    baselines = sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        print(f"no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    if args.update:
+        for baseline in baselines:
+            emitted = os.path.join(args.emitted_dir,
+                                   os.path.basename(baseline))
+            if os.path.exists(emitted):
+                shutil.copyfile(emitted, baseline)
+                print(f"updated {baseline}")
+            else:
+                print(f"skipped {baseline} (no emitted file)")
+        return 0
+
+    problems = []
+    for baseline in baselines:
+        emitted = os.path.join(args.emitted_dir, os.path.basename(baseline))
+        check_file(baseline, emitted, args.slack, problems)
+
+    for p in problems:
+        print(p)
+    print(f"checked {len(baselines)} baseline file(s), "
+          f"{len(problems)} regression(s) (slack {args.slack:g}x)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@
 //   bench_serving_throughput [requests] [zipf_skew]
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -22,6 +23,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/parallel_optselect.h"
+#include "core/select_view.h"
+#include "core/utility.h"
+#include "pipeline/diversification_pipeline.h"
 #include "pipeline/testbed.h"
 #include "querylog/popularity.h"
 #include "serving/replay.h"
@@ -29,6 +34,7 @@
 #include "store/store_builder.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -58,6 +64,70 @@ RunResult Replay(const store::DiversificationStore* store,
   r.qps = out.qps;
   r.stats = node.Stats();
   return r;
+}
+
+/// Flat-scaling diagnosis probe: the exact fallback compute a cache-off
+/// request pays (retrieve R_q ─> utilities ─> SelectInto, or plain
+/// retrieval for passthrough queries), run by N plain threads pulling
+/// from a shared atomic cursor — no request queue, no micro-batcher,
+/// no cache anywhere in the loop. If this probe scales with N while
+/// the node's cache-off sweep stays flat, the node serializes requests
+/// somewhere; if both are flat, the host has no spare cores and the
+/// worker pool has nothing to scale onto (the 1-hardware-thread case —
+/// see docs/BENCH.md).
+double ComputeOnlyQps(const store::DiversificationStore* store,
+                      const pipeline::Testbed* testbed,
+                      const pipeline::PipelineParams& params,
+                      const std::vector<std::string>& mix,
+                      size_t num_threads) {
+  core::ParallelOptSelectDiversifier diversifier(1);
+  std::atomic<size_t> cursor{0};
+  util::WallTimer timer;
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    pool.emplace_back([&] {
+      core::SelectScratch scratch;
+      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+           i < mix.size();
+           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        const std::string& query = mix[i];
+        std::vector<text::TermId> terms =
+            testbed->analyzer().AnalyzeReadOnly(query);
+        index::ResultList rq =
+            testbed->searcher().SearchTerms(terms, params.num_candidates);
+        if (rq.empty()) continue;
+        const store::StoredEntry* entry = store->Find(query);
+        if (entry == nullptr || entry->specializations.size() < 2) {
+          // Passthrough work: the truncated DPH ranking.
+          std::vector<DocId> ranking;
+          size_t k = std::min(params.diversify.k, rq.size());
+          ranking.reserve(k);
+          for (size_t r = 0; r < k; ++r) ranking.push_back(rq[r].doc);
+          continue;
+        }
+        core::DiversificationInput input;
+        input.query = query;
+        input.candidates = pipeline::BuildCandidates(
+            rq, testbed->snippets(), testbed->corpus().store, terms);
+        input.specializations =
+            store::DiversificationStore::ToProfiles(*entry);
+        core::UtilityComputer computer(
+            core::UtilityComputer::Options{params.threshold_c});
+        core::UtilityMatrix utilities = computer.Compute(input);
+        core::DiversificationView view =
+            core::MakeView(input, utilities, &scratch);
+        diversifier.SelectInto(view, params.diversify, &scratch,
+                               &scratch.picks);
+        pipeline::AssembleRanking(input, scratch.picks,
+                                  params.diversify.k);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  double wall_ms = timer.ElapsedMillis();
+  return wall_ms > 0 ? 1000.0 * static_cast<double>(mix.size()) / wall_ms
+                     : 0.0;
 }
 
 /// Asserts cached rankings equal uncached ones for every distinct query.
@@ -97,9 +167,16 @@ int main(int argc, char** argv) {
   for (const auto& topic : testbed.universe().topics) {
     roots.push_back(topic.root_query);
   }
+  // Plans off: this bench measures the *per-request* retrieve +
+  // diversify compute the worker pool exists to scale (and that the
+  // compute_only diagnosis probe reproduces); with compiled plans the
+  // cache-off rows would measure the microsecond plan path instead,
+  // which bench_plan_serving owns.
+  store::StoreBuilderOptions store_opts;
+  store_opts.compile_plans = false;
   store::BuildStore(testbed.detector(), testbed.searcher(),
                     testbed.snippets(), testbed.analyzer(),
-                    testbed.corpus().store, roots, {}, &store);
+                    testbed.corpus().store, roots, store_opts, &store);
 
   util::Rng rng(99);
   std::vector<std::string> mix = querylog::ZipfQueryMix(
@@ -137,6 +214,8 @@ int main(int argc, char** argv) {
               {"zipf_skew", skew},
               {"cache", cache ? 1.0 : 0.0},
               {"max_batch", static_cast<double>(8)},
+              {"hw_threads",
+               static_cast<double>(std::thread::hardware_concurrency())},
               {"p50_ms", r.stats.p50_ms},
               {"p99_ms", r.stats.p99_ms},
               {"cache_hit_rate", r.stats.cache_hit_rate}},
@@ -170,6 +249,45 @@ int main(int argc, char** argv) {
         "scaling 1 -> 4 workers (cache off): %.2fx (on %u hardware "
         "threads)\n",
         qps_4 / qps_1, std::thread::hardware_concurrency());
+  }
+
+  // ---- flat-scaling diagnosis (queue-free compute probe) -------------
+  // Answers "is the flat cache-off sweep the node's fault?" with a
+  // measurement: the same per-request compute with the queue and
+  // batcher removed entirely. Emitted to the JSON so the diagnosis is
+  // a bench record, not an anecdote.
+  double compute_qps_1 = 0, compute_qps_4 = 0;
+  for (size_t threads : worker_counts) {
+    double qps =
+        ComputeOnlyQps(&store, &testbed, base.params, mix, threads);
+    if (threads == 1) compute_qps_1 = qps;
+    if (threads == 4) compute_qps_4 = qps;
+    std::printf("compute_only threads=%zu: %.0f QPS (no queue/batcher)\n",
+                threads, qps);
+    json.Add("compute_only threads=" + std::to_string(threads),
+             {{"threads", static_cast<double>(threads)},
+              {"requests", static_cast<double>(num_requests)},
+              {"zipf_skew", skew},
+              {"hw_threads",
+               static_cast<double>(std::thread::hardware_concurrency())}},
+             qps > 0 ? 1000.0 * static_cast<double>(num_requests) / qps
+                     : 0.0,
+             qps);
+  }
+  if (compute_qps_1 > 0 && compute_qps_4 > 0 && qps_1 > 0 && qps_4 > 0) {
+    double node_scaling = qps_4 / qps_1;
+    double compute_scaling = compute_qps_4 / compute_qps_1;
+    std::printf(
+        "diagnosis: node scaling %.2fx vs queue-free compute scaling "
+        "%.2fx — %s\n",
+        node_scaling, compute_scaling,
+        compute_scaling < 1.5
+            ? "both flat: the host's cores, not the node's queue, are "
+              "the serialization point"
+            : node_scaling < compute_scaling / 1.5
+                  ? "node serializes: investigate the queue/batcher"
+                  : "node tracks the hardware: no internal "
+                    "serialization point");
   }
 
   util::Status s = json.WriteFile();

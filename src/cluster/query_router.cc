@@ -1,0 +1,96 @@
+#include "cluster/query_router.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "serving/cache_key.h"
+#include "store/store_builder.h"
+
+namespace optselect {
+namespace cluster {
+
+QueryRouter::QueryRouter(std::vector<serving::ServingNode*> shards,
+                         std::unordered_set<std::string> replicated)
+    : shards_(std::move(shards)), replicated_(std::move(replicated)) {
+  per_shard_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    per_shard_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+size_t QueryRouter::OwnerOf(std::string_view raw_query) const {
+  return store::ShardFilter::OwnerShard(serving::NormalizeQuery(raw_query),
+                                        shards_.size());
+}
+
+bool QueryRouter::IsReplicated(std::string_view raw_query) const {
+  return replicated_.count(serving::NormalizeQuery(raw_query)) > 0;
+}
+
+size_t QueryRouter::Route(std::string_view raw_query) {
+  std::string normalized = serving::NormalizeQuery(raw_query);
+  size_t shard;
+  if (replicated_.count(normalized) > 0) {
+    shard = static_cast<size_t>(
+        round_robin_.fetch_add(1, std::memory_order_relaxed) %
+        shards_.size());
+    replicated_routed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shard = store::ShardFilter::OwnerShard(normalized, shards_.size());
+  }
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  per_shard_[shard]->fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+serving::ServeResult QueryRouter::Serve(const std::string& query) {
+  return shards_[Route(query)]->Serve(query);
+}
+
+bool QueryRouter::Submit(
+    std::string query, std::function<void(serving::ServeResult)> callback) {
+  serving::ServingNode* shard = shards_[Route(query)];
+  return shard->Submit(std::move(query), std::move(callback));
+}
+
+std::vector<serving::ServeResult> QueryRouter::ServeBatch(
+    const std::vector<std::string>& queries) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_requests_.fetch_add(queries.size(), std::memory_order_relaxed);
+
+  std::vector<serving::ServeResult> results(queries.size());
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  size_t accepted = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    serving::ServingNode* shard = shards_[Route(queries[i])];
+    bool ok = shard->Submit(queries[i], [&, i](serving::ServeResult r) {
+      std::lock_guard<std::mutex> lock(mu);
+      results[i] = std::move(r);
+      ++done;
+      cv.notify_one();
+    });
+    if (ok) ++accepted;  // shed requests keep the default ok == false
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == accepted; });
+  return results;
+}
+
+RouterStats QueryRouter::stats() const {
+  RouterStats s;
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.replicated_routed = replicated_routed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  s.per_shard.reserve(per_shard_.size());
+  for (const auto& counter : per_shard_) {
+    s.per_shard.push_back(counter->load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+}  // namespace cluster
+}  // namespace optselect

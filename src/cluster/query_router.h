@@ -1,0 +1,113 @@
+// Fan-out front end of the sharded serving cluster.
+//
+// A QueryRouter owns no data — it holds non-owning pointers to N
+// `ServingNode` shards and decides, per request, which shard answers:
+//
+//   single query ──> normalize ──> owner shard (FNV-1a hash mod N)
+//                          └─(hot, replicated on every shard)─> round-
+//                            robin across shards (load spreading)
+//   batch ──> route each query ──> per-shard async fan-out ──> gather
+//             (results return in the caller's input order)
+//
+// Hot queries are the head of the Zipf traffic distribution: pinning
+// them to their hash owner would melt one shard while the others idle,
+// so the cluster replicates their store entries everywhere (see
+// store::ShardFilter / ShardedCluster) and the router spreads their
+// requests round-robin. Every shard holds an identical copy of a
+// replicated entry over the same immutable retrieval stack, so the
+// ranking is bit-identical no matter which shard serves it — asserted
+// in tests/cluster_test.cc and bench_cluster_scaling.
+//
+// Queries with no store entry (passthrough) are routed by the same
+// hash: any shard computes the identical plain DPH ranking, and hashing
+// keeps their per-shard result caches disjoint.
+
+#ifndef OPTSELECT_CLUSTER_QUERY_ROUTER_H_
+#define OPTSELECT_CLUSTER_QUERY_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "serving/serving_node.h"
+
+namespace optselect {
+namespace cluster {
+
+/// Router-level counters (shard pick distribution + batch shape).
+struct RouterStats {
+  uint64_t routed = 0;             ///< single routing decisions made
+  uint64_t replicated_routed = 0;  ///< of those, spread round-robin
+  uint64_t batches = 0;            ///< ServeBatch calls
+  uint64_t batch_requests = 0;     ///< requests fanned out via batches
+  std::vector<uint64_t> per_shard; ///< decisions landing on each shard
+};
+
+/// Routes requests across a fixed set of shards. Thread-safe: routing
+/// state is one atomic round-robin cursor plus relaxed counters.
+class QueryRouter {
+ public:
+  /// `shards` are non-owned and must outlive the router. `replicated`
+  /// holds the normalized keys every shard carries (may be empty).
+  QueryRouter(std::vector<serving::ServingNode*> shards,
+              std::unordered_set<std::string> replicated);
+
+  QueryRouter(const QueryRouter&) = delete;
+  QueryRouter& operator=(const QueryRouter&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard that *owns* the query's normalized key (pure hash — no
+  /// replication, no counters). Two routers with the same shard count
+  /// always agree on this.
+  size_t OwnerOf(std::string_view raw_query) const;
+
+  /// True when the query's normalized key is replicated on every shard.
+  bool IsReplicated(std::string_view raw_query) const;
+
+  /// One dispatch decision: the owner shard, or — for replicated keys —
+  /// the next shard round-robin. Bumps the routing counters; callers
+  /// that only want to *inspect* ownership use OwnerOf.
+  size_t Route(std::string_view raw_query);
+
+  /// Synchronous single query: route, then block on the shard's Serve
+  /// (backpressure on a full shard queue, exactly like a single node).
+  serving::ServeResult Serve(const std::string& query);
+
+  /// Asynchronous single query: route, then the shard's Submit. False ⇒
+  /// that shard shed the request (its queue is full or it is shut
+  /// down); the callback never fires.
+  bool Submit(std::string query,
+              std::function<void(serving::ServeResult)> callback);
+
+  /// Fans a multi-query batch out to the owning shards via their async
+  /// APIs and gathers the answers. Results align index-for-index with
+  /// `queries`; a request shed by its shard yields `ok == false` at its
+  /// position (count them via RouterStats vs ServingStats::rejected).
+  std::vector<serving::ServeResult> ServeBatch(
+      const std::vector<std::string>& queries);
+
+  RouterStats stats() const;
+
+ private:
+  std::vector<serving::ServingNode*> shards_;
+  std::unordered_set<std::string> replicated_;
+  std::atomic<uint64_t> round_robin_{0};
+
+  std::atomic<uint64_t> routed_{0};
+  std::atomic<uint64_t> replicated_routed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_requests_{0};
+  /// unique_ptr because atomics are not movable; sized once in the ctor.
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> per_shard_;
+};
+
+}  // namespace cluster
+}  // namespace optselect
+
+#endif  // OPTSELECT_CLUSTER_QUERY_ROUTER_H_

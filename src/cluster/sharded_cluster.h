@@ -1,0 +1,168 @@
+// Sharded multi-node serving cluster — horizontal scale for the
+// paper's serving architecture.
+//
+// Section 4.1 sizes the diversification store for a single node; a web
+// search engine runs the same design on many machines. A ShardedCluster
+// models that deployment inside one process: the full store is carved
+// by query hash into N disjoint per-shard stores (store::SplitStore),
+// and each shard is a complete, independent `ServingNode` — its own
+// immutable snapshot, result cache, bounded queue, worker pool, and
+// (when the CLI wires one) store refresher. Nothing is shared between
+// shards except the immutable retrieval stack, which is read-only by
+// construction.
+//
+//       full store ──SplitStore──> store₀  store₁ … store_{N-1}
+//                                    │       │         │
+//   request ──> QueryRouter ──────> node₀   node₁ …  node_{N-1}
+//      │   (hash owner; hot keys      │       │         │
+//      │    round-robin over the      └───────┴────┬────┘
+//      │    replicas)                       ClusterStats
+//      └─ batch: fan out + gather        (summed counters +
+//                                         merged histograms)
+//
+// The top `replicate_hot` hottest *stored* queries (by PopularityMap
+// frequency) are additionally copied onto every shard, and the router
+// spreads their traffic round-robin — the head of the Zipf distribution
+// would otherwise serialize on one shard. Replica rankings are
+// bit-identical to the owner's: same entry bytes, same immutable index.
+//
+// Refresh deltas flow through ApplyDelta: each shard applies exactly
+// the slice of the delta it holds (owner or replica), through the same
+// BuildSnapshot → ReloadStore path a single node uses, so per-shard hot
+// reload stays dirty-only and zero-downtime. Live tailing uses one
+// `StoreRefresher` per shard with `key_filter` set to the shard's
+// ShardFilter (see store_refresher.h).
+
+#ifndef OPTSELECT_CLUSTER_SHARDED_CLUSTER_H_
+#define OPTSELECT_CLUSTER_SHARDED_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/query_router.h"
+#include "pipeline/testbed.h"
+#include "querylog/popularity.h"
+#include "serving/serving_node.h"
+#include "store/store_builder.h"
+#include "store/store_snapshot.h"
+
+namespace optselect {
+namespace cluster {
+
+/// Cluster sizing knobs.
+struct ClusterConfig {
+  /// Independent ServingNode shards (0 clamps to 1).
+  size_t num_shards = 2;
+  /// Top-K hottest stored queries replicated onto every shard for
+  /// round-robin load spreading (0 disables; needs a PopularityMap).
+  size_t replicate_hot = 0;
+  /// Per-shard serving configuration (queue, workers, cache, params) —
+  /// every shard is configured identically, like a homogeneous fleet.
+  serving::ServingConfig node;
+};
+
+/// Cluster-level stats snapshot: summed counters plus latency quantiles
+/// recomputed from the *merged* per-shard histograms (averaging
+/// per-shard p99s would understate the tail).
+struct ClusterStats {
+  size_t num_shards = 0;
+  serving::ServingStats total;
+  std::vector<serving::ServingStats> per_shard;
+  RouterStats router;
+};
+
+/// N independent serving shards behind one router.
+class ShardedCluster {
+ public:
+  /// Carves `full_store` into per-shard stores and starts one node per
+  /// shard. All pointers are non-owned, used read-only, and must
+  /// outlive the cluster. `popularity` may be null when
+  /// `config.replicate_hot == 0`; `config.node.num_workers` is
+  /// per-shard (0 ⇒ hardware concurrency *per shard* — usually set it
+  /// explicitly for clusters).
+  ShardedCluster(const store::DiversificationStore& full_store,
+                 const index::Searcher* searcher,
+                 const index::SnippetExtractor* snippets,
+                 const text::Analyzer* analyzer,
+                 const corpus::DocumentStore* documents,
+                 const querylog::PopularityMap* popularity,
+                 ClusterConfig config);
+
+  /// Convenience wiring from a fully built testbed.
+  ShardedCluster(const store::DiversificationStore& full_store,
+                 const pipeline::Testbed* testbed,
+                 const querylog::PopularityMap* popularity,
+                 ClusterConfig config);
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  /// Shuts every shard down (drain semantics, like ServingNode).
+  ~ShardedCluster();
+
+  /// Single query through the router (blocking, backpressure).
+  serving::ServeResult Serve(const std::string& query);
+
+  /// Async single query through the router (load shedding).
+  bool Submit(std::string query,
+              std::function<void(serving::ServeResult)> callback);
+
+  /// Multi-query fan-out + gather; see QueryRouter::ServeBatch.
+  std::vector<serving::ServeResult> ServeBatch(
+      const std::vector<std::string>& queries);
+
+  /// Stops admission on every shard and drains them. Idempotent.
+  void Shutdown();
+
+  /// Outcome of one ApplyDelta call.
+  struct ApplyOutcome {
+    /// Shards that actually swapped a snapshot (held a changed key).
+    size_t shards_reloaded = 0;
+    /// Cache entries invalidated across all shards.
+    size_t invalidated = 0;
+    /// Upserts + removals applied, summed over shards (a replicated
+    /// key counts once per holding shard).
+    size_t changes_applied = 0;
+  };
+
+  /// Applies one mined StoreDelta cluster-wide: each shard receives
+  /// exactly the upserts/removals whose normalized key it holds (owner
+  /// or replica), built into the next snapshot of *its* store and
+  /// hot-swapped dirty-only (per-key cache invalidation). Shards whose
+  /// slice is empty — or changes nothing — do not reload at all. Safe
+  /// to call concurrently with traffic; not with itself.
+  ApplyOutcome ApplyDelta(const store::StoreDelta& delta);
+
+  size_t num_shards() const { return shards_.size(); }
+  serving::ServingNode* shard(size_t i) { return shards_[i].get(); }
+  const store::ShardFilter& filter(size_t i) const { return filters_[i]; }
+  QueryRouter& router() { return *router_; }
+  const QueryRouter& router() const { return *router_; }
+
+  /// Normalized keys replicated onto every shard, hottest first.
+  const std::vector<std::string>& replicated_keys() const {
+    return replicated_keys_;
+  }
+
+  ClusterStats Stats() const;
+
+ private:
+  std::vector<store::ShardFilter> filters_;
+  std::vector<std::unique_ptr<serving::ServingNode>> shards_;
+  std::vector<std::string> replicated_keys_;
+  std::unique_ptr<QueryRouter> router_;
+};
+
+/// The `k` hottest normalized store keys of `store` by `popularity`
+/// frequency (ties break lexicographically for determinism). This is
+/// the cluster's hot-replication set; exposed for the CLI and benches.
+std::vector<std::string> HottestStoredKeys(
+    const store::DiversificationStore& store,
+    const querylog::PopularityMap& popularity, size_t k);
+
+}  // namespace cluster
+}  // namespace optselect
+
+#endif  // OPTSELECT_CLUSTER_SHARDED_CLUSTER_H_

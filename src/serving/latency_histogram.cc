@@ -77,6 +77,17 @@ double LatencyHistogram::PercentileMicros(double q) const {
   return BucketMidpoint(kNumBuckets - 1);
 }
 
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -45,6 +45,12 @@ class LatencyHistogram {
   /// Resets every counter to zero (not atomic with concurrent writers).
   void Reset();
 
+  /// Adds every observation of `other` into this histogram (bucketwise;
+  /// both use the same fixed layout). Used to aggregate per-shard
+  /// latency into cluster-level quantiles. Concurrent writers on either
+  /// side race benignly, like Percentile.
+  void MergeFrom(const LatencyHistogram& other);
+
  private:
   static constexpr int kSubBits = 6;
   static constexpr int kSubBuckets = 1 << kSubBits;          // 64

@@ -10,6 +10,16 @@ namespace serving {
 
 ReplayOutcome ReplayMix(ServingNode* node,
                         const std::vector<std::string>& mix) {
+  return ReplayMix(
+      [node](const std::string& query,
+             std::function<void(ServeResult)> callback) {
+        return node->Submit(query, std::move(callback));
+      },
+      mix);
+}
+
+ReplayOutcome ReplayMix(const SubmitFn& submit,
+                        const std::vector<std::string>& mix) {
   std::mutex mu;
   std::condition_variable cv;
   size_t done = 0;
@@ -17,7 +27,7 @@ ReplayOutcome ReplayMix(ServingNode* node,
   util::WallTimer timer;
   ReplayOutcome out;
   for (const std::string& query : mix) {
-    if (node->Submit(query, [&](ServeResult) {
+    if (submit(query, [&](ServeResult) {
           std::lock_guard<std::mutex> lock(mu);
           ++done;
           cv.notify_one();

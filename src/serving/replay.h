@@ -7,6 +7,7 @@
 #define OPTSELECT_SERVING_REPLAY_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,11 +26,21 @@ struct ReplayOutcome {
   double qps = 0.0;
 };
 
+/// An async request front end: submits one query, invoking the callback
+/// exactly once unless it returns false (request shed). Both
+/// ServingNode::Submit and cluster::ShardedCluster::Submit fit.
+using SubmitFn = std::function<bool(const std::string&,
+                                    std::function<void(ServeResult)>)>;
+
 /// Submits every query in `mix` (in order) and blocks until each
 /// accepted request's callback has fired. Requests shed by the bounded
 /// queue are skipped and reflected in `accepted`; size the node's
 /// queue_capacity to the mix when shedding is not intended.
 ReplayOutcome ReplayMix(ServingNode* node,
+                        const std::vector<std::string>& mix);
+
+/// Same, through any submit front end (a router / sharded cluster).
+ReplayOutcome ReplayMix(const SubmitFn& submit,
                         const std::vector<std::string>& mix);
 
 }  // namespace serving

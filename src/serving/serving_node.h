@@ -223,6 +223,11 @@ class ServingNode {
   /// Snapshot of the counters and latency quantiles.
   ServingStats Stats() const;
 
+  /// The node's request-latency histogram (queue wait included). Used
+  /// by the cluster tier to merge per-shard distributions into exact
+  /// cluster-level quantiles instead of averaging per-shard quantiles.
+  const LatencyHistogram& latency_histogram() const { return latency_; }
+
   const ServingConfig& config() const { return config_; }
 
   /// The active snapshot (refcounted — safe to hold across reloads).

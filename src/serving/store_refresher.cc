@@ -1,9 +1,11 @@
 #include "serving/store_refresher.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "store/store_snapshot.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace optselect {
@@ -104,6 +106,22 @@ util::Status StoreRefresher::TickOnce() {
   store::StoreDelta mined = store::MineDelta(
       detector_, *searcher_, *snippets_, *analyzer_, *documents_,
       delta.dirty_queries, config_.builder, base->store());
+  if (config_.key_filter) {
+    // Sharded serving: keep only the slice of the delta this node's
+    // store holds (normalized keys, matching the store's Put keys).
+    auto dropped = [this](const std::string& query) {
+      return !config_.key_filter(util::NormalizeQueryText(query));
+    };
+    mined.upserts.erase(
+        std::remove_if(mined.upserts.begin(), mined.upserts.end(),
+                       [&](const store::StoredEntry& e) {
+                         return dropped(e.query);
+                       }),
+        mined.upserts.end());
+    mined.removals.erase(std::remove_if(mined.removals.begin(),
+                                        mined.removals.end(), dropped),
+                         mined.removals.end());
+  }
   if (mined.empty()) return finish(util::Status::Ok());
 
   store::SnapshotBuildResult built = store::BuildSnapshot(base.get(), mined);

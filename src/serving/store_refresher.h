@@ -34,6 +34,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -70,6 +71,14 @@ struct StoreRefresherConfig {
   /// serving across a swap requires the exact same (num_candidates,
   /// threshold_c) pair.
   store::StoreBuilderOptions builder;
+  /// Sharded serving (src/cluster): when set, mined upserts/removals
+  /// whose *normalized* key fails this predicate are dropped before
+  /// BuildSnapshot — a shard's refresher applies exactly the slice of
+  /// the delta its node holds (store::ShardFilter::Keeps is the
+  /// intended predicate). The mining pass itself still runs on the full
+  /// dirty set: ownership is a property of the store, not of the log.
+  /// Null (the default) keeps every change — single-node behaviour.
+  std::function<bool(const std::string&)> key_filter;
   /// Mining knobs — should match the offline build that produced the
   /// base store, or the first refresh will "correct" entries toward the
   /// new settings.

@@ -7,10 +7,38 @@
 
 #include "core/utility.h"
 #include "pipeline/diversification_pipeline.h"
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace optselect {
 namespace store {
+
+size_t ShardFilter::OwnerShard(std::string_view normalized_key,
+                               size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<size_t>(
+      util::Fnv1a64(normalized_key.data(), normalized_key.size()) %
+      num_shards);
+}
+
+bool ShardFilter::Keeps(std::string_view normalized_key) const {
+  if (OwnerShard(normalized_key, num_shards) == shard_index) return true;
+  return replicated.count(std::string(normalized_key)) > 0;
+}
+
+DiversificationStore SplitStore(const DiversificationStore& store,
+                                const ShardFilter& filter) {
+  DiversificationStore shard;
+  for (const auto& [key, entry] : store.entries()) {
+    if (!filter.Keeps(key)) continue;
+    // Put re-validates the copied entry (ambiguity + plan invariants),
+    // so a shard store can never hold state a full store could not.
+    shard.Put(entry).IgnoreError();
+  }
+  shard.set_version(store.version());
+  return shard;
+}
+
 namespace {
 
 /// Materializes the stored entry for one detected ambiguous query:

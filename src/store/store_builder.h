@@ -6,6 +6,8 @@
 #define OPTSELECT_STORE_STORE_BUILDER_H_
 
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "corpus/document_store.h"
@@ -34,6 +36,35 @@ struct StoreBuilderOptions {
   /// (num_candidates, threshold_c) or the node ignores the plans.
   PlanCompileOptions plan;
 };
+
+/// Deterministic query → shard ownership for the sharded serving
+/// cluster (src/cluster): a normalized store key is *owned* by exactly
+/// one of `num_shards` shards (FNV-1a hash of the key, mod N), and may
+/// additionally be *replicated* onto every shard (the cluster's hot-set
+/// load spreading). The same struct carves a full store into per-shard
+/// stores (SplitStore) and slices refresh deltas per shard, so the two
+/// can never disagree about ownership.
+struct ShardFilter {
+  size_t num_shards = 1;
+  size_t shard_index = 0;
+  /// Normalized keys present on every shard regardless of owner.
+  std::unordered_set<std::string> replicated;
+
+  /// The shard owning `normalized_key` (stable across runs: FNV-1a).
+  static size_t OwnerShard(std::string_view normalized_key,
+                           size_t num_shards);
+
+  /// True when this shard holds the key: it owns it or replicates it.
+  bool Keeps(std::string_view normalized_key) const;
+};
+
+/// Carves the slice of `store` held by one shard: every entry whose
+/// normalized key passes `filter.Keeps` is deep-copied (plan included);
+/// the content version carries over so all shards of one build report
+/// the same version. With an empty `replicated` set the per-shard
+/// splits partition the store exactly.
+DiversificationStore SplitStore(const DiversificationStore& store,
+                                const ShardFilter& filter);
 
 /// Runs Algorithm 1 on every query in `candidate_queries`, and for each
 /// detected ambiguous query materializes the specializations with their

@@ -1,0 +1,489 @@
+// Tests for the sharded serving cluster: ShardFilter / SplitStore
+// partitioning, router ownership + hot-key round-robin, bit-identity of
+// cluster rankings against the single-node path (including replicas
+// served from non-owner shards), degenerate shard counts (1 shard ==
+// single node, empty shards, all traffic on one shard), batch fan-out
+// ordering, dirty-only ApplyDelta reloads, and cluster-level stats
+// aggregation.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/query_router.h"
+#include "cluster/sharded_cluster.h"
+#include "pipeline/testbed.h"
+#include "serving/cache_key.h"
+#include "serving/serving_node.h"
+#include "store/store_builder.h"
+
+namespace optselect {
+namespace cluster {
+namespace {
+
+// ------------------------------------------------------------ ShardFilter
+
+TEST(ShardFilterTest, OwnerShardIsStableAndInRange) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
+    for (const char* key : {"apple", "jaguar classic", "x"}) {
+      size_t owner = store::ShardFilter::OwnerShard(key, n);
+      EXPECT_LT(owner, n);
+      EXPECT_EQ(owner, store::ShardFilter::OwnerShard(key, n));
+    }
+  }
+  EXPECT_EQ(store::ShardFilter::OwnerShard("anything", 1), 0u);
+}
+
+TEST(ShardFilterTest, KeepsOwnedAndReplicatedKeys) {
+  const std::string key = "apple";
+  const size_t n = 4;
+  size_t owner = store::ShardFilter::OwnerShard(key, n);
+  for (size_t i = 0; i < n; ++i) {
+    store::ShardFilter filter;
+    filter.num_shards = n;
+    filter.shard_index = i;
+    EXPECT_EQ(filter.Keeps(key), i == owner);
+    filter.replicated.insert(key);
+    EXPECT_TRUE(filter.Keeps(key));  // replicated ⇒ every shard holds it
+  }
+}
+
+// ------------------------------------------------------------ the fixture
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    testbed_ = new pipeline::Testbed(pipeline::TestbedConfig::Small());
+    store_ = new store::DiversificationStore();
+    std::vector<std::string> roots;
+    for (const auto& topic : testbed_->universe().topics) {
+      roots.push_back(topic.root_query);
+    }
+    // Default builder options: plans compiled at the default pipeline
+    // params, so the cluster tests also cover plans surviving the
+    // SplitStore copy (plan_served through a shard).
+    store::BuildStore(testbed_->detector(), testbed_->searcher(),
+                      testbed_->snippets(), testbed_->analyzer(),
+                      testbed_->corpus().store, roots, {}, store_);
+    ASSERT_GE(store_->size(), 2u);
+    for (const auto& [key, entry] : store_->entries()) {
+      stored_keys_->push_back(key);
+    }
+    std::sort(stored_keys_->begin(), stored_keys_->end());
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete testbed_;
+    store_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  /// Default pipeline params ⇒ the compiled plans are compatible and
+  /// stored queries are plan-served, on shards exactly like on a
+  /// single node.
+  static ClusterConfig BaseConfig(size_t num_shards) {
+    ClusterConfig config;
+    config.num_shards = num_shards;
+    config.node.num_workers = 1;
+    config.node.queue_capacity = 256;
+    config.node.max_batch = 4;
+    config.node.params.diversify.k = 10;
+    return config;
+  }
+
+  static serving::ServingNode SingleNode() {
+    return serving::ServingNode(store_, testbed_,
+                                BaseConfig(1).node);
+  }
+
+  static std::string NoiseQuery() {
+    return testbed_->universe().noise_queries[0];
+  }
+
+  static pipeline::Testbed* testbed_;
+  static store::DiversificationStore* store_;
+  static std::vector<std::string>* stored_keys_;
+};
+
+pipeline::Testbed* ClusterTest::testbed_ = nullptr;
+store::DiversificationStore* ClusterTest::store_ = nullptr;
+std::vector<std::string>* ClusterTest::stored_keys_ =
+    new std::vector<std::string>();
+
+// ------------------------------------------------------------- SplitStore
+
+TEST_F(ClusterTest, SplitStorePartitionsExactly) {
+  const size_t n = 3;
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    store::ShardFilter filter;
+    filter.num_shards = n;
+    filter.shard_index = i;
+    store::DiversificationStore shard = SplitStore(*store_, filter);
+    EXPECT_EQ(shard.version(), store_->version());
+    total += shard.size();
+    for (const auto& [key, entry] : shard.entries()) {
+      EXPECT_EQ(store::ShardFilter::OwnerShard(key, n), i);
+      const store::StoredEntry* source = store_->Find(key);
+      ASSERT_NE(source, nullptr);
+      EXPECT_TRUE(StoredEntriesEqual(entry, *source));
+      // Compiled plans ride the copy.
+      EXPECT_EQ(entry.plan.empty(), source->plan.empty());
+    }
+  }
+  EXPECT_EQ(total, store_->size());  // disjoint and complete
+}
+
+TEST_F(ClusterTest, SplitStoreReplicatesListedKeys) {
+  const size_t n = 3;
+  const std::string& hot = stored_keys_->front();
+  size_t holders = 0;
+  for (size_t i = 0; i < n; ++i) {
+    store::ShardFilter filter;
+    filter.num_shards = n;
+    filter.shard_index = i;
+    filter.replicated.insert(hot);
+    if (SplitStore(*store_, filter).Find(hot) != nullptr) ++holders;
+  }
+  EXPECT_EQ(holders, n);
+}
+
+// ------------------------------------------------- degenerate shard counts
+
+TEST_F(ClusterTest, SingleShardDegeneratesToSingleNode) {
+  ShardedCluster cl(*store_, testbed_, nullptr, BaseConfig(1));
+  serving::ServingNode node = SingleNode();
+  ASSERT_EQ(cl.num_shards(), 1u);
+  EXPECT_EQ(cl.shard(0)->store().size(), store_->size());
+
+  std::vector<std::string> queries = *stored_keys_;
+  queries.push_back(NoiseQuery());
+  for (const std::string& q : queries) {
+    serving::ServeResult via_cluster = cl.Serve(q);
+    serving::ServeResult via_node = node.Serve(q);
+    EXPECT_EQ(via_cluster.ranking, via_node.ranking) << q;
+    EXPECT_EQ(via_cluster.diversified, via_node.diversified) << q;
+    EXPECT_EQ(via_cluster.plan_served, via_node.plan_served) << q;
+    EXPECT_EQ(cl.router().OwnerOf(q), 0u);
+  }
+
+  ClusterStats cs = cl.Stats();
+  serving::ServingStats ns = node.Stats();
+  EXPECT_EQ(cs.num_shards, 1u);
+  EXPECT_EQ(cs.total.completed, ns.completed);
+  EXPECT_EQ(cs.total.diversified, ns.diversified);
+  EXPECT_EQ(cs.total.plan_served, ns.plan_served);
+  EXPECT_EQ(cs.total.passthrough, ns.passthrough);
+  EXPECT_EQ(cs.router.routed, queries.size());
+  EXPECT_EQ(cs.router.per_shard[0], queries.size());
+}
+
+TEST_F(ClusterTest, ClusterRankingsBitIdenticalAcrossShardCounts) {
+  serving::ServingNode node = SingleNode();
+  std::vector<std::string> queries = *stored_keys_;
+  queries.push_back(NoiseQuery());
+
+  for (size_t n : {size_t{2}, size_t{3}, size_t{5}}) {
+    ShardedCluster cl(*store_, testbed_, nullptr, BaseConfig(n));
+    for (const std::string& q : queries) {
+      serving::ServeResult via_cluster = cl.Serve(q);
+      serving::ServeResult via_node = node.Serve(q);
+      EXPECT_EQ(via_cluster.ranking, via_node.ranking)
+          << q << " shards=" << n;
+      EXPECT_EQ(via_cluster.diversified, via_node.diversified) << q;
+      EXPECT_EQ(via_cluster.plan_served, via_node.plan_served) << q;
+    }
+  }
+}
+
+TEST_F(ClusterTest, EmptyShardStillServesItsTraffic) {
+  // Find a shard count under which some shard owns no stored key — it
+  // exists well before n reaches the store size ceiling.
+  size_t n = 0, empty_shard = 0;
+  for (size_t candidate = 2; candidate <= 64 && n == 0; ++candidate) {
+    std::vector<bool> owned(candidate, false);
+    for (const std::string& key : *stored_keys_) {
+      owned[store::ShardFilter::OwnerShard(key, candidate)] = true;
+    }
+    for (size_t i = 0; i < candidate; ++i) {
+      if (!owned[i]) {
+        n = candidate;
+        empty_shard = i;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(n, 0u) << "no empty shard up to 64 shards?";
+
+  ShardedCluster cl(*store_, testbed_, nullptr, BaseConfig(n));
+  EXPECT_TRUE(cl.shard(empty_shard)->store().empty());
+
+  // A query owned by the empty shard must still be answered (it cannot
+  // be a stored query, so: passthrough), identically to a single node.
+  std::string probe;
+  for (const std::string& noise : testbed_->universe().noise_queries) {
+    if (cl.router().OwnerOf(noise) == empty_shard) {
+      probe = noise;
+      break;
+    }
+  }
+  for (int i = 0; probe.empty() && i < 1000; ++i) {
+    std::string synthetic = "empty shard probe " + std::to_string(i);
+    if (cl.router().OwnerOf(synthetic) == empty_shard) probe = synthetic;
+  }
+  ASSERT_FALSE(probe.empty());
+
+  serving::ServeResult via_cluster = cl.Serve(probe);
+  serving::ServingNode node = SingleNode();
+  serving::ServeResult via_node = node.Serve(probe);
+  EXPECT_TRUE(via_cluster.ok);
+  EXPECT_FALSE(via_cluster.diversified);
+  EXPECT_EQ(via_cluster.ranking, via_node.ranking);
+  EXPECT_EQ(cl.shard(empty_shard)->Stats().completed, 1u);
+
+  // Stored queries are untouched by the empty shard's existence.
+  serving::ServeResult stored = cl.Serve(stored_keys_->front());
+  EXPECT_TRUE(stored.diversified);
+  EXPECT_EQ(stored.ranking, node.Serve(stored_keys_->front()).ranking);
+}
+
+TEST_F(ClusterTest, AllTrafficHashingToOneShardLeavesOthersIdle) {
+  const size_t n = 3;
+  ShardedCluster cl(*store_, testbed_, nullptr, BaseConfig(n));
+  serving::ServingNode node = SingleNode();
+
+  // The largest same-owner group of stored keys: every request in it
+  // lands on one shard; the other shards must stay completely idle.
+  std::vector<std::vector<std::string>> by_owner(n);
+  for (const std::string& key : *stored_keys_) {
+    by_owner[store::ShardFilter::OwnerShard(key, n)].push_back(key);
+  }
+  size_t hot_shard = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (by_owner[i].size() > by_owner[hot_shard].size()) hot_shard = i;
+  }
+  ASSERT_FALSE(by_owner[hot_shard].empty());
+
+  for (const std::string& q : by_owner[hot_shard]) {
+    serving::ServeResult r = cl.Serve(q);
+    EXPECT_TRUE(r.diversified) << q;
+    EXPECT_EQ(r.ranking, node.Serve(q).ranking) << q;
+  }
+  ClusterStats cs = cl.Stats();
+  EXPECT_EQ(cs.per_shard[hot_shard].completed,
+            by_owner[hot_shard].size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i != hot_shard) EXPECT_EQ(cs.per_shard[i].completed, 0u);
+  }
+  EXPECT_EQ(cs.router.per_shard[hot_shard], by_owner[hot_shard].size());
+}
+
+// --------------------------------------------------------- hot replication
+
+TEST_F(ClusterTest, ReplicatedQueryServedFromEveryShardBitIdentical) {
+  const size_t n = 3;
+  ClusterConfig config = BaseConfig(n);
+  config.replicate_hot = 2;
+  ShardedCluster cl(*store_, testbed_,
+                    &testbed_->recommender().popularity(), config);
+  ASSERT_FALSE(cl.replicated_keys().empty());
+  serving::ServingNode node = SingleNode();
+
+  for (const std::string& hot : cl.replicated_keys()) {
+    EXPECT_TRUE(cl.router().IsReplicated(hot));
+    std::vector<DocId> reference = node.Serve(hot).ranking;
+    size_t owner = cl.router().OwnerOf(hot);
+    for (size_t i = 0; i < n; ++i) {
+      // Every shard — owner or not — holds the replica and serves the
+      // identical ranking directly.
+      ASSERT_NE(cl.shard(i)->store().Find(hot), nullptr)
+          << hot << " missing on shard " << i;
+      serving::ServeResult r = cl.shard(i)->Serve(hot);
+      EXPECT_TRUE(r.diversified);
+      EXPECT_EQ(r.ranking, reference)
+          << hot << " diverged on shard " << i
+          << (i == owner ? " (owner)" : " (replica)");
+    }
+  }
+
+  // The router spreads a replicated key round-robin: n consecutive
+  // decisions cover all n shards.
+  std::set<size_t> picked;
+  for (size_t i = 0; i < n; ++i) {
+    picked.insert(cl.router().Route(cl.replicated_keys().front()));
+  }
+  EXPECT_EQ(picked.size(), n);
+  EXPECT_EQ(cl.router().stats().replicated_routed, n);
+
+  // Non-replicated keys still pin to their owner.
+  for (const std::string& key : *stored_keys_) {
+    if (cl.router().IsReplicated(key)) continue;
+    EXPECT_EQ(cl.router().Route(key), cl.router().OwnerOf(key));
+  }
+}
+
+// -------------------------------------------------------- batch fan-out
+
+TEST_F(ClusterTest, ServeBatchPreservesOrderAndFansOut) {
+  const size_t n = 3;
+  ShardedCluster cl(*store_, testbed_, nullptr, BaseConfig(n));
+  serving::ServingNode node = SingleNode();
+
+  std::vector<std::string> batch;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const std::string& key : *stored_keys_) batch.push_back(key);
+    batch.push_back(NoiseQuery());
+  }
+  std::vector<serving::ServeResult> results = cl.ServeBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(results[i].ok);
+    EXPECT_EQ(results[i].ranking, node.Serve(batch[i]).ranking)
+        << batch[i];
+  }
+
+  ClusterStats cs = cl.Stats();
+  EXPECT_EQ(cs.router.batches, 1u);
+  EXPECT_EQ(cs.router.batch_requests, batch.size());
+  EXPECT_EQ(cs.total.completed, batch.size());
+  size_t shards_used = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cs.per_shard[i].completed > 0) ++shards_used;
+  }
+  EXPECT_GT(shards_used, 1u);  // the batch genuinely fanned out
+}
+
+// ------------------------------------------------------------ ApplyDelta
+
+TEST_F(ClusterTest, ApplyDeltaReloadsOnlyTheOwningShard) {
+  const size_t n = 3;
+  ShardedCluster cl(*store_, testbed_, nullptr, BaseConfig(n));
+  const std::string& target = stored_keys_->front();
+  size_t owner = cl.router().OwnerOf(target);
+
+  // Warm every stored ranking (and the per-shard caches).
+  std::vector<std::vector<DocId>> before;
+  for (const std::string& key : *stored_keys_) {
+    before.push_back(cl.Serve(key).ranking);
+  }
+
+  // Perturb the target's specialization distribution — the shape of a
+  // refresh-mined change. The stale compiled plan is dropped by Put.
+  store::StoreDelta delta;
+  store::StoredEntry perturbed = *store_->Find(target);
+  perturbed.specializations[0].probability *= 0.25;
+  double norm = 0;
+  for (const auto& sp : perturbed.specializations) norm += sp.probability;
+  for (auto& sp : perturbed.specializations) sp.probability /= norm;
+  delta.upserts.push_back(perturbed);
+
+  ShardedCluster::ApplyOutcome outcome = cl.ApplyDelta(delta);
+  EXPECT_EQ(outcome.shards_reloaded, 1u);
+  EXPECT_EQ(outcome.changes_applied, 1u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(cl.shard(i)->Stats().reloads, i == owner ? 1u : 0u);
+  }
+  const store::StoredEntry* after_entry =
+      cl.shard(owner)->snapshot()->store().Find(target);
+  ASSERT_NE(after_entry, nullptr);
+  EXPECT_DOUBLE_EQ(after_entry->specializations[0].probability,
+                   perturbed.specializations[0].probability);
+  EXPECT_TRUE(after_entry->plan.empty());  // stale plan dropped
+
+  // Unchanged keys: bit-identical, still cached.
+  for (size_t i = 0; i < stored_keys_->size(); ++i) {
+    if ((*stored_keys_)[i] == target) continue;
+    serving::ServeResult r = cl.Serve((*stored_keys_)[i]);
+    EXPECT_EQ(r.ranking, before[i]) << (*stored_keys_)[i];
+    EXPECT_TRUE(r.cache_hit) << (*stored_keys_)[i];
+  }
+
+  // A content-identical delta reloads nothing anywhere.
+  store::StoreDelta same;
+  same.upserts.push_back(perturbed);
+  ShardedCluster::ApplyOutcome noop = cl.ApplyDelta(same);
+  EXPECT_EQ(noop.shards_reloaded, 0u);
+}
+
+TEST_F(ClusterTest, ApplyDeltaUpdatesEveryReplicaOfAHotKey) {
+  const size_t n = 3;
+  ClusterConfig config = BaseConfig(n);
+  config.replicate_hot = 1;
+  ShardedCluster cl(*store_, testbed_,
+                    &testbed_->recommender().popularity(), config);
+  ASSERT_EQ(cl.replicated_keys().size(), 1u);
+  const std::string hot = cl.replicated_keys().front();
+
+  store::StoreDelta delta;
+  store::StoredEntry perturbed = *store_->Find(hot);
+  perturbed.specializations[0].probability *= 0.25;
+  double norm = 0;
+  for (const auto& sp : perturbed.specializations) norm += sp.probability;
+  for (auto& sp : perturbed.specializations) sp.probability /= norm;
+  delta.upserts.push_back(perturbed);
+
+  ShardedCluster::ApplyOutcome outcome = cl.ApplyDelta(delta);
+  EXPECT_EQ(outcome.shards_reloaded, n);  // every replica holder
+  std::vector<DocId> reference;
+  for (size_t i = 0; i < n; ++i) {
+    const store::StoredEntry* replica =
+        cl.shard(i)->snapshot()->store().Find(hot);
+    ASSERT_NE(replica, nullptr);
+    EXPECT_DOUBLE_EQ(replica->specializations[0].probability,
+                     perturbed.specializations[0].probability);
+    std::vector<DocId> ranking = cl.shard(i)->Serve(hot).ranking;
+    if (i == 0) {
+      reference = ranking;
+    } else {
+      EXPECT_EQ(ranking, reference) << "replicas diverged after delta";
+    }
+  }
+}
+
+// ------------------------------------------------------ stats aggregation
+
+TEST_F(ClusterTest, StatsAggregateAcrossShards) {
+  const size_t n = 3;
+  ShardedCluster cl(*store_, testbed_, nullptr, BaseConfig(n));
+
+  size_t served = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const std::string& key : *stored_keys_) {
+      ASSERT_TRUE(cl.Serve(key).ok);
+      ++served;
+    }
+    ASSERT_TRUE(cl.Serve(NoiseQuery()).ok);
+    ++served;
+  }
+
+  ClusterStats cs = cl.Stats();
+  EXPECT_EQ(cs.num_shards, n);
+  ASSERT_EQ(cs.per_shard.size(), n);
+  uint64_t sum_completed = 0, sum_diversified = 0, sum_hits = 0;
+  for (const auto& s : cs.per_shard) {
+    sum_completed += s.completed;
+    sum_diversified += s.diversified;
+    sum_hits += s.cache_hits;
+  }
+  EXPECT_EQ(cs.total.completed, served);
+  EXPECT_EQ(cs.total.completed, sum_completed);
+  EXPECT_EQ(cs.total.diversified, sum_diversified);
+  EXPECT_EQ(cs.total.cache_hits, sum_hits);
+  EXPECT_EQ(cs.total.diversified + cs.total.passthrough, served);
+  EXPECT_GT(cs.total.cache_hits, 0u);  // second rep hits per-shard caches
+  EXPECT_GT(cs.total.qps, 0.0);
+  EXPECT_GT(cs.total.p50_ms, 0.0);
+  EXPECT_LE(cs.total.p50_ms, cs.total.p95_ms);
+  EXPECT_LE(cs.total.p95_ms, cs.total.p99_ms);
+  EXPECT_EQ(cs.router.routed, served);
+  uint64_t sum_routed = 0;
+  for (uint64_t r : cs.router.per_shard) sum_routed += r;
+  EXPECT_EQ(sum_routed, served);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace optselect

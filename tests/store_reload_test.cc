@@ -447,6 +447,42 @@ TEST_F(StoreReloadServingTest, RefresherTickIngestsMinesAndSwaps) {
   std::remove(log_path.c_str());
 }
 
+TEST_F(StoreReloadServingTest, RefresherKeyFilterDropsForeignChanges) {
+  // Sharded serving: a shard's refresher mines the full dirty set but
+  // must apply only the slice its node owns. A reject-all filter is the
+  // extreme case — the tick ingests and mines, yet swaps nothing.
+  std::string log_path = ::testing::TempDir() + "/filtered_log.tsv";
+  ASSERT_TRUE(testbed_->log_result().log.SaveTsv(log_path).ok());
+
+  ServingNode node = MakeNode(BaseConfig());
+  StoreRefresherConfig rc;
+  rc.log_path = log_path;
+  rc.key_filter = [](const std::string&) { return false; };
+  StoreRefresher refresher(&node, &testbed_->searcher(),
+                           &testbed_->snippets(), &testbed_->analyzer(),
+                           &testbed_->corpus().store,
+                           testbed_->log_result().log, rc);
+
+  const store::StoredEntry* target =
+      node.snapshot()->store().Find(*target_key_);
+  ASSERT_NE(target, nullptr);
+  const std::string boosted = target->specializations.back().query;
+  {
+    std::ofstream out(log_path, std::ios::app);
+    for (int i = 0; i < 400; ++i) {
+      out << boosted << "\t9999\t" << (2000000000 + i) << "\t1,2\t\n";
+    }
+  }
+  ASSERT_TRUE(refresher.TickOnce().ok());
+  StoreRefresherStats rs = refresher.stats();
+  EXPECT_EQ(rs.ingested_records, 400u);  // the mining half still ran
+  EXPECT_EQ(rs.swaps, 0u);               // the delta was fully foreign
+  EXPECT_EQ(node.Stats().reloads, 0u);
+  EXPECT_EQ(node.Stats().store_version, 0u);
+
+  std::remove(log_path.c_str());
+}
+
 }  // namespace
 }  // namespace serving
 }  // namespace optselect

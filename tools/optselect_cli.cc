@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/sharded_cluster.h"
 #include "core/factory.h"
 #include "core/footprint.h"
 #include "eval/diversity_evaluator.h"
@@ -121,12 +122,23 @@ void PrintUsage(std::FILE* out) {
       "      --candidates N        |R_q| retrieved (default 200)\n"
       "      --k N  --c F  --lambda F   pipeline knobs\n"
       "      --topics N  --seed S  must match `generate`\n"
+      "    sharded cluster (default: one node):\n"
+      "      --shards N            partition the store by query hash over\n"
+      "                            N independent serving shards behind a\n"
+      "                            fan-out router (each shard has its own\n"
+      "                            snapshot, cache, queue, workers)\n"
+      "      --replicate-hot K     replicate the K hottest stored queries\n"
+      "                            onto every shard; the router spreads\n"
+      "                            them round-robin (default 0)\n"
       "    live store lifecycle:\n"
       "      --refresh-interval S  poll the log every S seconds (0 = off),\n"
       "                            re-mine dirty queries, hot-swap the\n"
-      "                            store snapshot mid-traffic\n"
+      "                            store snapshot mid-traffic (with\n"
+      "                            --shards: one refresher per shard,\n"
+      "                            each applying only its own slice)\n"
       "      --log-tail F          log file to tail (default <dir>/log.tsv)\n"
       "      --store-persist F     also save each swapped snapshot to F\n"
+      "                            (with --shards: F.shard<i> per shard)\n"
       "\n"
       "  help | --help | -h        this text\n");
 }
@@ -190,7 +202,7 @@ std::vector<std::string> ServingFlagSet(bool loadtest) {
       "workers",        "batch",    "cache",           "cache-capacity",
       "candidates",     "k",        "c",               "lambda",
       "topics",         "seed",     "refresh-interval", "log-tail",
-      "store-persist"};
+      "store-persist",  "shards",   "replicate-hot"};
   if (loadtest) {
     flags.push_back("requests");
     flags.push_back("skew");
@@ -417,10 +429,15 @@ void PrintServingStats(const serving::ServingStats& s) {
 }
 
 /// Builds (and starts) the refresh loop when --refresh-interval > 0.
-/// Returns nullptr when refresh is disabled.
+/// Returns nullptr when refresh is disabled. `shard_index` >= 0 marks a
+/// cluster shard's refresher: the mined delta is filtered to the keys
+/// the shard holds, and the persist path (if any) gets a per-shard
+/// suffix so shards never clobber each other's snapshots.
 std::unique_ptr<serving::StoreRefresher> MakeRefresher(
     const Flags& flags, const std::string& dir, serving::ServingNode* node,
-    const pipeline::Testbed& testbed) {
+    const pipeline::Testbed& testbed,
+    std::function<bool(const std::string&)> key_filter = nullptr,
+    int shard_index = -1) {
   double interval_s = std::atof(flags.Get("refresh-interval", "0").c_str());
   if (interval_s <= 0) return nullptr;
   serving::StoreRefresherConfig rc;
@@ -428,14 +445,21 @@ std::unique_ptr<serving::StoreRefresher> MakeRefresher(
   rc.interval = std::chrono::milliseconds(
       static_cast<long long>(interval_s * 1000.0));
   rc.persist_path = flags.Get("store-persist", "");
+  if (!rc.persist_path.empty() && shard_index >= 0) {
+    rc.persist_path += ".shard" + std::to_string(shard_index);
+  }
+  rc.key_filter = std::move(key_filter);
   auto refresher = std::make_unique<serving::StoreRefresher>(
       node, &testbed.searcher(), &testbed.snippets(), &testbed.analyzer(),
       &testbed.corpus().store, testbed.log_result().log, rc);
   refresher->Start();
-  std::printf(
-      "store refresh: tailing %s every %.1fs (offset %llu)\n",
-      rc.log_path.c_str(), interval_s,
-      static_cast<unsigned long long>(refresher->ingestor().offset()));
+  if (shard_index <= 0) {
+    std::printf(
+        "store refresh: tailing %s every %.1fs (offset %llu)%s\n",
+        rc.log_path.c_str(), interval_s,
+        static_cast<unsigned long long>(refresher->ingestor().offset()),
+        shard_index == 0 ? " [one refresher per shard]" : "");
+  }
   return refresher;
 }
 
@@ -451,6 +475,64 @@ void PrintRefresherStats(const serving::StoreRefresher& refresher) {
       static_cast<unsigned long long>(rs.removals),
       static_cast<unsigned long long>(rs.store_version),
       static_cast<unsigned long long>(rs.errors));
+}
+
+void PrintClusterStats(const cluster::ClusterStats& cs) {
+  PrintServingStats(cs.total);
+  util::TablePrinter tp;
+  tp.SetHeader({"shard", "routed", "completed", "diversified", "plan",
+                "hit rate", "p99 ms", "store ver"});
+  for (size_t i = 0; i < cs.per_shard.size(); ++i) {
+    const serving::ServingStats& s = cs.per_shard[i];
+    tp.AddRow({std::to_string(i), std::to_string(cs.router.per_shard[i]),
+               std::to_string(s.completed), std::to_string(s.diversified),
+               std::to_string(s.plan_served),
+               util::TablePrinter::Num(s.cache_hit_rate, 3),
+               util::TablePrinter::Num(s.p99_ms, 2),
+               std::to_string(s.store_version)});
+  }
+  std::printf("%s", tp.ToString().c_str());
+  std::printf(
+      "router: %llu routed (%llu via hot replicas), %llu batches "
+      "(%llu batched requests)\n",
+      static_cast<unsigned long long>(cs.router.routed),
+      static_cast<unsigned long long>(cs.router.replicated_routed),
+      static_cast<unsigned long long>(cs.router.batches),
+      static_cast<unsigned long long>(cs.router.batch_requests));
+}
+
+/// Builds a cluster (when --shards > 1) plus its per-shard refreshers.
+std::unique_ptr<cluster::ShardedCluster> MakeCluster(
+    const Flags& flags, const std::string& dir,
+    const store::DiversificationStore& store,
+    const pipeline::Testbed& testbed,
+    const serving::ServingConfig& serving_config,
+    std::vector<std::unique_ptr<serving::StoreRefresher>>* refreshers) {
+  size_t shards = SizeFlag(flags, "shards", "1");
+  if (shards <= 1) return nullptr;
+  cluster::ClusterConfig cc;
+  cc.num_shards = shards;
+  cc.replicate_hot = SizeFlag(flags, "replicate-hot", "0");
+  cc.node = serving_config;
+  auto cl = std::make_unique<cluster::ShardedCluster>(
+      store, &testbed, &testbed.recommender().popularity(), cc);
+  for (size_t i = 0; i < cl->num_shards(); ++i) {
+    // Each shard refreshes independently, applying only the slice of
+    // the mined delta it holds (owner or hot replica).
+    store::ShardFilter filter = cl->filter(i);
+    auto refresher = MakeRefresher(
+        flags, dir, cl->shard(i), testbed,
+        [filter = std::move(filter)](const std::string& key) {
+          return filter.Keeps(key);
+        },
+        static_cast<int>(i));
+    if (refresher != nullptr) refreshers->push_back(std::move(refresher));
+  }
+  std::printf(
+      "cluster: %zu shards (%zu workers each), %zu hot keys replicated\n",
+      cl->num_shards(), cl->shard(0)->config().num_workers,
+      cl->replicated_keys().size());
+  return cl;
 }
 
 /// Rebuilds the retrieval stack and loads <dir>/store.bin. Returns
@@ -497,15 +579,42 @@ int CmdServe(const Flags& flags) {
   pipeline::Testbed testbed(ConfigFor(flags));
   serving::ServingConfig serving_config = ServingConfigFor(flags);
   RecompilePlansForServing(store.get(), testbed, serving_config);
-  serving::ServingNode node(store.get(), &testbed, serving_config);
-  std::unique_ptr<serving::StoreRefresher> refresher =
-      MakeRefresher(flags, dir, &node, testbed);
+
+  // One node, or a sharded cluster behind a router (--shards N).
+  std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
+  std::unique_ptr<cluster::ShardedCluster> cl =
+      MakeCluster(flags, dir, *store, testbed, serving_config, &refreshers);
+  std::unique_ptr<serving::ServingNode> node;
+  if (cl == nullptr) {
+    node = std::make_unique<serving::ServingNode>(store.get(), &testbed,
+                                                  serving_config);
+    auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
+    if (refresher != nullptr) refreshers.push_back(std::move(refresher));
+  }
+  auto serve = [&](const std::string& query) {
+    return cl != nullptr ? cl->Serve(query) : node->Serve(query);
+  };
+  auto print_stats = [&] {
+    if (cl != nullptr) {
+      PrintClusterStats(cl->Stats());
+    } else {
+      PrintServingStats(node->Stats());
+    }
+    for (const auto& refresher : refreshers) {
+      PrintRefresherStats(*refresher);
+    }
+  };
+
+  // Resolved per-node config (ServingNode rewrites num_workers == 0 to
+  // the hardware concurrency).
+  const serving::ServingConfig& resolved =
+      cl != nullptr ? cl->shard(0)->config() : node->config();
   std::printf(
       "serving %zu stored queries with %zu workers (batch %zu, cache %s)\n"
       "one query per line; \":stats\" prints counters; \":refresh\" forces"
       " a refresh tick; EOF exits\n",
-      store->size(), node.config().num_workers, node.config().max_batch,
-      node.config().enable_cache ? "on" : "off");
+      store->size(), resolved.num_workers, resolved.max_batch,
+      resolved.enable_cache ? "on" : "off");
 
   char line[4096];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {
@@ -516,24 +625,25 @@ int CmdServe(const Flags& flags) {
     }
     if (query.empty()) continue;
     if (query == ":stats") {
-      PrintServingStats(node.Stats());
-      if (refresher != nullptr) PrintRefresherStats(*refresher);
+      print_stats();
       continue;
     }
     if (query == ":refresh") {
-      if (refresher == nullptr) {
+      if (refreshers.empty()) {
         std::printf("refresh disabled (run with --refresh-interval S)\n");
         continue;
       }
-      util::Status s = refresher->TickOnce();
-      if (!s.ok()) {
-        std::printf("refresh tick failed: %s\n", s.ToString().c_str());
+      for (const auto& refresher : refreshers) {
+        util::Status s = refresher->TickOnce();
+        if (!s.ok()) {
+          std::printf("refresh tick failed: %s\n", s.ToString().c_str());
+        }
+        PrintRefresherStats(*refresher);
       }
-      PrintRefresherStats(*refresher);
       continue;
     }
     util::WallTimer timer;
-    serving::ServeResult result = node.Serve(query);
+    serving::ServeResult result = serve(query);
     double ms = timer.ElapsedMillis();
     std::printf("%s | %s%s | %.2f ms |", query.c_str(),
                 result.diversified ? "diversified" : "passthrough",
@@ -543,8 +653,7 @@ int CmdServe(const Flags& flags) {
     }
     std::printf("\n");
   }
-  PrintServingStats(node.Stats());
-  if (refresher != nullptr) PrintRefresherStats(*refresher);
+  print_stats();
   return 0;
 }
 
@@ -579,18 +688,41 @@ int CmdLoadtest(const Flags& flags) {
   serving::ServingConfig config = ServingConfigFor(flags);
   config.queue_capacity = num_requests;
   RecompilePlansForServing(store.get(), testbed, config);
-  serving::ServingNode node(store.get(), &testbed, config);
-  std::unique_ptr<serving::StoreRefresher> refresher =
-      MakeRefresher(flags, dir, &node, testbed);
-  std::printf("replaying %zu requests (skew %.2f) on %zu workers...\n",
-              num_requests, skew, node.config().num_workers);
 
-  serving::ReplayOutcome out = serving::ReplayMix(&node, mix);
+  std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
+  std::unique_ptr<cluster::ShardedCluster> cl =
+      MakeCluster(flags, dir, *store, testbed, config, &refreshers);
+  std::unique_ptr<serving::ServingNode> node;
+  if (cl == nullptr) {
+    node = std::make_unique<serving::ServingNode>(store.get(), &testbed,
+                                                  config);
+    auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
+    if (refresher != nullptr) refreshers.push_back(std::move(refresher));
+  }
+  std::printf("replaying %zu requests (skew %.2f) on %zu shard(s) x %zu "
+              "workers...\n",
+              num_requests, skew, cl != nullptr ? cl->num_shards() : 1,
+              cl != nullptr ? cl->shard(0)->config().num_workers
+                            : node->config().num_workers);
+
+  serving::ReplayOutcome out =
+      cl != nullptr
+          ? serving::ReplayMix(
+                [&](const std::string& q,
+                    std::function<void(serving::ServeResult)> cb) {
+                  return cl->Submit(q, std::move(cb));
+                },
+                mix)
+          : serving::ReplayMix(node.get(), mix);
   std::printf("replayed %zu/%zu requests in %.1f ms (%.0f QPS)\n",
               out.accepted, num_requests, out.wall_ms, out.qps);
-  if (refresher != nullptr) refresher->Stop();
-  PrintServingStats(node.Stats());
-  if (refresher != nullptr) PrintRefresherStats(*refresher);
+  for (const auto& refresher : refreshers) refresher->Stop();
+  if (cl != nullptr) {
+    PrintClusterStats(cl->Stats());
+  } else {
+    PrintServingStats(node->Stats());
+  }
+  for (const auto& refresher : refreshers) PrintRefresherStats(*refresher);
   return 0;
 }
 
