@@ -6,6 +6,7 @@
 #ifndef OPTSELECT_BENCH_BENCH_UTIL_H_
 #define OPTSELECT_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -106,8 +107,30 @@ class BenchJsonWriter {
     return out;
   }
 
+  /// Every numeric value must be finite: NaN/Inf have no JSON encoding
+  /// and would break .github/check_bench.py's comparisons. A NaN here
+  /// always means a broken measurement (0/0 on an empty phase), so it
+  /// is rejected loudly instead of laundered into a parseable number.
+  util::Status Validate() const {
+    for (const Record& r : records_) {
+      if (!std::isfinite(r.wall_ms) || !std::isfinite(r.qps)) {
+        return util::Status::InvalidArgument(
+            "record '" + r.name + "': non-finite wall_ms/qps");
+      }
+      for (const auto& [key, value] : r.params) {
+        if (!std::isfinite(value)) {
+          return util::Status::InvalidArgument(
+              "record '" + r.name + "': non-finite param '" + key + "'");
+        }
+      }
+    }
+    return util::Status::Ok();
+  }
+
   /// Writes `BENCH_<bench_name>.json` into `dir` ("." by default).
+  /// Refuses (without writing) when Validate() fails.
   util::Status WriteFile(const std::string& dir = ".") const {
+    OPTSELECT_RETURN_IF_ERROR(Validate());
     std::string path = dir + "/BENCH_" + bench_name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -134,21 +157,37 @@ class BenchJsonWriter {
     double qps = 0;
   };
 
+  /// JSON string escaping per RFC 8259: quote, backslash, and every
+  /// control character (common ones by short escape, the rest \u00XX).
   static std::string Escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (static_cast<unsigned char>(c) < 0x20) {
-        out += ' ';
-        continue;
+      unsigned char u = static_cast<unsigned char>(c);
+      switch (c) {
+        case '"':  out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
       }
-      out.push_back(c);
     }
     return out;
   }
 
+  /// Non-finite values render as JSON null (printf would emit the
+  /// unparseable bare tokens nan/inf); WriteFile rejects them first, so
+  /// null only ever appears via a direct ToJson call.
   static std::string FormatDouble(double v) {
+    if (!std::isfinite(v)) return "null";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     return buf;

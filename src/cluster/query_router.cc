@@ -10,9 +10,27 @@
 namespace optselect {
 namespace cluster {
 
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
 QueryRouter::QueryRouter(std::vector<serving::ServingNode*> shards,
-                         std::unordered_set<std::string> replicated)
-    : shards_(std::move(shards)), replicated_(std::move(replicated)) {
+                         std::unordered_set<std::string> replicated,
+                         FailoverConfig failover)
+    : shards_(std::move(shards)),
+      replicated_(std::move(replicated)),
+      failover_(failover),
+      health_(shards_.size()) {
+  if (failover_.breaker_threshold == 0) failover_.breaker_threshold = 1;
+  if (failover_.breaker_probe_after == 0) failover_.breaker_probe_after = 1;
   per_shard_.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     per_shard_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
@@ -79,12 +97,284 @@ std::vector<serving::ServeResult> QueryRouter::ServeBatch(
   return results;
 }
 
+// ------------------------------------------------------- failure domains
+
+void QueryRouter::TransitionLocked(ShardHealth* health, size_t shard,
+                                   BreakerState to) {
+  BreakerTransition t;
+  t.seq = transition_seq_++;
+  t.shard = shard;
+  t.from = health->state;
+  t.to = to;
+  if (transitions_.size() >= kMaxBreakerTransitions) {
+    transitions_.pop_front();  // bounded log; seq stays global
+  }
+  transitions_.push_back(t);
+  health->state = to;
+  if (to == BreakerState::kOpen) ++breaker_opens_;
+}
+
+BreakerState QueryRouter::shard_state(size_t shard) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_[shard].state;
+}
+
+std::vector<BreakerTransition> QueryRouter::breaker_transitions() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return std::vector<BreakerTransition>(transitions_.begin(),
+                                        transitions_.end());
+}
+
+bool QueryRouter::BreakerClosed(size_t shard) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_[shard].state == BreakerState::kClosed;
+}
+
+bool QueryRouter::AllowAttempt(size_t shard) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ShardHealth& health = health_[shard];
+  switch (health.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kHalfOpen:
+      // A probe is already deciding this shard's fate; further requests
+      // ride along (their outcomes feed the breaker too).
+      return true;
+    case BreakerState::kOpen:
+      // Strictly-greater: the probe is admitted on the decision *after*
+      // breaker_probe_after skipped ones, as documented — and
+      // breaker_probe_after == 1 still skips once (kOpen is never
+      // behaviorally identical to kHalfOpen).
+      if (++health.skips_while_open > failover_.breaker_probe_after) {
+        TransitionLocked(&health, shard, BreakerState::kHalfOpen);
+        health.skips_while_open = 0;
+        ++probes_;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void QueryRouter::RecordOutcome(size_t shard, bool ok) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ShardHealth& health = health_[shard];
+  if (ok) {
+    // Any successful answer proves the shard serves; close immediately
+    // (half-open probe success, or a late hedge straggler).
+    health.consecutive_failures = 0;
+    if (health.state != BreakerState::kClosed) {
+      TransitionLocked(&health, shard, BreakerState::kClosed);
+    }
+    return;
+  }
+  ++health.consecutive_failures;
+  if (health.state == BreakerState::kHalfOpen) {
+    // Failed probe: back to open, restart the skip countdown.
+    TransitionLocked(&health, shard, BreakerState::kOpen);
+    health.skips_while_open = 0;
+  } else if (health.state == BreakerState::kClosed &&
+             health.consecutive_failures >= failover_.breaker_threshold) {
+    TransitionLocked(&health, shard, BreakerState::kOpen);
+    health.skips_while_open = 0;
+  }
+}
+
+QueryRouter::Attempt QueryRouter::AttemptOn(size_t shard,
+                                            const std::string& query,
+                                            size_t hedge_shard) {
+  // Shared between this thread and up to two shard-worker callbacks;
+  // shared_ptr so a hedge straggler that answers after we returned
+  // still has somewhere safe to write.
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending = 0;
+    bool have = false;
+    size_t winner = kNoShard;
+    serving::ServeResult result;
+  };
+  auto state = std::make_shared<State>();
+
+  // Hedge submissions never feed the breaker (record == false): a
+  // hedge fires on wall time, so letting its outcome touch the
+  // count-based health state would make breaker transitions — and
+  // therefore chaos replays — timing-dependent. Health is judged by
+  // first-class attempts only; the hedge is a latency optimization.
+  auto submit_to = [&](size_t target, bool record) -> bool {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->pending;
+    }
+    bool accepted = shards_[target]->Submit(
+        query, [this, state, target, record](serving::ServeResult r) {
+          // Breaker first, state lock second — RecordOutcome never
+          // nests inside state->mu, so lock order is single-level.
+          if (record) RecordOutcome(target, r.ok);
+          std::lock_guard<std::mutex> lock(state->mu);
+          --state->pending;
+          if (!state->have && r.ok) {
+            state->have = true;
+            state->winner = target;
+            state->result = std::move(r);
+          }
+          state->cv.notify_all();
+        });
+    if (!accepted) {
+      // Synchronous rejection: dead shard or full queue — the callback
+      // will never fire.
+      if (record) RecordOutcome(target, false);
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->pending;
+    }
+    return accepted;
+  };
+
+  Attempt attempt;
+  if (!submit_to(shard, /*record=*/true)) {
+    // Synchronous rejection: no hedge — the caller's failover loop
+    // tries the next holder as a first-class attempt instead.
+    return attempt;
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (hedge_shard != kNoShard) {
+    bool primary_done =
+        state->cv.wait_for(lock, failover_.hedge_delay, [&] {
+          return state->have || state->pending == 0;
+        });
+    if (!primary_done) {
+      // Primary is slow: re-issue on the next replica and take
+      // whichever answers first (the loser's callback is discarded).
+      lock.unlock();
+      if (submit_to(hedge_shard, /*record=*/false)) {
+        attempt.hedge_used = true;
+        hedges_launched_.fetch_add(1, std::memory_order_relaxed);
+      }
+      lock.lock();
+    }
+  }
+  state->cv.wait(lock, [&] { return state->have || state->pending == 0; });
+  if (!state->have) return attempt;  // every submission failed
+
+  attempt.ok = true;
+  attempt.result = std::move(state->result);
+  if (attempt.hedge_used && state->winner == hedge_shard) {
+    attempt.result.hedged = true;
+    hedges_won_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return attempt;
+}
+
+serving::ServeResult QueryRouter::ServeWithFailover(
+    const std::string& query) {
+  failover_serves_.fetch_add(1, std::memory_order_relaxed);
+  const size_t n = shards_.size();
+  const std::string normalized = serving::NormalizeQuery(query);
+  const bool replicated = replicated_.count(normalized) > 0;
+  const size_t owner = store::ShardFilter::OwnerShard(normalized, n);
+
+  // Holders of the key's store entry: the owner alone, or — replicated
+  // — every shard, starting at the round-robin cursor so healthy-path
+  // traffic keeps spreading exactly like Route().
+  std::vector<size_t> holders;
+  if (replicated) {
+    replicated_routed_.fetch_add(1, std::memory_order_relaxed);
+    size_t start = static_cast<size_t>(
+        round_robin_.fetch_add(1, std::memory_order_relaxed) % n);
+    holders.reserve(n);
+    for (size_t i = 0; i < n; ++i) holders.push_back((start + i) % n);
+  } else {
+    holders.push_back(owner);
+  }
+
+  std::vector<char> attempted(n, 0);
+  std::vector<char> is_holder(n, 0);
+  for (size_t shard : holders) is_holder[shard] = 1;
+  size_t attempts = 0;
+  auto finish = [&](serving::ServeResult result,
+                    size_t shard) -> serving::ServeResult {
+    routed_.fetch_add(1, std::memory_order_relaxed);
+    per_shard_[shard]->fetch_add(1, std::memory_order_relaxed);
+    if (attempts > 1) retried_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  };
+
+  // Phase 1 — holders, healthy-first, hedged. The hedge target is the
+  // next breaker-closed holder (never probes an open shard on spec).
+  for (size_t idx = 0; idx < holders.size(); ++idx) {
+    size_t shard = holders[idx];
+    if (attempted[shard] || !AllowAttempt(shard)) continue;
+    size_t hedge = kNoShard;
+    if (failover_.hedging && replicated) {
+      for (size_t j = idx + 1; j < holders.size(); ++j) {
+        if (!attempted[holders[j]] && BreakerClosed(holders[j])) {
+          hedge = holders[j];
+          break;
+        }
+      }
+    }
+    attempted[shard] = 1;
+    ++attempts;
+    Attempt attempt = AttemptOn(shard, query, hedge);
+    // A launched hedge already queried its replica — don't re-attempt
+    // it (its outcome deliberately never touched the breaker).
+    if (attempt.hedge_used) attempted[hedge] = 1;
+    if (attempt.ok) {
+      size_t winner = attempt.result.hedged ? hedge : shard;
+      return finish(std::move(attempt.result), winner);
+    }
+  }
+
+  // Phase 2 — every holder is down or gated: fall back to any shard
+  // that answers. A non-holder lacks the entry but shares the immutable
+  // retrieval stack, so it serves the plain DPH top-k — a correct,
+  // non-diversified ranking, tagged `degraded` so the caller can tell.
+  // The sweep can also reach a breaker-gated *holder* (its probe turn,
+  // or the last-resort pass): a holder's answer is full quality and is
+  // never tagged. Healthy shards first; phase 3 ignores open breakers
+  // rather than drop (a success also closes the breaker early).
+  for (int respect_breaker = 1; respect_breaker >= 0; --respect_breaker) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t shard = (owner + 1 + i) % n;
+      if (attempted[shard]) continue;
+      if (respect_breaker && !AllowAttempt(shard)) continue;
+      attempted[shard] = 1;
+      ++attempts;
+      Attempt attempt = AttemptOn(shard, query, kNoShard);
+      if (attempt.ok) {
+        if (!is_holder[shard]) {
+          attempt.result.degraded = true;
+          degraded_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return finish(std::move(attempt.result), shard);
+      }
+    }
+  }
+
+  // Nothing in the cluster answered.
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  return serving::ServeResult{};  // ok == false
+}
+
 RouterStats QueryRouter::stats() const {
   RouterStats s;
   s.routed = routed_.load(std::memory_order_relaxed);
   s.replicated_routed = replicated_routed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  s.failover_serves = failover_serves_.load(std::memory_order_relaxed);
+  s.retried = retried_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.hedges_launched = hedges_launched_.load(std::memory_order_relaxed);
+  s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    s.probes = probes_;
+    s.breaker_opens = breaker_opens_;
+  }
   s.per_shard.reserve(per_shard_.size());
   for (const auto& counter : per_shard_) {
     s.per_shard.push_back(counter->load(std::memory_order_relaxed));

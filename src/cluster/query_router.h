@@ -21,14 +21,35 @@
 // Queries with no store entry (passthrough) are routed by the same
 // hash: any shard computes the identical plain DPH ranking, and hashing
 // keeps their per-shard result caches disjoint.
+//
+// Failure domains (ServeWithFailover): the router additionally tracks
+// per-shard health with a consecutive-failure circuit breaker
+//
+//        failures >= threshold           probe fails
+//   Closed ───────────────────> Open <─────────────── Half-open
+//     ^                           │  probe_after skipped decisions
+//     └── any successful answer ──┴─────────────────> Half-open
+//
+// and answers every request from the best shard still standing: the
+// owner (or, for replicated keys, the round-robin replica set, with a
+// hedged re-issue on the next replica when the first is slow), then —
+// when every holder of the key is down — any live shard, whose
+// passthrough DPH ranking is returned tagged `degraded` rather than
+// erroring. Breaker probing is *count*-based (skipped decisions, not
+// wall time), so a scripted failure schedule replays to bit-identical
+// breaker transitions — the property the chaos harness
+// (cluster/chaos.h) asserts.
 
 #ifndef OPTSELECT_CLUSTER_QUERY_ROUTER_H_
 #define OPTSELECT_CLUSTER_QUERY_ROUTER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -39,6 +60,44 @@
 namespace optselect {
 namespace cluster {
 
+/// Per-shard circuit breaker state (see the header diagram).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Human-readable state name ("closed" / "open" / "half-open").
+const char* BreakerStateName(BreakerState state);
+
+/// One breaker state change, in the order it happened. The sequence of
+/// transitions is a pure function of the request/outcome sequence
+/// (count-based probing, no wall clock), which is what makes chaos runs
+/// comparable transition-for-transition.
+struct BreakerTransition {
+  uint64_t seq = 0;  ///< 0-based position in the router's transition log
+  size_t shard = 0;
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+};
+
+inline bool operator==(const BreakerTransition& a,
+                       const BreakerTransition& b) {
+  return a.seq == b.seq && a.shard == b.shard && a.from == b.from &&
+         a.to == b.to;
+}
+
+/// Fault-tolerance knobs for ServeWithFailover.
+struct FailoverConfig {
+  /// Consecutive failed attempts that trip a shard's breaker open.
+  size_t breaker_threshold = 3;
+  /// Routing decisions skipped past an open shard before one probe
+  /// request is let through (count-based, so replays are deterministic).
+  size_t breaker_probe_after = 8;
+  /// Hedged retries: when the first replica of a *replicated* key has
+  /// not answered within hedge_delay, re-issue the request on the next
+  /// healthy replica and take whichever answers first. Replicas are
+  /// bit-identical, so hedging affects latency, never the ranking.
+  bool hedging = true;
+  std::chrono::microseconds hedge_delay{2000};
+};
+
 /// Router-level counters (shard pick distribution + batch shape).
 struct RouterStats {
   uint64_t routed = 0;             ///< single routing decisions made
@@ -46,16 +105,29 @@ struct RouterStats {
   uint64_t batches = 0;            ///< ServeBatch calls
   uint64_t batch_requests = 0;     ///< requests fanned out via batches
   std::vector<uint64_t> per_shard; ///< decisions landing on each shard
+  // --- ServeWithFailover ----------------------------------------------
+  uint64_t failover_serves = 0;    ///< ServeWithFailover calls
+  uint64_t retried = 0;            ///< of those, needed > 1 attempt
+  uint64_t degraded = 0;           ///< answered off-holder, tagged
+  uint64_t dropped = 0;            ///< no shard answered (ok == false)
+  uint64_t hedges_launched = 0;    ///< hedge re-issues submitted
+  uint64_t hedges_won = 0;         ///< answers taken from the hedge
+  uint64_t probes = 0;             ///< half-open probe admissions
+  uint64_t breaker_opens = 0;      ///< transitions into kOpen
 };
 
 /// Routes requests across a fixed set of shards. Thread-safe: routing
 /// state is one atomic round-robin cursor plus relaxed counters.
 class QueryRouter {
  public:
-  /// `shards` are non-owned and must outlive the router. `replicated`
-  /// holds the normalized keys every shard carries (may be empty).
+  /// `shards` are non-owned and must outlive the router — and, because
+  /// failover callbacks touch router state from shard worker threads,
+  /// every shard must be Shutdown() (drained) before the router is
+  /// destroyed (ShardedCluster guarantees this). `replicated` holds the
+  /// normalized keys every shard carries (may be empty).
   QueryRouter(std::vector<serving::ServingNode*> shards,
-              std::unordered_set<std::string> replicated);
+              std::unordered_set<std::string> replicated,
+              FailoverConfig failover = FailoverConfig());
 
   QueryRouter(const QueryRouter&) = delete;
   QueryRouter& operator=(const QueryRouter&) = delete;
@@ -92,19 +164,95 @@ class QueryRouter {
   std::vector<serving::ServeResult> ServeBatch(
       const std::vector<std::string>& queries);
 
+  /// Fault-tolerant single query (see the header diagram): attempts the
+  /// key's holders healthy-first with breaker gating and hedged
+  /// retries, falls back to a `degraded`-tagged passthrough from any
+  /// live shard when every holder is down, and returns ok == false only
+  /// when *no* shard in the cluster answered. Every first-class attempt
+  /// outcome feeds the per-shard breakers; hedge submissions do not —
+  /// hedges fire on wall time, and health state must stay a pure
+  /// function of the request sequence so scripted replays are
+  /// deterministic. Blocking (waits for an answer).
+  serving::ServeResult ServeWithFailover(const std::string& query);
+
+  /// The shard's current breaker state.
+  BreakerState shard_state(size_t shard) const;
+
+  /// The breaker transition log, in order (copied). Bounded: a
+  /// long-lived router under sustained failure keeps only the most
+  /// recent kMaxBreakerTransitions entries (seq numbers stay global,
+  /// so truncation is detectable: front().seq > 0). Chaos-scale runs
+  /// never hit the cap.
+  std::vector<BreakerTransition> breaker_transitions() const;
+
+  /// Retention bound of the transition log — a flapping shard under
+  /// production traffic transitions forever; the log is observability,
+  /// not an unbounded ledger.
+  static constexpr size_t kMaxBreakerTransitions = 8192;
+
+  const FailoverConfig& failover_config() const { return failover_; }
+
   RouterStats stats() const;
 
  private:
+  static constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+  /// One submit-and-wait against a shard, optionally hedged onto
+  /// `hedge_shard` when the first answer is slower than hedge_delay.
+  /// The primary's outcome feeds the breakers; the hedge's never does
+  /// (see ServeWithFailover). ok == false when every submission was
+  /// rejected or answered with a failure.
+  struct Attempt {
+    bool ok = false;
+    bool hedge_used = false;  ///< the hedge submission was launched
+    serving::ServeResult result;
+  };
+  Attempt AttemptOn(size_t shard, const std::string& query,
+                    size_t hedge_shard);
+
+  /// Breaker gate for one routing decision. Closed/half-open shards are
+  /// admitted; an open shard skips breaker_probe_after decisions, then
+  /// the next one is admitted as the half-open probe.
+  bool AllowAttempt(size_t shard);
+  /// True when the shard's breaker is closed (no side effects).
+  bool BreakerClosed(size_t shard) const;
+  /// Feeds one attempt outcome into the shard's breaker.
+  void RecordOutcome(size_t shard, bool ok);
+
   std::vector<serving::ServingNode*> shards_;
   std::unordered_set<std::string> replicated_;
+  FailoverConfig failover_;
   std::atomic<uint64_t> round_robin_{0};
 
   std::atomic<uint64_t> routed_{0};
   std::atomic<uint64_t> replicated_routed_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batch_requests_{0};
+  std::atomic<uint64_t> failover_serves_{0};
+  std::atomic<uint64_t> retried_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> hedges_launched_{0};
+  std::atomic<uint64_t> hedges_won_{0};
   /// unique_ptr because atomics are not movable; sized once in the ctor.
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> per_shard_;
+
+  /// Per-shard breaker state + transition log, one lock: health updates
+  /// are tiny and the failover path is not the throughput path.
+  struct ShardHealth {
+    BreakerState state = BreakerState::kClosed;
+    size_t consecutive_failures = 0;
+    size_t skips_while_open = 0;
+  };
+  void TransitionLocked(ShardHealth* health, size_t shard,
+                        BreakerState to);
+  mutable std::mutex health_mu_;
+  std::vector<ShardHealth> health_;
+  /// deque: TransitionLocked drops the oldest entry at the cap.
+  std::deque<BreakerTransition> transitions_;
+  uint64_t transition_seq_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t breaker_opens_ = 0;
 };
 
 }  // namespace cluster

@@ -61,8 +61,8 @@ ShardedCluster::ShardedCluster(const store::DiversificationStore& full_store,
     filters_.push_back(std::move(filter));
     raw_shards.push_back(shards_.back().get());
   }
-  router_ = std::make_unique<QueryRouter>(std::move(raw_shards),
-                                          std::move(replicated));
+  router_ = std::make_unique<QueryRouter>(
+      std::move(raw_shards), std::move(replicated), config.failover);
 }
 
 ShardedCluster::ShardedCluster(const store::DiversificationStore& full_store,
@@ -93,6 +93,11 @@ std::vector<serving::ServeResult> ShardedCluster::ServeBatch(
   return router_->ServeBatch(queries);
 }
 
+serving::ServeResult ShardedCluster::ServeWithFailover(
+    const std::string& query) {
+  return router_->ServeWithFailover(query);
+}
+
 ShardedCluster::ApplyOutcome ShardedCluster::ApplyDelta(
     const store::StoreDelta& delta) {
   ApplyOutcome out;
@@ -118,6 +123,14 @@ ShardedCluster::ApplyOutcome ShardedCluster::ApplyDelta(
     if (built.changed_keys.empty()) continue;  // content-identical slice
     serving::ServingNode::ReloadOutcome reload =
         shards_[i]->ReloadStore(built.snapshot, built.changed_keys);
+    if (!reload.ok) {
+      // Swap refused (injected kReload fault): this shard's slice did
+      // not land. Surface it — counting it as applied would hide a
+      // replica divergence — and let the caller retry with the same
+      // delta (up-to-date shards skip as content-identical).
+      ++out.shards_failed;
+      continue;
+    }
     ++out.shards_reloaded;
     out.invalidated += reload.invalidated;
     out.changes_applied += built.upserts_applied + built.removals_applied;
@@ -145,6 +158,8 @@ ClusterStats ShardedCluster::Stats() const {
     total.cache_evictions += s.cache_evictions;
     total.cache_invalidations += s.cache_invalidations;
     total.reloads += s.reloads;
+    total.faulted += s.faulted;
+    total.reload_failures += s.reload_failures;
     total.store_version = std::max(total.store_version, s.store_version);
     total.batches += s.batches;
     total.batched_requests += s.batched_requests;

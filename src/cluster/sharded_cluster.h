@@ -58,6 +58,9 @@ struct ClusterConfig {
   /// Top-K hottest stored queries replicated onto every shard for
   /// round-robin load spreading (0 disables; needs a PopularityMap).
   size_t replicate_hot = 0;
+  /// Breaker + hedging knobs for the fault-tolerant serving path
+  /// (QueryRouter::ServeWithFailover).
+  FailoverConfig failover;
   /// Per-shard serving configuration (queue, workers, cache, params) —
   /// every shard is configured identically, like a homogeneous fleet.
   serving::ServingConfig node;
@@ -113,6 +116,11 @@ class ShardedCluster {
   std::vector<serving::ServeResult> ServeBatch(
       const std::vector<std::string>& queries);
 
+  /// Fault-tolerant single query: breaker-gated holder attempts, hedged
+  /// retries on slow replicas, degraded passthrough fallback when every
+  /// holder of the key is down. See QueryRouter::ServeWithFailover.
+  serving::ServeResult ServeWithFailover(const std::string& query);
+
   /// Stops admission on every shard and drains them. Idempotent.
   void Shutdown();
 
@@ -120,6 +128,12 @@ class ShardedCluster {
   struct ApplyOutcome {
     /// Shards that actually swapped a snapshot (held a changed key).
     size_t shards_reloaded = 0;
+    /// Shards whose reload was refused (injected kReload fault): their
+    /// slice did NOT land — replicas may briefly diverge from the
+    /// owner's content until the retry. Re-calling ApplyDelta with the
+    /// same delta is the retry: shards already up to date build a
+    /// content-identical slice and skip, only the failed shards swap.
+    size_t shards_failed = 0;
     /// Cache entries invalidated across all shards.
     size_t invalidated = 0;
     /// Upserts + removals applied, summed over shards (a replicated

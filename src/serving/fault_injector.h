@@ -1,0 +1,185 @@
+// Deterministic fault injection for the serving tier.
+//
+// Production fault tolerance is unverifiable without a way to *cause*
+// faults on demand, reproducibly. A FaultInjector is a hook consulted at
+// the three boundaries where a real shard misbehaves:
+//
+//   kQueueSubmit — admission: a dead or overloaded process rejects the
+//                  request before any work happens (Submit/Serve);
+//   kStoreRead   — compute: the worker fails (or stalls) while answering
+//                  — an I/O error, a corrupted page, a GC pause;
+//   kReload      — lifecycle: a snapshot swap is refused mid-flight.
+//
+// The hooks are consulted per request with the normalized query key, so
+// a scripted injector can fail deterministically by key or by flag — no
+// wall clock, no global RNG — which is what makes the chaos scenario
+// runner (src/cluster/chaos.h) reproducible from a single seed.
+//
+// Cost model: every site is guarded by OPTSELECT_FAULT_INJECTION. Debug
+// builds compile the hooks in (they are one relaxed atomic load per
+// site when no injector is installed); Release builds compile them out
+// to nothing unless configured with -DOPTSELECT_FAULT_INJECTION=ON, so
+// the production hot path pays zero cost. The injector *classes* are
+// always compiled — callers build everywhere; only the evaluation sites
+// vanish — and FaultInjectionCompiledIn() tells tests and the chaos CLI
+// whether installing one will have any effect.
+
+#ifndef OPTSELECT_SERVING_FAULT_INJECTOR_H_
+#define OPTSELECT_SERVING_FAULT_INJECTOR_H_
+
+// Compile-time gate for the evaluation sites. Debug builds (no NDEBUG)
+// default on; optimized builds default off and opt in via the CMake
+// option OPTSELECT_FAULT_INJECTION=ON.
+#ifndef OPTSELECT_FAULT_INJECTION
+#ifdef NDEBUG
+#define OPTSELECT_FAULT_INJECTION 0
+#else
+#define OPTSELECT_FAULT_INJECTION 1
+#endif
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace optselect {
+namespace serving {
+
+/// True when this build evaluates installed injectors (see header doc).
+constexpr bool FaultInjectionCompiledIn() {
+  return OPTSELECT_FAULT_INJECTION != 0;
+}
+
+/// Where in the serving flow a fault is being considered.
+enum class FaultSite {
+  kQueueSubmit,  ///< admission (ServingNode::Submit / Serve)
+  kStoreRead,    ///< worker compute, before the store lookup
+  kReload,       ///< ServingNode::ReloadStore
+};
+
+/// What the injector wants done at a site. Delay is applied first (on
+/// the thread hitting the site), then the failure, so "slow then dead"
+/// composes.
+struct FaultDecision {
+  bool fail = false;
+  std::chrono::microseconds delay{0};
+};
+
+/// Hook interface. Evaluate is called concurrently from client threads
+/// (kQueueSubmit), worker threads (kStoreRead), and refresh threads
+/// (kReload); implementations synchronize themselves.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// `key` is the normalized query at request sites, empty at kReload.
+  virtual FaultDecision Evaluate(FaultSite site, std::string_view key) = 0;
+};
+
+/// Flag-driven injector for tests and the chaos runner. All knobs are
+/// atomics: the scenario thread flips them between requests while the
+/// node's threads read them. Decisions are pure functions of the flags
+/// (plus one counted-burst knob), never of time or randomness.
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  /// Dead shard: every admission is rejected (kQueueSubmit fails).
+  void SetDead(bool dead) {
+    dead_.store(dead, std::memory_order_relaxed);
+  }
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+
+  /// Every store read fails (worker answers ok == false).
+  void SetFailStoreReads(bool fail) {
+    fail_store_reads_.store(fail, std::memory_order_relaxed);
+  }
+
+  /// Transient burst: the next `n` store reads fail, then recover.
+  void FailNextStoreReads(uint64_t n) {
+    store_read_burst_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Injected latency before every store read (0 disables).
+  void SetStoreReadDelay(std::chrono::microseconds delay) {
+    store_read_delay_us_.store(delay.count(), std::memory_order_relaxed);
+  }
+
+  /// Every ReloadStore is refused (snapshot swap does not happen).
+  void SetFailReloads(bool fail) {
+    fail_reloads_.store(fail, std::memory_order_relaxed);
+  }
+
+  FaultDecision Evaluate(FaultSite site, std::string_view key) override {
+    (void)key;
+    FaultDecision decision;
+    switch (site) {
+      case FaultSite::kQueueSubmit:
+        decision.fail = dead_.load(std::memory_order_relaxed);
+        if (decision.fail) {
+          submit_faults_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      case FaultSite::kStoreRead: {
+        int64_t delay = store_read_delay_us_.load(std::memory_order_relaxed);
+        if (delay > 0) {
+          decision.delay = std::chrono::microseconds(delay);
+          delays_.fetch_add(1, std::memory_order_relaxed);
+        }
+        decision.fail = fail_store_reads_.load(std::memory_order_relaxed);
+        if (!decision.fail) {
+          // Consume one ticket of a transient burst, if any remain.
+          uint64_t left = store_read_burst_.load(std::memory_order_relaxed);
+          while (left > 0 &&
+                 !store_read_burst_.compare_exchange_weak(
+                     left, left - 1, std::memory_order_relaxed)) {
+          }
+          decision.fail = left > 0;
+        }
+        if (decision.fail) {
+          store_read_faults_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case FaultSite::kReload:
+        decision.fail = fail_reloads_.load(std::memory_order_relaxed);
+        if (decision.fail) {
+          reload_faults_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+    }
+    return decision;
+  }
+
+  /// How often each site actually fired (observability for tests).
+  struct Counts {
+    uint64_t submit_faults = 0;
+    uint64_t store_read_faults = 0;
+    uint64_t delays = 0;
+    uint64_t reload_faults = 0;
+  };
+  Counts counts() const {
+    Counts c;
+    c.submit_faults = submit_faults_.load(std::memory_order_relaxed);
+    c.store_read_faults = store_read_faults_.load(std::memory_order_relaxed);
+    c.delays = delays_.load(std::memory_order_relaxed);
+    c.reload_faults = reload_faults_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  std::atomic<bool> dead_{false};
+  std::atomic<bool> fail_store_reads_{false};
+  std::atomic<uint64_t> store_read_burst_{0};
+  std::atomic<int64_t> store_read_delay_us_{0};
+  std::atomic<bool> fail_reloads_{false};
+
+  std::atomic<uint64_t> submit_faults_{0};
+  std::atomic<uint64_t> store_read_faults_{0};
+  std::atomic<uint64_t> delays_{0};
+  std::atomic<uint64_t> reload_faults_{0};
+};
+
+}  // namespace serving
+}  // namespace optselect
+
+#endif  // OPTSELECT_SERVING_FAULT_INJECTOR_H_

@@ -46,5 +46,24 @@ ReplayOutcome ReplayMix(const SubmitFn& submit,
   return out;
 }
 
+ReplayOutcome ReplaySequential(
+    const ServeFn& serve, const std::vector<std::string>& mix,
+    const std::function<void(size_t)>& before_request,
+    const std::function<void(size_t, const ServeResult&)>& on_result) {
+  util::WallTimer timer;
+  ReplayOutcome out;
+  for (size_t i = 0; i < mix.size(); ++i) {
+    if (before_request) before_request(i);
+    ServeResult result = serve(mix[i]);
+    ++out.accepted;  // sequential serves are never shed, only failed
+    if (on_result) on_result(i, result);
+  }
+  out.wall_ms = timer.ElapsedMillis();
+  out.qps = out.wall_ms > 0
+                ? 1000.0 * static_cast<double>(out.accepted) / out.wall_ms
+                : 0.0;
+  return out;
+}
+
 }  // namespace serving
 }  // namespace optselect

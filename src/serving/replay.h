@@ -43,6 +43,22 @@ ReplayOutcome ReplayMix(ServingNode* node,
 ReplayOutcome ReplayMix(const SubmitFn& submit,
                         const std::vector<std::string>& mix);
 
+/// A synchronous serving front end: one query in, one answered (or
+/// failed) result out. ServingNode::Serve, ShardedCluster::Serve, and
+/// ShardedCluster::ServeWithFailover all fit.
+using ServeFn = std::function<ServeResult(const std::string&)>;
+
+/// Strictly sequential replay: serves mix[i] only after mix[i-1] has
+/// been answered, invoking `before_request(i)` first (may be null) and
+/// `on_result(i, result)` after (may be null). One request in flight at
+/// a time means the request/outcome order is the mix order — the
+/// determinism the chaos harness (cluster/chaos.h) builds on, and the
+/// hook point where its fault schedule flips injector flags.
+ReplayOutcome ReplaySequential(
+    const ServeFn& serve, const std::vector<std::string>& mix,
+    const std::function<void(size_t)>& before_request,
+    const std::function<void(size_t, const ServeResult&)>& on_result);
+
 }  // namespace serving
 }  // namespace optselect
 

@@ -20,6 +20,24 @@ size_t ResolveWorkers(size_t requested) {
 
 }  // namespace
 
+FaultDecision ServingNode::EvaluateFault(FaultSite site,
+                                         std::string_view key) const {
+#if OPTSELECT_FAULT_INJECTION
+  FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
+  if (injector != nullptr) {
+    FaultDecision decision = injector->Evaluate(site, key);
+    if (decision.delay.count() > 0) {
+      std::this_thread::sleep_for(decision.delay);
+    }
+    return decision;
+  }
+#else
+  (void)site;
+  (void)key;
+#endif
+  return FaultDecision{};
+}
+
 ServingNode::ServingNode(
     std::shared_ptr<const store::StoreSnapshot> snapshot,
     const index::Searcher* searcher,
@@ -81,6 +99,16 @@ ServingNode::ReloadOutcome ServingNode::ReloadStore(
     const std::vector<std::string>& changed_keys) {
   ReloadOutcome outcome;
   outcome.new_version = snapshot->version();
+  // Lifecycle fault: the swap is refused and the node keeps serving its
+  // current snapshot — the refresher counts the error and retries on
+  // its next tick, exactly like a failed disk read would play out.
+  if (EvaluateFault(FaultSite::kReload, {}).fail) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    outcome.ok = false;
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    outcome.old_version = snapshot_->version();
+    return outcome;
+  }
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     outcome.old_version = snapshot_->version();
@@ -112,6 +140,12 @@ void ServingNode::Shutdown() {
 
 bool ServingNode::Submit(std::string query,
                          std::function<void(ServeResult)> callback) {
+  // Admission fault: a dead shard rejects before any work happens, the
+  // same shape a crashed process presents to its clients.
+  if (EvaluateFault(FaultSite::kQueueSubmit, query).fail) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   Request req;
   req.query = std::move(query);
   req.callback = std::move(callback);
@@ -132,6 +166,11 @@ ServeResult ServingNode::Serve(const std::string& query) {
     ServeResult result;
   };
   auto state = std::make_shared<SyncState>();
+
+  if (EvaluateFault(FaultSite::kQueueSubmit, query).fail) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ServeResult{};  // ok = false, like a shutdown rejection
+  }
 
   Request req;
   req.query = query;
@@ -260,7 +299,12 @@ std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
 }
 
 void ServingNode::Finish(Request* request, const ServeResult& result) {
-  if (result.diversified) {
+  if (!result.ok) {
+    // Injected store-read failure: answered, but with no ranking — the
+    // failover tier treats it as a shard error. Neither diversified nor
+    // passthrough.
+    faulted_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.diversified) {
     diversified_.fetch_add(1, std::memory_order_relaxed);
     if (result.plan_served) {
       plan_served_.fetch_add(1, std::memory_order_relaxed);
@@ -297,6 +341,14 @@ void ServingNode::WorkerLoop() {
     std::shared_ptr<const store::StoreSnapshot> snapshot = this->snapshot();
     for (Request& req : batch) {
       std::string normalized = NormalizeQuery(req.query);
+      // Store-read fault: the worker fails (or stalls — the delay is
+      // applied inside EvaluateFault) while answering. Evaluated per
+      // request, before batch dedup, so a transient burst fails exactly
+      // the requests it was scripted to fail.
+      if (EvaluateFault(FaultSite::kStoreRead, normalized).fail) {
+        Finish(&req, ServeResult{});  // ok == false
+        continue;
+      }
       std::string key = MakeCacheKey(normalized, params_fingerprint_);
 
       std::shared_ptr<const ServeResult> payload;
@@ -336,6 +388,8 @@ ServingStats ServingNode::Stats() const {
   s.cache_invalidations = cs.invalidations;
   s.cache_hit_rate = cs.HitRate();
   s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.faulted = faulted_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
   s.store_version = snapshot()->version();
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);

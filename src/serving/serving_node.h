@@ -60,6 +60,7 @@
 #include "index/snippet_extractor.h"
 #include "pipeline/diversification_pipeline.h"
 #include "pipeline/testbed.h"
+#include "serving/fault_injector.h"
 #include "serving/latency_histogram.h"
 #include "serving/request_queue.h"
 #include "serving/result_cache.h"
@@ -91,8 +92,21 @@ struct ServingConfig {
 
 /// Outcome of one request.
 struct ServeResult {
-  /// False only when the node was shut down before the request ran.
+  /// False when the node was shut down before the request ran, the
+  /// request was rejected at admission, or an (injected) store-read
+  /// fault failed the compute. The cluster's failover tier treats any
+  /// ok == false answer as a shard failure and retries elsewhere.
   bool ok = false;
+  /// True when the fault-tolerant router answered this request from a
+  /// shard that does not hold the query's store entry (dead-owner
+  /// fallback): the ranking is the plain DPH top-k, not the stored
+  /// diversification. Set only by QueryRouter::ServeWithFailover.
+  bool degraded = false;
+  /// True when a hedged retry (a re-issue of a slow replicated-key
+  /// request on another replica) produced this answer. Replicas are
+  /// bit-identical, so the ranking is unaffected — the flag is
+  /// observability. Set only by QueryRouter::ServeWithFailover.
+  bool hedged = false;
   /// True when the query hit the store and OptSelect re-ranked it.
   bool diversified = false;
   /// True when the ranking was served from the result cache.
@@ -127,6 +141,8 @@ struct ServingStats {
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidations = 0;  ///< per-key erases from reloads
   uint64_t reloads = 0;              ///< snapshot swaps since start
+  uint64_t faulted = 0;          ///< answers failed by injected faults
+  uint64_t reload_failures = 0;  ///< ReloadStore calls refused by faults
   uint64_t store_version = 0;        ///< active snapshot's version
   uint64_t batches = 0;          ///< worker wakeups that did work
   uint64_t batched_requests = 0; ///< requests served through batches
@@ -203,6 +219,9 @@ class ServingNode {
 
   /// Outcome of one ReloadStore call.
   struct ReloadOutcome {
+    /// False when an injected kReload fault refused the swap: the node
+    /// keeps serving its current snapshot, nothing was invalidated.
+    bool ok = true;
     uint64_t old_version = 0;
     uint64_t new_version = 0;
     /// Cache entries actually erased (≤ changed_keys.size()).
@@ -219,6 +238,15 @@ class ServingNode {
   ReloadOutcome ReloadStore(
       std::shared_ptr<const store::StoreSnapshot> snapshot,
       const std::vector<std::string>& changed_keys);
+
+  /// Installs (or, with nullptr, clears) a fault injector consulted at
+  /// the admission, store-read, and reload boundaries. Not owned; must
+  /// outlive the node or be cleared first. In builds without
+  /// OPTSELECT_FAULT_INJECTION the sites are compiled out and the
+  /// installed injector is never evaluated (FaultInjectionCompiledIn()).
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
 
   /// Snapshot of the counters and latency quantiles.
   ServingStats Stats() const;
@@ -247,6 +275,9 @@ class ServingNode {
   };
 
   void WorkerLoop();
+  /// Consults the installed fault injector; a no-decision default when
+  /// none is installed or the hooks are compiled out.
+  FaultDecision EvaluateFault(FaultSite site, std::string_view key) const;
   /// Compute for one normalized query against a pinned snapshot.
   /// `scratch` is the calling worker's reusable selection memory; the
   /// plan path runs entirely inside it (no per-request allocation
@@ -292,6 +323,9 @@ class ServingNode {
   std::atomic<uint64_t> batched_requests_{0};
   std::atomic<uint64_t> batch_dedup_hits_{0};
   std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> faulted_{0};
+  std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 };
 
 }  // namespace serving

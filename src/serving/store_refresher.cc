@@ -96,13 +96,22 @@ util::Status StoreRefresher::TickOnce() {
     stats_.ingested_records += delta.log.size();
     stats_.malformed_lines += delta.malformed_lines;
   }
-  if (delta.empty()) return finish(util::Status::Ok());
+  // An empty poll still proceeds when a refused swap is pending — the
+  // retry must not wait for fresh traffic.
+  if (delta.empty() && pending_snapshot_ == nullptr) {
+    return finish(util::Status::Ok());
+  }
 
   // Fold the delta into the mining state, then re-run Algorithm 1 on
   // exactly the queries whose statistics moved.
   recommender_.TrainIncremental(delta.log,
                                 segmenter_.Segment(delta.log, nullptr));
-  std::shared_ptr<const store::StoreSnapshot> base = node_->snapshot();
+  // Mine (and later build) against the newest content we have: the
+  // node's active snapshot, or the pending one a refused swap left
+  // behind — so removal detection and unchanged-skipping see the
+  // changes that are still waiting to land.
+  std::shared_ptr<const store::StoreSnapshot> base =
+      pending_snapshot_ != nullptr ? pending_snapshot_ : node_->snapshot();
   store::StoreDelta mined = store::MineDelta(
       detector_, *searcher_, *snippets_, *analyzer_, *documents_,
       delta.dirty_queries, config_.builder, base->store());
@@ -122,20 +131,54 @@ util::Status StoreRefresher::TickOnce() {
                                         mined.removals.end(), dropped),
                          mined.removals.end());
   }
-  if (mined.empty()) return finish(util::Status::Ok());
+  if (mined.empty() && pending_snapshot_ == nullptr) {
+    return finish(util::Status::Ok());
+  }
 
-  store::SnapshotBuildResult built = store::BuildSnapshot(base.get(), mined);
-  if (built.changed_keys.empty()) {
+  // Build on top of the same base: a pending snapshot's changes ride
+  // into this build and its invalidation keys carry forward, so a
+  // refusal defers the update instead of losing it.
+  store::SnapshotBuildResult built;
+  if (!mined.empty()) {
+    built = store::BuildSnapshot(base.get(), mined);
+  } else {
+    built.snapshot = pending_snapshot_;  // pure retry, nothing new mined
+  }
+  std::vector<std::string> changed_keys = std::move(built.changed_keys);
+  changed_keys.insert(changed_keys.end(), pending_changed_keys_.begin(),
+                      pending_changed_keys_.end());
+  std::sort(changed_keys.begin(), changed_keys.end());
+  changed_keys.erase(std::unique(changed_keys.begin(), changed_keys.end()),
+                     changed_keys.end());
+  if (changed_keys.empty()) {
     // Every re-mined entry came out identical — nothing to swap.
     return finish(util::Status::Ok());
   }
 
-  node_->ReloadStore(built.snapshot, built.changed_keys);
+  size_t upserts = built.upserts_applied + pending_upserts_;
+  size_t removals = built.removals_applied + pending_removals_;
+  ServingNode::ReloadOutcome reload =
+      node_->ReloadStore(built.snapshot, changed_keys);
+  if (!reload.ok) {
+    // Swap refused (injected reload fault): the node keeps serving its
+    // current snapshot and the tick counts as an error; the built
+    // snapshot stays pending and the next tick retries the swap.
+    pending_snapshot_ = built.snapshot;
+    pending_changed_keys_ = std::move(changed_keys);
+    pending_upserts_ = upserts;
+    pending_removals_ = removals;
+    return finish(
+        util::Status::Internal("store reload refused; swap kept pending"));
+  }
+  pending_snapshot_.reset();
+  pending_changed_keys_.clear();
+  pending_upserts_ = 0;
+  pending_removals_ = 0;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.swaps;
-    stats_.upserts += built.upserts_applied;
-    stats_.removals += built.removals_applied;
+    stats_.upserts += upserts;
+    stats_.removals += removals;
     stats_.store_version = built.snapshot->version();
   }
   if (!config_.persist_path.empty()) {

@@ -39,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "corpus/document_store.h"
 #include "index/searcher.h"
@@ -154,6 +155,16 @@ class StoreRefresher {
   recommend::ShortcutsRecommender recommender_;
   recommend::AmbiguityDetector detector_;
   querylog::SessionSegmenter segmenter_;
+
+  /// A built snapshot the node refused to swap in (ReloadOutcome::ok ==
+  /// false): kept, with its invalidation keys and applied-change
+  /// counts, so the next tick builds on top of it and retries — a
+  /// refused swap defers the update, it never loses it. Guarded by
+  /// tick_mu_ (only TickOnce touches these).
+  std::shared_ptr<const store::StoreSnapshot> pending_snapshot_;
+  std::vector<std::string> pending_changed_keys_;
+  size_t pending_upserts_ = 0;
+  size_t pending_removals_ = 0;
 
   mutable std::mutex stats_mu_;
   StoreRefresherStats stats_;

@@ -1,0 +1,112 @@
+// Tests for the bench JSON emitter: RFC 8259 string escaping, rejection
+// of non-finite values (which have no JSON encoding and would break the
+// CI regression gate's parser), and the emitted document shape.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+
+namespace optselect {
+namespace bench {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(BenchJsonWriterTest, EscapesQuotesBackslashesAndControlChars) {
+  BenchJsonWriter json("escape\"me");
+  json.Add("tab\there \"quoted\" back\\slash\nnewline\x01" "etx", {}, 1.0,
+           2.0);
+  std::string doc = json.ToJson();
+
+  EXPECT_NE(doc.find("\"bench\": \"escape\\\"me\""), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("tab\\there \\\"quoted\\\" back\\\\slash\\n"
+                     "newline\\u0001etx"),
+            std::string::npos)
+      << doc;
+  // No raw control bytes may survive into the document.
+  for (char c : doc) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control byte 0x" << std::hex
+        << static_cast<int>(static_cast<unsigned char>(c));
+  }
+}
+
+TEST(BenchJsonWriterTest, RejectsNonFiniteValues) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  {
+    BenchJsonWriter json("nan_wall");
+    json.Add("r", {}, kNan, 1.0);
+    EXPECT_FALSE(json.Validate().ok());
+    EXPECT_FALSE(json.WriteFile(::testing::TempDir()).ok());
+  }
+  {
+    BenchJsonWriter json("inf_qps");
+    json.Add("r", {}, 1.0, kInf);
+    EXPECT_FALSE(json.Validate().ok());
+  }
+  {
+    BenchJsonWriter json("nan_param");
+    json.Add("r", {{"p99_ms", kNan}}, 1.0, 1.0);
+    util::Status status = json.Validate();
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("p99_ms"), std::string::npos)
+        << status.ToString() << " should name the offending param";
+  }
+  {
+    // A rejected WriteFile must not leave a file behind.
+    BenchJsonWriter json("rejected");
+    json.Add("r", {}, kInf, 1.0);
+    std::string path = ::testing::TempDir() + "/BENCH_rejected.json";
+    std::remove(path.c_str());
+    EXPECT_FALSE(json.WriteFile(::testing::TempDir()).ok());
+    std::ifstream in(path);
+    EXPECT_FALSE(in.good()) << "refused write must not create " << path;
+  }
+  // Direct ToJson still yields valid JSON: null, never bare nan/inf.
+  BenchJsonWriter json("tojson");
+  json.Add("r", {{"x", kNan}}, kInf, -kInf);
+  std::string doc = json.ToJson();
+  EXPECT_EQ(doc.find("nan"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("inf"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"wall_ms\": null"), std::string::npos) << doc;
+}
+
+TEST(BenchJsonWriterTest, WritesTheDocumentedShape) {
+  BenchJsonWriter json("shape");
+  json.Add("workers=4", {{"workers", 4.0}, {"p99_ms", 1.25}}, 812.5,
+           1231.0);
+  json.Add("empty_params", {}, 1.0, 2.0);
+  ASSERT_TRUE(json.Validate().ok());
+  ASSERT_TRUE(json.WriteFile(::testing::TempDir()).ok());
+
+  std::string path = ::testing::TempDir() + "/BENCH_shape.json";
+  std::string doc = Slurp(path);
+  EXPECT_EQ(doc, json.ToJson());
+  EXPECT_NE(doc.find("\"bench\": \"shape\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"workers=4\""), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_ms\": 812.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"qps\": 1231"), std::string::npos);
+  EXPECT_NE(doc.find("\"workers\": 4"), std::string::npos);
+  EXPECT_NE(doc.find("\"p99_ms\": 1.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"params\": {}"), std::string::npos)
+      << "empty params must still be an object: " << doc;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace optselect

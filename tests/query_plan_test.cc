@@ -202,58 +202,9 @@ TEST_F(QueryPlanTest, SaveLoadRoundTripsPlansBitwise) {
   std::remove(path.c_str());
 }
 
-TEST_F(QueryPlanTest, LoadsHandCraftedV2FormatWithEmptyPlans) {
-  // Hand-serialize a v2 file: magic | u32 2 | u64 store_version |
-  // u64 count | one entry (no plan byte) | standard-basis checksum.
-  std::string body;
-  auto u32 = [&](uint32_t v) {
-    body.append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto u64 = [&](uint64_t v) {
-    body.append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto f64 = [&](double v) {
-    body.append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto str = [&](const std::string& s) {
-    u32(static_cast<uint32_t>(s.size()));
-    body.append(s);
-  };
-  u32(2);   // v2 format: store_version follows, no plan blocks
-  u64(13);  // store_version
-  u64(1);   // entry count
-  str("jaguar");
-  u32(2);  // spec count
-  str("jaguar car");
-  f64(0.6);
-  u32(1);  // one surrogate
-  u32(1);  // one vector entry
-  u32(42);
-  f64(1.5);
-  str("jaguar cat");
-  f64(0.4);
-  u32(0);  // no surrogates
-
-  uint64_t checksum =
-      util::Fnv1a64(body.data(), body.size(), util::kFnv1aOffsetBasis);
-  std::string path = ::testing::TempDir() + "/store_v2_handcrafted.bin";
-  {
-    std::ofstream out(path, std::ios::binary);
-    out.write("OSDS", 4);
-    out.write(body.data(), static_cast<std::streamsize>(body.size()));
-    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  }
-
-  auto loaded = DiversificationStore::Load(path);
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(loaded.value().version(), 13u);
-  const StoredEntry* entry = loaded.value().Find("jaguar");
-  ASSERT_NE(entry, nullptr);
-  ASSERT_EQ(entry->specializations.size(), 2u);
-  EXPECT_DOUBLE_EQ(entry->specializations[0].probability, 0.6);
-  EXPECT_TRUE(entry->plan.empty()) << "v2 files carry no plans";
-  std::remove(path.c_str());
-}
+// v1/v2-format *bytes* are covered by the checked-in golden fixtures in
+// tests/store_backcompat_test.cc (tests/data/store_v*.bin), which froze
+// and replaced the hand-crafted in-test byte writer that lived here.
 
 TEST_F(QueryPlanTest, CompilePlansUpgradesPlanLessStoreOnLoad) {
   // A plan-less store (what loading a v2 file yields) round-tripped

@@ -1,0 +1,219 @@
+// Golden-file backward-compatibility tests for the store.bin formats.
+//
+// tests/data/ holds tiny checked-in fixtures — store_v1.bin,
+// store_v2.bin, store_v3.bin — written by tools/make_store_fixtures.cc
+// with identical hand-chosen mined content in each of the three on-disk
+// layouts the loader supports. Loading real frozen bytes replaces the
+// hand-crafted in-test byte writers the v1/v2 tests used to carry, and
+// catches what those couldn't: an accidental change to the *writer*
+// (Save must byte-reproduce the v3 fixture) or to the loader's handling
+// of bytes produced by older releases, not by this build.
+//
+// "Upgrade on load" is exercised through store::BuildSnapshot's plan
+// adoption: applying the v3 entries as a delta onto a loaded v1/v2 base
+// must yield entries bit-identical to the v3 fixture's — content
+// untouched, compiled plan adopted, nothing invalidated.
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/diversification_store.h"
+#include "store/store_snapshot.h"
+
+namespace optselect {
+namespace store {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(OPTSELECT_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path
+                  << " (regenerate with optselect_make_fixtures)";
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+DiversificationStore LoadFixture(const std::string& name) {
+  auto loaded = DiversificationStore::Load(FixturePath(name));
+  EXPECT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+  return loaded.ok() ? std::move(loaded).value() : DiversificationStore();
+}
+
+/// The golden mined content — literal mirror of
+/// tools/make_store_fixtures.cc's GoldenEntries().
+void ExpectGoldenContent(const DiversificationStore& store,
+                         const std::string& label) {
+  EXPECT_EQ(store.size(), 2u) << label;
+
+  const StoredEntry* jaguar = store.Find("jaguar");
+  ASSERT_NE(jaguar, nullptr) << label;
+  ASSERT_EQ(jaguar->specializations.size(), 2u) << label;
+  EXPECT_EQ(jaguar->specializations[0].query, "jaguar car");
+  EXPECT_EQ(jaguar->specializations[0].probability, 0.6);
+  ASSERT_EQ(jaguar->specializations[0].surrogates.size(), 1u);
+  EXPECT_EQ(jaguar->specializations[0].surrogates[0].entries(),
+            (std::vector<text::TermVector::Entry>{{42, 1.5}}));
+  EXPECT_EQ(jaguar->specializations[1].query, "jaguar cat");
+  EXPECT_EQ(jaguar->specializations[1].probability, 0.4);
+  EXPECT_TRUE(jaguar->specializations[1].surrogates.empty());
+
+  const StoredEntry* apple = store.Find("apple");
+  ASSERT_NE(apple, nullptr) << label;
+  ASSERT_EQ(apple->specializations.size(), 3u) << label;
+  EXPECT_EQ(apple->specializations[0].query, "apple iphone");
+  EXPECT_EQ(apple->specializations[0].probability, 0.5);
+  ASSERT_EQ(apple->specializations[0].surrogates.size(), 1u);
+  EXPECT_EQ(apple->specializations[0].surrogates[0].entries(),
+            (std::vector<text::TermVector::Entry>{{7, 0.25}, {9, 1.0}}));
+  EXPECT_EQ(apple->specializations[1].query, "apple fruit");
+  EXPECT_EQ(apple->specializations[1].probability, 0.3);
+  EXPECT_EQ(apple->specializations[2].query, "apple records");
+  EXPECT_EQ(apple->specializations[2].probability, 0.2);
+  EXPECT_TRUE(apple->plan.empty()) << label << ": only jaguar has a plan";
+}
+
+/// Exact plan-block equality — "bit-identical" for compiled plans.
+void ExpectPlansEqual(const QueryPlan& a, const QueryPlan& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.num_candidates_requested, b.num_candidates_requested) << label;
+  EXPECT_EQ(a.threshold_c, b.threshold_c) << label;
+  EXPECT_EQ(a.docs, b.docs) << label;
+  EXPECT_EQ(a.relevance, b.relevance) << label;
+  EXPECT_EQ(a.probability, b.probability) << label;
+  EXPECT_EQ(a.spec_order, b.spec_order) << label;
+  EXPECT_EQ(a.utilities, b.utilities) << label;
+  EXPECT_EQ(a.weighted, b.weighted) << label;
+}
+
+TEST(StoreBackcompatTest, AllThreeFormatsLoadTheGoldenContent) {
+  DiversificationStore v1 = LoadFixture("store_v1.bin");
+  DiversificationStore v2 = LoadFixture("store_v2.bin");
+  DiversificationStore v3 = LoadFixture("store_v3.bin");
+
+  // Pre-versioning files load as content version 0; v2+ carry it.
+  EXPECT_EQ(v1.version(), 0u);
+  EXPECT_EQ(v2.version(), 13u);
+  EXPECT_EQ(v3.version(), 13u);
+
+  ExpectGoldenContent(v1, "v1");
+  ExpectGoldenContent(v2, "v2");
+  ExpectGoldenContent(v3, "v3");
+  for (const auto& [key, entry] : v1.entries()) {
+    EXPECT_TRUE(StoredEntriesEqual(entry, *v2.Find(key))) << key;
+    EXPECT_TRUE(StoredEntriesEqual(entry, *v3.Find(key))) << key;
+  }
+
+  // Plans exist only from v3 on.
+  EXPECT_TRUE(v1.Find("jaguar")->plan.empty());
+  EXPECT_TRUE(v2.Find("jaguar")->plan.empty());
+  const QueryPlan& plan = v3.Find("jaguar")->plan;
+  ASSERT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.SizesConsistent());
+  EXPECT_EQ(plan.num_candidates_requested, 200u);
+  EXPECT_EQ(plan.threshold_c, 0.25);
+  EXPECT_EQ(plan.docs, (std::vector<DocId>{5, 1, 9}));
+  EXPECT_EQ(plan.relevance, (std::vector<double>{1.0, 0.75, 0.5}));
+  EXPECT_EQ(plan.probability, (std::vector<double>{0.6, 0.4}));
+  EXPECT_EQ(plan.spec_order, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(plan.utilities,
+            (std::vector<double>{0.5, 0.0, 0.0, 0.25, 0.125, 0.125}));
+  // The λ-independent sums, in the compiler's accumulation order.
+  std::vector<double> weighted;
+  for (size_t i = 0; i < 3; ++i) {
+    double w = 0.0;
+    for (size_t j = 0; j < 2; ++j) {
+      w += plan.probability[j] * plan.utilities[i * 2 + j];
+    }
+    weighted.push_back(w);
+  }
+  EXPECT_EQ(plan.weighted, weighted);
+}
+
+TEST(StoreBackcompatTest, PlanUpgradeOnLoadIsBitIdenticalAcrossFormats) {
+  DiversificationStore v3 = LoadFixture("store_v3.bin");
+
+  // Upgrade a loaded v1 and a loaded v2 base with the v3 entries as a
+  // delta: content-identical upserts are skipped, but the compiled plan
+  // is adopted where the base had none — the free v2 → v3 migration.
+  for (const char* fixture : {"store_v1.bin", "store_v2.bin"}) {
+    std::shared_ptr<const StoreSnapshot> base =
+        StoreSnapshot::Own(LoadFixture(fixture));
+    StoreDelta delta;
+    for (const auto& [key, entry] : v3.entries()) {
+      delta.upserts.push_back(entry);
+    }
+    SnapshotBuildResult built = BuildSnapshot(base.get(), delta);
+    // Mined content did not change, so no cached ranking is at risk.
+    EXPECT_TRUE(built.changed_keys.empty()) << fixture;
+    EXPECT_EQ(built.unchanged_skipped, 2u) << fixture;
+
+    const DiversificationStore& upgraded = built.snapshot->store();
+    EXPECT_EQ(upgraded.size(), v3.size()) << fixture;
+    for (const auto& [key, entry] : v3.entries()) {
+      const StoredEntry* up = upgraded.Find(key);
+      ASSERT_NE(up, nullptr) << fixture << " " << key;
+      EXPECT_TRUE(StoredEntriesEqual(*up, entry)) << fixture << " " << key;
+      EXPECT_EQ(up->plan.empty(), entry.plan.empty())
+          << fixture << " " << key;
+      if (!entry.plan.empty()) {
+        ExpectPlansEqual(up->plan, entry.plan,
+                         std::string(fixture) + " " + key);
+      }
+    }
+  }
+}
+
+TEST(StoreBackcompatTest, SaveByteReproducesTheV3Fixture) {
+  // Format freeze: load the fixture, save it again, and the bytes must
+  // match exactly (Save orders entries deterministically). A diff here
+  // means the writer changed — bump the format version, add a new
+  // fixture, keep loading the old ones.
+  DiversificationStore v3 = LoadFixture("store_v3.bin");
+  std::string path = ::testing::TempDir() + "/store_v3_resave.bin";
+  ASSERT_TRUE(v3.Save(path).ok());
+  std::string golden = ReadBytes(FixturePath("store_v3.bin"));
+  std::string resaved = ReadBytes(path);
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(resaved.size(), golden.size());
+  EXPECT_TRUE(resaved == golden)
+      << "Save() no longer reproduces the frozen v3 layout";
+  std::remove(path.c_str());
+}
+
+TEST(StoreBackcompatTest, TruncatedAndCorruptedFixturesAreRejected) {
+  std::string golden = ReadBytes(FixturePath("store_v3.bin"));
+  ASSERT_GT(golden.size(), 32u);
+
+  std::string dir = ::testing::TempDir();
+  {
+    std::ofstream out(dir + "/truncated.bin", std::ios::binary);
+    out.write(golden.data(),
+              static_cast<std::streamsize>(golden.size() / 2));
+  }
+  EXPECT_FALSE(DiversificationStore::Load(dir + "/truncated.bin").ok());
+
+  std::string flipped = golden;
+  flipped[golden.size() / 2] =
+      static_cast<char>(flipped[golden.size() / 2] ^ 0x5a);
+  {
+    std::ofstream out(dir + "/flipped.bin", std::ios::binary);
+    out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+  }
+  EXPECT_FALSE(DiversificationStore::Load(dir + "/flipped.bin").ok())
+      << "a flipped byte must fail the checksum";
+  std::remove((dir + "/truncated.bin").c_str());
+  std::remove((dir + "/flipped.bin").c_str());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace optselect

@@ -66,54 +66,10 @@ TEST(StoreVersionTest, SaveLoadRoundTripsContentVersion) {
   std::remove(path.c_str());
 }
 
-TEST(StoreVersionTest, LoadsLegacyV1FormatAsVersionZero) {
-  // Hand-serialize a v1 file: magic | u32 1 | u64 count | one entry
-  // with two empty-surrogate specializations | legacy-basis checksum.
-  std::string body;
-  auto u32 = [&](uint32_t v) {
-    body.append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto u64 = [&](uint64_t v) {
-    body.append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto f64 = [&](double v) {
-    body.append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto str = [&](const std::string& s) {
-    u32(static_cast<uint32_t>(s.size()));
-    body.append(s);
-  };
-  u32(1);  // v1 format: no store_version field follows
-  u64(1);  // entry count
-  str("jaguar");
-  u32(2);  // spec count
-  str("jaguar car");
-  f64(0.6);
-  u32(0);  // no surrogates
-  str("jaguar cat");
-  f64(0.4);
-  u32(0);
-
-  constexpr uint64_t kV1Basis = 1469598103934665603ull;  // legacy quirk
-  uint64_t checksum = util::Fnv1a64(body.data(), body.size(), kV1Basis);
-
-  std::string path = ::testing::TempDir() + "/store_v1.bin";
-  {
-    std::ofstream out(path, std::ios::binary);
-    out.write("OSDS", 4);
-    out.write(body.data(), static_cast<std::streamsize>(body.size()));
-    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  }
-
-  auto loaded = DiversificationStore::Load(path);
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(loaded.value().version(), 0u);
-  const StoredEntry* entry = loaded.value().Find("jaguar");
-  ASSERT_NE(entry, nullptr);
-  ASSERT_EQ(entry->specializations.size(), 2u);
-  EXPECT_DOUBLE_EQ(entry->specializations[0].probability, 0.6);
-  std::remove(path.c_str());
-}
+// Legacy v1-format *bytes* (including the legacy checksum basis) are
+// covered by the checked-in golden fixture tests/data/store_v1.bin in
+// tests/store_backcompat_test.cc, which froze and replaced the
+// hand-crafted in-test byte writer that lived here.
 
 TEST(StoreVersionTest, RemoveDropsNormalizedKey) {
   DiversificationStore store;

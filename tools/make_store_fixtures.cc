@@ -1,0 +1,217 @@
+// Regenerates the golden store.bin fixtures under tests/data/.
+//
+//   optselect_make_fixtures <out_dir>
+//
+// Writes store_v1.bin, store_v2.bin, and store_v3.bin with the *same*
+// hand-chosen mined content (two entries, fixed probabilities and
+// surrogate vectors) in each of the three on-disk formats the loader
+// supports. The v1/v2 writers below are the only place the legacy
+// layouts are still spelled out byte-for-byte — they used to live
+// inline in tests; now the bytes are checked in and the formats are
+// frozen by tests/store_backcompat_test.cc, which also asserts that
+// Save() still reproduces store_v3.bin exactly.
+//
+// Rerun this tool and re-commit the outputs only when the format
+// legitimately changes (a v4): silently regenerating v1/v2 would defeat
+// the point of the freeze.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/diversification_store.h"
+#include "store/query_plan.h"
+#include "util/hash.h"
+
+namespace {
+
+using namespace optselect;  // NOLINT(build/namespaces)
+
+// The legacy checksum basis v1 files were written with (see
+// store/diversification_store.cc).
+constexpr uint64_t kV1ChecksumBasis = 1469598103934665603ull;
+
+struct BodyWriter {
+  std::string body;
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    body.append(s);
+  }
+  void Raw(const void* p, size_t n) {
+    body.append(static_cast<const char*>(p), n);
+  }
+};
+
+/// The golden mined content, shared by all three fixtures. Every value
+/// is spelled out here and re-asserted literally by the backcompat
+/// test — keep the two in sync.
+std::vector<store::StoredEntry> GoldenEntries() {
+  std::vector<store::StoredEntry> entries;
+
+  store::StoredEntry jaguar;
+  jaguar.query = "jaguar";
+  {
+    store::StoredSpecialization car;
+    car.query = "jaguar car";
+    car.probability = 0.6;
+    car.surrogates.push_back(text::TermVector::FromEntries({{42, 1.5}}));
+    jaguar.specializations.push_back(std::move(car));
+    store::StoredSpecialization cat;
+    cat.query = "jaguar cat";
+    cat.probability = 0.4;
+    jaguar.specializations.push_back(std::move(cat));
+  }
+  entries.push_back(std::move(jaguar));
+
+  store::StoredEntry apple;
+  apple.query = "apple";
+  {
+    store::StoredSpecialization iphone;
+    iphone.query = "apple iphone";
+    iphone.probability = 0.5;
+    iphone.surrogates.push_back(
+        text::TermVector::FromEntries({{7, 0.25}, {9, 1.0}}));
+    apple.specializations.push_back(std::move(iphone));
+    store::StoredSpecialization fruit;
+    fruit.query = "apple fruit";
+    fruit.probability = 0.3;
+    fruit.surrogates.push_back(text::TermVector::FromEntries({{3, 0.125}}));
+    apple.specializations.push_back(std::move(fruit));
+    store::StoredSpecialization records;
+    records.query = "apple records";
+    records.probability = 0.2;
+    apple.specializations.push_back(std::move(records));
+  }
+  entries.push_back(std::move(apple));
+
+  return entries;  // Save() orders by entry query: apple, then jaguar
+}
+
+/// The golden compiled plan carried only by the v3 fixture's "jaguar"
+/// entry (n = 3 candidates, m = 2 specializations). Probabilities must
+/// match the entry or Put drops it; weighted is the honest
+/// Σ_j P(q′_j|q)·Ũ computed in the same order as the test's oracle.
+store::QueryPlan GoldenJaguarPlan() {
+  store::QueryPlan plan;
+  plan.num_candidates_requested = 200;
+  plan.threshold_c = 0.25;
+  plan.docs = {5, 1, 9};
+  plan.relevance = {1.0, 0.75, 0.5};
+  plan.probability = {0.6, 0.4};
+  plan.spec_order = {0, 1};
+  plan.utilities = {0.5, 0.0, 0.0, 0.25, 0.125, 0.125};
+  for (size_t i = 0; i < 3; ++i) {
+    double weighted = 0.0;
+    for (size_t j = 0; j < 2; ++j) {
+      weighted += plan.probability[j] * plan.utilities[i * 2 + j];
+    }
+    plan.weighted.push_back(weighted);
+  }
+  return plan;
+}
+
+/// Serializes one entry in the v1/v2 shared layout (no plan byte).
+void WriteEntryBody(const store::StoredEntry& entry, BodyWriter* w) {
+  w->Str(entry.query);
+  w->U32(static_cast<uint32_t>(entry.specializations.size()));
+  for (const store::StoredSpecialization& sp : entry.specializations) {
+    w->Str(sp.query);
+    w->F64(sp.probability);
+    w->U32(static_cast<uint32_t>(sp.surrogates.size()));
+    for (const text::TermVector& v : sp.surrogates) {
+      w->U32(static_cast<uint32_t>(v.entries().size()));
+      for (const auto& [term, weight] : v.entries()) {
+        w->U32(term);
+        w->F64(weight);
+      }
+    }
+  }
+}
+
+bool WriteFixture(const std::string& path, const std::string& body,
+                  uint64_t checksum_basis) {
+  uint64_t checksum =
+      util::Fnv1a64(body.data(), body.size(), checksum_basis);
+  std::ofstream out(path, std::ios::binary);
+  out.write("OSDS", 4);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(),
+              body.size() + 4 + sizeof(checksum));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <out_dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  std::vector<store::StoredEntry> entries = GoldenEntries();
+
+  // v1: magic | u32 1 | u64 count | entries | legacy-basis checksum.
+  {
+    BodyWriter w;
+    w.U32(1);
+    w.U64(entries.size());
+    for (const auto& entry : entries) WriteEntryBody(entry, &w);
+    if (!WriteFixture(dir + "/store_v1.bin", w.body, kV1ChecksumBasis)) {
+      return 1;
+    }
+  }
+
+  // v2: magic | u32 2 | u64 store_version | u64 count | entries |
+  // standard-basis checksum.
+  {
+    BodyWriter w;
+    w.U32(2);
+    w.U64(13);  // store_version — the backcompat test asserts it
+    w.U64(entries.size());
+    for (const auto& entry : entries) WriteEntryBody(entry, &w);
+    if (!WriteFixture(dir + "/store_v2.bin", w.body,
+                      util::kFnv1aOffsetBasis)) {
+      return 1;
+    }
+  }
+
+  // v3: through the current writer — the fixture doubles as a freeze of
+  // Save()'s exact output (the backcompat test byte-compares a re-Save
+  // against it).
+  {
+    store::DiversificationStore store;
+    for (auto& entry : entries) {
+      if (entry.query == "jaguar") entry.plan = GoldenJaguarPlan();
+      util::Status s = store.Put(std::move(entry));
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    if (store.Find("jaguar")->plan.empty()) {
+      std::fprintf(stderr,
+                   "error: golden plan was dropped by Put — it no longer "
+                   "matches the entry\n");
+      return 1;
+    }
+    store.set_version(13);
+    util::Status s = store.Save(dir + "/store_v3.bin");
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s/store_v3.bin (via DiversificationStore::Save)\n",
+                dir.c_str());
+  }
+  return 0;
+}

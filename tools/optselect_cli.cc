@@ -45,8 +45,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "cluster/chaos.h"
 #include "cluster/sharded_cluster.h"
 #include "core/factory.h"
 #include "core/footprint.h"
@@ -139,6 +141,30 @@ void PrintUsage(std::FILE* out) {
       "      --log-tail F          log file to tail (default <dir>/log.tsv)\n"
       "      --store-persist F     also save each swapped snapshot to F\n"
       "                            (with --shards: F.shard<i> per shard)\n"
+      "\n"
+      "  chaos                     deterministic fault-injection scenario:\n"
+      "                            replay a seeded Zipf mix through the\n"
+      "                            fault-tolerant cluster path while\n"
+      "                            killing/reviving/slowing shards on a\n"
+      "                            request-indexed schedule; runs the\n"
+      "                            scenario twice plus a no-fault\n"
+      "                            reference and exits non-zero unless\n"
+      "                            outcomes are deterministic, nothing\n"
+      "                            was dropped, healthy answers are\n"
+      "                            bit-identical, and degraded answers\n"
+      "                            equal the DPH passthrough (needs a\n"
+      "                            build with fault injection compiled\n"
+      "                            in: Debug, or\n"
+      "                            -DOPTSELECT_FAULT_INJECTION=ON)\n"
+      "      --requests N          replay size (default 4000, min 64)\n"
+      "      --skew Z              Zipf skew (default 1.0)\n"
+      "      --shards N            cluster size (default 3, min 2)\n"
+      "      --replicate-hot K     hot keys on every shard (default 2)\n"
+      "      --hedge-ms F          hedge delay (default 2)\n"
+      "      --slow-ms F           injected slow-read delay (default 20)\n"
+      "      --workers N  --batch B  --cache 0|1  --cache-capacity N\n"
+      "      --candidates N  --k N  --c F  --lambda F\n"
+      "      --topics N  --seed S  testbed shape (also seeds the mix)\n"
       "\n"
       "  help | --help | -h        this text\n");
 }
@@ -425,6 +451,10 @@ void PrintServingStats(const serving::ServingStats& s) {
   tp.AddRow({"store version", std::to_string(s.store_version)});
   tp.AddRow({"store reloads", std::to_string(s.reloads)});
   tp.AddRow({"cache invalidations", std::to_string(s.cache_invalidations)});
+  if (s.faulted > 0 || s.reload_failures > 0) {
+    tp.AddRow({"injected faults", std::to_string(s.faulted)});
+    tp.AddRow({"reload failures", std::to_string(s.reload_failures)});
+  }
   std::printf("%s", tp.ToString().c_str());
 }
 
@@ -499,6 +529,20 @@ void PrintClusterStats(const cluster::ClusterStats& cs) {
       static_cast<unsigned long long>(cs.router.replicated_routed),
       static_cast<unsigned long long>(cs.router.batches),
       static_cast<unsigned long long>(cs.router.batch_requests));
+  if (cs.router.failover_serves > 0) {
+    std::printf(
+        "failover: %llu serves, %llu retried, %llu degraded, %llu "
+        "dropped, %llu/%llu hedges won/launched, %llu probes, %llu "
+        "breaker opens\n",
+        static_cast<unsigned long long>(cs.router.failover_serves),
+        static_cast<unsigned long long>(cs.router.retried),
+        static_cast<unsigned long long>(cs.router.degraded),
+        static_cast<unsigned long long>(cs.router.dropped),
+        static_cast<unsigned long long>(cs.router.hedges_won),
+        static_cast<unsigned long long>(cs.router.hedges_launched),
+        static_cast<unsigned long long>(cs.router.probes),
+        static_cast<unsigned long long>(cs.router.breaker_opens));
+  }
 }
 
 /// Builds a cluster (when --shards > 1) plus its per-shard refreshers.
@@ -591,8 +635,11 @@ int CmdServe(const Flags& flags) {
     auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
     if (refresher != nullptr) refreshers.push_back(std::move(refresher));
   }
+  // Clusters answer through the fault-tolerant path: a wedged or killed
+  // shard degrades its keys instead of erroring the REPL.
   auto serve = [&](const std::string& query) {
-    return cl != nullptr ? cl->Serve(query) : node->Serve(query);
+    return cl != nullptr ? cl->ServeWithFailover(query)
+                         : node->Serve(query);
   };
   auto print_stats = [&] {
     if (cl != nullptr) {
@@ -645,9 +692,11 @@ int CmdServe(const Flags& flags) {
     util::WallTimer timer;
     serving::ServeResult result = serve(query);
     double ms = timer.ElapsedMillis();
-    std::printf("%s | %s%s | %.2f ms |", query.c_str(),
+    std::printf("%s | %s%s%s%s | %.2f ms |", query.c_str(),
                 result.diversified ? "diversified" : "passthrough",
-                result.cache_hit ? " (cached)" : "", ms);
+                result.cache_hit ? " (cached)" : "",
+                result.degraded ? " (degraded)" : "",
+                result.hedged ? " (hedged)" : "", ms);
     for (DocId doc : result.ranking) {
       std::printf(" %u", static_cast<unsigned>(doc));
     }
@@ -726,6 +775,162 @@ int CmdLoadtest(const Flags& flags) {
   return 0;
 }
 
+int CmdChaos(const Flags& flags) {
+  if (!serving::FaultInjectionCompiledIn()) {
+    std::fprintf(stderr,
+                 "error: the fault-injection hooks are compiled out of "
+                 "this build; `chaos` needs them to take shards down.\n"
+                 "Rebuild with -DOPTSELECT_FAULT_INJECTION=ON (Debug "
+                 "builds compile them in by default).\n");
+    return 1;
+  }
+  size_t requests = SizeFlag(flags, "requests", "4000");
+  size_t shards = SizeFlag(flags, "shards", "3");
+  if (requests < 64 || shards < 2) {
+    std::fprintf(stderr,
+                 "error: chaos needs --requests >= 64 and --shards >= 2 "
+                 "(something must stay alive while something dies)\n");
+    return 2;
+  }
+
+  std::printf("building testbed + store...\n");
+  pipeline::Testbed testbed(ConfigFor(flags));
+  serving::ServingConfig node = ServingConfigFor(flags);
+
+  // Build the store in-memory with plans compiled at the node's exact
+  // serving params, like `generate` + `serve` with matching flags.
+  std::vector<std::string> roots;
+  for (const auto& topic : testbed.universe().topics) {
+    roots.push_back(topic.root_query);
+  }
+  store::StoreBuilderOptions store_opts;
+  store_opts.plan.num_candidates = node.params.num_candidates;
+  store_opts.plan.threshold_c = node.params.threshold_c;
+  store::DiversificationStore store;
+  store::BuildStore(testbed.detector(), testbed.searcher(),
+                    testbed.snippets(), testbed.analyzer(),
+                    testbed.corpus().store, roots, store_opts, &store);
+  if (store.size() < 2) {
+    std::fprintf(stderr, "error: testbed mined %zu stored entries; need "
+                         ">= 2 (raise --topics)\n",
+                 store.size());
+    return 1;
+  }
+
+  cluster::ChaosConfig chaos;
+  chaos.requests = requests;
+  chaos.zipf_skew = std::atof(flags.Get("skew", "1.0").c_str());
+  chaos.seed = static_cast<uint64_t>(
+      std::atoll(flags.Get("seed", "17").c_str()));
+  chaos.num_shards = shards;
+  chaos.replicate_hot = SizeFlag(flags, "replicate-hot", "2");
+  chaos.node = node;
+  chaos.failover.hedge_delay = std::chrono::microseconds(
+      static_cast<long long>(
+          std::atof(flags.Get("hedge-ms", "2").c_str()) * 1000.0));
+  chaos.slow_read_delay = std::chrono::microseconds(
+      static_cast<long long>(
+          std::atof(flags.Get("slow-ms", "20").c_str()) * 1000.0));
+  chaos.schedule = cluster::DefaultChaosSchedule(requests, shards);
+
+  const querylog::PopularityMap& popularity =
+      testbed.recommender().popularity();
+  std::vector<std::string> mix = cluster::BuildChaosMix(popularity, chaos);
+
+  // The hedge counter is enforced only when the scenario *guarantees*
+  // at least one hedge (see CountHedgeOpportunities) — a small or
+  // unlucky mix, or delays that make hedging moot, report instead of
+  // failing.
+  size_t hedge_opportunities =
+      cluster::CountHedgeOpportunities(store, popularity, mix, chaos);
+
+  // Per-query passthrough references: what a store-less node answers —
+  // the exact ranking a degraded (dead-owner) answer must carry.
+  std::unordered_map<std::string, uint64_t> passthrough =
+      cluster::BuildPassthroughHashes(&testbed, node, mix);
+
+  cluster::ChaosConfig calm = chaos;
+  calm.schedule.clear();
+  std::printf("no-fault reference run (%zu requests, %zu shards)...\n",
+              requests, shards);
+  cluster::ChaosReport no_fault = cluster::RunChaosScenario(
+      store, &testbed, &popularity, mix, calm);
+  std::printf("chaos run A (%zu scheduled events)...\n",
+              chaos.schedule.size());
+  cluster::ChaosReport run_a = cluster::RunChaosScenario(
+      store, &testbed, &popularity, mix, chaos);
+  std::printf("chaos run B (same seed)...\n");
+  cluster::ChaosReport run_b = cluster::RunChaosScenario(
+      store, &testbed, &popularity, mix, chaos);
+
+  cluster::ChaosVerdict verdict = cluster::VerifyChaosRuns(
+      run_a, run_b, no_fault, mix, passthrough);
+
+  util::TablePrinter tp;
+  tp.SetHeader({"run", "wall ms", "QPS", "degraded", "dropped", "hedges",
+                "probes", "opens", "transitions"});
+  auto report_row = [&](const std::string& name,
+                        const cluster::ChaosReport& r) {
+    tp.AddRow({name, util::TablePrinter::Num(r.wall_ms, 1),
+               util::TablePrinter::Num(r.qps, 0),
+               std::to_string(r.degraded), std::to_string(r.dropped),
+               std::to_string(r.router.hedges_won) + "/" +
+                   std::to_string(r.router.hedges_launched),
+               std::to_string(r.router.probes),
+               std::to_string(r.router.breaker_opens),
+               std::to_string(r.transitions.size())});
+  };
+  report_row("no-fault", no_fault);
+  report_row("chaos A", run_a);
+  report_row("chaos B", run_b);
+  std::printf("%s", tp.ToString().c_str());
+
+  std::printf("breaker transitions (run A):\n");
+  for (const cluster::BreakerTransition& t : run_a.transitions) {
+    std::printf("  #%llu shard %zu: %s -> %s\n",
+                static_cast<unsigned long long>(t.seq), t.shard,
+                cluster::BreakerStateName(t.from),
+                cluster::BreakerStateName(t.to));
+  }
+
+  bool failed = false;
+  auto check = [&](bool ok, const char* what, size_t count) {
+    if (ok) {
+      std::printf("OK: %s\n", what);
+    } else {
+      std::fprintf(stderr, "FATAL: %s (%zu)\n", what, count);
+      failed = true;
+    }
+  };
+  check(verdict.dropped == 0, "zero dropped requests", verdict.dropped);
+  check(verdict.outcome_mismatches == 0,
+        "request outcomes deterministic across two same-seed runs",
+        verdict.outcome_mismatches);
+  check(verdict.transition_mismatches == 0,
+        "breaker transition log deterministic",
+        verdict.transition_mismatches);
+  check(verdict.healthy_divergences == 0,
+        "healthy-key rankings bit-identical to the no-fault run",
+        verdict.healthy_divergences);
+  check(verdict.degraded_divergences == 0,
+        "degraded answers equal the DPH passthrough",
+        verdict.degraded_divergences);
+  check(verdict.breaker_opened, "a breaker opened while a shard was dead",
+        0);
+  check(run_a.degraded > 0, "dead-owner keys were actually degraded",
+        0);
+  if (hedge_opportunities > 0) {
+    check(run_a.router.hedges_launched > 0,
+          "hedged retries fired during the slow-read window", 0);
+  } else {
+    std::printf(
+        "SKIP: hedge check — the scenario guarantees no hedge (no "
+        "replicated key round-robins onto a slowed shard during the "
+        "slow window, or --slow-ms is not >= 2x --hedge-ms)\n");
+  }
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -772,6 +977,16 @@ int main(int argc, char** argv) {
   if (cmd == "loadtest") {
     if (!flags.Validate("loadtest", ServingFlagSet(true))) return Usage();
     return CmdLoadtest(flags);
+  }
+  if (cmd == "chaos") {
+    if (!flags.Validate("chaos",
+                        {"requests", "skew", "shards", "replicate-hot",
+                         "hedge-ms", "slow-ms", "workers", "batch", "cache",
+                         "cache-capacity", "candidates", "k", "c", "lambda",
+                         "topics", "seed"})) {
+      return Usage();
+    }
+    return CmdChaos(flags);
   }
   std::fprintf(stderr, "error: unknown subcommand `%s`\n\n", cmd.c_str());
   return Usage();
