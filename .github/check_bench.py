@@ -26,7 +26,9 @@ never emits:
 
 Input/output params that are neither qps nor ``*_ms`` (workers,
 requests, swaps, hw_threads, ...) are never compared: they describe the
-run, they do not judge it.
+run, they do not judge it. Likewise unknown top-level keys — such as
+the ``metrics`` registry snapshot the writers embed — are ignored:
+only ``records`` (and ``gate`` in baselines) are read.
 
 Usage: check_bench.py [--emitted-dir DIR] [--baseline-dir DIR]
                       [--slack X] [--update]

@@ -219,6 +219,7 @@ int main(int argc, char** argv) {
   size_t total_mismatches = 0;
   size_t aggregation_errors = 0;
   double qps_1 = 0, qps_4 = 0;
+  std::string last_metrics_json;  // registry dump of the last cluster run
 
   auto run_cluster = [&](size_t shards, size_t replicate_hot,
                          const std::string& name) {
@@ -261,6 +262,7 @@ int main(int argc, char** argv) {
     report(name, phase, shards, replicate_hot, mismatches);
     total_failures += phase.failures;
     total_mismatches += mismatches;
+    last_metrics_json = cl.metrics().RenderJson();
     return phase;
   };
 
@@ -279,6 +281,9 @@ int main(int argc, char** argv) {
               "threads\n",
               scaling, hw);
 
+  // Context block: shard- and router-level registry of the final
+  // cluster configuration (4 shards + hot replication).
+  json.SetMetricsJson(last_metrics_json);
   util::Status s = json.WriteFile();
   if (!s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());

@@ -251,6 +251,9 @@ int main(int argc, char** argv) {
   record("cold_v2", cold);
   record("compiled_v3", compiled);
   record("compiled_after_reload", after_reload);
+  // Context block: the measured node's full registry (counters, cache,
+  // stage histograms when tracing is compiled in). Never gated on.
+  json.SetMetricsJson(compiled_node.metrics().RenderJson());
   util::Status s = json.WriteFile();
   if (!s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());

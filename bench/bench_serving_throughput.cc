@@ -44,6 +44,9 @@ struct RunResult {
   double wall_ms = 0;
   double qps = 0;
   serving::ServingStats stats;
+  /// The node's full registry dump (obs::MetricsRegistry::RenderJson):
+  /// the last run's copy is embedded into the BENCH json as context.
+  std::string metrics_json;
 };
 
 /// Replays the mix through one node configuration; wall time spans
@@ -63,6 +66,8 @@ RunResult Replay(const store::DiversificationStore* store,
   r.wall_ms = out.wall_ms;
   r.qps = out.qps;
   r.stats = node.Stats();
+  node.Shutdown();  // drain so the registry dump is post-quiescence
+  r.metrics_json = node.metrics().RenderJson();
   return r;
 }
 
@@ -241,6 +246,8 @@ int main(int argc, char** argv) {
     RunResult warm = Replay(&store, &testbed, config, mix);
     add("workers=" + std::to_string(workers) + " cache=on", warm, workers,
         true);
+    // Last sweep row's registry becomes the document's metrics block.
+    json.SetMetricsJson(warm.metrics_json);
   }
 
   std::printf("%s", tp.ToString().c_str());

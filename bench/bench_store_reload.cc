@@ -242,6 +242,9 @@ int main(int argc, char** argv) {
   };
   record("steady", steady);
   record("under_reload", reload);
+  // Context block: the node's registry after both phases (counters,
+  // cache, refresh gauges). Context for humans/tooling, never gated on.
+  json.SetMetricsJson(node.metrics().RenderJson());
   util::Status s = json.WriteFile();
   if (!s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());

@@ -84,6 +84,17 @@ class BenchJsonWriter {
     records_.push_back(Record{name, params, wall_ms, qps});
   }
 
+  /// Attaches a metrics-registry snapshot — the verbatim output of
+  /// obs::MetricsRegistry::RenderJson() — embedded under the document's
+  /// top-level "metrics" key. Benches with a serving component call
+  /// this right after the measured run; benches without one emit the
+  /// default empty object. check_bench.py compares only "records" (and
+  /// within them only baseline-known keys), so the block is context for
+  /// humans and tooling, never a gate.
+  void SetMetricsJson(std::string registry_json) {
+    metrics_json_ = std::move(registry_json);
+  }
+
   /// Renders the full document.
   std::string ToJson() const {
     std::string out = "{\n  \"bench\": \"" + Escape(bench_name_) +
@@ -103,7 +114,10 @@ class BenchJsonWriter {
       out += r.params.empty() ? "}" : " }";
       out += " }";
     }
-    out += records_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    out += records_.empty() ? "]" : "\n  ]";
+    out += ",\n  \"metrics\": ";
+    out += metrics_json_.empty() ? "{}" : metrics_json_;
+    out += "\n}\n";
     return out;
   }
 
@@ -195,6 +209,8 @@ class BenchJsonWriter {
 
   std::string bench_name_;
   std::vector<Record> records_;
+  /// Pre-rendered JSON object (see SetMetricsJson); "{}" when unset.
+  std::string metrics_json_;
 };
 
 }  // namespace bench

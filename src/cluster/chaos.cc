@@ -66,6 +66,22 @@ ChaosReport RunChaosScenario(const store::DiversificationStore& full_store,
       std::max<size_t>(cluster_config.node.queue_capacity, 64);
 
   ShardedCluster cluster(full_store, testbed, popularity, cluster_config);
+
+  // Router-only tracer: with the sequential replay the router's trace
+  // sequence number IS the request index, so sampled traces line up
+  // with the outcome vector by seq. Installed on the router alone —
+  // shard-level traces run on independent sequence counters and would
+  // interleave into the ring. Ring sized to the run: nothing evicted.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (obs::TracingCompiledIn()) {
+    obs::TracerConfig trace_config;
+    trace_config.sample_every = config.trace_sample_every;
+    trace_config.seed = config.trace_seed;
+    trace_config.ring_capacity = mix.size() + 1;
+    tracer = std::make_unique<obs::Tracer>(trace_config);
+    cluster.router().set_tracer(tracer.get());
+  }
+
   std::vector<std::unique_ptr<serving::ScriptedFaultInjector>> injectors;
   injectors.reserve(cluster.num_shards());
   for (size_t i = 0; i < cluster.num_shards(); ++i) {
@@ -128,6 +144,11 @@ ChaosReport RunChaosScenario(const store::DiversificationStore& full_store,
   cluster.Shutdown();
   report.transitions = cluster.router().breaker_transitions();
   report.router = cluster.router().stats();
+  if (tracer != nullptr) {
+    report.traces = tracer->Recent();
+    report.trace_breakers = tracer->breaker_events();
+    cluster.router().set_tracer(nullptr);
+  }
   return report;
 }
 
@@ -230,6 +251,95 @@ ChaosVerdict VerifyChaosRuns(
           outcome.ranking_hash != it->second) {
         ++verdict.degraded_divergences;
       }
+    }
+  }
+  return verdict;
+}
+
+namespace {
+
+// Per-run half of VerifyTraceInvariants; accumulates into the verdict.
+void CheckRunTraces(const ChaosReport& run, const ChaosConfig& config,
+                    size_t* sampled, TraceVerdict* verdict) {
+  *sampled = run.traces.size();
+
+  // Each trace must agree with the report's outcome vector at its seq.
+  // The hedged flag is excluded, like in ChaosRequestOutcome: which
+  // copy wins a hedge race is the one sanctioned non-determinism.
+  for (const obs::Trace& trace : run.traces) {
+    if (trace.seq >= run.outcomes.size()) {
+      ++verdict->outcome_mismatches;
+      continue;
+    }
+    const ChaosRequestOutcome& outcome = run.outcomes[trace.seq];
+    if (trace.ok != outcome.answered || trace.degraded != outcome.degraded ||
+        trace.diversified != outcome.diversified ||
+        trace.ranking_hash != outcome.ranking_hash) {
+      ++verdict->outcome_mismatches;
+    }
+    // Sampling rule: only requests in the sampled residue class may
+    // appear (seq % N == seed % N).
+    uint64_t n = config.trace_sample_every;
+    if (n > 1 && trace.seq % n != config.trace_seed % n) {
+      ++verdict->outcome_mismatches;
+    }
+  }
+
+  // The tracer's breaker log is appended under the same lock as the
+  // router's transition log — entry for entry, or something is racing.
+  size_t t = std::max(run.transitions.size(), run.trace_breakers.size());
+  for (size_t i = 0; i < t; ++i) {
+    if (i >= run.transitions.size() || i >= run.trace_breakers.size()) {
+      ++verdict->breaker_mismatches;
+      continue;
+    }
+    const BreakerTransition& want = run.transitions[i];
+    const obs::Tracer::BreakerEvent& got = run.trace_breakers[i];
+    if (got.shard != want.shard ||
+        got.from != static_cast<int>(want.from) ||
+        got.to != static_cast<int>(want.to)) {
+      ++verdict->breaker_mismatches;
+    }
+  }
+}
+
+}  // namespace
+
+TraceVerdict VerifyTraceInvariants(const ChaosReport& run_a,
+                                   const ChaosReport& run_b,
+                                   const ChaosConfig& config) {
+  TraceVerdict verdict;
+  if (!obs::TracingCompiledIn()) return verdict;  // nothing to check
+
+  // How many requests the sampling rule selects out of the run.
+  uint64_t n = config.trace_sample_every;
+  size_t requests = run_a.outcomes.size();
+  if (n <= 1) {
+    verdict.sampled_expected = requests;
+  } else {
+    uint64_t residue = config.trace_seed % n;
+    verdict.sampled_expected =
+        requests > residue ? (requests - 1 - residue) / n + 1 : 0;
+  }
+
+  CheckRunTraces(run_a, config, &verdict.sampled_a, &verdict);
+  CheckRunTraces(run_b, config, &verdict.sampled_b, &verdict);
+
+  // Determinism across runs: same sampled seqs, same outcomes per
+  // trace. (Stage timings differ — they are wall time — and are not
+  // compared.)
+  size_t m = std::max(run_a.traces.size(), run_b.traces.size());
+  for (size_t i = 0; i < m; ++i) {
+    if (i >= run_a.traces.size() || i >= run_b.traces.size()) {
+      ++verdict.cross_run_mismatches;
+      continue;
+    }
+    const obs::Trace& a = run_a.traces[i];
+    const obs::Trace& b = run_b.traces[i];
+    if (a.seq != b.seq || a.query != b.query || a.ok != b.ok ||
+        a.degraded != b.degraded || a.diversified != b.diversified ||
+        a.ranking_hash != b.ranking_hash) {
+      ++verdict.cross_run_mismatches;
     }
   }
   return verdict;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "cluster/sharded_cluster.h"
+#include "obs/trace.h"
 #include "pipeline/testbed.h"
 #include "querylog/popularity.h"
 #include "serving/fault_injector.h"
@@ -85,6 +86,13 @@ struct ChaosConfig {
   /// slowed shard must never race a breaker transition on that shard,
   /// or the transition log stops being comparable across runs.
   std::vector<ChaosEvent> schedule;
+  /// Deterministic 1-in-N trace sampling on the router's failover path
+  /// (active only when obs::TracingCompiledIn()). The sequential replay
+  /// makes the router's trace sequence number equal the request index,
+  /// so two runs of the same seed sample the same requests — which is
+  /// what VerifyTraceInvariants asserts.
+  uint64_t trace_sample_every = 16;
+  uint64_t trace_seed = 0;
 };
 
 /// What one request produced. Excludes the hedged flag on purpose (see
@@ -115,6 +123,14 @@ struct ChaosReport {
   size_t degraded = 0;
   double wall_ms = 0.0;
   double qps = 0.0;
+  /// Sampled router traces, in commit (= request) order. Empty when
+  /// tracing is compiled out. The ring is sized to the run, so nothing
+  /// is evicted: every sampled request is here.
+  std::vector<obs::Trace> traces;
+  /// Every breaker transition the tracer observed (not sampled) —
+  /// appended under the same lock as ChaosReport::transitions, so the
+  /// two logs must match entry for entry.
+  std::vector<obs::Tracer::BreakerEvent> trace_breakers;
 };
 
 /// FNV-1a over a ranking's doc ids — the outcome fingerprint.
@@ -191,6 +207,40 @@ ChaosVerdict VerifyChaosRuns(
     const ChaosReport& run_a, const ChaosReport& run_b,
     const ChaosReport& no_fault, const std::vector<std::string>& mix,
     const std::unordered_map<std::string, uint64_t>& passthrough_hashes);
+
+/// Trace-level acceptance checks over the same two runs. Zero
+/// everywhere == pass; trivially passes when tracing is compiled out
+/// (no traces to check).
+struct TraceVerdict {
+  /// Requests the sampling rule says must be traced, per run.
+  size_t sampled_expected = 0;
+  size_t sampled_a = 0;
+  size_t sampled_b = 0;
+  /// Traces whose outcome fields (ok/degraded/diversified/ranking_hash
+  /// — hedged is excluded, like ChaosRequestOutcome) disagree with the
+  /// run's own outcome vector at the trace's seq, both runs summed.
+  size_t outcome_mismatches = 0;
+  /// Entry-for-entry diffs between each run's tracer breaker log and
+  /// its BreakerTransition log (or a length difference), both runs.
+  size_t breaker_mismatches = 0;
+  /// Run A vs run B: sampled seq sequences or per-trace outcomes
+  /// differ (the determinism half of the check).
+  size_t cross_run_mismatches = 0;
+  bool ok() const {
+    return sampled_a == sampled_expected && sampled_b == sampled_expected &&
+           outcome_mismatches == 0 && breaker_mismatches == 0 &&
+           cross_run_mismatches == 0;
+  }
+};
+
+/// Asserts the trace invariants on two same-seed fault runs: every
+/// sampled request is traced exactly once, each trace agrees with the
+/// report's outcome vector, each tracer breaker log mirrors the
+/// router's transition log, and the sampled sequences are identical
+/// across the runs.
+TraceVerdict VerifyTraceInvariants(const ChaosReport& run_a,
+                                   const ChaosReport& run_b,
+                                   const ChaosConfig& config);
 
 }  // namespace cluster
 }  // namespace optselect

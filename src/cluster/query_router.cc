@@ -6,6 +6,7 @@
 
 #include "serving/cache_key.h"
 #include "store/store_builder.h"
+#include "util/hash.h"
 
 namespace optselect {
 namespace cluster {
@@ -24,17 +25,58 @@ const char* BreakerStateName(BreakerState state) {
 
 QueryRouter::QueryRouter(std::vector<serving::ServingNode*> shards,
                          std::unordered_set<std::string> replicated,
-                         FailoverConfig failover)
+                         FailoverConfig failover,
+                         obs::MetricsRegistry* registry)
     : shards_(std::move(shards)),
       replicated_(std::move(replicated)),
       failover_(failover),
+      owned_registry_(registry == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      registry_(registry != nullptr ? registry : owned_registry_.get()),
       health_(shards_.size()) {
   if (failover_.breaker_threshold == 0) failover_.breaker_threshold = 1;
   if (failover_.breaker_probe_after == 0) failover_.breaker_probe_after = 1;
+  RegisterMetrics();
+}
+
+void QueryRouter::RegisterMetrics() {
+  // Effect-before-cause: stats() and registry Collect() read in this
+  // order, so degraded/dropped/retried <= failover_serves and
+  // hedges_won <= hedges_launched hold in every snapshot. (The
+  // pre-registry stats() read failover_serves first and could observe
+  // degraded > failover_serves under concurrent failover traffic.)
+  retried_ = registry_->AddCounter("optselect_router_retried_total");
+  degraded_ = registry_->AddCounter("optselect_router_degraded_total");
+  dropped_ = registry_->AddCounter("optselect_router_dropped_total");
+  hedges_won_ = registry_->AddCounter("optselect_router_hedges_won_total");
+  hedges_launched_ =
+      registry_->AddCounter("optselect_router_hedges_launched_total");
+  failover_serves_ =
+      registry_->AddCounter("optselect_router_failover_serves_total");
+  replicated_routed_ =
+      registry_->AddCounter("optselect_router_replicated_routed_total");
+  routed_ = registry_->AddCounter("optselect_router_routed_total");
+  batches_ = registry_->AddCounter("optselect_router_batches_total");
+  batch_requests_ =
+      registry_->AddCounter("optselect_router_batch_requests_total");
   per_shard_.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    per_shard_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    per_shard_.push_back(registry_->AddCounter(
+        "optselect_router_shard_routed_total",
+        obs::Labels{{"shard", std::to_string(i)}}));
   }
+  // Probe/open tallies live under health_mu_ with the breaker state;
+  // exported as foreign-read counters (the lambda takes the lock).
+  registry_->AddCounterFn("optselect_router_probes_total", {}, [this] {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    return probes_;
+  });
+  registry_->AddCounterFn("optselect_router_breaker_opens_total", {},
+                          [this] {
+                            std::lock_guard<std::mutex> lock(health_mu_);
+                            return breaker_opens_;
+                          });
 }
 
 size_t QueryRouter::OwnerOf(std::string_view raw_query) const {
@@ -53,12 +95,12 @@ size_t QueryRouter::Route(std::string_view raw_query) {
     shard = static_cast<size_t>(
         round_robin_.fetch_add(1, std::memory_order_relaxed) %
         shards_.size());
-    replicated_routed_.fetch_add(1, std::memory_order_relaxed);
+    replicated_routed_->Add();
   } else {
     shard = store::ShardFilter::OwnerShard(normalized, shards_.size());
   }
-  routed_.fetch_add(1, std::memory_order_relaxed);
-  per_shard_[shard]->fetch_add(1, std::memory_order_relaxed);
+  routed_->Add();
+  per_shard_[shard]->Add();
   return shard;
 }
 
@@ -74,8 +116,8 @@ bool QueryRouter::Submit(
 
 std::vector<serving::ServeResult> QueryRouter::ServeBatch(
     const std::vector<std::string>& queries) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batch_requests_.fetch_add(queries.size(), std::memory_order_relaxed);
+  batches_->Add();
+  batch_requests_->Add(queries.size());
 
   std::vector<serving::ServeResult> results(queries.size());
   std::mutex mu;
@@ -110,6 +152,17 @@ void QueryRouter::TransitionLocked(ShardHealth* health, size_t shard,
     transitions_.pop_front();  // bounded log; seq stays global
   }
   transitions_.push_back(t);
+  if (obs::TracingCompiledIn()) {
+    // Mirror every transition (not sampled) into the tracer's breaker
+    // log — the chaos harness asserts the mirror matches this log
+    // entry-for-entry. Lock order: health_mu_ (held here) → tracer mu;
+    // the tracer never calls back into the router.
+    obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+    if (tracer != nullptr) {
+      tracer->RecordBreakerTransition(shard, static_cast<int>(t.from),
+                                      static_cast<int>(to));
+    }
+  }
   health->state = to;
   if (to == BreakerState::kOpen) ++breaker_opens_;
 }
@@ -249,7 +302,7 @@ QueryRouter::Attempt QueryRouter::AttemptOn(size_t shard,
       lock.unlock();
       if (submit_to(hedge_shard, /*record=*/false)) {
         attempt.hedge_used = true;
-        hedges_launched_.fetch_add(1, std::memory_order_relaxed);
+        hedges_launched_->Add();
       }
       lock.lock();
     }
@@ -261,25 +314,64 @@ QueryRouter::Attempt QueryRouter::AttemptOn(size_t shard,
   attempt.result = std::move(state->result);
   if (attempt.hedge_used && state->winner == hedge_shard) {
     attempt.result.hedged = true;
-    hedges_won_.fetch_add(1, std::memory_order_relaxed);
+    hedges_won_->Add();
   }
   return attempt;
 }
 
 serving::ServeResult QueryRouter::ServeWithFailover(
     const std::string& query) {
-  failover_serves_.fetch_add(1, std::memory_order_relaxed);
+  failover_serves_->Add();
   const size_t n = shards_.size();
   const std::string normalized = serving::NormalizeQuery(query);
   const bool replicated = replicated_.count(normalized) > 0;
   const size_t owner = store::ShardFilter::OwnerShard(normalized, n);
+
+#if OPTSELECT_TRACING
+  // Router-level trace: sampled on the router's own sequence counter
+  // (incremented only while a tracer is installed), so under the
+  // sequential chaos replay seq equals the request index and the
+  // sampled set is identical across runs A and B.
+  obs::Trace trace;
+  obs::Trace* tr = nullptr;
+  obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+  if (tracer != nullptr) {
+    uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (tracer->ShouldSample(seq)) {
+      trace.seq = seq;
+      trace.query = query;
+      trace.start = std::chrono::steady_clock::now();
+      tr = &trace;
+    }
+  }
+#else
+  obs::Trace* tr = nullptr;
+#endif
+  auto commit = [&](const serving::ServeResult& result) {
+#if OPTSELECT_TRACING
+    if (tr != nullptr) {
+      tr->ok = result.ok;
+      tr->degraded = result.degraded;
+      tr->hedged = result.hedged;
+      tr->diversified = result.diversified;
+      tr->cache_hit = result.cache_hit;
+      tr->plan_served = result.plan_served;
+      tr->total_us = tr->ElapsedMicros();
+      tr->ranking_hash = util::Fnv1a64(
+          result.ranking.data(), result.ranking.size() * sizeof(DocId));
+      tracer->Commit(std::move(*tr));
+    }
+#else
+    (void)result;
+#endif
+  };
 
   // Holders of the key's store entry: the owner alone, or — replicated
   // — every shard, starting at the round-robin cursor so healthy-path
   // traffic keeps spreading exactly like Route().
   std::vector<size_t> holders;
   if (replicated) {
-    replicated_routed_.fetch_add(1, std::memory_order_relaxed);
+    replicated_routed_->Add();
     size_t start = static_cast<size_t>(
         round_robin_.fetch_add(1, std::memory_order_relaxed) % n);
     holders.reserve(n);
@@ -294,9 +386,10 @@ serving::ServeResult QueryRouter::ServeWithFailover(
   size_t attempts = 0;
   auto finish = [&](serving::ServeResult result,
                     size_t shard) -> serving::ServeResult {
-    routed_.fetch_add(1, std::memory_order_relaxed);
-    per_shard_[shard]->fetch_add(1, std::memory_order_relaxed);
-    if (attempts > 1) retried_.fetch_add(1, std::memory_order_relaxed);
+    routed_->Add();
+    per_shard_[shard]->Add();
+    if (attempts > 1) retried_->Add();
+    commit(result);
     return result;
   };
 
@@ -316,7 +409,18 @@ serving::ServeResult QueryRouter::ServeWithFailover(
     }
     attempted[shard] = 1;
     ++attempts;
+    obs::TraceSpan attempt_span(tr, obs::TraceStage::kAttempt, shard);
     Attempt attempt = AttemptOn(shard, query, hedge);
+    attempt_span.End();
+#if OPTSELECT_TRACING
+    // Hedge launches depend on wall time; the event is narrative only
+    // and excluded from every determinism comparison (like the hedged
+    // flag in ChaosRequestOutcome).
+    if (tr != nullptr && attempt.hedge_used) {
+      tr->events.push_back(obs::TraceEvent{
+          obs::TraceStage::kHedge, tr->ElapsedMicros(), 0, hedge});
+    }
+#endif
     // A launched hedge already queried its replica — don't re-attempt
     // it (its outcome deliberately never touched the breaker).
     if (attempt.hedge_used) attempted[hedge] = 1;
@@ -341,11 +445,13 @@ serving::ServeResult QueryRouter::ServeWithFailover(
       if (respect_breaker && !AllowAttempt(shard)) continue;
       attempted[shard] = 1;
       ++attempts;
+      obs::TraceSpan failover_span(tr, obs::TraceStage::kFailover, shard);
       Attempt attempt = AttemptOn(shard, query, kNoShard);
+      failover_span.End();
       if (attempt.ok) {
         if (!is_holder[shard]) {
           attempt.result.degraded = true;
-          degraded_.fetch_add(1, std::memory_order_relaxed);
+          degraded_->Add();
         }
         return finish(std::move(attempt.result), shard);
       }
@@ -353,31 +459,37 @@ serving::ServeResult QueryRouter::ServeWithFailover(
   }
 
   // Nothing in the cluster answered.
-  dropped_.fetch_add(1, std::memory_order_relaxed);
-  routed_.fetch_add(1, std::memory_order_relaxed);
-  return serving::ServeResult{};  // ok == false
+  dropped_->Add();
+  routed_->Add();
+  serving::ServeResult failed;  // ok == false
+  commit(failed);
+  return failed;
 }
 
 RouterStats QueryRouter::stats() const {
   RouterStats s;
-  s.routed = routed_.load(std::memory_order_relaxed);
-  s.replicated_routed = replicated_routed_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
-  s.failover_serves = failover_serves_.load(std::memory_order_relaxed);
-  s.retried = retried_.load(std::memory_order_relaxed);
-  s.degraded = degraded_.load(std::memory_order_relaxed);
-  s.dropped = dropped_.load(std::memory_order_relaxed);
-  s.hedges_launched = hedges_launched_.load(std::memory_order_relaxed);
-  s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  // Thin view over the registry handles, read in registration
+  // (effect-before-cause) order: retried/degraded/dropped before
+  // failover_serves, hedges_won before hedges_launched — the
+  // corresponding <= invariants hold in every snapshot.
+  s.retried = retried_->value();
+  s.degraded = degraded_->value();
+  s.dropped = dropped_->value();
+  s.hedges_won = hedges_won_->value();
+  s.hedges_launched = hedges_launched_->value();
+  s.failover_serves = failover_serves_->value();
+  s.replicated_routed = replicated_routed_->value();
+  s.routed = routed_->value();
+  s.batches = batches_->value();
+  s.batch_requests = batch_requests_->value();
   {
     std::lock_guard<std::mutex> lock(health_mu_);
     s.probes = probes_;
     s.breaker_opens = breaker_opens_;
   }
   s.per_shard.reserve(per_shard_.size());
-  for (const auto& counter : per_shard_) {
-    s.per_shard.push_back(counter->load(std::memory_order_relaxed));
+  for (const obs::Counter* counter : per_shard_) {
+    s.per_shard.push_back(counter->value());
   }
   return s;
 }

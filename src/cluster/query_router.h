@@ -55,6 +55,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/serving_node.h"
 
 namespace optselect {
@@ -124,10 +126,14 @@ class QueryRouter {
   /// failover callbacks touch router state from shard worker threads,
   /// every shard must be Shutdown() (drained) before the router is
   /// destroyed (ShardedCluster guarantees this). `replicated` holds the
-  /// normalized keys every shard carries (may be empty).
+  /// normalized keys every shard carries (may be empty). `registry` is
+  /// where the router registers its counters (non-owned; the cluster
+  /// passes its shared registry) — null makes the router create a
+  /// private one, reachable via metrics().
   QueryRouter(std::vector<serving::ServingNode*> shards,
               std::unordered_set<std::string> replicated,
-              FailoverConfig failover = FailoverConfig());
+              FailoverConfig failover = FailoverConfig(),
+              obs::MetricsRegistry* registry = nullptr);
 
   QueryRouter(const QueryRouter&) = delete;
   QueryRouter& operator=(const QueryRouter&) = delete;
@@ -192,6 +198,25 @@ class QueryRouter {
 
   const FailoverConfig& failover_config() const { return failover_; }
 
+  /// Installs (or clears) a tracer: ServeWithFailover samples requests
+  /// (deterministic 1-in-N on its own sequence counter) and records
+  /// attempt / hedge / degraded-failover hops, and *every* breaker
+  /// transition is mirrored into the tracer's breaker log — the chaos
+  /// harness diffs that mirror against breaker_transitions(). Not
+  /// owned; must outlive the router or be cleared first. No-op in
+  /// builds without OPTSELECT_TRACING.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
+  /// The registry this router records into (the injected one, or the
+  /// private one created when none was supplied).
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
+
+  /// Snapshot through the registry handles in effect-before-cause
+  /// order: degraded/dropped/retried can never exceed failover_serves
+  /// and hedges_won can never exceed hedges_launched within one
+  /// snapshot.
   RouterStats stats() const;
 
  private:
@@ -219,23 +244,35 @@ class QueryRouter {
   /// Feeds one attempt outcome into the shard's breaker.
   void RecordOutcome(size_t shard, bool ok);
 
+  /// Registers every router counter into registry_ (ctor).
+  void RegisterMetrics();
+
   std::vector<serving::ServingNode*> shards_;
   std::unordered_set<std::string> replicated_;
   FailoverConfig failover_;
+  /// Private registry when the ctor got none; declared before the
+  /// handles that point into it.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
   std::atomic<uint64_t> round_robin_{0};
 
-  std::atomic<uint64_t> routed_{0};
-  std::atomic<uint64_t> replicated_routed_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batch_requests_{0};
-  std::atomic<uint64_t> failover_serves_{0};
-  std::atomic<uint64_t> retried_{0};
-  std::atomic<uint64_t> degraded_{0};
-  std::atomic<uint64_t> dropped_{0};
-  std::atomic<uint64_t> hedges_launched_{0};
-  std::atomic<uint64_t> hedges_won_{0};
-  /// unique_ptr because atomics are not movable; sized once in the ctor.
-  std::vector<std::unique_ptr<std::atomic<uint64_t>>> per_shard_;
+  // Registry handles (owned by *registry_; registered effect-before-
+  // cause — see RegisterMetrics).
+  obs::Counter* routed_ = nullptr;
+  obs::Counter* replicated_routed_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* batch_requests_ = nullptr;
+  obs::Counter* failover_serves_ = nullptr;
+  obs::Counter* retried_ = nullptr;
+  obs::Counter* degraded_ = nullptr;
+  obs::Counter* dropped_ = nullptr;
+  obs::Counter* hedges_launched_ = nullptr;
+  obs::Counter* hedges_won_ = nullptr;
+  std::vector<obs::Counter*> per_shard_;
+
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  /// ServeWithFailover sequence numbers for deterministic sampling.
+  std::atomic<uint64_t> trace_seq_{0};
 
   /// Per-shard breaker state + transition log, one lock: health updates
   /// are tiny and the failover path is not the throughput path.

@@ -36,6 +36,11 @@ ShardedCluster::ShardedCluster(const store::DiversificationStore& full_store,
                                const corpus::DocumentStore* documents,
                                const querylog::PopularityMap* popularity,
                                ClusterConfig config) {
+  owned_registry_ = config.registry == nullptr
+                        ? std::make_unique<obs::MetricsRegistry>()
+                        : nullptr;
+  registry_ =
+      config.registry != nullptr ? config.registry : owned_registry_.get();
   const size_t n = std::max<size_t>(1, config.num_shards);
   std::unordered_set<std::string> replicated;
   // Replication only spreads load when there is more than one shard to
@@ -55,14 +60,18 @@ ShardedCluster::ShardedCluster(const store::DiversificationStore& full_store,
     filter.num_shards = n;
     filter.shard_index = i;
     filter.replicated = replicated;
+    serving::ServingConfig node_config = config.node;
+    node_config.registry = registry_;
+    node_config.metric_labels = {{"shard", std::to_string(i)}};
     shards_.push_back(std::make_unique<serving::ServingNode>(
         store::StoreSnapshot::Own(SplitStore(full_store, filter)), searcher,
-        snippets, analyzer, documents, config.node));
+        snippets, analyzer, documents, node_config));
     filters_.push_back(std::move(filter));
     raw_shards.push_back(shards_.back().get());
   }
   router_ = std::make_unique<QueryRouter>(
-      std::move(raw_shards), std::move(replicated), config.failover);
+      std::move(raw_shards), std::move(replicated), config.failover,
+      registry_);
 }
 
 ShardedCluster::ShardedCluster(const store::DiversificationStore& full_store,
@@ -77,6 +86,11 @@ ShardedCluster::~ShardedCluster() { Shutdown(); }
 
 void ShardedCluster::Shutdown() {
   for (auto& shard : shards_) shard->Shutdown();
+}
+
+void ShardedCluster::set_tracer(obs::Tracer* tracer) {
+  router_->set_tracer(tracer);
+  for (auto& shard : shards_) shard->set_tracer(tracer);
 }
 
 serving::ServeResult ShardedCluster::Serve(const std::string& query) {

@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "cluster/query_router.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/testbed.h"
 #include "querylog/popularity.h"
 #include "serving/serving_node.h"
@@ -64,6 +66,10 @@ struct ClusterConfig {
   /// Per-shard serving configuration (queue, workers, cache, params) —
   /// every shard is configured identically, like a homogeneous fleet.
   serving::ServingConfig node;
+  /// Metrics registry every shard and the router register into (each
+  /// shard under a `shard=<i>` label). Non-owned; null makes the
+  /// cluster create a private one, reachable via metrics().
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Cluster-level stats snapshot: summed counters plus latency quantiles
@@ -160,9 +166,22 @@ class ShardedCluster {
     return replicated_keys_;
   }
 
+  /// The registry all shards and the router share: per-shard serving
+  /// metrics (labelled `shard=<i>`), router metrics, stage histograms.
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
+
+  /// Installs (or clears, with nullptr) a tracer on the router's
+  /// failover path and every shard's request path. The tracer must
+  /// outlive the cluster or be cleared before destruction.
+  void set_tracer(obs::Tracer* tracer);
+
   ClusterStats Stats() const;
 
  private:
+  // Declared before the shards and router so it outlives them: both
+  // hold registered handles and callbacks into the registry.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
   std::vector<store::ShardFilter> filters_;
   std::vector<std::unique_ptr<serving::ServingNode>> shards_;
   std::vector<std::string> replicated_keys_;

@@ -1,0 +1,298 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace optselect {
+namespace obs {
+namespace {
+
+// Prometheus label values escape backslash, double-quote, and newline;
+// JSON strings additionally escape control characters (RFC 8259).
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// `{a="x",b="y"}` or "" when empty; `extra` appends one more pair
+// (used for the summary `quantile` label).
+std::string PrometheusLabels(const Labels& labels,
+                             const std::string& extra_key = "",
+                             const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += kv.first + "=\"" + EscapeLabelValue(kv.second) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + EscapeLabelValue(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(kv.first) + "\": \"" + EscapeJson(kv.second) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::AddCounter(std::string name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.kind = MetricSample::Kind::kCounter;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+void MetricsRegistry::AddCounterFn(std::string name, Labels labels,
+                                   std::function<uint64_t()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.kind = MetricSample::Kind::kCounter;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.counter_fn = std::move(read);
+}
+
+void MetricsRegistry::AddGaugeFn(std::string name, Labels labels,
+                                 std::function<double()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.kind = MetricSample::Kind::kGauge;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.gauge_fn = std::move(read);
+}
+
+serving::LatencyHistogram* MetricsRegistry::AddHistogram(std::string name,
+                                                         Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.kind = MetricSample::Kind::kHistogram;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.histogram = std::make_unique<serving::LatencyHistogram>();
+  return e.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  size_t n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = entries_.size();
+  }
+  std::vector<MetricSample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Entry& e = entries_[i];
+    MetricSample s;
+    s.kind = e.kind;
+    s.name = e.name;
+    s.labels = e.labels;
+    switch (e.kind) {
+      case MetricSample::Kind::kCounter:
+        s.value = static_cast<double>(e.counter ? e.counter->value()
+                                                : e.counter_fn());
+        break;
+      case MetricSample::Kind::kGauge:
+        s.value = e.gauge_fn();
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const serving::LatencyHistogram& h = *e.histogram;
+        s.count = h.count();
+        s.sum_us = h.TotalMicros();
+        s.p50_us = h.PercentileMicros(0.5);
+        s.p95_us = h.PercentileMicros(0.95);
+        s.p99_us = h.PercentileMicros(0.99);
+        s.p999_us = h.PercentileMicros(0.999);
+        s.value = static_cast<double>(s.count);
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::pair<Labels, const serving::LatencyHistogram*>>
+MetricsRegistry::HistogramsNamed(const std::string& name) const {
+  size_t n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = entries_.size();
+  }
+  std::vector<std::pair<Labels, const serving::LatencyHistogram*>> out;
+  for (size_t i = 0; i < n; ++i) {
+    const Entry& e = entries_[i];
+    if (e.kind == MetricSample::Kind::kHistogram && e.name == name) {
+      out.emplace_back(e.labels, e.histogram.get());
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::vector<MetricSample> samples = Collect();
+  std::string out;
+  out.reserve(samples.size() * 64);
+  // One # TYPE line per metric name, at its first occurrence.
+  std::vector<std::string> typed;
+  auto emit_type = [&](const std::string& name, const char* type) {
+    for (const std::string& t : typed) {
+      if (t == name) return;
+    }
+    typed.push_back(name);
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+  for (const MetricSample& s : samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter: {
+        emit_type(s.name, "counter");
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                      static_cast<uint64_t>(s.value));
+        out += s.name + PrometheusLabels(s.labels) + " " + buf + "\n";
+        break;
+      }
+      case MetricSample::Kind::kGauge:
+        emit_type(s.name, "gauge");
+        out += s.name + PrometheusLabels(s.labels) + " " +
+               FormatDouble(s.value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        // Exported as a Prometheus summary in seconds: pre-computed
+        // quantiles beat shipping ~1200 raw HDR buckets per series.
+        emit_type(s.name, "summary");
+        auto quantile = [&](const char* q, double us) {
+          out += s.name + PrometheusLabels(s.labels, "quantile", q) + " " +
+                 FormatDouble(us / 1e6) + "\n";
+        };
+        quantile("0.5", s.p50_us);
+        quantile("0.95", s.p95_us);
+        quantile("0.99", s.p99_us);
+        quantile("0.999", s.p999_us);
+        out += s.name + "_sum" + PrometheusLabels(s.labels) + " " +
+               FormatDouble(static_cast<double>(s.sum_us) / 1e6) + "\n";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.count);
+        out += s.name + "_count" + PrometheusLabels(s.labels) + " " + buf +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::vector<MetricSample> samples = Collect();
+  std::string counters, gauges, histograms;
+  for (const MetricSample& s : samples) {
+    std::string item = "{\"name\": \"" + EscapeJson(s.name) +
+                       "\", \"labels\": " + JsonLabels(s.labels);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                      static_cast<uint64_t>(s.value));
+        item += std::string(", \"value\": ") + buf + "}";
+        if (!counters.empty()) counters += ", ";
+        counters += item;
+        break;
+      }
+      case MetricSample::Kind::kGauge:
+        item += ", \"value\": " + FormatDouble(s.value) + "}";
+        if (!gauges.empty()) gauges += ", ";
+        gauges += item;
+        break;
+      case MetricSample::Kind::kHistogram: {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      ", \"count\": %" PRIu64 ", \"sum_us\": %" PRIu64,
+                      s.count, s.sum_us);
+        item += buf;
+        item += ", \"p50_us\": " + FormatDouble(s.p50_us) +
+                ", \"p95_us\": " + FormatDouble(s.p95_us) +
+                ", \"p99_us\": " + FormatDouble(s.p99_us) +
+                ", \"p999_us\": " + FormatDouble(s.p999_us) + "}";
+        if (!histograms.empty()) histograms += ", ";
+        histograms += item;
+        break;
+      }
+    }
+  }
+  return "{\"counters\": [" + counters + "], \"gauges\": [" + gauges +
+         "], \"histograms\": [" + histograms + "]}";
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace obs
+}  // namespace optselect

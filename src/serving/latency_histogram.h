@@ -35,6 +35,12 @@ class LatencyHistogram {
     return count_.load(std::memory_order_relaxed);
   }
 
+  /// Sum of all recorded observations, in microseconds (exact, unlike
+  /// the bucketed quantiles). Exposition wants count+sum pairs.
+  uint64_t TotalMicros() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
   /// Mean of all observations, in microseconds (0 when empty).
   double MeanMicros() const;
 

@@ -8,6 +8,7 @@
 
 #include "core/utility.h"
 #include "serving/cache_key.h"
+#include "util/hash.h"
 
 namespace optselect {
 namespace serving {
@@ -18,7 +19,102 @@ size_t ResolveWorkers(size_t requested) {
   return std::max<unsigned>(1, std::thread::hardware_concurrency());
 }
 
+obs::Labels WithStage(obs::Labels labels, const char* stage) {
+  labels.emplace_back("stage", stage);
+  return labels;
+}
+
 }  // namespace
+
+void ServingNode::RegisterMetrics() {
+  const obs::Labels& L = config_.metric_labels;
+  // Effect-before-cause registration: Collect() and Stats() read the
+  // handles in this order, so a counter that only increments after
+  // another has already incremented can never exceed it within one
+  // snapshot — completed <= accepted and plan_served <= diversified
+  // hold in every snapshot, under any concurrency.
+  completed_ = registry_->AddCounter("optselect_serving_completed_total", L);
+  plan_served_ =
+      registry_->AddCounter("optselect_serving_plan_served_total", L);
+  diversified_ =
+      registry_->AddCounter("optselect_serving_diversified_total", L);
+  passthrough_ =
+      registry_->AddCounter("optselect_serving_passthrough_total", L);
+  faulted_ = registry_->AddCounter("optselect_serving_faulted_total", L);
+  accepted_ = registry_->AddCounter("optselect_serving_accepted_total", L);
+  rejected_ = registry_->AddCounter("optselect_serving_rejected_total", L);
+  batches_ = registry_->AddCounter("optselect_serving_batches_total", L);
+  batched_requests_ =
+      registry_->AddCounter("optselect_serving_batched_requests_total", L);
+  batch_dedup_hits_ =
+      registry_->AddCounter("optselect_serving_batch_dedup_total", L);
+  reloads_ = registry_->AddCounter("optselect_serving_reloads_total", L);
+  reload_failures_ =
+      registry_->AddCounter("optselect_serving_reload_failures_total", L);
+
+  // The cache keeps its own atomics (it predates the registry and is
+  // shared code); exported through foreign-read counters.
+  registry_->AddCounterFn("optselect_cache_hits_total", L,
+                          [this] { return cache_.stats().hits; });
+  registry_->AddCounterFn("optselect_cache_misses_total", L,
+                          [this] { return cache_.stats().misses; });
+  registry_->AddCounterFn("optselect_cache_evictions_total", L,
+                          [this] { return cache_.stats().evictions; });
+  registry_->AddCounterFn("optselect_cache_insertions_total", L,
+                          [this] { return cache_.stats().insertions; });
+  registry_->AddCounterFn("optselect_cache_invalidations_total", L,
+                          [this] { return cache_.stats().invalidations; });
+
+  registry_->AddGaugeFn("optselect_queue_depth", L, [this] {
+    return static_cast<double>(queue_.size());
+  });
+  registry_->AddGaugeFn("optselect_cache_entries", L, [this] {
+    return static_cast<double>(cache_.size());
+  });
+  registry_->AddGaugeFn("optselect_store_version", L, [this] {
+    return static_cast<double>(snapshot()->version());
+  });
+  registry_->AddGaugeFn("optselect_uptime_seconds", L, [this] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_time_)
+        .count();
+  });
+
+  latency_ = registry_->AddHistogram("optselect_request_latency_seconds", L);
+  // Stage histograms exist in every build (exposition shows the series
+  // either way) but record only when tracing is compiled in — and they
+  // record EVERY request, not just sampled ones: stage quantiles must
+  // describe all traffic so their p50s can be checked against the
+  // end-to-end p50.
+  static const char* kStageNames[kNumStages] = {
+      "queue_wait", "cache_lookup", "store_read", "select", "reply"};
+  for (size_t i = 0; i < kNumStages; ++i) {
+    stage_hist_[i] = registry_->AddHistogram(
+        "optselect_stage_latency_seconds", WithStage(L, kStageNames[i]));
+  }
+}
+
+void ServingNode::MaybeStartTrace(Request* request) {
+#if OPTSELECT_TRACING
+  obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+  if (tracer == nullptr) return;
+  // The sequence number is consumed per admission attempt while a
+  // tracer is installed, so under a sequential driver (ReplaySequential
+  // — the chaos harness) seq equals the request index and the sampled
+  // set is identical across runs.
+  uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (!tracer->ShouldSample(seq)) return;
+  auto trace = std::make_unique<obs::Trace>();
+  trace->seq = seq;
+  trace->query = request->query;
+  trace->start = request->enqueue_time;
+  trace->events.push_back(
+      obs::TraceEvent{obs::TraceStage::kAdmission, 0, 0, 0});
+  request->trace = std::move(trace);
+#else
+  (void)request;
+#endif
+}
 
 FaultDecision ServingNode::EvaluateFault(FaultSite site,
                                          std::string_view key) const {
@@ -45,6 +141,11 @@ ServingNode::ServingNode(
     const text::Analyzer* analyzer,
     const corpus::DocumentStore* documents, ServingConfig config)
     : config_(config),
+      owned_registry_(config.registry == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      registry_(config.registry != nullptr ? config.registry
+                                           : owned_registry_.get()),
       snapshot_(std::move(snapshot)),
       searcher_(searcher),
       snippets_(snippets),
@@ -55,6 +156,7 @@ ServingNode::ServingNode(
       queue_(config.queue_capacity),
       cache_(config.cache),
       start_time_(std::chrono::steady_clock::now()) {
+  RegisterMetrics();
   size_t n = ResolveWorkers(config_.num_workers);
   config_.num_workers = n;
   workers_.reserve(n);
@@ -103,7 +205,7 @@ ServingNode::ReloadOutcome ServingNode::ReloadStore(
   // current snapshot — the refresher counts the error and retries on
   // its next tick, exactly like a failed disk read would play out.
   if (EvaluateFault(FaultSite::kReload, {}).fail) {
-    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    reload_failures_->Add();
     outcome.ok = false;
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     outcome.old_version = snapshot_->version();
@@ -123,7 +225,7 @@ ServingNode::ReloadOutcome ServingNode::ReloadStore(
       ++outcome.invalidated;
     }
   }
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_->Add();
   return outcome;
 }
 
@@ -143,18 +245,19 @@ bool ServingNode::Submit(std::string query,
   // Admission fault: a dead shard rejects before any work happens, the
   // same shape a crashed process presents to its clients.
   if (EvaluateFault(FaultSite::kQueueSubmit, query).fail) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Add();
     return false;
   }
   Request req;
   req.query = std::move(query);
   req.callback = std::move(callback);
   req.enqueue_time = std::chrono::steady_clock::now();
+  MaybeStartTrace(&req);
   if (!queue_.TryPush(std::move(req))) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Add();
     return false;
   }
-  accepted_.fetch_add(1, std::memory_order_relaxed);
+  accepted_->Add();
   return true;
 }
 
@@ -168,7 +271,7 @@ ServeResult ServingNode::Serve(const std::string& query) {
   auto state = std::make_shared<SyncState>();
 
   if (EvaluateFault(FaultSite::kQueueSubmit, query).fail) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Add();
     return ServeResult{};  // ok = false, like a shutdown rejection
   }
 
@@ -181,13 +284,14 @@ ServeResult ServingNode::Serve(const std::string& query) {
     state->done = true;
     state->cv.notify_one();
   };
+  MaybeStartTrace(&req);
   // Blocking push: synchronous callers apply backpressure instead of
   // shedding. Fails only when the node is shut down.
   if (!queue_.Push(std::move(req))) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Add();
     return ServeResult{};  // ok = false
   }
-  accepted_.fetch_add(1, std::memory_order_relaxed);
+  accepted_->Add();
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&state] { return state->done; });
@@ -196,11 +300,19 @@ ServeResult ServingNode::Serve(const std::string& query) {
 
 std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
     const std::string& normalized_query,
-    const store::StoreSnapshot& snapshot,
-    core::SelectScratch* scratch) const {
+    const store::StoreSnapshot& snapshot, core::SelectScratch* scratch,
+    obs::StageTimes* stages, obs::Trace* trace) const {
   auto result = std::make_shared<ServeResult>();
   result->ok = true;
   result->store_version = snapshot.version();
+
+  // Store-read span: everything needed to pose the selection problem —
+  // the store lookup, and on the fallback paths the live retrieval
+  // (analyze + search + candidates + utilities). The select span is
+  // OptSelect proper (SelectInto + ranking assembly). Both fold away
+  // when tracing is compiled out.
+  obs::TraceSpan read_span(trace, obs::TraceStage::kStoreRead, 0,
+                           &stages->store_read_us);
 
   const pipeline::PipelineParams& params = config_.params;
   // Serving-time step (a): the store *is* the precomputed answer of
@@ -219,6 +331,9 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
                                  params.threshold_c)) {
     const store::QueryPlan& plan = entry->plan;
     core::DiversificationView view = plan.View();
+    read_span.End();
+    obs::TraceSpan select_span(trace, obs::TraceStage::kSelect, 0,
+                               &stages->select_us);
     diversifier_.SelectInto(view, params.diversify, scratch,
                             &scratch->picks);
 
@@ -241,6 +356,9 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
     // Passthrough: the plain DPH ranking stands. No surrogate
     // extraction needed — a real node only pays for snippets on the
     // diversified path.
+    read_span.End();
+    obs::TraceSpan select_span(trace, obs::TraceStage::kSelect, 0,
+                               &stages->select_us);
     size_t k = std::min(params.diversify.k, rq.size());
     result->ranking.reserve(k);
     for (size_t i = 0; i < k; ++i) result->ranking.push_back(rq[i].doc);
@@ -262,6 +380,9 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
   core::UtilityMatrix utilities = computer.Compute(input);
   core::DiversificationView view =
       core::MakeView(input, utilities, scratch);
+  read_span.End();
+  obs::TraceSpan select_span(trace, obs::TraceStage::kSelect, 0,
+                             &stages->select_us);
   diversifier_.SelectInto(view, params.diversify, scratch,
                           &scratch->picks);
 
@@ -275,16 +396,25 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
 std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
     const std::string& cache_key, const std::string& normalized_query,
     const std::shared_ptr<const store::StoreSnapshot>& snapshot,
-    core::SelectScratch* scratch, bool* cache_hit) {
+    core::SelectScratch* scratch, bool* cache_hit,
+    obs::StageTimes* stages, obs::Trace* trace) {
   *cache_hit = false;
   if (!config_.enable_cache) {
-    return ComputeRanking(normalized_query, *snapshot, scratch);
+    return ComputeRanking(normalized_query, *snapshot, scratch, stages,
+                          trace);
   }
-  if (auto cached = cache_.Get(cache_key)) {
+  std::shared_ptr<const ServeResult> cached;
+  {
+    obs::TraceSpan span(trace, obs::TraceStage::kCacheLookup, 0,
+                        &stages->cache_lookup_us);
+    cached = cache_.Get(cache_key);
+  }
+  if (cached) {
     *cache_hit = true;
     return cached;
   }
-  auto computed = ComputeRanking(normalized_query, *snapshot, scratch);
+  auto computed =
+      ComputeRanking(normalized_query, *snapshot, scratch, stages, trace);
   // Fill guard: if a reload swapped the snapshot while we computed,
   // this result may belong to a key the reload just invalidated — drop
   // the fill (the request itself still answers on its pinned version).
@@ -303,21 +433,48 @@ void ServingNode::Finish(Request* request, const ServeResult& result) {
     // Injected store-read failure: answered, but with no ranking — the
     // failover tier treats it as a shard error. Neither diversified nor
     // passthrough.
-    faulted_.fetch_add(1, std::memory_order_relaxed);
+    faulted_->Add();
   } else if (result.diversified) {
-    diversified_.fetch_add(1, std::memory_order_relaxed);
+    diversified_->Add();
     if (result.plan_served) {
-      plan_served_.fetch_add(1, std::memory_order_relaxed);
+      plan_served_->Add();
     }
   } else {
-    passthrough_.fetch_add(1, std::memory_order_relaxed);
+    passthrough_->Add();
   }
   auto now = std::chrono::steady_clock::now();
-  latency_.Record(std::chrono::duration_cast<std::chrono::microseconds>(
-                      now - request->enqueue_time)
-                      .count());
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  int64_t total_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now - request->enqueue_time)
+          .count();
+  latency_->Record(total_us);
+  completed_->Add();
+#if OPTSELECT_TRACING
+  // The reply span covers the completion callback; it is excluded from
+  // total_us on both sides of the stage-sum identity (queue_wait +
+  // cache_lookup + store_read + select ≈ total).
+  int64_t reply_us = -1;
+  {
+    obs::TraceSpan reply_span(request->trace.get(),
+                              obs::TraceStage::kReply, 0, &reply_us);
+    if (request->callback) request->callback(result);
+  }
+  if (reply_us >= 0) stage_hist_[kStageReply]->Record(reply_us);
+  if (request->trace != nullptr) {
+    obs::Trace& t = *request->trace;
+    t.ok = result.ok;
+    t.diversified = result.diversified;
+    t.cache_hit = result.cache_hit;
+    t.plan_served = result.plan_served;
+    t.total_us = total_us;
+    t.ranking_hash = util::Fnv1a64(result.ranking.data(),
+                                   result.ranking.size() * sizeof(DocId));
+    obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+    if (tracer != nullptr) tracer->Commit(std::move(t));
+  }
+#else
   if (request->callback) request->callback(result);
+#endif
 }
 
 void ServingNode::WorkerLoop() {
@@ -332,14 +489,32 @@ void ServingNode::WorkerLoop() {
   std::unordered_map<std::string, std::shared_ptr<const ServeResult>>
       batch_local;
   while (queue_.PopBatch(&batch, config_.max_batch) > 0) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+    batches_->Add();
+    batched_requests_->Add(batch.size());
     batch_local.clear();
     // Pin the active snapshot once per batch: every request drained in
     // this wakeup answers on one consistent store version, and the
     // shared_ptr keeps that version alive across a concurrent reload.
     std::shared_ptr<const store::StoreSnapshot> snapshot = this->snapshot();
+#if OPTSELECT_TRACING
+    const auto drain_time = std::chrono::steady_clock::now();
+#endif
     for (Request& req : batch) {
+      obs::StageTimes stages;
+#if OPTSELECT_TRACING
+      stages.queue_wait_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              drain_time - req.enqueue_time)
+              .count();
+      stage_hist_[kStageQueueWait]->Record(stages.queue_wait_us);
+      if (req.trace != nullptr) {
+        req.trace->events.push_back(obs::TraceEvent{
+            obs::TraceStage::kQueueWait, 0, stages.queue_wait_us, 0});
+        req.trace->events.push_back(
+            obs::TraceEvent{obs::TraceStage::kBatch, stages.queue_wait_us,
+                            0, batch.size()});
+      }
+#endif
       std::string normalized = NormalizeQuery(req.query);
       // Store-read fault: the worker fails (or stalls — the delay is
       // applied inside EvaluateFault) while answering. Evaluated per
@@ -358,12 +533,26 @@ void ServingNode::WorkerLoop() {
       if (it != batch_local.end()) {
         payload = it->second;
         dedup = true;
-        batch_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+        batch_dedup_hits_->Add();
       } else {
         payload = LookupOrCompute(key, normalized, snapshot, &scratch,
-                                  &cache_hit);
+                                  &cache_hit, &stages, req.trace.get());
         if (batch.size() > 1) batch_local.emplace(key, payload);
       }
+
+#if OPTSELECT_TRACING
+      // Stage histograms record every request that ran the stage, not
+      // just sampled ones — sampling only gates trace storage.
+      if (stages.cache_lookup_us >= 0) {
+        stage_hist_[kStageCacheLookup]->Record(stages.cache_lookup_us);
+      }
+      if (stages.store_read_us >= 0) {
+        stage_hist_[kStageStoreRead]->Record(stages.store_read_us);
+      }
+      if (stages.select_us >= 0) {
+        stage_hist_[kStageSelect]->Record(stages.select_us);
+      }
+#endif
 
       ServeResult result = *payload;  // copy; per-request flags below
       result.cache_hit = cache_hit;
@@ -375,25 +564,32 @@ void ServingNode::WorkerLoop() {
 
 ServingStats ServingNode::Stats() const {
   ServingStats s;
-  s.accepted = accepted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.diversified = diversified_.load(std::memory_order_relaxed);
-  s.plan_served = plan_served_.load(std::memory_order_relaxed);
-  s.passthrough = passthrough_.load(std::memory_order_relaxed);
+  // The thin-view snapshot: reads go through the registry handles in
+  // registration (effect-before-cause) order — completed strictly
+  // before accepted, plan_served before diversified — so the invariants
+  // completed <= accepted and plan_served <= diversified hold in every
+  // snapshot even while workers are mutating the counters. (The
+  // pre-registry code read accepted first and could observe
+  // completed > accepted under load.)
+  s.completed = completed_->value();
+  s.plan_served = plan_served_->value();
+  s.diversified = diversified_->value();
+  s.passthrough = passthrough_->value();
+  s.faulted = faulted_->value();
+  s.accepted = accepted_->value();
+  s.rejected = rejected_->value();
   ResultCacheStats cs = cache_.stats();
   s.cache_hits = cs.hits;
   s.cache_misses = cs.misses;
   s.cache_evictions = cs.evictions;
   s.cache_invalidations = cs.invalidations;
   s.cache_hit_rate = cs.HitRate();
-  s.reloads = reloads_.load(std::memory_order_relaxed);
-  s.faulted = faulted_.load(std::memory_order_relaxed);
-  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  s.reloads = reloads_->value();
+  s.reload_failures = reload_failures_->value();
   s.store_version = snapshot()->version();
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
-  s.batch_dedup_hits = batch_dedup_hits_.load(std::memory_order_relaxed);
+  s.batches = batches_->value();
+  s.batched_requests = batched_requests_->value();
+  s.batch_dedup_hits = batch_dedup_hits_->value();
   s.mean_batch =
       s.batches == 0
           ? 0.0
@@ -405,10 +601,10 @@ ServingStats ServingNode::Stats() const {
   s.qps = s.uptime_seconds > 0
               ? static_cast<double>(s.completed) / s.uptime_seconds
               : 0.0;
-  s.mean_ms = latency_.MeanMicros() / 1000.0;
-  s.p50_ms = latency_.PercentileMicros(0.50) / 1000.0;
-  s.p95_ms = latency_.PercentileMicros(0.95) / 1000.0;
-  s.p99_ms = latency_.PercentileMicros(0.99) / 1000.0;
+  s.mean_ms = latency_->MeanMicros() / 1000.0;
+  s.p50_ms = latency_->PercentileMicros(0.50) / 1000.0;
+  s.p95_ms = latency_->PercentileMicros(0.95) / 1000.0;
+  s.p99_ms = latency_->PercentileMicros(0.99) / 1000.0;
   s.queue_depth = queue_.size();
   s.cache_entries = cache_.size();
   return s;

@@ -58,6 +58,8 @@
 #include "corpus/document_store.h"
 #include "index/searcher.h"
 #include "index/snippet_extractor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/diversification_pipeline.h"
 #include "pipeline/testbed.h"
 #include "serving/fault_injector.h"
@@ -88,6 +90,15 @@ struct ServingConfig {
   size_t intra_query_threads = 1;
   /// Retrieval / diversification parameters (shared by every request).
   pipeline::PipelineParams params;
+  /// Metrics registry the node registers its counters, gauges, and
+  /// latency histograms into. Non-owned and must outlive the node; null
+  /// (the default) makes the node create a private registry, reachable
+  /// via metrics() — single-node tools and tests keep working unchanged
+  /// while a ShardedCluster passes one shared registry to every shard.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Labels stamped on every metric this node registers (the cluster
+  /// sets {{"shard", "<i>"}}); empty for a standalone node.
+  obs::Labels metric_labels;
 };
 
 /// Outcome of one request.
@@ -248,13 +259,29 @@ class ServingNode {
     fault_injector_.store(injector, std::memory_order_release);
   }
 
-  /// Snapshot of the counters and latency quantiles.
+  /// Installs (or clears) a tracer: each accepted request gets a
+  /// sequence number and, when sampled, carries an obs::Trace through
+  /// the worker flow, committed on completion. Not owned; must outlive
+  /// the node or be cleared first. In builds without OPTSELECT_TRACING
+  /// the sites are compiled out (obs::TracingCompiledIn()).
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
+  /// Snapshot of the counters and latency quantiles. Reads go through
+  /// the registry handles in registration (effect-before-cause) order,
+  /// so derived invariants like completed <= accepted hold in every
+  /// snapshot.
   ServingStats Stats() const;
+
+  /// The registry this node records into (the config's, or the private
+  /// one created when none was supplied).
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
 
   /// The node's request-latency histogram (queue wait included). Used
   /// by the cluster tier to merge per-shard distributions into exact
   /// cluster-level quantiles instead of averaging per-shard quantiles.
-  const LatencyHistogram& latency_histogram() const { return latency_; }
+  const LatencyHistogram& latency_histogram() const { return *latency_; }
 
   const ServingConfig& config() const { return config_; }
 
@@ -272,20 +299,40 @@ class ServingNode {
     std::string query;
     std::function<void(ServeResult)> callback;
     std::chrono::steady_clock::time_point enqueue_time;
+    /// Sampled requests carry their trace through the queue; null for
+    /// the unsampled rest (and always null with tracing compiled out).
+    std::unique_ptr<obs::Trace> trace;
+  };
+
+  /// Indices into stage_hist_ (per-stage latency histograms).
+  enum StageIndex : size_t {
+    kStageQueueWait = 0,
+    kStageCacheLookup,
+    kStageStoreRead,
+    kStageSelect,
+    kStageReply,
+    kNumStages,
   };
 
   void WorkerLoop();
+  /// Registers every counter/gauge/histogram into registry_ (ctor).
+  void RegisterMetrics();
+  /// Samples the just-accepted request: assigns a sequence number and
+  /// attaches a Trace when the installed tracer selects it. No-op
+  /// (compiled out) without OPTSELECT_TRACING.
+  void MaybeStartTrace(Request* request);
   /// Consults the installed fault injector; a no-decision default when
   /// none is installed or the hooks are compiled out.
   FaultDecision EvaluateFault(FaultSite site, std::string_view key) const;
   /// Compute for one normalized query against a pinned snapshot.
   /// `scratch` is the calling worker's reusable selection memory; the
   /// plan path runs entirely inside it (no per-request allocation
-  /// beyond the result object itself).
+  /// beyond the result object itself). `stages` collects store-read /
+  /// select wall time; `trace` (nullable) collects span events.
   std::shared_ptr<const ServeResult> ComputeRanking(
       const std::string& normalized_query,
-      const store::StoreSnapshot& snapshot,
-      core::SelectScratch* scratch) const;
+      const store::StoreSnapshot& snapshot, core::SelectScratch* scratch,
+      obs::StageTimes* stages, obs::Trace* trace) const;
   /// Full per-request flow: cache lookup, compute, cache fill. The
   /// fill is skipped when the active snapshot moved past `snapshot`
   /// mid-compute, so a stale ranking can never repopulate a key that a
@@ -293,10 +340,16 @@ class ServingNode {
   std::shared_ptr<const ServeResult> LookupOrCompute(
       const std::string& cache_key, const std::string& normalized_query,
       const std::shared_ptr<const store::StoreSnapshot>& snapshot,
-      core::SelectScratch* scratch, bool* cache_hit);
+      core::SelectScratch* scratch, bool* cache_hit,
+      obs::StageTimes* stages, obs::Trace* trace);
   void Finish(Request* request, const ServeResult& result);
 
   ServingConfig config_;
+  /// Private registry when the config supplied none. Declared before
+  /// every member that registers into it, so it outlives their
+  /// callbacks on destruction.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const store::StoreSnapshot> snapshot_;
   const index::Searcher* searcher_;
@@ -308,24 +361,33 @@ class ServingNode {
 
   BoundedRequestQueue<Request> queue_;
   ShardedLruCache<ServeResult> cache_;
-  LatencyHistogram latency_;
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};
   std::chrono::steady_clock::time_point start_time_;
 
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> diversified_{0};
-  std::atomic<uint64_t> plan_served_{0};
-  std::atomic<uint64_t> passthrough_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batched_requests_{0};
-  std::atomic<uint64_t> batch_dedup_hits_{0};
-  std::atomic<uint64_t> reloads_{0};
-  std::atomic<uint64_t> faulted_{0};
-  std::atomic<uint64_t> reload_failures_{0};
+  // Registry handles (owned by *registry_; registered effect-before-
+  // cause — see RegisterMetrics for the order and the invariants it
+  // buys). Raw-atomic plumbing replaced in the observability PR.
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* plan_served_ = nullptr;
+  obs::Counter* diversified_ = nullptr;
+  obs::Counter* passthrough_ = nullptr;
+  obs::Counter* faulted_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* batched_requests_ = nullptr;
+  obs::Counter* batch_dedup_hits_ = nullptr;
+  obs::Counter* reloads_ = nullptr;
+  obs::Counter* reload_failures_ = nullptr;
+  LatencyHistogram* latency_ = nullptr;
+  LatencyHistogram* stage_hist_[kNumStages] = {nullptr};
+
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  /// Request sequence numbers for deterministic sampling; assigned per
+  /// admission attempt while a tracer is installed.
+  std::atomic<uint64_t> trace_seq_{0};
 };
 
 }  // namespace serving

@@ -39,17 +39,21 @@
 // usage; bad invocations exit with status 2.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/chaos.h"
 #include "cluster/sharded_cluster.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/factory.h"
 #include "core/footprint.h"
 #include "eval/diversity_evaluator.h"
@@ -111,11 +115,29 @@ void PrintUsage(std::FILE* out) {
       "  evaluate <dir> <run...>   score run files (alpha-NDCG, IA-P)\n"
       "\n"
       "  serve <dir>               interactive serving REPL over store.bin\n"
-      "                            (\":stats\" = counters, \":refresh\" =\n"
-      "                            force a refresh tick, EOF = exit)\n"
+      "                            (\":stats\" = counters + per-stage\n"
+      "                            latency breakdown, \":traces\" = sampled\n"
+      "                            request traces + slow-query log,\n"
+      "                            \":refresh\" = force a refresh tick,\n"
+      "                            EOF = exit)\n"
       "  loadtest <dir>            replay a Zipf query mix, print stats\n"
       "      --requests N          loadtest only: replay size (default 5000)\n"
       "      --skew Z              loadtest only: Zipf skew (default 1.0)\n"
+      "      --metrics-out F       loadtest only: write the Prometheus\n"
+      "                            text exposition of the metrics registry\n"
+      "                            to F periodically during the replay and\n"
+      "                            once after it\n"
+      "  stats <dir>               deterministic sequential replay, then\n"
+      "                            the full metrics dump: per-stage\n"
+      "                            latency breakdown (queue-wait, cache,\n"
+      "                            store-read, select, total), counters,\n"
+      "                            slow-query log\n"
+      "      --requests N          replay size (default 2000)\n"
+      "      --skew Z              Zipf skew (default 1.0)\n"
+      "      --format table|prom|json   output format (default table)\n"
+      "                            (cache defaults OFF here so every\n"
+      "                            request runs every stage and the stage\n"
+      "                            p50s sum to the e2e p50)\n"
       "    shared serving flags:\n"
       "      --workers N           worker threads (0 = hw concurrency)\n"
       "      --batch B             micro-batch size (1 disables)\n"
@@ -124,6 +146,10 @@ void PrintUsage(std::FILE* out) {
       "      --candidates N        |R_q| retrieved (default 200)\n"
       "      --k N  --c F  --lambda F   pipeline knobs\n"
       "      --topics N  --seed S  must match `generate`\n"
+      "      --trace-every N       deterministic 1-in-N request trace\n"
+      "                            sampling (default: 1 for serve/stats,\n"
+      "                            64 for loadtest; needs a build with\n"
+      "                            -DOPTSELECT_TRACING=ON or Debug)\n"
       "    sharded cluster (default: one node):\n"
       "      --shards N            partition the store by query hash over\n"
       "                            N independent serving shards behind a\n"
@@ -165,6 +191,13 @@ void PrintUsage(std::FILE* out) {
       "      --workers N  --batch B  --cache 0|1  --cache-capacity N\n"
       "      --candidates N  --k N  --c F  --lambda F\n"
       "      --topics N  --seed S  testbed shape (also seeds the mix)\n"
+      "      --trace-every N       trace sampling on the failover path\n"
+      "                            (default 16); with tracing compiled\n"
+      "                            in, the run also asserts the trace\n"
+      "                            invariants (sampled traces match the\n"
+      "                            outcome vector, tracer breaker log\n"
+      "                            mirrors the transition log, sampled\n"
+      "                            sequences identical across runs)\n"
       "\n"
       "  help | --help | -h        this text\n");
 }
@@ -228,10 +261,11 @@ std::vector<std::string> ServingFlagSet(bool loadtest) {
       "workers",        "batch",    "cache",           "cache-capacity",
       "candidates",     "k",        "c",               "lambda",
       "topics",         "seed",     "refresh-interval", "log-tail",
-      "store-persist",  "shards",   "replicate-hot"};
+      "store-persist",  "shards",   "replicate-hot",   "trace-every"};
   if (loadtest) {
     flags.push_back("requests");
     flags.push_back("skew");
+    flags.push_back("metrics-out");
   }
   return flags;
 }
@@ -458,6 +492,92 @@ void PrintServingStats(const serving::ServingStats& s) {
   std::printf("%s", tp.ToString().c_str());
 }
 
+/// Per-stage latency breakdown from the registry's stage histograms,
+/// merged across label sets (shards). The reply stage is excluded from
+/// the p50 sum because the node's e2e latency is recorded *before* the
+/// completion callback runs — both sides of the comparison leave it
+/// out. Stage histograms are populated only when tracing is compiled
+/// in; the table says so instead of printing zeros silently.
+void PrintStageBreakdown(const obs::MetricsRegistry& registry) {
+  if (!obs::TracingCompiledIn()) {
+    std::printf(
+        "per-stage breakdown unavailable: stage timers are compiled out "
+        "(rebuild with -DOPTSELECT_TRACING=ON, or a Debug build)\n");
+    return;
+  }
+  serving::LatencyHistogram e2e;
+  for (const auto& [labels, hist] :
+       registry.HistogramsNamed("optselect_request_latency_seconds")) {
+    e2e.MergeFrom(*hist);
+  }
+  auto stage_hists =
+      registry.HistogramsNamed("optselect_stage_latency_seconds");
+
+  util::TablePrinter tp;
+  tp.SetHeader({"stage", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms"});
+  double p50_sum_ms = 0.0;
+  static const char* kStages[] = {"queue_wait", "cache_lookup",
+                                  "store_read", "select", "reply"};
+  for (const char* stage : kStages) {
+    serving::LatencyHistogram merged;
+    for (const auto& [labels, hist] : stage_hists) {
+      for (const auto& [key, value] : labels) {
+        if (key == "stage" && value == stage) merged.MergeFrom(*hist);
+      }
+    }
+    double p50_ms = merged.PercentileMicros(0.50) / 1000.0;
+    if (std::strcmp(stage, "reply") != 0) p50_sum_ms += p50_ms;
+    tp.AddRow({stage, std::to_string(merged.count()),
+               util::TablePrinter::Num(p50_ms, 3),
+               util::TablePrinter::Num(merged.PercentileMicros(0.95) / 1000.0,
+                                       3),
+               util::TablePrinter::Num(merged.PercentileMicros(0.99) / 1000.0,
+                                       3),
+               util::TablePrinter::Num(merged.MeanMicros() / 1000.0, 3)});
+  }
+  tp.AddRow({"e2e total", std::to_string(e2e.count()),
+             util::TablePrinter::Num(e2e.PercentileMicros(0.50) / 1000.0, 3),
+             util::TablePrinter::Num(e2e.PercentileMicros(0.95) / 1000.0, 3),
+             util::TablePrinter::Num(e2e.PercentileMicros(0.99) / 1000.0, 3),
+             util::TablePrinter::Num(e2e.MeanMicros() / 1000.0, 3)});
+  std::printf("%s", tp.ToString().c_str());
+  std::printf(
+      "stage p50 sum (queue+cache+store+select) = %.3f ms, e2e p50 = "
+      "%.3f ms\n",
+      p50_sum_ms, e2e.PercentileMicros(0.50) / 1000.0);
+}
+
+/// The slow-query log plus the tail of the trace ring.
+void PrintTraces(const obs::Tracer& tracer) {
+  std::vector<obs::Trace> slow = tracer.Slowest();
+  std::printf("slow-query log (%zu of %llu committed traces):\n",
+              slow.size(),
+              static_cast<unsigned long long>(tracer.committed()));
+  for (const obs::Trace& trace : slow) {
+    std::printf("%s", obs::Tracer::Format(trace).c_str());
+  }
+  std::vector<obs::Trace> recent = tracer.Recent();
+  size_t tail = std::min<size_t>(recent.size(), 4);
+  if (tail > 0) {
+    std::printf("most recent %zu sampled traces:\n", tail);
+    for (size_t i = recent.size() - tail; i < recent.size(); ++i) {
+      std::printf("%s", obs::Tracer::Format(recent[i]).c_str());
+    }
+  }
+}
+
+/// Makes the tool's tracer when this build evaluates tracing; null
+/// (and a one-line notice for interactive surfaces) otherwise.
+std::unique_ptr<obs::Tracer> MakeTracer(const Flags& flags,
+                                        const std::string& fallback_every) {
+  if (!obs::TracingCompiledIn()) return nullptr;
+  obs::TracerConfig config;
+  uint64_t every = static_cast<uint64_t>(
+      std::atoll(flags.Get("trace-every", fallback_every).c_str()));
+  config.sample_every = every;
+  return std::make_unique<obs::Tracer>(config);
+}
+
 /// Builds (and starts) the refresh loop when --refresh-interval > 0.
 /// Returns nullptr when refresh is disabled. `shard_index` >= 0 marks a
 /// cluster shard's refresher: the mined delta is filtered to the keys
@@ -624,7 +744,9 @@ int CmdServe(const Flags& flags) {
   serving::ServingConfig serving_config = ServingConfigFor(flags);
   RecompilePlansForServing(store.get(), testbed, serving_config);
 
-  // One node, or a sharded cluster behind a router (--shards N).
+  // One node, or a sharded cluster behind a router (--shards N). The
+  // tracer is declared before both so it outlives their worker threads.
+  std::unique_ptr<obs::Tracer> tracer = MakeTracer(flags, "1");
   std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
   std::unique_ptr<cluster::ShardedCluster> cl =
       MakeCluster(flags, dir, *store, testbed, serving_config, &refreshers);
@@ -635,6 +757,13 @@ int CmdServe(const Flags& flags) {
     auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
     if (refresher != nullptr) refreshers.push_back(std::move(refresher));
   }
+  if (tracer != nullptr) {
+    if (cl != nullptr) {
+      cl->set_tracer(tracer.get());
+    } else {
+      node->set_tracer(tracer.get());
+    }
+  }
   // Clusters answer through the fault-tolerant path: a wedged or killed
   // shard degrades its keys instead of erroring the REPL.
   auto serve = [&](const std::string& query) {
@@ -644,8 +773,10 @@ int CmdServe(const Flags& flags) {
   auto print_stats = [&] {
     if (cl != nullptr) {
       PrintClusterStats(cl->Stats());
+      PrintStageBreakdown(cl->metrics());
     } else {
       PrintServingStats(node->Stats());
+      PrintStageBreakdown(node->metrics());
     }
     for (const auto& refresher : refreshers) {
       PrintRefresherStats(*refresher);
@@ -658,8 +789,9 @@ int CmdServe(const Flags& flags) {
       cl != nullptr ? cl->shard(0)->config() : node->config();
   std::printf(
       "serving %zu stored queries with %zu workers (batch %zu, cache %s)\n"
-      "one query per line; \":stats\" prints counters; \":refresh\" forces"
-      " a refresh tick; EOF exits\n",
+      "one query per line; \":stats\" prints counters + stage breakdown; "
+      "\":traces\" prints sampled traces; \":refresh\" forces a refresh "
+      "tick; EOF exits\n",
       store->size(), resolved.num_workers, resolved.max_batch,
       resolved.enable_cache ? "on" : "off");
 
@@ -673,6 +805,16 @@ int CmdServe(const Flags& flags) {
     if (query.empty()) continue;
     if (query == ":stats") {
       print_stats();
+      continue;
+    }
+    if (query == ":traces") {
+      if (tracer == nullptr) {
+        std::printf(
+            "tracing is compiled out of this build (rebuild with "
+            "-DOPTSELECT_TRACING=ON, or a Debug build)\n");
+      } else {
+        PrintTraces(*tracer);
+      }
       continue;
     }
     if (query == ":refresh") {
@@ -738,6 +880,7 @@ int CmdLoadtest(const Flags& flags) {
   config.queue_capacity = num_requests;
   RecompilePlansForServing(store.get(), testbed, config);
 
+  std::unique_ptr<obs::Tracer> tracer = MakeTracer(flags, "64");
   std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
   std::unique_ptr<cluster::ShardedCluster> cl =
       MakeCluster(flags, dir, *store, testbed, config, &refreshers);
@@ -748,6 +891,46 @@ int CmdLoadtest(const Flags& flags) {
     auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
     if (refresher != nullptr) refreshers.push_back(std::move(refresher));
   }
+  if (tracer != nullptr) {
+    if (cl != nullptr) {
+      cl->set_tracer(tracer.get());
+    } else {
+      node->set_tracer(tracer.get());
+    }
+  }
+  const obs::MetricsRegistry& registry =
+      cl != nullptr ? cl->metrics() : node->metrics();
+
+  // --metrics-out: a Prometheus-text snapshot of the registry, written
+  // periodically while the replay runs (a scrape target on disk) and
+  // once more after the drain so the file always ends complete.
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  auto write_metrics = [&] {
+    if (metrics_out.empty()) return;
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   metrics_out.c_str());
+      return;
+    }
+    std::string text = registry.RenderPrometheus();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  };
+  std::atomic<bool> replay_done{false};
+  std::thread metrics_writer;
+  if (!metrics_out.empty()) {
+    metrics_writer = std::thread([&] {
+      while (!replay_done.load(std::memory_order_acquire)) {
+        write_metrics();
+        for (int i = 0; i < 5; ++i) {
+          if (replay_done.load(std::memory_order_acquire)) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+
   std::printf("replaying %zu requests (skew %.2f) on %zu shard(s) x %zu "
               "workers...\n",
               num_requests, skew, cl != nullptr ? cl->num_shards() : 1,
@@ -763,6 +946,8 @@ int CmdLoadtest(const Flags& flags) {
                 },
                 mix)
           : serving::ReplayMix(node.get(), mix);
+  replay_done.store(true, std::memory_order_release);
+  if (metrics_writer.joinable()) metrics_writer.join();
   std::printf("replayed %zu/%zu requests in %.1f ms (%.0f QPS)\n",
               out.accepted, num_requests, out.wall_ms, out.qps);
   for (const auto& refresher : refreshers) refresher->Stop();
@@ -771,7 +956,97 @@ int CmdLoadtest(const Flags& flags) {
   } else {
     PrintServingStats(node->Stats());
   }
+  PrintStageBreakdown(registry);
+  if (tracer != nullptr) PrintTraces(*tracer);
   for (const auto& refresher : refreshers) PrintRefresherStats(*refresher);
+  write_metrics();  // final, post-drain snapshot
+  if (!metrics_out.empty()) {
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+/// `optselect stats` — the observability probe: a deterministic,
+/// strictly sequential replay on a single node, then the full metrics
+/// dump. Sequential (one request in flight) and cache-off by default,
+/// so every request runs every stage and the per-stage p50s sum to the
+/// e2e p50 — the self-check that the stage timers actually tile a
+/// request's lifetime.
+int CmdStats(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  const std::string dir = flags.positional[0];
+  std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
+  if (store == nullptr) return 1;
+
+  const std::string format = flags.Get("format", "table");
+  if (format != "table" && format != "prom" && format != "json") {
+    std::fprintf(stderr, "error: --format must be table, prom, or json\n");
+    return 2;
+  }
+  bool table = format == "table";
+  // prom/json dumps go to stdout; progress chatter must not pollute
+  // them.
+  std::FILE* chatter = table ? stdout : stderr;
+
+  std::fprintf(chatter, "rebuilding testbed retrieval stack...\n");
+  pipeline::Testbed testbed(ConfigFor(flags));
+
+  size_t num_requests = SizeFlag(flags, "requests", "2000");
+  if (num_requests == 0) {
+    std::fprintf(stderr, "error: --requests must be positive\n");
+    return 2;
+  }
+  double skew = std::atof(flags.Get("skew", "1.0").c_str());
+  if (testbed.recommender().popularity().counts().empty()) {
+    std::fprintf(stderr, "error: empty query log\n");
+    return 1;
+  }
+  util::Rng rng(static_cast<uint64_t>(
+      std::atoll(flags.Get("seed", "17").c_str())));
+  std::vector<std::string> mix = querylog::ZipfQueryMix(
+      testbed.recommender().popularity(), num_requests, skew, &rng);
+
+  serving::ServingConfig config = ServingConfigFor(flags);
+  // Cache OFF by default (unlike serve/loadtest): a cache hit skips
+  // store-read and select, and the stage-sum identity only holds when
+  // every request runs the same stages.
+  config.enable_cache = flags.Get("cache", "0") != "0";
+  config.queue_capacity = std::max<size_t>(config.queue_capacity, 64);
+  RecompilePlansForServing(store.get(), testbed, config);
+
+  std::unique_ptr<obs::Tracer> tracer = MakeTracer(flags, "16");
+  serving::ServingNode node(store.get(), &testbed, config);
+  if (tracer != nullptr) node.set_tracer(tracer.get());
+
+  std::fprintf(chatter, "sequential replay: %zu requests (skew %.2f)...\n",
+               num_requests, skew);
+  serving::ReplayOutcome out = serving::ReplaySequential(
+      [&](const std::string& query) { return node.Serve(query); }, mix,
+      nullptr, nullptr);
+  // Drain the workers before reading the registry: the reply span is
+  // recorded *after* the completion callback unblocks the client, so
+  // without the drain the last request's reply sample may be mid-air.
+  node.Shutdown();
+
+  if (format == "prom") {
+    std::printf("%s", node.metrics().RenderPrometheus().c_str());
+    return 0;
+  }
+  if (format == "json") {
+    std::printf("%s\n", node.metrics().RenderJson().c_str());
+    return 0;
+  }
+  std::printf("replayed %zu requests in %.1f ms (%.0f QPS, sequential)\n",
+              out.accepted, out.wall_ms, out.qps);
+  PrintServingStats(node.Stats());
+  PrintStageBreakdown(node.metrics());
+  if (tracer != nullptr) {
+    PrintTraces(*tracer);
+  } else {
+    std::printf(
+        "(no traces: tracing is compiled out of this build — rebuild "
+        "with -DOPTSELECT_TRACING=ON, or a Debug build)\n");
+  }
   return 0;
 }
 
@@ -832,6 +1107,8 @@ int CmdChaos(const Flags& flags) {
       static_cast<long long>(
           std::atof(flags.Get("slow-ms", "20").c_str()) * 1000.0));
   chaos.schedule = cluster::DefaultChaosSchedule(requests, shards);
+  chaos.trace_sample_every = static_cast<uint64_t>(
+      std::atoll(flags.Get("trace-every", "16").c_str()));
 
   const querylog::PopularityMap& popularity =
       testbed.recommender().popularity();
@@ -928,6 +1205,30 @@ int CmdChaos(const Flags& flags) {
         "replicated key round-robins onto a slowed shard during the "
         "slow window, or --slow-ms is not >= 2x --hedge-ms)\n");
   }
+
+  // Trace invariants (only meaningful with tracing compiled in): the
+  // sampled traces must retell exactly the story the report recorded.
+  if (obs::TracingCompiledIn()) {
+    cluster::TraceVerdict tv =
+        cluster::VerifyTraceInvariants(run_a, run_b, chaos);
+    check(tv.sampled_a == tv.sampled_expected &&
+              tv.sampled_b == tv.sampled_expected,
+          "every sampled request traced exactly once",
+          tv.sampled_a + tv.sampled_b);
+    check(tv.outcome_mismatches == 0,
+          "traced outcomes match the report's outcome vector",
+          tv.outcome_mismatches);
+    check(tv.breaker_mismatches == 0,
+          "tracer breaker log mirrors the router transition log",
+          tv.breaker_mismatches);
+    check(tv.cross_run_mismatches == 0,
+          "sampled trace sequences identical across the two runs",
+          tv.cross_run_mismatches);
+  } else {
+    std::printf(
+        "SKIP: trace invariants — tracing compiled out (rebuild with "
+        "-DOPTSELECT_TRACING=ON, or a Debug build)\n");
+  }
   return failed ? 1 : 0;
 }
 
@@ -978,12 +1279,21 @@ int main(int argc, char** argv) {
     if (!flags.Validate("loadtest", ServingFlagSet(true))) return Usage();
     return CmdLoadtest(flags);
   }
+  if (cmd == "stats") {
+    if (!flags.Validate("stats",
+                        {"workers", "batch", "cache", "cache-capacity",
+                         "candidates", "k", "c", "lambda", "topics", "seed",
+                         "requests", "skew", "format", "trace-every"})) {
+      return Usage();
+    }
+    return CmdStats(flags);
+  }
   if (cmd == "chaos") {
     if (!flags.Validate("chaos",
                         {"requests", "skew", "shards", "replicate-hot",
                          "hedge-ms", "slow-ms", "workers", "batch", "cache",
                          "cache-capacity", "candidates", "k", "c", "lambda",
-                         "topics", "seed"})) {
+                         "topics", "seed", "trace-every"})) {
       return Usage();
     }
     return CmdChaos(flags);
