@@ -224,7 +224,12 @@ int main(int argc, char** argv) {
               {"p50_ms", r.stats.p50_ms},
               {"p99_ms", r.stats.p99_ms},
               {"cache_hit_rate", r.stats.cache_hit_rate}},
-             r.wall_ms, r.qps);
+             r.wall_ms, r.qps,
+             // Which selection backend the cold path used: the node's
+             // default (streaming scan-and-maintain) unless configured
+             // off. Descriptive — the regression gate ignores strings.
+             {{"backend", base.streaming_cold_path ? "streaming"
+                                                   : "materialized"}});
   };
 
   // The worker sweep runs cache-off so each request pays the full
@@ -279,7 +284,7 @@ int main(int argc, char** argv) {
                static_cast<double>(std::thread::hardware_concurrency())}},
              qps > 0 ? 1000.0 * static_cast<double>(num_requests) / qps
                      : 0.0,
-             qps);
+             qps, {{"backend", "materialized"}});
   }
   if (compute_qps_1 > 0 && compute_qps_4 > 0 && qps_1 > 0 && qps_4 > 0) {
     double node_scaling = qps_4 / qps_1;

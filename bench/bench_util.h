@@ -77,11 +77,17 @@ class BenchJsonWriter {
   explicit BenchJsonWriter(std::string bench_name)
       : bench_name_(std::move(bench_name)) {}
 
-  /// Adds one record. `params` is a flat list of (key, value) pairs.
+  /// Adds one record. `params` is a flat list of (key, value) pairs;
+  /// `tags` are string-valued params rendered as quoted JSON strings in
+  /// the same "params" object (e.g. {"backend", "streaming"}).
+  /// check_bench.py only gates correctness keys and `*_ms` params, so
+  /// tags are descriptive, never compared numerically.
   void Add(const std::string& name,
            const std::vector<std::pair<std::string, double>>& params,
-           double wall_ms, double qps) {
-    records_.push_back(Record{name, params, wall_ms, qps});
+           double wall_ms, double qps,
+           const std::vector<std::pair<std::string, std::string>>& tags =
+               {}) {
+    records_.push_back(Record{name, params, tags, wall_ms, qps});
   }
 
   /// Attaches a metrics-registry snapshot — the verbatim output of
@@ -111,7 +117,12 @@ class BenchJsonWriter {
         out += "\"" + Escape(r.params[j].first) +
                "\": " + FormatDouble(r.params[j].second);
       }
-      out += r.params.empty() ? "}" : " }";
+      for (size_t j = 0; j < r.tags.size(); ++j) {
+        out += r.params.empty() && j == 0 ? " " : ", ";
+        out += "\"" + Escape(r.tags[j].first) + "\": \"" +
+               Escape(r.tags[j].second) + "\"";
+      }
+      out += r.params.empty() && r.tags.empty() ? "}" : " }";
       out += " }";
     }
     out += records_.empty() ? "]" : "\n  ]";
@@ -167,6 +178,7 @@ class BenchJsonWriter {
   struct Record {
     std::string name;
     std::vector<std::pair<std::string, double>> params;
+    std::vector<std::pair<std::string, std::string>> tags;
     double wall_ms = 0;
     double qps = 0;
   };

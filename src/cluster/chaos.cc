@@ -144,6 +144,9 @@ ChaosReport RunChaosScenario(const store::DiversificationStore& full_store,
   cluster.Shutdown();
   report.transitions = cluster.router().breaker_transitions();
   report.router = cluster.router().stats();
+  for (size_t i = 0; i < cluster.num_shards(); ++i) {
+    report.streaming_served += cluster.shard(i)->Stats().streaming_served;
+  }
   if (tracer != nullptr) {
     report.traces = tracer->Recent();
     report.trace_breakers = tracer->breaker_events();

@@ -121,6 +121,11 @@ struct ChaosReport {
   RouterStats router;
   size_t dropped = 0;
   size_t degraded = 0;
+  /// Requests answered through the shards' streaming cold path, summed
+  /// across shards after shutdown. Zero when every stored query serves
+  /// off a compiled plan (plans preempt the cold path) — run a scenario
+  /// on a plans-off store to exercise streaming under chaos.
+  uint64_t streaming_served = 0;
   double wall_ms = 0.0;
   double qps = 0.0;
   /// Sampled router traces, in commit (= request) order. Empty when

@@ -70,6 +70,12 @@ class BoundedTopK {
   /// Smallest retained key (only valid when non-empty).
   double min_key() const { return heap_.front().key; }
 
+  /// Read-only view of the retained entries in internal heap order
+  /// (unsorted). Lets a non-destructive drain sort a *copy* while the
+  /// heap keeps accepting pushes — the streaming selector's
+  /// Finalize/Extend primitive.
+  const std::vector<Entry>& entries() const { return heap_; }
+
   /// Extracts all retained entries ordered best-first (key descending,
   /// value ascending on ties). The keeper is left empty.
   std::vector<Entry> ExtractDescending() {

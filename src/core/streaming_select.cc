@@ -1,0 +1,220 @@
+#include "core/streaming_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optselect {
+namespace core {
+
+namespace {
+
+using HeapEntry = BoundedTopK<size_t>::Entry;
+
+/// The shared total order of the bounded heaps: key descending, index
+/// ascending on ties. Must match BoundedTopK's internal comparator so
+/// sorted copies of live heaps reproduce SortDescending's order.
+bool EntryBetter(const HeapEntry& a, const HeapEntry& b) {
+  if (a.key != b.key) return a.key > b.key;
+  return a.value < b.value;
+}
+
+}  // namespace
+
+void StreamingTopK::Begin(const double* probability,
+                          size_t num_specializations, size_t max_k,
+                          double lambda) {
+  const size_t m = num_specializations;
+  lambda_ = lambda;
+  num_specializations_ = m;
+  max_k_ = max_k;
+  offered_ = 0;
+  pushed_ = 0;
+  pruned_ = 0;
+
+  probability_.assign(probability, probability + m);
+  prob_sum_ = 0.0;
+  for (size_t j = 0; j < m; ++j) prob_sum_ += probability_[j];
+
+  // "the k most probable specializations" generalized to the max_k
+  // reserve: Finalize(k) later uses the first min(m, k) of this order,
+  // which is exactly sort-then-truncate at k (the order is a prefix-
+  // stable total order shared with PrepareHeaps and the plan compiler).
+  order_.resize(m);
+  for (size_t j = 0; j < m; ++j) order_[j] = j;
+  SortSpecOrderByProbability(probability_.data(), &order_);
+  if (order_.size() > max_k) order_.resize(max_k);
+
+  retained_specs_ = order_.size();
+  if (slots_.size() < retained_specs_) slots_.resize(retained_specs_);
+  for (size_t jj = 0; jj < retained_specs_; ++jj) {
+    SpecSlot& slot = slots_[jj];
+    slot.spec = order_[jj];
+    slot.prob = probability_[slot.spec];
+    // Capacity ⌊max_k·P⌋+1 ≥ ⌊k·P⌋+1 for every k ≤ max_k: the sorted
+    // prefix this heap retains covers every smaller-k drain exactly.
+    slot.heap.Reset(static_cast<size_t>(std::floor(
+                        static_cast<double>(max_k) * slot.prob)) +
+                    1);
+  }
+  global_.Reset(max_k);
+}
+
+bool StreamingTopK::CanPrune(double relevance) const {
+  if (global_.capacity() == 0) return true;  // k == 0: nothing retained
+  if (global_.size() < global_.capacity()) return false;
+  const double ub = UpperBound(relevance);
+  if (!(ub < global_.min_key())) return false;
+  for (size_t jj = 0; jj < retained_specs_; ++jj) {
+    const BoundedTopK<size_t>& heap = slots_[jj].heap;
+    if (heap.size() < heap.capacity()) return false;
+    if (!(ub < heap.min_key())) return false;
+  }
+  return true;
+}
+
+double StreamingTopK::Push(size_t index, double relevance,
+                           const double* utility_row) {
+  // Ascending-j accumulation — the exact FP order of
+  // DiversificationView::OverallUtility's fallback row scan.
+  double weighted = 0.0;
+  for (size_t j = 0; j < num_specializations_; ++j) {
+    weighted += probability_[j] * utility_row[j];
+  }
+  return PushWeighted(index, relevance, weighted, utility_row);
+}
+
+double StreamingTopK::PushWeighted(size_t index, double relevance,
+                                   double weighted,
+                                   const double* utility_row) {
+  const double overall =
+      (1.0 - lambda_) * static_cast<double>(num_specializations_) *
+          relevance +
+      lambda_ * weighted;
+  ++offered_;
+  ++pushed_;
+  global_.Push(overall, index);
+  for (size_t jj = 0; jj < retained_specs_; ++jj) {
+    if (utility_row[slots_[jj].spec] > 0.0) {
+      slots_[jj].heap.Push(overall, index);
+    }
+  }
+  return overall;
+}
+
+size_t StreamingTopK::retained() const {
+  size_t total = global_.size();
+  for (size_t jj = 0; jj < retained_specs_; ++jj) {
+    total += slots_[jj].heap.size();
+  }
+  return total;
+}
+
+size_t StreamingTopK::retained_bound() const {
+  size_t total = max_k_;
+  for (size_t jj = 0; jj < retained_specs_; ++jj) {
+    total += slots_[jj].heap.capacity();
+  }
+  return total;
+}
+
+void StreamingTopK::Finalize(size_t k, std::vector<size_t>* out) const {
+  out->clear();
+  // The materialized path clamps k to n = |R_q|; offered_ counts every
+  // candidate the scan saw, pruned ones included.
+  k = std::min(k, offered_);
+  k = std::min(k, max_k_);
+  if (k == 0) return;
+
+  // (overall, index) pairs — heap entries carry the overall utility as
+  // their key, so no per-candidate side array is needed.
+  std::vector<std::pair<double, size_t>> selected;
+  selected.reserve(k);
+  auto taken = [&selected](size_t index) {
+    for (const auto& p : selected) {
+      if (p.second == index) return true;
+    }
+    return false;
+  };
+
+  // Per-specialization quota drain over the first min(m, k) retained
+  // specializations. Sorting a copy keeps the live heaps intact (this
+  // is what makes Extend a second Finalize instead of a recompute); the
+  // prefix truncation to ⌊k·P⌋+1 reproduces the capacity a fresh run at
+  // k would have given this heap.
+  std::vector<HeapEntry> sorted;
+  const size_t spec_count = std::min(retained_specs_, k);
+  for (size_t jj = 0; jj < spec_count && selected.size() < k; ++jj) {
+    const SpecSlot& slot = slots_[jj];
+    const size_t quota = static_cast<size_t>(
+        std::floor(static_cast<double>(k) * slot.prob));
+    const size_t want = std::max<size_t>(quota, 1);
+    sorted = slot.heap.entries();
+    std::sort(sorted.begin(), sorted.end(), EntryBetter);
+    if (sorted.size() > quota + 1) sorted.resize(quota + 1);
+    size_t got = 0;
+    for (const HeapEntry& entry : sorted) {
+      if (got >= want || selected.size() >= k) break;
+      if (taken(entry.value)) {
+        // Consumes this specialization's quota without being re-added,
+        // exactly like DrainAndFill.
+        ++got;
+        continue;
+      }
+      selected.emplace_back(entry.key, entry.value);
+      ++got;
+    }
+  }
+
+  // Global fill: the capacity-max_k heap's sorted top-k prefix equals
+  // the fresh capacity-k heap's full content; the drain below processes
+  // at most k entries before `selected` reaches k.
+  sorted = global_.entries();
+  std::sort(sorted.begin(), sorted.end(), EntryBetter);
+  if (sorted.size() > k) sorted.resize(k);
+  for (const HeapEntry& entry : sorted) {
+    if (selected.size() >= k) break;
+    if (taken(entry.value)) continue;
+    selected.emplace_back(entry.key, entry.value);
+  }
+
+  // SERP order: overall utility descending, ties by candidate index.
+  std::sort(selected.begin(), selected.end(),
+            [](const std::pair<double, size_t>& a,
+               const std::pair<double, size_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  out->reserve(selected.size());
+  for (const auto& p : selected) out->push_back(p.second);
+}
+
+void StreamingDiversifier::SelectInto(const DiversificationView& view,
+                                      const DiversifyParams& params,
+                                      SelectScratch* scratch,
+                                      std::vector<size_t>* out) const {
+  (void)scratch;  // State lives in the stream (see class comment).
+  out->clear();
+  const size_t n = view.num_candidates;
+  const size_t m = view.num_specializations;
+  const size_t k = std::min(params.k, n);
+  if (k == 0) return;
+
+  StreamingTopK stream;
+  stream.Begin(view.probability, m, k, params.lambda);
+  for (size_t i = 0; i < n; ++i) {
+    if (stream.CanPrune(view.relevance[i])) {
+      stream.Skip();
+      continue;
+    }
+    const double* row = view.utilities + i * m;
+    if (view.weighted != nullptr) {
+      stream.PushWeighted(i, view.relevance[i], view.weighted[i], row);
+    } else {
+      stream.Push(i, view.relevance[i], row);
+    }
+  }
+  stream.Finalize(k, out);
+}
+
+}  // namespace core
+}  // namespace optselect

@@ -1,0 +1,189 @@
+// Streaming diversified top-k maintenance — the cold-path counterpart
+// of the materialize-then-select OptSelect flow.
+//
+// OptSelect (core/optselect.cc) assumes the full candidate block R_q is
+// materialized before selection starts: every surrogate extracted,
+// every utility row computed, then one scan fills the bounded heaps.
+// For queries served out of the store that is the right shape — the
+// blocks are precompiled — but on the cold path the materialization
+// *is* the cost: snippet extraction plus O(m·|R_q′|) cosine sums per
+// candidate, for candidates that mostly never reach the top k.
+//
+// StreamingTopK maintains Algorithm 2's heap set incrementally as
+// candidates arrive from the index scan, with two additions in the
+// spirit of the incremental algorithms of Qin et al., "Diversifying
+// Top-K Results" (div-astar / div-dp):
+//
+//   1. A sound pruning bound. Ũ(d|R_q′) ∈ [0,1] (Definition 2), so
+//
+//        Ũ(d|q) = (1−λ)·m·P(d|q) + λ·Σ_j P(q′_j|q)·Ũ(d|R_q′_j)
+//               ≤ (1−λ)·m·P(d|q) + λ·Σ_j P(q′_j|q)  =:  UB(d)
+//
+//      depends only on the candidate's relevance — known *before* its
+//      surrogate is extracted or its utility row computed. Once every
+//      heap is full, a candidate with UB strictly below every heap's
+//      minimum retained key provably cannot displace anything (the
+//      heaps' tie-break is key-then-index, and UB < min beats any tie),
+//      so the scan skips its materialization entirely. Because index
+//      scans deliver candidates in descending relevance order, the
+//      bound turns monotone and the tail of R_q is skipped wholesale.
+//
+//   2. Capacity reserve for incremental extension. Begin(max_k) sizes
+//      the heaps for max_k; Finalize(k) then reproduces the
+//      materialized selection *bit-identically* for any k ≤ max_k, and
+//      is non-destructive — a pager's Extend(k → k+Δ) is just a second
+//      Finalize on the retained state, with zero new candidate
+//      materializations (pushed() does not move).
+//
+// Bit-identity argument (vs OptSelectDiversifier::SelectInto at k):
+// BoundedTopK's retained set is a pure function of the push multiset
+// under the total order (key desc, index asc). A capacity-c₂ heap with
+// c₂ ≥ c₁ retains a superset of the capacity-c₁ heap whose sorted
+// prefix of length min(size, c₁) is exactly the c₁ heap's sorted
+// content. Finalize(k) drains only those prefixes: per-specialization
+// at most want = max(⌊k·P⌋, 1) ≤ ⌊k·P⌋+1 entries, global at most k —
+// so every entry it visits, in the order it visits them, matches the
+// materialized DrainAndFill at k. Pruned candidates were provably
+// rejected by every heap, so skipping them changes nothing.
+
+#ifndef OPTSELECT_CORE_STREAMING_SELECT_H_
+#define OPTSELECT_CORE_STREAMING_SELECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bounded_heap.h"
+#include "core/diversifier.h"
+
+namespace optselect {
+namespace core {
+
+/// Incremental bounded-state maintenance of Algorithm 2's heap set.
+/// One instance per worker thread; Begin resets it for a new problem
+/// while keeping every backing allocation, so steady-state requests
+/// allocate nothing inside the state itself.
+class StreamingTopK {
+ public:
+  /// Starts a new problem instance: `probability` has one P(q′|q) per
+  /// specialization (original index order, length m). Heaps are sized
+  /// for Finalize at any k ≤ max_k: global capacity max_k, one heap of
+  /// capacity ⌊max_k·P⌋+1 for each of the min(m, max_k) most probable
+  /// specializations (SortSpecOrderByProbability order).
+  void Begin(const double* probability, size_t num_specializations,
+             size_t max_k, double lambda);
+
+  /// Upper bound UB(d) on the overall utility of a candidate with this
+  /// relevance (header doc). Sound whenever utilities are normalized to
+  /// [0,1] — true for every Ũ this library computes (Definition 2).
+  double UpperBound(double relevance) const {
+    return (1.0 - lambda_) * static_cast<double>(num_specializations_) *
+               relevance +
+           lambda_ * prob_sum_;
+  }
+
+  /// True when a candidate with this relevance provably cannot be
+  /// retained by any heap: all heaps are full and UB(d) is *strictly*
+  /// below each one's minimum key (strictness makes ties safe — an
+  /// equal key could still displace a higher-index entry). Skipping
+  /// such a candidate leaves every heap bit-identical to pushing it.
+  bool CanPrune(double relevance) const;
+
+  /// Offers candidate `index` with its thresholded utility row (length
+  /// m, original specialization order). Computes the Eq. 9 overall
+  /// utility with the same ascending-j accumulation as
+  /// DiversificationView::OverallUtility and returns it.
+  double Push(size_t index, double relevance, const double* utility_row);
+
+  /// Same, with the weighted sum Σ_j P_j·Ũ_ij precomputed (compiled
+  /// plan blocks carry it); the row is still needed for the per-
+  /// specialization usefulness tests.
+  double PushWeighted(size_t index, double relevance, double weighted,
+                      const double* utility_row);
+
+  /// Records a candidate that was offered but pruned, keeping the
+  /// effective-k clamp in Finalize (k ≤ candidates offered) correct.
+  void Skip() {
+    ++offered_;
+    ++pruned_;
+  }
+
+  /// Drains the retained state into `*out` (cleared first) exactly as
+  /// the materialized path would at this k: per-specialization quota
+  /// drain over the min(m, k) most probable specializations, global
+  /// fill, final order by overall utility (ties: candidate index).
+  /// Non-destructive and callable repeatedly — Extend(k → k+Δ) is
+  /// Finalize(k+Δ) on the same state. Requires k ≤ max_k (clamped).
+  void Finalize(size_t k, std::vector<size_t>* out) const;
+
+  /// Candidates offered so far (Push* + Skip).
+  size_t offered() const { return offered_; }
+  /// Candidates actually materialized into the heaps. Finalize never
+  /// moves this — the bench's no-recompute assertion for Extend.
+  size_t pushed() const { return pushed_; }
+  /// Candidates skipped by the pruning bound.
+  size_t pruned() const { return pruned_; }
+  size_t max_k() const { return max_k_; }
+
+  /// Entries currently held across all heaps.
+  size_t retained() const;
+  /// The configured cap: max_k + Σ_j (⌊max_k·P_j⌋ + 1) over retained
+  /// specializations. retained() ≤ retained_bound() is the bounded-
+  /// state invariant, independent of how many candidates streamed by.
+  size_t retained_bound() const;
+
+ private:
+  /// One retained specialization: original index, probability, and its
+  /// bounded heap M_q′.
+  struct SpecSlot {
+    size_t spec = 0;
+    double prob = 0.0;
+    BoundedTopK<size_t> heap;
+  };
+
+  double lambda_ = 0.0;
+  size_t num_specializations_ = 0;
+  size_t max_k_ = 0;
+  double prob_sum_ = 0.0;
+
+  /// [m] probabilities, copied so the caller's buffer can die after
+  /// Begin (the stream outlives per-request store reads).
+  std::vector<double> probability_;
+  /// Retained specializations, probability-descending; only the first
+  /// `retained_specs_` slots are live (grow-only, like SelectScratch's
+  /// per_spec, to keep heap allocations across requests).
+  std::vector<SpecSlot> slots_;
+  size_t retained_specs_ = 0;
+  /// The global heap M, capacity max_k.
+  BoundedTopK<size_t> global_;
+
+  size_t offered_ = 0;
+  size_t pushed_ = 0;
+  size_t pruned_ = 0;
+
+  /// Scratch for Begin's specialization sort.
+  std::vector<size_t> order_;
+};
+
+/// Diversifier facade over StreamingTopK: SelectInto streams the view's
+/// candidates (in index order, pruning with the relevance bound) and
+/// Finalizes at k. Selections are bit-identical to OptSelect for the
+/// same view; registered in the factory as "streaming". Unlike the
+/// other backends it keeps a small amount of call-local state (the
+/// stream itself), so it allocates beyond the scratch — callers that
+/// need allocation-free steady state (the serving cold path) drive a
+/// per-worker StreamingTopK directly instead.
+class StreamingDiversifier : public Diversifier {
+ public:
+  std::string name() const override { return "StreamingOptSelect"; }
+
+  void SelectInto(const DiversificationView& view,
+                  const DiversifyParams& params, SelectScratch* scratch,
+                  std::vector<size_t>* out) const override;
+};
+
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_STREAMING_SELECT_H_

@@ -19,6 +19,8 @@ const char* TraceStageName(TraceStage stage) {
     case TraceStage::kHedge: return "hedge";
     case TraceStage::kFailover: return "failover";
     case TraceStage::kBreaker: return "breaker";
+    case TraceStage::kScan: return "scan";
+    case TraceStage::kMaintain: return "maintain";
   }
   return "unknown";
 }
@@ -79,7 +81,7 @@ uint64_t Tracer::committed() const {
 std::string Tracer::Format(const Trace& trace) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "#%" PRIu64 " \"%s\" total=%.3fms%s%s%s%s%s%s hash=%016" PRIx64
+                "#%" PRIu64 " \"%s\" total=%.3fms%s%s%s%s%s%s%s hash=%016" PRIx64
                 "\n",
                 trace.seq, trace.query.c_str(),
                 static_cast<double>(trace.total_us) / 1000.0,
@@ -87,6 +89,7 @@ std::string Tracer::Format(const Trace& trace) {
                 trace.hedged ? " hedged" : "",
                 trace.cache_hit ? " cache_hit" : "",
                 trace.plan_served ? " plan" : "",
+                trace.streaming_served ? " streaming" : "",
                 trace.diversified ? " diversified" : "", trace.ranking_hash);
   std::string out = buf;
   for (const TraceEvent& e : trace.events) {

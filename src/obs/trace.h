@@ -71,6 +71,9 @@ enum class TraceStage : uint8_t {
   kHedge,           ///< router: hedge copy launched (detail = shard)
   kFailover,        ///< router: degraded sweep attempt (detail = shard)
   kBreaker,         ///< router: breaker transition (detail = to-state)
+  kScan,            ///< streaming cold path: candidate scan + pushes
+                    ///< (detail = candidates materialized)
+  kMaintain,        ///< streaming cold path: finalize + ranking assembly
 };
 
 const char* TraceStageName(TraceStage stage);
@@ -97,6 +100,7 @@ struct Trace {
   bool diversified = false;
   bool cache_hit = false;
   bool plan_served = false;
+  bool streaming_served = false;
   uint64_t ranking_hash = 0;  ///< FNV-1a over result DocIds (0 if none)
   int64_t total_us = 0;
   std::vector<TraceEvent> events;
@@ -194,6 +198,11 @@ struct StageTimes {
   int64_t store_read_us = -1;
   int64_t select_us = -1;
   int64_t reply_us = -1;
+  /// Streaming cold path only: sub-phases of select (scan the candidate
+  /// stream vs. finalize + assemble). select_us still covers both, so
+  /// the stage-sum identity over the top-level stages is unchanged.
+  int64_t scan_us = -1;
+  int64_t maintain_us = -1;
 };
 
 #if OPTSELECT_TRACING
@@ -212,6 +221,11 @@ class TraceSpan {
         detail_(detail),
         out_us_(out_us),
         t0_(std::chrono::steady_clock::now()) {}
+
+  /// Overrides the detail payload before the span ends — for details
+  /// only known at the end of the stage (e.g. the scan span's
+  /// materialized-candidate count).
+  void set_detail(uint64_t detail) { detail_ = detail; }
 
   /// Ends the span before scope exit (branchy code where the stage
   /// boundary is not a scope boundary). Idempotent.
@@ -254,6 +268,7 @@ class TraceSpan {
 class TraceSpan {
  public:
   TraceSpan(Trace*, TraceStage, uint64_t = 0, int64_t* = nullptr) {}
+  void set_detail(uint64_t) {}
   void End() {}
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;

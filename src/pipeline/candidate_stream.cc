@@ -1,0 +1,57 @@
+#include "pipeline/candidate_stream.h"
+
+#include <algorithm>
+
+#include "core/utility.h"
+#include "util/math_util.h"
+
+namespace optselect {
+namespace pipeline {
+
+std::vector<double> InverseHarmonics(
+    const std::vector<SpecializationRef>& specs) {
+  std::vector<double> inv(specs.size(), 0.0);
+  for (size_t j = 0; j < specs.size(); ++j) {
+    size_t len = specs[j].results == nullptr ? 0 : specs[j].results->size();
+    inv[j] = len == 0 ? 0.0 : 1.0 / util::HarmonicNumber(len);
+  }
+  return inv;
+}
+
+void ComputeUtilityRow(const text::TermVector& doc,
+                       const std::vector<SpecializationRef>& specs,
+                       const std::vector<double>& inv_harmonic,
+                       double threshold_c, double* row) {
+  for (size_t j = 0; j < specs.size(); ++j) {
+    double u =
+        core::UtilityComputer::RawUtility(doc, *specs[j].results) *
+        inv_harmonic[j];
+    if (u < threshold_c) u = 0.0;
+    row[j] = u;
+  }
+}
+
+CandidateStream::CandidateStream(
+    const index::ResultList* rq, const index::SnippetExtractor* snippets,
+    const corpus::DocumentStore* documents,
+    const std::vector<text::TermId>* query_terms)
+    : rq_(rq),
+      snippets_(snippets),
+      documents_(documents),
+      query_terms_(query_terms) {
+  if (rq_->empty()) return;
+  max_score_ = rq_->front().score;
+  for (const index::SearchResult& hit : *rq_) {
+    max_score_ = std::max(max_score_, hit.score);
+  }
+}
+
+const text::TermVector& CandidateStream::Materialize() {
+  current_ = snippets_->ExtractVector(documents_->Get((*rq_)[pos_].doc),
+                                      *query_terms_);
+  ++materialized_;
+  return current_;
+}
+
+}  // namespace pipeline
+}  // namespace optselect

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/utility.h"
+#include "pipeline/candidate_stream.h"
 #include "serving/cache_key.h"
 #include "util/hash.h"
 
@@ -36,6 +37,8 @@ void ServingNode::RegisterMetrics() {
   completed_ = registry_->AddCounter("optselect_serving_completed_total", L);
   plan_served_ =
       registry_->AddCounter("optselect_serving_plan_served_total", L);
+  streaming_served_ =
+      registry_->AddCounter("optselect_serving_streaming_served_total", L);
   diversified_ =
       registry_->AddCounter("optselect_serving_diversified_total", L);
   passthrough_ =
@@ -87,7 +90,8 @@ void ServingNode::RegisterMetrics() {
   // describe all traffic so their p50s can be checked against the
   // end-to-end p50.
   static const char* kStageNames[kNumStages] = {
-      "queue_wait", "cache_lookup", "store_read", "select", "reply"};
+      "queue_wait", "cache_lookup", "store_read", "select", "reply",
+      "scan",       "maintain"};
   for (size_t i = 0; i < kNumStages; ++i) {
     stage_hist_[i] = registry_->AddHistogram(
         "optselect_stage_latency_seconds", WithStage(L, kStageNames[i]));
@@ -301,7 +305,8 @@ ServeResult ServingNode::Serve(const std::string& query) {
 std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
     const std::string& normalized_query,
     const store::StoreSnapshot& snapshot, core::SelectScratch* scratch,
-    obs::StageTimes* stages, obs::Trace* trace) const {
+    core::StreamingTopK* stream, obs::StageTimes* stages,
+    obs::Trace* trace) const {
   auto result = std::make_shared<ServeResult>();
   result->ok = true;
   result->store_version = snapshot.version();
@@ -365,6 +370,68 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
     return result;
   }
 
+  // Streaming cold path (plan-less ambiguous entry): consume R_q
+  // lazily, maintaining the diversified top-k in bounded heap state as
+  // candidates arrive. The utility upper bound lets the scan skip
+  // snippet extraction and the O(m·|R_q′|) cosine sums for candidates
+  // that can no longer displace anything — the ranking is bit-identical
+  // to the materialized fallback below either way. The select span
+  // splits into scan (stream consumption + pushes) and maintain
+  // (finalize + ranking assembly) sub-spans; select still covers both.
+  if (stream != nullptr && config_.streaming_cold_path &&
+      config_.intra_query_threads <= 1) {
+    const std::vector<store::StoredSpecialization>& specs =
+        entry->specializations;
+    const size_t m = specs.size();
+    std::vector<pipeline::SpecializationRef> refs(m);
+    std::vector<double> probs(m);
+    for (size_t j = 0; j < m; ++j) {
+      probs[j] = specs[j].probability;
+      refs[j].probability = specs[j].probability;
+      refs[j].results = &specs[j].surrogates;
+    }
+    std::vector<double> inv_harmonic = pipeline::InverseHarmonics(refs);
+    read_span.End();
+    obs::TraceSpan select_span(trace, obs::TraceStage::kSelect, 0,
+                               &stages->select_us);
+    pipeline::CandidateStream candidates(&rq, snippets_, documents_,
+                                         &query_terms);
+    std::vector<double> row(m);
+    {
+      obs::TraceSpan scan_span(trace, obs::TraceStage::kScan, 0,
+                               &stages->scan_us);
+      stream->Begin(probs.data(), m, params.diversify.k,
+                    params.diversify.lambda);
+      while (!candidates.Done()) {
+        if (stream->CanPrune(candidates.relevance())) {
+          stream->Skip();
+          candidates.Advance();
+          continue;
+        }
+        pipeline::ComputeUtilityRow(candidates.Materialize(), refs,
+                                    inv_harmonic, params.threshold_c,
+                                    row.data());
+        stream->Push(candidates.position(), candidates.relevance(),
+                     row.data());
+        candidates.Advance();
+      }
+      scan_span.set_detail(candidates.materialized());
+    }
+    obs::TraceSpan maintain_span(trace, obs::TraceStage::kMaintain, 0,
+                                 &stages->maintain_us);
+    stream->Finalize(params.diversify.k, &scratch->picks);
+    std::vector<DocId> docs;
+    docs.reserve(rq.size());
+    for (const index::SearchResult& hit : rq) docs.push_back(hit.doc);
+    result->diversified = true;
+    result->streaming_served = true;
+    result->num_specializations = m;
+    result->ranking = pipeline::AssembleRanking(
+        docs.data(), docs.size(), scratch->picks, params.diversify.k,
+        &scratch->taken);
+    return result;
+  }
+
   // Fallback (v1/v2 store entry or plan/params mismatch), steps (b) +
   // (c): build the problem instance from R_q and the stored S_q / R_q′
   // surrogates, then run OptSelect through the same view + scratch
@@ -396,12 +463,12 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
 std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
     const std::string& cache_key, const std::string& normalized_query,
     const std::shared_ptr<const store::StoreSnapshot>& snapshot,
-    core::SelectScratch* scratch, bool* cache_hit,
-    obs::StageTimes* stages, obs::Trace* trace) {
+    core::SelectScratch* scratch, core::StreamingTopK* stream,
+    bool* cache_hit, obs::StageTimes* stages, obs::Trace* trace) {
   *cache_hit = false;
   if (!config_.enable_cache) {
-    return ComputeRanking(normalized_query, *snapshot, scratch, stages,
-                          trace);
+    return ComputeRanking(normalized_query, *snapshot, scratch, stream,
+                          stages, trace);
   }
   std::shared_ptr<const ServeResult> cached;
   {
@@ -413,8 +480,8 @@ std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
     *cache_hit = true;
     return cached;
   }
-  auto computed =
-      ComputeRanking(normalized_query, *snapshot, scratch, stages, trace);
+  auto computed = ComputeRanking(normalized_query, *snapshot, scratch,
+                                 stream, stages, trace);
   // Fill guard: if a reload swapped the snapshot while we computed,
   // this result may belong to a key the reload just invalidated — drop
   // the fill (the request itself still answers on its pinned version).
@@ -438,6 +505,9 @@ void ServingNode::Finish(Request* request, const ServeResult& result) {
     diversified_->Add();
     if (result.plan_served) {
       plan_served_->Add();
+    }
+    if (result.streaming_served) {
+      streaming_served_->Add();
     }
   } else {
     passthrough_->Add();
@@ -466,6 +536,7 @@ void ServingNode::Finish(Request* request, const ServeResult& result) {
     t.diversified = result.diversified;
     t.cache_hit = result.cache_hit;
     t.plan_served = result.plan_served;
+    t.streaming_served = result.streaming_served;
     t.total_us = total_us;
     t.ranking_hash = util::Fnv1a64(result.ranking.data(),
                                    result.ranking.size() * sizeof(DocId));
@@ -483,6 +554,10 @@ void ServingNode::WorkerLoop() {
   // reused across every request this worker ever computes, so the
   // plan-served hot path performs no per-request allocation.
   core::SelectScratch scratch;
+  // Per-worker streaming selector: its bounded heaps are reused across
+  // every cold-path request this worker computes (Begin keeps backing
+  // allocations), matching the scratch's allocation-free contract.
+  core::StreamingTopK stream;
   // Payloads already computed in this batch, keyed like the cache:
   // duplicate queries drained in one wakeup are computed exactly once
   // even with the cache disabled (micro-batching's amortization).
@@ -535,8 +610,9 @@ void ServingNode::WorkerLoop() {
         dedup = true;
         batch_dedup_hits_->Add();
       } else {
-        payload = LookupOrCompute(key, normalized, snapshot, &scratch,
-                                  &cache_hit, &stages, req.trace.get());
+        payload =
+            LookupOrCompute(key, normalized, snapshot, &scratch, &stream,
+                            &cache_hit, &stages, req.trace.get());
         if (batch.size() > 1) batch_local.emplace(key, payload);
       }
 
@@ -551,6 +627,12 @@ void ServingNode::WorkerLoop() {
       }
       if (stages.select_us >= 0) {
         stage_hist_[kStageSelect]->Record(stages.select_us);
+      }
+      if (stages.scan_us >= 0) {
+        stage_hist_[kStageScan]->Record(stages.scan_us);
+      }
+      if (stages.maintain_us >= 0) {
+        stage_hist_[kStageMaintain]->Record(stages.maintain_us);
       }
 #endif
 
@@ -573,6 +655,7 @@ ServingStats ServingNode::Stats() const {
   // completed > accepted under load.)
   s.completed = completed_->value();
   s.plan_served = plan_served_->value();
+  s.streaming_served = streaming_served_->value();
   s.diversified = diversified_->value();
   s.passthrough = passthrough_->value();
   s.faulted = faulted_->value();

@@ -55,6 +55,7 @@
 
 #include "core/parallel_optselect.h"
 #include "core/select_view.h"
+#include "core/streaming_select.h"
 #include "corpus/document_store.h"
 #include "index/searcher.h"
 #include "index/snippet_extractor.h"
@@ -88,6 +89,16 @@ struct ServingConfig {
   /// Threads used *inside* one diversification (ParallelOptSelect
   /// shards). Keep at 1 when the pool itself saturates the cores.
   size_t intra_query_threads = 1;
+  /// Serve plan-less ambiguous queries (the cold path) through the
+  /// streaming selector: candidates are consumed lazily off the
+  /// retrieval result and the upper bound (1−λ)·m·P(d|q) + λ·ΣP(q′|q)
+  /// prunes snippet extraction + cosine sums for candidates that can no
+  /// longer enter the top k. Rankings are bit-identical to the
+  /// materialize-then-select fallback (asserted by serving_test and
+  /// bench_streaming_select); the flag is therefore not part of the
+  /// cache key. Per-request fallback to materialize-then-select when
+  /// intra_query_threads > 1 (sharded selection needs the full matrix).
+  bool streaming_cold_path = true;
   /// Retrieval / diversification parameters (shared by every request).
   pipeline::PipelineParams params;
   /// Metrics registry the node registers its counters, gauges, and
@@ -130,6 +141,11 @@ struct ServeResult {
   /// utility computation. Cached results keep the flag of the compute
   /// that filled them.
   bool plan_served = false;
+  /// True when the ranking was computed by the streaming cold path
+  /// (scan + bounded-state maintain) rather than materialize-then-
+  /// select. Mutually exclusive with plan_served; bit-identical either
+  /// way. Cached results keep the flag of the compute that filled them.
+  bool streaming_served = false;
   /// Number of specializations diversified against (0 if passthrough).
   size_t num_specializations = 0;
   /// Content version of the store snapshot that computed this ranking
@@ -146,6 +162,7 @@ struct ServingStats {
   uint64_t completed = 0;    ///< requests answered (callback invoked)
   uint64_t diversified = 0;  ///< answered via store + OptSelect
   uint64_t plan_served = 0;  ///< of those, served off compiled v3 plans
+  uint64_t streaming_served = 0;  ///< of those, via the streaming cold path
   uint64_t passthrough = 0;  ///< answered with the plain DPH ranking
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -311,6 +328,8 @@ class ServingNode {
     kStageStoreRead,
     kStageSelect,
     kStageReply,
+    kStageScan,
+    kStageMaintain,
     kNumStages,
   };
 
@@ -327,12 +346,16 @@ class ServingNode {
   /// Compute for one normalized query against a pinned snapshot.
   /// `scratch` is the calling worker's reusable selection memory; the
   /// plan path runs entirely inside it (no per-request allocation
-  /// beyond the result object itself). `stages` collects store-read /
-  /// select wall time; `trace` (nullable) collects span events.
+  /// beyond the result object itself). `stream` is the worker's
+  /// streaming selector state (heaps reused across requests); null
+  /// forces the materialize-then-select cold path. `stages` collects
+  /// store-read / select wall time; `trace` (nullable) collects span
+  /// events.
   std::shared_ptr<const ServeResult> ComputeRanking(
       const std::string& normalized_query,
       const store::StoreSnapshot& snapshot, core::SelectScratch* scratch,
-      obs::StageTimes* stages, obs::Trace* trace) const;
+      core::StreamingTopK* stream, obs::StageTimes* stages,
+      obs::Trace* trace) const;
   /// Full per-request flow: cache lookup, compute, cache fill. The
   /// fill is skipped when the active snapshot moved past `snapshot`
   /// mid-compute, so a stale ranking can never repopulate a key that a
@@ -340,8 +363,8 @@ class ServingNode {
   std::shared_ptr<const ServeResult> LookupOrCompute(
       const std::string& cache_key, const std::string& normalized_query,
       const std::shared_ptr<const store::StoreSnapshot>& snapshot,
-      core::SelectScratch* scratch, bool* cache_hit,
-      obs::StageTimes* stages, obs::Trace* trace);
+      core::SelectScratch* scratch, core::StreamingTopK* stream,
+      bool* cache_hit, obs::StageTimes* stages, obs::Trace* trace);
   void Finish(Request* request, const ServeResult& result);
 
   ServingConfig config_;
@@ -370,6 +393,7 @@ class ServingNode {
   // buys). Raw-atomic plumbing replaced in the observability PR.
   obs::Counter* completed_ = nullptr;
   obs::Counter* plan_served_ = nullptr;
+  obs::Counter* streaming_served_ = nullptr;
   obs::Counter* diversified_ = nullptr;
   obs::Counter* passthrough_ = nullptr;
   obs::Counter* faulted_ = nullptr;

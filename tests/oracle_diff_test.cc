@@ -16,6 +16,12 @@
 // small enough to solve *optimally* by enumerating all C(n, k) subsets,
 // and the greedy selection must score within the (1 − 1/e) submodular
 // approximation bound of that brute-force optimum [Nemhauser 1978].
+//
+// The streaming selector (core/streaming_select.h) claims *bit*
+// identity with the materialized OptSelect path — same heaps, same
+// quotas, same tie rule — plus an incremental Extend(k → k+Δ) that
+// must equal a fresh k+Δ run without re-materializing any candidate.
+// Both claims are checked across every one of the 500 instances.
 
 #include <algorithm>
 #include <cmath>
@@ -27,6 +33,7 @@
 #include "core/candidate.h"
 #include "core/iaselect.h"
 #include "core/optselect.h"
+#include "core/streaming_select.h"
 #include "core/utility.h"
 #include "core/xquad.h"
 #include "util/rng.h"
@@ -243,6 +250,28 @@ std::vector<size_t> OracleIaSelect(const Instance& instance) {
   return selected;
 }
 
+/// Streams an instance through a StreamingTopK with reserve `max_k`,
+/// driving the pruning bound exactly like the serving cold-path scan
+/// (CanPrune → Skip, otherwise Push with the full utility row).
+void StreamInstance(const Instance& instance, size_t max_k,
+                    StreamingTopK* stream) {
+  const size_t n = instance.input.candidates.size();
+  const size_t m = instance.input.specializations.size();
+  std::vector<double> probs(m);
+  for (size_t j = 0; j < m; ++j) {
+    probs[j] = instance.input.specializations[j].probability;
+  }
+  stream->Begin(probs.data(), m, max_k, instance.params.lambda);
+  for (size_t i = 0; i < n; ++i) {
+    const double rel = instance.input.candidates[i].relevance;
+    if (stream->CanPrune(rel)) {
+      stream->Skip();
+      continue;
+    }
+    stream->Push(i, rel, instance.utilities.data() + i * m);
+  }
+}
+
 /// Brute-force optimum of the Eq. 4 objective over all C(n, k) subsets
 /// (n <= 12 ⇒ at most 4096 masks).
 double BruteForceIaOptimum(const Instance& instance) {
@@ -265,6 +294,7 @@ double BruteForceIaOptimum(const Instance& instance) {
 TEST(OracleDiffTest, FiveHundredSeededInstancesMatchTheOracles) {
   util::Rng rng(20260727);
   OptSelectDiversifier optselect;
+  StreamingDiversifier streaming;
   XQuadDiversifier xquad;
   IaSelectDiversifier iaselect;
   const double kSubmodularBound = 1.0 - 1.0 / std::exp(1.0);
@@ -280,6 +310,33 @@ TEST(OracleDiffTest, FiveHundredSeededInstancesMatchTheOracles) {
     std::vector<size_t> got_opt = optselect.Select(
         instance.input, instance.utilities, instance.params);
     EXPECT_EQ(got_opt, OracleOptSelect(instance));
+
+    // Streaming selection must equal the materialized path *bit*-
+    // identically (not just the oracle's semantics): same candidates,
+    // same order, pruning and all.
+    std::vector<size_t> got_stream = streaming.Select(
+        instance.input, instance.utilities, instance.params);
+    EXPECT_EQ(got_stream, got_opt) << "streaming diverged from OptSelect";
+
+    // Extend: a stream reserved at k+Δ answers Finalize(k) identically
+    // to the fresh k run, then Finalize(k+Δ) identically to a fresh
+    // k+Δ run — with zero new candidate materializations in between.
+    const size_t delta = 1 + trial % 4;
+    StreamingTopK stream;
+    StreamInstance(instance, instance.params.k + delta, &stream);
+    const size_t pushed_before = stream.pushed();
+    std::vector<size_t> at_k;
+    std::vector<size_t> extended;
+    stream.Finalize(instance.params.k, &at_k);
+    stream.Finalize(instance.params.k + delta, &extended);
+    EXPECT_EQ(at_k, got_opt) << "reserved stream diverged at k";
+    EXPECT_EQ(stream.pushed(), pushed_before)
+        << "Extend re-materialized candidates";
+    DiversifyParams wider = instance.params;
+    wider.k += delta;
+    EXPECT_EQ(extended,
+              optselect.Select(instance.input, instance.utilities, wider))
+        << "Extend diverged from a fresh k+delta run";
 
     std::vector<size_t> got_xquad =
         xquad.Select(instance.input, instance.utilities, instance.params);
@@ -304,6 +361,7 @@ TEST(OracleDiffTest, FiveHundredSeededInstancesMatchTheOracles) {
 /// Degenerate shapes the random sweep may miss.
 TEST(OracleDiffTest, DegenerateInstancesStillAgree) {
   OptSelectDiversifier optselect;
+  StreamingDiversifier streaming;
   XQuadDiversifier xquad;
   IaSelectDiversifier iaselect;
 
@@ -328,6 +386,9 @@ TEST(OracleDiffTest, DegenerateInstancesStillAgree) {
   EXPECT_EQ(optselect.Select(instance.input, instance.utilities,
                              instance.params),
             OracleOptSelect(instance));
+  EXPECT_EQ(streaming.Select(instance.input, instance.utilities,
+                             instance.params),
+            OracleOptSelect(instance));
   EXPECT_EQ(xquad.Select(instance.input, instance.utilities,
                          instance.params),
             OracleXQuad(instance));
@@ -338,6 +399,9 @@ TEST(OracleDiffTest, DegenerateInstancesStillAgree) {
   // k >= n: everything is selected, order still matters.
   instance.params.k = 12;
   EXPECT_EQ(optselect.Select(instance.input, instance.utilities,
+                             instance.params),
+            OracleOptSelect(instance));
+  EXPECT_EQ(streaming.Select(instance.input, instance.utilities,
                              instance.params),
             OracleOptSelect(instance));
 }

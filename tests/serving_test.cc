@@ -256,6 +256,66 @@ TEST_F(ServingNodeTest, CachedResultsBitIdenticalToUncached) {
   EXPECT_EQ(uncached.Stats().cache_hits, 0u);
 }
 
+TEST_F(ServingNodeTest, StreamingColdPathBitIdenticalToMaterialized) {
+  // The fixture store compiles plans at the default pipeline params,
+  // but BaseConfig serves at num_candidates = 100 — incompatible, so
+  // every stored query takes the cold path. With streaming on that
+  // path must scan-and-maintain; with it off, materialize-then-select;
+  // the rankings must match bit for bit either way.
+  ServingConfig streaming_config = BaseConfig();
+  streaming_config.streaming_cold_path = true;
+  streaming_config.enable_cache = false;
+  ServingConfig materialized_config = BaseConfig();
+  materialized_config.streaming_cold_path = false;
+  materialized_config.enable_cache = false;
+  ServingNode streaming(store_, testbed_, streaming_config);
+  ServingNode materialized(store_, testbed_, materialized_config);
+
+  size_t diversified = 0;
+  for (const auto& [query, entry] : store_->entries()) {
+    ServeResult s = streaming.Serve(query);
+    ServeResult m = materialized.Serve(query);
+    EXPECT_EQ(s.ranking, m.ranking) << query;
+    EXPECT_EQ(s.diversified, m.diversified) << query;
+    EXPECT_EQ(s.num_specializations, m.num_specializations) << query;
+    EXPECT_FALSE(m.streaming_served) << query;
+    if (s.diversified) {
+      ++diversified;
+      EXPECT_TRUE(s.streaming_served) << query;
+      EXPECT_FALSE(s.plan_served) << query;
+    }
+  }
+  ASSERT_GT(diversified, 0u);
+
+  // Passthrough queries never touch the selector on either node.
+  ServeResult noise = streaming.Serve(NoiseQuery());
+  EXPECT_FALSE(noise.streaming_served);
+  EXPECT_EQ(noise.ranking, materialized.Serve(NoiseQuery()).ranking);
+
+  ServingStats streaming_stats = streaming.Stats();
+  EXPECT_EQ(streaming_stats.streaming_served, diversified);
+  EXPECT_LE(streaming_stats.streaming_served, streaming_stats.diversified);
+  EXPECT_EQ(materialized.Stats().streaming_served, 0u);
+}
+
+TEST_F(ServingNodeTest, StreamingFallsBackUnderIntraQueryParallelism) {
+  // Sharded selection needs the full utility matrix, so the node must
+  // quietly use materialize-then-select — with identical rankings —
+  // when intra_query_threads > 1, even with the streaming flag on.
+  ServingConfig sharded_config = BaseConfig();
+  sharded_config.streaming_cold_path = true;
+  sharded_config.intra_query_threads = 2;
+  ServingNode sharded(store_, testbed_, sharded_config);
+  ServingNode reference(store_, testbed_, BaseConfig());
+
+  ServeResult a = sharded.Serve(StoredQuery());
+  ServeResult b = reference.Serve(StoredQuery());
+  EXPECT_TRUE(a.diversified);
+  EXPECT_FALSE(a.streaming_served);
+  EXPECT_EQ(a.ranking, b.ranking);
+  EXPECT_EQ(sharded.Stats().streaming_served, 0u);
+}
+
 TEST_F(ServingNodeTest, OwningStoreConstructorServesIdentically) {
   // The deployment shape: the node owns a store loaded from disk. A
   // copy of the shared store stands in for DiversificationStore::Load.

@@ -1,0 +1,269 @@
+// Property tests for the streaming selector (core/streaming_select.h).
+//
+// The oracle differential test (oracle_diff_test.cc) pins the streaming
+// selection to the materialized OptSelect path bit-for-bit; this file
+// checks the properties the streaming design *itself* promises:
+//
+//   - arrival-order invariance: the bounded heaps' retained set is a
+//     pure function of the push multiset, so any permutation of the
+//     candidate stream yields the same final top-k;
+//   - bounded state: after every single push, the entries retained
+//     across all heaps stay within the configured cap, no matter how
+//     many candidates have streamed by;
+//   - pruning soundness: a scan that skips CanPrune candidates selects
+//     exactly what a scan that pushes everything selects;
+//   - degenerate shapes: empty stream, one candidate, all-ties.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/candidate.h"
+#include "core/factory.h"
+#include "core/optselect.h"
+#include "core/streaming_select.h"
+#include "core/utility.h"
+#include "util/rng.h"
+
+namespace optselect {
+namespace core {
+namespace {
+
+/// A random problem instance in flat form (the shape the stream eats).
+struct FlatInstance {
+  size_t n = 0;
+  size_t m = 0;
+  size_t k = 0;
+  double lambda = 0.15;
+  std::vector<double> relevance;    // [n]
+  std::vector<double> probability;  // [m]
+  std::vector<double> utilities;    // [n*m] row-major
+};
+
+FlatInstance MakeFlat(util::Rng* rng, bool quantize) {
+  FlatInstance fi;
+  fi.n = 2 + rng->Uniform(40);
+  fi.m = 2 + rng->Uniform(5);
+  fi.k = 1 + rng->Uniform(fi.n);
+  const double lambdas[] = {0.0, 0.15, 0.5, 1.0};
+  fi.lambda = lambdas[rng->Uniform(4)];
+
+  double norm = 0.0;
+  fi.probability.resize(fi.m);
+  for (size_t j = 0; j < fi.m; ++j) {
+    fi.probability[j] = quantize
+                            ? static_cast<double>(1 + rng->Uniform(4))
+                            : rng->UniformDouble() + 0.05;
+    norm += fi.probability[j];
+  }
+  for (double& p : fi.probability) p /= norm;
+
+  fi.relevance.resize(fi.n);
+  fi.utilities.assign(fi.n * fi.m, 0.0);
+  for (size_t i = 0; i < fi.n; ++i) {
+    fi.relevance[i] = quantize
+                          ? static_cast<double>(rng->Uniform(9)) / 8.0
+                          : rng->UniformDouble();
+    for (size_t j = 0; j < fi.m; ++j) {
+      if (rng->Bernoulli(0.4)) continue;
+      fi.utilities[i * fi.m + j] =
+          quantize ? static_cast<double>(1 + rng->Uniform(8)) / 8.0
+                   : rng->UniformDouble();
+    }
+  }
+  return fi;
+}
+
+/// Streams candidates in the order given by `arrival` (indices keep
+/// their original identity — only the arrival order changes). With
+/// `prune` set, CanPrune candidates are skipped like the serving scan.
+std::vector<size_t> RunStream(const FlatInstance& fi,
+                              const std::vector<size_t>& arrival,
+                              size_t max_k, bool prune,
+                              StreamingTopK* stream) {
+  stream->Begin(fi.probability.data(), fi.m, max_k, fi.lambda);
+  for (size_t i : arrival) {
+    if (prune && stream->CanPrune(fi.relevance[i])) {
+      stream->Skip();
+      continue;
+    }
+    stream->Push(i, fi.relevance[i], fi.utilities.data() + i * fi.m);
+  }
+  std::vector<size_t> out;
+  stream->Finalize(fi.k, &out);
+  return out;
+}
+
+TEST(StreamingSelectTest, ArrivalOrderPermutationsYieldTheSameTopK) {
+  util::Rng rng(7021);
+  StreamingTopK stream;
+  for (int trial = 0; trial < 200; ++trial) {
+    FlatInstance fi = MakeFlat(&rng, trial % 2 == 1);
+    SCOPED_TRACE("trial " + std::to_string(trial) +
+                 " n=" + std::to_string(fi.n) +
+                 " m=" + std::to_string(fi.m) +
+                 " k=" + std::to_string(fi.k));
+
+    std::vector<size_t> arrival(fi.n);
+    std::iota(arrival.begin(), arrival.end(), size_t{0});
+    // Reference: in-order, no pruning (pruning is order-dependent in
+    // *which* candidates it skips, so the invariance property is
+    // stated over the full push multiset).
+    std::vector<size_t> reference =
+        RunStream(fi, arrival, fi.k, /*prune=*/false, &stream);
+
+    for (int perm = 0; perm < 5; ++perm) {
+      for (size_t i = arrival.size(); i > 1; --i) {
+        std::swap(arrival[i - 1], arrival[rng.Uniform(i)]);
+      }
+      EXPECT_EQ(RunStream(fi, arrival, fi.k, /*prune=*/false, &stream),
+                reference)
+          << "permutation " << perm << " changed the selection";
+    }
+  }
+}
+
+TEST(StreamingSelectTest, PruningNeverChangesTheSelection) {
+  util::Rng rng(7022);
+  StreamingTopK pruned_stream;
+  StreamingTopK full_stream;
+  size_t pruned_total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    FlatInstance fi = MakeFlat(&rng, trial % 2 == 1);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    std::vector<size_t> arrival(fi.n);
+    std::iota(arrival.begin(), arrival.end(), size_t{0});
+    // Descending-relevance arrival (the index-scan order) makes the
+    // bound bite; ascending order exercises the no-prune-yet regime.
+    std::sort(arrival.begin(), arrival.end(), [&](size_t a, size_t b) {
+      if (fi.relevance[a] != fi.relevance[b]) {
+        return trial % 2 == 0 ? fi.relevance[a] > fi.relevance[b]
+                              : fi.relevance[a] < fi.relevance[b];
+      }
+      return a < b;
+    });
+    EXPECT_EQ(RunStream(fi, arrival, fi.k, /*prune=*/true, &pruned_stream),
+              RunStream(fi, arrival, fi.k, /*prune=*/false, &full_stream));
+    pruned_total += pruned_stream.pruned();
+    EXPECT_EQ(pruned_stream.offered(), fi.n);
+    EXPECT_EQ(pruned_stream.pushed() + pruned_stream.pruned(), fi.n);
+  }
+  // The bound must actually fire somewhere across 200 instances, or
+  // this test proves nothing about pruning.
+  EXPECT_GT(pruned_total, 0u);
+}
+
+TEST(StreamingSelectTest, RetainedStateStaysWithinTheCapAfterEveryPush) {
+  util::Rng rng(7023);
+  StreamingTopK stream;
+  for (int trial = 0; trial < 50; ++trial) {
+    FlatInstance fi = MakeFlat(&rng, trial % 2 == 1);
+    stream.Begin(fi.probability.data(), fi.m, fi.k, fi.lambda);
+    const size_t bound = stream.retained_bound();
+    // The cap is a function of k and the probabilities alone — never
+    // of n, which is the whole point of bounded-state streaming.
+    EXPECT_LE(bound, fi.k + fi.m * (fi.k + 1));
+    for (size_t i = 0; i < fi.n; ++i) {
+      stream.Push(i, fi.relevance[i], fi.utilities.data() + i * fi.m);
+      ASSERT_LE(stream.retained(), bound)
+          << "push " << i << " of trial " << trial
+          << " overflowed the configured cap";
+    }
+  }
+}
+
+TEST(StreamingSelectTest, EmptyStreamSelectsNothing) {
+  const double probs[] = {0.6, 0.4};
+  StreamingTopK stream;
+  stream.Begin(probs, 2, 10, 0.15);
+  std::vector<size_t> out{99};  // must be cleared
+  stream.Finalize(10, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stream.retained(), 0u);
+}
+
+TEST(StreamingSelectTest, SingleCandidateIsSelectedForAnyK) {
+  const double probs[] = {0.5, 0.3, 0.2};
+  const double row[] = {0.8, 0.0, 0.2};
+  for (size_t k : {size_t{1}, size_t{5}, size_t{100}}) {
+    StreamingTopK stream;
+    stream.Begin(probs, 3, k, 0.15);
+    stream.Push(0, 0.7, row);
+    std::vector<size_t> out;
+    stream.Finalize(k, &out);
+    EXPECT_EQ(out, std::vector<size_t>{0}) << "k=" << k;
+  }
+}
+
+TEST(StreamingSelectTest, AllTiesBreakByCandidateIndex) {
+  // Identical relevance, identical utility rows: the selection must be
+  // the k lowest indices in ascending order (the library's universal
+  // tie rule), and must match the materialized path exactly.
+  const size_t n = 12;
+  const size_t m = 3;
+  const size_t k = 5;
+  FlatInstance fi;
+  fi.n = n;
+  fi.m = m;
+  fi.k = k;
+  fi.lambda = 0.15;
+  fi.relevance.assign(n, 0.5);
+  fi.probability = {0.5, 0.25, 0.25};
+  fi.utilities.assign(n * m, 0.25);
+
+  StreamingTopK stream;
+  std::vector<size_t> arrival(n);
+  std::iota(arrival.begin(), arrival.end(), size_t{0});
+  std::vector<size_t> got = RunStream(fi, arrival, k, /*prune=*/true,
+                                      &stream);
+  EXPECT_EQ(got, (std::vector<size_t>{0, 1, 2, 3, 4}));
+
+  // Reversed arrival: identity of the winners must not move.
+  std::reverse(arrival.begin(), arrival.end());
+  EXPECT_EQ(RunStream(fi, arrival, k, /*prune=*/false, &stream), got);
+}
+
+TEST(StreamingSelectTest, FactoryExposesTheStreamingBackend) {
+  auto names = AvailableDiversifiers();
+  EXPECT_NE(std::find(names.begin(), names.end(), "streaming"),
+            names.end());
+  auto made = MakeDiversifier("streaming");
+  ASSERT_TRUE(made.ok());
+  EXPECT_EQ(made.value()->name(), "StreamingOptSelect");
+}
+
+/// The Diversifier facade must clamp and degenerate exactly like
+/// OptSelect: k = 0, k > n, zero-utility views.
+TEST(StreamingSelectTest, FacadeMatchesOptSelectOnDegenerateViews) {
+  OptSelectDiversifier optselect;
+  StreamingDiversifier streaming;
+  DiversificationInput input;
+  input.query = "q";
+  for (size_t j = 0; j < 2; ++j) {
+    SpecializationProfile profile;
+    profile.query = "s" + std::to_string(j);
+    profile.probability = 0.5;
+    input.specializations.push_back(std::move(profile));
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    Candidate c;
+    c.doc = static_cast<DocId>(i);
+    c.relevance = 0.25 * static_cast<double>(4 - i);
+    input.candidates.push_back(std::move(c));
+  }
+  UtilityMatrix utilities(4, 2);  // all zeros
+
+  for (size_t k : {size_t{0}, size_t{2}, size_t{4}, size_t{9}}) {
+    DiversifyParams params;
+    params.k = k;
+    EXPECT_EQ(streaming.Select(input, utilities, params),
+              optselect.Select(input, utilities, params))
+        << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace optselect

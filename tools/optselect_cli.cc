@@ -145,6 +145,11 @@ void PrintUsage(std::FILE* out) {
       "      --cache-capacity N    cached rankings (default 4096)\n"
       "      --candidates N        |R_q| retrieved (default 200)\n"
       "      --k N  --c F  --lambda F   pipeline knobs\n"
+      "      --streaming 0|1       streaming cold path: plan-less stored\n"
+      "                            queries scan candidates lazily with\n"
+      "                            bounded top-k state instead of\n"
+      "                            materializing all of R_q (default on;\n"
+      "                            rankings bit-identical either way)\n"
       "      --topics N  --seed S  must match `generate`\n"
       "      --trace-every N       deterministic 1-in-N request trace\n"
       "                            sampling (default: 1 for serve/stats,\n"
@@ -189,7 +194,10 @@ void PrintUsage(std::FILE* out) {
       "      --hedge-ms F          hedge delay (default 2)\n"
       "      --slow-ms F           injected slow-read delay (default 20)\n"
       "      --workers N  --batch B  --cache 0|1  --cache-capacity N\n"
-      "      --candidates N  --k N  --c F  --lambda F\n"
+      "      --candidates N  --k N  --c F  --lambda F  --streaming 0|1\n"
+      "                            (the run always appends a plans-off\n"
+      "                            scenario so the streaming cold path\n"
+      "                            is exercised under faults too)\n"
       "      --topics N  --seed S  testbed shape (also seeds the mix)\n"
       "      --trace-every N       trace sampling on the failover path\n"
       "                            (default 16); with tracing compiled\n"
@@ -261,7 +269,8 @@ std::vector<std::string> ServingFlagSet(bool loadtest) {
       "workers",        "batch",    "cache",           "cache-capacity",
       "candidates",     "k",        "c",               "lambda",
       "topics",         "seed",     "refresh-interval", "log-tail",
-      "store-persist",  "shards",   "replicate-hot",   "trace-every"};
+      "store-persist",  "shards",   "replicate-hot",   "trace-every",
+      "streaming"};
   if (loadtest) {
     flags.push_back("requests");
     flags.push_back("skew");
@@ -461,6 +470,7 @@ serving::ServingConfig ServingConfigFor(const Flags& flags) {
   config.params.diversify.lambda =
       std::atof(flags.Get("lambda", "0.15").c_str());
   config.params.diversify.k = SizeFlag(flags, "k", "10");
+  config.streaming_cold_path = flags.Get("streaming", "1") != "0";
   return config;
 }
 
@@ -476,6 +486,7 @@ void PrintServingStats(const serving::ServingStats& s) {
   tp.AddRow({"p99 ms", util::TablePrinter::Num(s.p99_ms, 2)});
   tp.AddRow({"diversified", std::to_string(s.diversified)});
   tp.AddRow({"plan served", std::to_string(s.plan_served)});
+  tp.AddRow({"streaming served", std::to_string(s.streaming_served)});
   tp.AddRow({"passthrough", std::to_string(s.passthrough)});
   tp.AddRow({"cache hit rate", util::TablePrinter::Num(s.cache_hit_rate, 3)});
   tp.AddRow({"cache entries", std::to_string(s.cache_entries)});
@@ -517,7 +528,8 @@ void PrintStageBreakdown(const obs::MetricsRegistry& registry) {
   tp.SetHeader({"stage", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms"});
   double p50_sum_ms = 0.0;
   static const char* kStages[] = {"queue_wait", "cache_lookup",
-                                  "store_read", "select", "reply"};
+                                  "store_read", "select", "reply",
+                                  "scan",       "maintain"};
   for (const char* stage : kStages) {
     serving::LatencyHistogram merged;
     for (const auto& [labels, hist] : stage_hists) {
@@ -526,7 +538,13 @@ void PrintStageBreakdown(const obs::MetricsRegistry& registry) {
       }
     }
     double p50_ms = merged.PercentileMicros(0.50) / 1000.0;
-    if (std::strcmp(stage, "reply") != 0) p50_sum_ms += p50_ms;
+    // reply is excluded (see above); scan/maintain are sub-spans of
+    // select and would double-count it.
+    if (std::strcmp(stage, "reply") != 0 &&
+        std::strcmp(stage, "scan") != 0 &&
+        std::strcmp(stage, "maintain") != 0) {
+      p50_sum_ms += p50_ms;
+    }
     tp.AddRow({stage, std::to_string(merged.count()),
                util::TablePrinter::Num(p50_ms, 3),
                util::TablePrinter::Num(merged.PercentileMicros(0.95) / 1000.0,
@@ -1229,6 +1247,38 @@ int CmdChaos(const Flags& flags) {
         "SKIP: trace invariants — tracing compiled out (rebuild with "
         "-DOPTSELECT_TRACING=ON, or a Debug build)\n");
   }
+
+  // Streaming-under-chaos: the scenarios above compile plans at the
+  // node's exact params, so stored queries never reach the streaming
+  // cold path. Re-run the same faulted mix over a plans-off store —
+  // every stored query now scans-and-maintains — and require the
+  // replays to stay deterministic with the streaming selector in the
+  // loop.
+  std::printf("streaming cold-path scenario (plans-off store)...\n");
+  store::StoreBuilderOptions cold_opts;
+  cold_opts.compile_plans = false;
+  store::DiversificationStore cold_store;
+  store::BuildStore(testbed.detector(), testbed.searcher(),
+                    testbed.snippets(), testbed.analyzer(),
+                    testbed.corpus().store, roots, cold_opts, &cold_store);
+  cluster::ChaosReport cold_a = cluster::RunChaosScenario(
+      cold_store, &testbed, &popularity, mix, chaos);
+  cluster::ChaosReport cold_b = cluster::RunChaosScenario(
+      cold_store, &testbed, &popularity, mix, chaos);
+  size_t cold_mismatches = 0;
+  for (size_t i = 0; i < cold_a.outcomes.size(); ++i) {
+    if (!(cold_a.outcomes[i] == cold_b.outcomes[i])) ++cold_mismatches;
+  }
+  check(cold_a.streaming_served > 0,
+        "streaming cold path actually served under chaos",
+        static_cast<size_t>(cold_a.streaming_served));
+  check(cold_a.streaming_served == cold_b.streaming_served,
+        "streaming-served counts identical across same-seed runs",
+        static_cast<size_t>(cold_a.streaming_served +
+                            cold_b.streaming_served));
+  check(cold_mismatches == 0,
+        "streaming-mode replays deterministic (A == B outcome vectors)",
+        cold_mismatches);
   return failed ? 1 : 0;
 }
 
@@ -1283,7 +1333,8 @@ int main(int argc, char** argv) {
     if (!flags.Validate("stats",
                         {"workers", "batch", "cache", "cache-capacity",
                          "candidates", "k", "c", "lambda", "topics", "seed",
-                         "requests", "skew", "format", "trace-every"})) {
+                         "requests", "skew", "format", "trace-every",
+                         "streaming"})) {
       return Usage();
     }
     return CmdStats(flags);
@@ -1293,7 +1344,7 @@ int main(int argc, char** argv) {
                         {"requests", "skew", "shards", "replicate-hot",
                          "hedge-ms", "slow-ms", "workers", "batch", "cache",
                          "cache-capacity", "candidates", "k", "c", "lambda",
-                         "topics", "seed", "trace-every"})) {
+                         "topics", "seed", "trace-every", "streaming"})) {
       return Usage();
     }
     return CmdChaos(flags);
