@@ -1,93 +1,290 @@
-// Micro-benchmarks of the primitives on the diversification hot path:
-// sparse cosine, utility computation, bounded-heap pushes, DPH scoring,
-// and end-to-end top-k search over a synthetic index.
+// Micro-benchmarks of the SIMD selection kernels (core/kernels) — the
+// per-primitive numbers behind the plan-serving and utility-phase
+// speedups: weighted row sums, overall-score fusion, and the sparse
+// AoS·SoA dot product, each timed for the scalar reference AND the
+// runtime-dispatched table (AVX2/NEON where the host has them).
+//
+// Every dispatched timing doubles as a determinism check: the timed
+// outputs are compared bit-for-bit against the scalar reference over
+// the same data, and any difference is counted in the record's
+// `mismatches` param — a correctness key check_bench.py pins to zero,
+// so a kernel that silently drifts from the canonical blocked order
+// fails CI even if it got faster. The dispatched records also gate
+// throughput (qps = kernel invocations/sec) against the checked-in
+// baseline; scalar records are emitted for the human speedup column.
+//
+// Self-contained on purpose (no Google Benchmark): fixed rep counts,
+// preallocated inputs, results folded into a sink so nothing is
+// dead-code-eliminated. Under OPTSELECT_KERNELS=scalar the dispatched
+// rows time the scalar table and the speedup column reads 1.0x — the
+// sanitizer/forced-scalar smoke still exercises every code path.
+//
+//   bench_micro_core [rep_scale]
+//
+// rep_scale (default 1.0) multiplies every rep count — drop it to 0.1
+// for sanitizer smokes, raise it for stable numbers on quiet hosts.
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
-#include <benchmark/benchmark.h>
-
-#include "core/bounded_heap.h"
-#include "core/utility.h"
-#include "corpus/synthetic_corpus.h"
-#include "index/inverted_index.h"
-#include "index/searcher.h"
-#include "synth/topic_universe.h"
-#include "text/analyzer.h"
+#include "bench_util.h"
+#include "core/kernels/kernels.h"
 #include "text/term_vector.h"
 #include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
 
 namespace {
 
 using namespace optselect;  // NOLINT(build/namespaces)
 
-text::TermVector RandomVector(util::Rng* rng, size_t terms,
-                              size_t vocab = 5000) {
-  std::vector<text::TermVector::Entry> entries;
-  entries.reserve(terms);
-  for (size_t i = 0; i < terms; ++i) {
-    entries.emplace_back(static_cast<text::TermId>(rng->Uniform(vocab)),
-                         rng->UniformDouble() + 0.1);
-  }
-  return text::TermVector::FromEntries(std::move(entries));
+std::vector<double> RandomDoubles(util::Rng* rng, size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->UniformDouble();
+  return v;
 }
 
-void BM_SparseCosine(benchmark::State& state) {
-  util::Rng rng(1);
-  const size_t terms = static_cast<size_t>(state.range(0));
-  text::TermVector a = RandomVector(&rng, terms);
-  text::TermVector b = RandomVector(&rng, terms);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.Cosine(b));
-  }
-}
-BENCHMARK(BM_SparseCosine)->Arg(16)->Arg(32)->Arg(128);
+/// One timed + checked primitive run: `body(ops, sink)` executes `reps`
+/// passes over the preallocated data with the given kernel table.
+struct KernelTiming {
+  double wall_ms = 0;
+  double ops_per_sec = 0;  ///< kernel invocations (not reps) per second
+  double sink = 0;         ///< fold of every result; defeats DCE
+};
 
-void BM_UtilityAgainstReferenceList(benchmark::State& state) {
-  util::Rng rng(2);
-  text::TermVector doc = RandomVector(&rng, 32);
-  std::vector<text::TermVector> rq_prime;
-  for (int i = 0; i < 20; ++i) rq_prime.push_back(RandomVector(&rng, 32));
-  core::UtilityComputer computer;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(computer.NormalizedUtility(doc, rq_prime));
-  }
+template <typename Body>
+KernelTiming TimeKernel(const core::kernels::Ops& ops, size_t reps,
+                        size_t calls_per_rep, const Body& body) {
+  KernelTiming t;
+  util::WallTimer timer;
+  for (size_t r = 0; r < reps; ++r) t.sink += body(ops);
+  t.wall_ms = timer.ElapsedMillis();
+  double calls = static_cast<double>(reps * calls_per_rep);
+  t.ops_per_sec = t.wall_ms > 0 ? 1000.0 * calls / t.wall_ms : 0.0;
+  return t;
 }
-BENCHMARK(BM_UtilityAgainstReferenceList);
 
-void BM_BoundedHeapPush(benchmark::State& state) {
-  util::Rng rng(3);
-  const size_t capacity = static_cast<size_t>(state.range(0));
-  std::vector<double> keys(65536);
-  for (double& k : keys) k = rng.UniformDouble();
-  size_t i = 0;
-  core::BoundedTopK<size_t> heap(capacity);
-  for (auto _ : state) {
-    heap.Push(keys[i & 65535], i);
-    ++i;
-  }
-}
-BENCHMARK(BM_BoundedHeapPush)->Arg(10)->Arg(100)->Arg(1000);
+struct BenchContext {
+  bench::BenchJsonWriter* json;
+  util::TablePrinter* table;
+  size_t* total_mismatches;
+};
 
-void BM_TopKSearch(benchmark::State& state) {
-  synth::TopicUniverseConfig ucfg;
-  ucfg.num_topics = 10;
-  auto universe = synth::GenerateTopicUniverse(ucfg, 0);
-  corpus::SyntheticCorpusConfig ccfg;
-  ccfg.docs_per_intent = 20;
-  ccfg.background_docs = 2000;
-  auto corpus = corpus::GenerateSyntheticCorpus(ccfg, universe.topics);
-  text::Analyzer analyzer;
-  index::InvertedIndex index =
-      index::InvertedIndex::Build(corpus.store, &analyzer);
-  index::Searcher searcher(&index, &analyzer);
-  const std::string query = universe.topics[0].root_query;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        searcher.Search(query, static_cast<size_t>(state.range(0))));
-  }
+/// Emits the scalar + dispatched records for one primitive. `run`
+/// returns the timing for a kernel table; `check` counts bitwise
+/// scalar-vs-dispatched output differences over the same data.
+template <typename Run, typename Check>
+void Record(const BenchContext& ctx, const std::string& name,
+            const std::vector<std::pair<std::string, double>>& shape,
+            const Run& run, const Check& check) {
+  const core::kernels::Ops& scalar = core::kernels::Scalar();
+  const core::kernels::Ops& active = core::kernels::Active();
+  KernelTiming st = run(scalar);
+  KernelTiming at = run(active);
+  size_t mismatches = check();
+  *ctx.total_mismatches += mismatches;
+
+  double speedup = at.ops_per_sec > 0 && st.ops_per_sec > 0
+                       ? at.ops_per_sec / st.ops_per_sec
+                       : 0.0;
+  ctx.table->AddRow(
+      {name, active.name, util::TablePrinter::Num(st.ops_per_sec / 1e6, 2),
+       util::TablePrinter::Num(at.ops_per_sec / 1e6, 2),
+       util::TablePrinter::Num(speedup, 2),
+       util::TablePrinter::Num(static_cast<double>(mismatches), 0)});
+
+  std::vector<std::pair<std::string, double>> params = shape;
+  params.emplace_back("mismatches", static_cast<double>(mismatches));
+  // Scalar reference row: ungated context for the speedup column.
+  ctx.json->Add(name + "/scalar", shape, st.wall_ms, st.ops_per_sec,
+                {{"target", "scalar"}});
+  // Dispatched row: qps and mismatches both gate against the baseline.
+  ctx.json->Add(name, params, at.wall_ms, at.ops_per_sec,
+                {{"target", active.name}});
 }
-BENCHMARK(BM_TopKSearch)->Arg(10)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  double rep_scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  if (!(rep_scale > 0)) {
+    std::fprintf(stderr, "usage: %s [rep_scale > 0]\n", argv[0]);
+    return 2;
+  }
+  auto scaled = [rep_scale](size_t reps) {
+    size_t r = static_cast<size_t>(static_cast<double>(reps) * rep_scale);
+    return r == 0 ? size_t{1} : r;
+  };
+
+  std::printf("kernel dispatch target: %s\n", core::kernels::ActiveName());
+
+  bench::BenchJsonWriter json("micro_core");
+  util::TablePrinter table;
+  table.SetHeader({"kernel", "target", "scalar Mops", "dispatched Mops",
+                   "speedup", "mismatches"});
+  size_t total_mismatches = 0;
+  BenchContext ctx{&json, &table, &total_mismatches};
+  util::Rng rng(2011);
+
+  // ---- weighted_row_sum: Σ_j P(q'_j|q)·U[i][j] over utility rows -----
+  {
+    const size_t n = 1024, m = 32;
+    std::vector<double> rows = RandomDoubles(&rng, n * m);
+    std::vector<double> prob = RandomDoubles(&rng, m);
+    auto run = [&](const core::kernels::Ops& ops) {
+      return TimeKernel(ops, scaled(2000), n,
+                        [&](const core::kernels::Ops& o) {
+                          double acc = 0;
+                          for (size_t i = 0; i < n; ++i) {
+                            acc += o.weighted_row_sum(rows.data() + i * m,
+                                                      prob.data(), m);
+                          }
+                          return acc;
+                        });
+    };
+    auto check = [&] {
+      size_t bad = 0;
+      for (size_t i = 0; i < n; ++i) {
+        double want = core::kernels::Scalar().weighted_row_sum(
+            rows.data() + i * m, prob.data(), m);
+        double got = core::kernels::Active().weighted_row_sum(
+            rows.data() + i * m, prob.data(), m);
+        if (got != want) ++bad;
+      }
+      return bad;
+    };
+    Record(ctx, "weighted_row_sum",
+           {{"n", static_cast<double>(n)}, {"m", static_cast<double>(m)}},
+           run, check);
+  }
+
+  // ---- overall_from_weighted: the plan-serving fusion loop -----------
+  {
+    const size_t n = 4096;
+    const double lambda = 0.5, m_scale = 8.0;
+    std::vector<double> rel = RandomDoubles(&rng, n);
+    std::vector<double> weighted = RandomDoubles(&rng, n);
+    std::vector<double> out(n);
+    auto run = [&](const core::kernels::Ops& ops) {
+      return TimeKernel(ops, scaled(8000), n,
+                        [&](const core::kernels::Ops& o) {
+                          o.overall_from_weighted(rel.data(),
+                                                  weighted.data(), n, lambda,
+                                                  m_scale, out.data());
+                          return out[0] + out[n - 1];
+                        });
+    };
+    auto check = [&] {
+      std::vector<double> want(n), got(n);
+      core::kernels::Scalar().overall_from_weighted(
+          rel.data(), weighted.data(), n, lambda, m_scale, want.data());
+      core::kernels::Active().overall_from_weighted(
+          rel.data(), weighted.data(), n, lambda, m_scale, got.data());
+      size_t bad = 0;
+      for (size_t i = 0; i < n; ++i) bad += got[i] != want[i];
+      return bad;
+    };
+    Record(ctx, "overall_from_weighted", {{"n", static_cast<double>(n)}},
+           run, check);
+  }
+
+  // ---- overall_from_rows: streaming cold path's fused row scorer -----
+  {
+    const size_t n = 512, m = 16;
+    const double lambda = 0.7;
+    std::vector<double> rel = RandomDoubles(&rng, n);
+    std::vector<double> rows = RandomDoubles(&rng, n * m);
+    std::vector<double> prob = RandomDoubles(&rng, m);
+    std::vector<double> out(n);
+    auto run = [&](const core::kernels::Ops& ops) {
+      return TimeKernel(ops, scaled(4000), n,
+                        [&](const core::kernels::Ops& o) {
+                          o.overall_from_rows(rel.data(), rows.data(),
+                                              prob.data(), n, m, lambda,
+                                              out.data());
+                          return out[0] + out[n - 1];
+                        });
+    };
+    auto check = [&] {
+      std::vector<double> want(n), got(n);
+      core::kernels::Scalar().overall_from_rows(rel.data(), rows.data(),
+                                                prob.data(), n, m, lambda,
+                                                want.data());
+      core::kernels::Active().overall_from_rows(rel.data(), rows.data(),
+                                                prob.data(), n, m, lambda,
+                                                got.data());
+      size_t bad = 0;
+      for (size_t i = 0; i < n; ++i) bad += got[i] != want[i];
+      return bad;
+    };
+    Record(ctx, "overall_from_rows",
+           {{"n", static_cast<double>(n)}, {"m", static_cast<double>(m)}},
+           run, check);
+  }
+
+  // ---- dot_aos_soa: the utility phase's sparse cosine core -----------
+  {
+    // ~64-term vectors, ~50% term overlap — the store-v4 surrogate shape.
+    const size_t pairs = 64;
+    std::vector<std::vector<text::TermVector::Entry>> lhs(pairs);
+    std::vector<std::vector<uint32_t>> rhs_terms(pairs);
+    std::vector<std::vector<double>> rhs_weights(pairs);
+    for (size_t p = 0; p < pairs; ++p) {
+      for (uint32_t t = 0; t < 128; ++t) {
+        if (rng.Bernoulli(0.5)) {
+          lhs[p].push_back({t, rng.UniformDouble() + 0.1});
+        }
+        if (rng.Bernoulli(0.5)) {
+          rhs_terms[p].push_back(t);
+          rhs_weights[p].push_back(rng.UniformDouble() + 0.1);
+        }
+      }
+    }
+    auto dot_all = [&](const core::kernels::Ops& o) {
+      double acc = 0;
+      for (size_t p = 0; p < pairs; ++p) {
+        acc += o.dot_aos_soa(lhs[p].data(), lhs[p].size(),
+                             rhs_terms[p].data(), rhs_weights[p].data(),
+                             rhs_terms[p].size());
+      }
+      return acc;
+    };
+    auto run = [&](const core::kernels::Ops& ops) {
+      return TimeKernel(ops, scaled(20000), pairs, dot_all);
+    };
+    auto check = [&] {
+      size_t bad = 0;
+      for (size_t p = 0; p < pairs; ++p) {
+        double want = core::kernels::Scalar().dot_aos_soa(
+            lhs[p].data(), lhs[p].size(), rhs_terms[p].data(),
+            rhs_weights[p].data(), rhs_terms[p].size());
+        double got = core::kernels::Active().dot_aos_soa(
+            lhs[p].data(), lhs[p].size(), rhs_terms[p].data(),
+            rhs_weights[p].data(), rhs_terms[p].size());
+        if (got != want) ++bad;
+      }
+      return bad;
+    };
+    Record(ctx, "dot_aos_soa", {{"pairs", static_cast<double>(pairs)}}, run,
+           check);
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  if (total_mismatches > 0) {
+    std::fprintf(stderr,
+                 "FATAL: %zu dispatched kernel outputs differ from the "
+                 "scalar reference\n",
+                 total_mismatches);
+  }
+
+  util::Status s = json.WriteFile();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_micro_core.json (%zu records)\n", json.size());
+  return total_mismatches == 0 ? 0 : 1;
+}

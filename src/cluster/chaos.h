@@ -164,6 +164,16 @@ ChaosReport RunChaosScenario(const store::DiversificationStore& full_store,
                              const std::vector<std::string>& mix,
                              const ChaosConfig& config);
 
+/// Mapped-store overload: the shards serve zero-copy views over one
+/// shared v4 mapping (ShardedCluster's mapped constructor). Outcomes
+/// must be bit-identical to a heap-backed run of the same store — the
+/// test suite asserts exactly that.
+ChaosReport RunChaosScenario(
+    std::shared_ptr<const store::MappedStoreFile> mapped_store,
+    const pipeline::Testbed* testbed,
+    const querylog::PopularityMap* popularity,
+    const std::vector<std::string>& mix, const ChaosConfig& config);
+
 /// The chaos acceptance checks over two fault runs, a no-fault
 /// reference run, and the store-less passthrough references for every
 /// degraded answer. Zero everywhere == pass.

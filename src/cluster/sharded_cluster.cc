@@ -10,14 +10,10 @@
 namespace optselect {
 namespace cluster {
 
-std::vector<std::string> HottestStoredKeys(
-    const store::DiversificationStore& store,
-    const querylog::PopularityMap& popularity, size_t k) {
-  std::vector<std::pair<uint64_t, std::string>> ranked;
-  ranked.reserve(store.entries().size());
-  for (const auto& [key, entry] : store.entries()) {
-    ranked.emplace_back(popularity.Frequency(key), key);
-  }
+namespace {
+
+std::vector<std::string> RankKeysByPopularity(
+    std::vector<std::pair<uint64_t, std::string>> ranked, size_t k) {
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first > b.first;
     return a.second < b.second;
@@ -27,6 +23,61 @@ std::vector<std::string> HottestStoredKeys(
   keys.reserve(ranked.size());
   for (auto& [freq, key] : ranked) keys.push_back(std::move(key));
   return keys;
+}
+
+}  // namespace
+
+std::vector<std::string> HottestStoredKeys(
+    const store::DiversificationStore& store,
+    const querylog::PopularityMap& popularity, size_t k) {
+  std::vector<std::pair<uint64_t, std::string>> ranked;
+  ranked.reserve(store.entries().size());
+  for (const auto& [key, entry] : store.entries()) {
+    ranked.emplace_back(popularity.Frequency(key), key);
+  }
+  return RankKeysByPopularity(std::move(ranked), k);
+}
+
+std::vector<std::string> HottestStoredKeys(
+    const store::MappedStoreFile& store,
+    const querylog::PopularityMap& popularity, size_t k) {
+  std::vector<std::pair<uint64_t, std::string>> ranked;
+  ranked.reserve(store.entry_count());
+  for (const store::MappedEntry& entry : store.entries()) {
+    std::string key(entry.key);
+    ranked.emplace_back(popularity.Frequency(key), std::move(key));
+  }
+  return RankKeysByPopularity(std::move(ranked), k);
+}
+
+void ShardedCluster::Init(
+    const std::function<std::shared_ptr<const store::StoreSnapshot>(
+        const store::ShardFilter&)>& make_snapshot,
+    const index::Searcher* searcher, const index::SnippetExtractor* snippets,
+    const text::Analyzer* analyzer, const corpus::DocumentStore* documents,
+    std::unordered_set<std::string> replicated, const ClusterConfig& config) {
+  const size_t n = std::max<size_t>(1, config.num_shards);
+  filters_.reserve(n);
+  shards_.reserve(n);
+  std::vector<serving::ServingNode*> raw_shards;
+  raw_shards.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    store::ShardFilter filter;
+    filter.num_shards = n;
+    filter.shard_index = i;
+    filter.replicated = replicated;
+    serving::ServingConfig node_config = config.node;
+    node_config.registry = registry_;
+    node_config.metric_labels = {{"shard", std::to_string(i)}};
+    shards_.push_back(std::make_unique<serving::ServingNode>(
+        make_snapshot(filter), searcher, snippets, analyzer, documents,
+        node_config));
+    filters_.push_back(std::move(filter));
+    raw_shards.push_back(shards_.back().get());
+  }
+  router_ = std::make_unique<QueryRouter>(
+      std::move(raw_shards), std::move(replicated), config.failover,
+      registry_);
 }
 
 ShardedCluster::ShardedCluster(const store::DiversificationStore& full_store,
@@ -50,28 +101,41 @@ ShardedCluster::ShardedCluster(const store::DiversificationStore& full_store,
         HottestStoredKeys(full_store, *popularity, config.replicate_hot);
     replicated.insert(replicated_keys_.begin(), replicated_keys_.end());
   }
+  Init(
+      [&full_store](const store::ShardFilter& filter) {
+        return store::StoreSnapshot::Own(SplitStore(full_store, filter));
+      },
+      searcher, snippets, analyzer, documents, std::move(replicated), config);
+}
 
-  filters_.reserve(n);
-  shards_.reserve(n);
-  std::vector<serving::ServingNode*> raw_shards;
-  raw_shards.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    store::ShardFilter filter;
-    filter.num_shards = n;
-    filter.shard_index = i;
-    filter.replicated = replicated;
-    serving::ServingConfig node_config = config.node;
-    node_config.registry = registry_;
-    node_config.metric_labels = {{"shard", std::to_string(i)}};
-    shards_.push_back(std::make_unique<serving::ServingNode>(
-        store::StoreSnapshot::Own(SplitStore(full_store, filter)), searcher,
-        snippets, analyzer, documents, node_config));
-    filters_.push_back(std::move(filter));
-    raw_shards.push_back(shards_.back().get());
+ShardedCluster::ShardedCluster(
+    std::shared_ptr<const store::MappedStoreFile> mapped_store,
+    const index::Searcher* searcher, const index::SnippetExtractor* snippets,
+    const text::Analyzer* analyzer, const corpus::DocumentStore* documents,
+    const querylog::PopularityMap* popularity, ClusterConfig config) {
+  owned_registry_ = config.registry == nullptr
+                        ? std::make_unique<obs::MetricsRegistry>()
+                        : nullptr;
+  registry_ =
+      config.registry != nullptr ? config.registry : owned_registry_.get();
+  const size_t n = std::max<size_t>(1, config.num_shards);
+  std::unordered_set<std::string> replicated;
+  if (config.replicate_hot > 0 && popularity != nullptr && n > 1) {
+    replicated_keys_ =
+        HottestStoredKeys(*mapped_store, *popularity, config.replicate_hot);
+    replicated.insert(replicated_keys_.begin(), replicated_keys_.end());
   }
-  router_ = std::make_unique<QueryRouter>(
-      std::move(raw_shards), std::move(replicated), config.failover,
-      registry_);
+  // Every shard is a key-filtered view over the one shared mapping; the
+  // ShardFilter is copied into the view's keep-predicate so the filters_
+  // vector and the snapshots never disagree.
+  Init(
+      [&mapped_store](const store::ShardFilter& filter) {
+        return store::StoreSnapshot::MappedShard(
+            mapped_store, [copy = filter](std::string_view key) {
+              return copy.Keeps(key);
+            });
+      },
+      searcher, snippets, analyzer, documents, std::move(replicated), config);
 }
 
 ShardedCluster::ShardedCluster(const store::DiversificationStore& full_store,

@@ -39,6 +39,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/query_router.h"
@@ -92,6 +93,20 @@ class ShardedCluster {
   /// per-shard (0 ⇒ hardware concurrency *per shard* — usually set it
   /// explicitly for clusters).
   ShardedCluster(const store::DiversificationStore& full_store,
+                 const index::Searcher* searcher,
+                 const index::SnippetExtractor* snippets,
+                 const text::Analyzer* analyzer,
+                 const corpus::DocumentStore* documents,
+                 const querylog::PopularityMap* popularity,
+                 ClusterConfig config);
+
+  /// Zero-copy cluster over a mapped v4 store: every shard serves an
+  /// offset-filtered StoreSnapshot::MappedShard view of the *same*
+  /// shared mapping — no SplitStore, no per-shard entry copies, and
+  /// startup cost is one mmap + validate regardless of shard count.
+  /// ApplyDelta still works: a shard's first delta materializes its
+  /// slice to heap (BuildSnapshot) and swaps to a heap-backed snapshot.
+  ShardedCluster(std::shared_ptr<const store::MappedStoreFile> mapped_store,
                  const index::Searcher* searcher,
                  const index::SnippetExtractor* snippets,
                  const text::Analyzer* analyzer,
@@ -178,6 +193,18 @@ class ShardedCluster {
   ClusterStats Stats() const;
 
  private:
+  /// Shared construction tail: builds filters, nodes (snapshots come
+  /// from `make_snapshot`, letting heap and mapped ctors differ only in
+  /// backing) and the router. `replicated` is the hot-replication set.
+  void Init(const std::function<std::shared_ptr<const store::StoreSnapshot>(
+                const store::ShardFilter&)>& make_snapshot,
+            const index::Searcher* searcher,
+            const index::SnippetExtractor* snippets,
+            const text::Analyzer* analyzer,
+            const corpus::DocumentStore* documents,
+            std::unordered_set<std::string> replicated,
+            const ClusterConfig& config);
+
   // Declared before the shards and router so it outlives them: both
   // hold registered handles and callbacks into the registry.
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
@@ -193,6 +220,11 @@ class ShardedCluster {
 /// the cluster's hot-replication set; exposed for the CLI and benches.
 std::vector<std::string> HottestStoredKeys(
     const store::DiversificationStore& store,
+    const querylog::PopularityMap& popularity, size_t k);
+
+/// Mapped-store overload: same ranking over the keys of a v4 mapping.
+std::vector<std::string> HottestStoredKeys(
+    const store::MappedStoreFile& store,
     const querylog::PopularityMap& popularity, size_t k);
 
 }  // namespace cluster

@@ -1,0 +1,121 @@
+// Scalar reference kernels + one-time dispatch. Compiled with
+// -ffp-contract=off (see CMakeLists): the scalar table is the oracle
+// every SIMD variant is asserted bit-identical against, so its rounding
+// must not depend on whether the compiler fused a mul+add.
+
+#include "core/kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace optselect {
+namespace core {
+namespace kernels {
+
+namespace {
+
+double WeightedRowSumScalar(const double* row, const double* prob,
+                            size_t m) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t j = 0; j < m; ++j) acc[j & 3] += prob[j] * row[j];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+void OverallFromWeightedScalar(const double* relevance,
+                               const double* weighted, size_t n,
+                               double lambda, double m_scale, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = CombineOverall(relevance[i], weighted[i], lambda, m_scale);
+  }
+}
+
+void OverallFromRowsScalar(const double* relevance, const double* rows,
+                           const double* prob, size_t n, size_t m,
+                           double lambda, double* out) {
+  const double m_scale = static_cast<double>(m);
+  for (size_t i = 0; i < n; ++i) {
+    double w = WeightedRowSumScalar(rows + i * m, prob, m);
+    out[i] = CombineOverall(relevance[i], w, lambda, m_scale);
+  }
+}
+
+double DotAosSoaScalar(const text::TermVector::Entry* a, size_t a_len,
+                       const uint32_t* b_terms, const double* b_weights,
+                       size_t b_len) {
+  // The exact linear merge of TermVector::Dot, with the b side read
+  // from columns instead of pairs.
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a_len && j < b_len) {
+    uint32_t ta = a[i].first;
+    uint32_t tb = b_terms[j];
+    if (ta == tb) {
+      dot += a[i].second * b_weights[j];
+      ++i;
+      ++j;
+    } else if (ta < tb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+const Ops kScalarOps = {
+    "scalar",          WeightedRowSumScalar, OverallFromWeightedScalar,
+    OverallFromRowsScalar, DotAosSoaScalar,
+};
+
+/// Resolves the dispatch target once. Unknown or unavailable explicit
+/// requests warn to stderr and fall back to scalar — a test asking for
+/// a specific target should fail loudly in its assertions, not crash
+/// the process.
+const Ops* Choose() {
+  const char* env = std::getenv("OPTSELECT_KERNELS");
+  const char* want = (env != nullptr && env[0] != '\0') ? env : "auto";
+  if (std::strcmp(want, "scalar") == 0) return &kScalarOps;
+  if (std::strcmp(want, "avx2") == 0) {
+    const Ops* ops = internal::Avx2OrNull();
+    if (ops != nullptr) return ops;
+    std::fprintf(stderr,
+                 "optselect: OPTSELECT_KERNELS=avx2 unavailable on this "
+                 "CPU/build; using scalar kernels\n");
+    return &kScalarOps;
+  }
+  if (std::strcmp(want, "neon") == 0) {
+    const Ops* ops = internal::NeonOrNull();
+    if (ops != nullptr) return ops;
+    std::fprintf(stderr,
+                 "optselect: OPTSELECT_KERNELS=neon unavailable on this "
+                 "CPU/build; using scalar kernels\n");
+    return &kScalarOps;
+  }
+  if (std::strcmp(want, "auto") != 0) {
+    std::fprintf(stderr,
+                 "optselect: unknown OPTSELECT_KERNELS='%s'; using "
+                 "scalar kernels\n",
+                 want);
+    return &kScalarOps;
+  }
+  if (const Ops* ops = internal::Avx2OrNull()) return ops;
+  if (const Ops* ops = internal::NeonOrNull()) return ops;
+  return &kScalarOps;
+}
+
+}  // namespace
+
+const Ops& Scalar() { return kScalarOps; }
+
+const Ops& Active() {
+  static const Ops* ops = Choose();
+  return *ops;
+}
+
+const char* ActiveName() { return Active().name; }
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace optselect

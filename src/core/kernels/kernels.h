@@ -1,0 +1,148 @@
+// Runtime-dispatched compute kernels for the selection hot loops.
+//
+// The paper argues OptSelect's scan structure is data-parallel (their
+// demonstration is on GPUs); this layer finishes that thought on CPU.
+// Four loops dominate serving: the weighted utility row sum (the
+// λ-independent half of Eq. 9), the per-candidate overall-utility
+// evaluation feeding the OptSelect/StreamingTopK scans, the cosine dot
+// products between a candidate surrogate and a specialization's stored
+// surrogates, and the batched utility-row computation built from them.
+// Each has a scalar reference implementation and optional AVX2/NEON
+// variants selected ONCE at startup.
+//
+// Determinism contract: every variant produces bit-identical doubles to
+// the scalar reference, run-to-run and across lane widths. Two rules
+// make that possible:
+//
+//   1. Reductions use a FIXED-ORDER BLOCKED accumulation, not the
+//      sequential order: the weighted row sum accumulates stripe
+//      acc[j mod 4] += p[j]·u[j] (j ascending) and combines as
+//      (acc0+acc1)+(acc2+acc3). A 4-lane vector unit computes exactly
+//      this; the scalar reference computes exactly this; a 2-lane NEON
+//      unit carries stripes {0,1} and {2,3} in two registers and
+//      combines in the same tree. The blocked order is the canonical
+//      definition — the plan compiler, the serve-time fallback scan and
+//      every SIMD variant all produce the same bits.
+//   2. Sparse dot products accumulate matched terms in ascending term
+//      order — identical to TermVector::Dot's linear merge. SIMD
+//      variants only accelerate the intersection *skipping* (wide
+//      compares advancing past non-matching ids); they never reorder or
+//      partially sum the products.
+//
+// All kernel translation units compile with -ffp-contract=off and use
+// explicit mul+add (never FMA) so contraction cannot change rounding.
+//
+// Dispatch: Active() resolves once (thread-safe local static) from CPU
+// features, overridable via OPTSELECT_KERNELS=scalar|avx2|neon|auto for
+// testing. Requesting an unavailable target warns once and falls back
+// to scalar.
+
+#ifndef OPTSELECT_CORE_KERNELS_KERNELS_H_
+#define OPTSELECT_CORE_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "text/term_vector.h"
+
+namespace optselect {
+namespace core {
+namespace kernels {
+
+/// One dispatch target: a named table of kernel entry points. All
+/// function pointers are always non-null.
+struct Ops {
+  const char* name;
+
+  /// Σ_j prob[j]·row[j] in the canonical blocked order (see file
+  /// comment): acc[j mod 4] += prob[j]·row[j], result
+  /// (acc0+acc1)+(acc2+acc3).
+  double (*weighted_row_sum)(const double* row, const double* prob,
+                             size_t m);
+
+  /// out[i] = (1−λ)·m_scale·rel[i] + λ·weighted[i] — the Eq. 9 combine
+  /// over a precompiled weighted block (the plan-served scan).
+  void (*overall_from_weighted)(const double* relevance,
+                                const double* weighted, size_t n,
+                                double lambda, double m_scale,
+                                double* out);
+
+  /// out[i] = (1−λ)·m_scale·rel[i] + λ·Σ_j prob[j]·rows[i·m+j] — the
+  /// Eq. 9 combine with an inline blocked row sum (the plan-less scan).
+  void (*overall_from_rows)(const double* relevance, const double* rows,
+                            const double* prob, size_t n, size_t m,
+                            double lambda, double* out);
+
+  /// Sparse dot of an AoS (term,weight) entry list against SoA term and
+  /// weight columns; both sides sorted by term id, ids unique. Products
+  /// accumulate in ascending matched-term order — bit-identical to
+  /// text::TermVector::Dot.
+  double (*dot_aos_soa)(const text::TermVector::Entry* a, size_t a_len,
+                        const uint32_t* b_terms, const double* b_weights,
+                        size_t b_len);
+};
+
+/// The scalar reference table (always available; the oracle every other
+/// target is asserted against).
+const Ops& Scalar();
+
+/// The dispatched table: resolved once on first use from CPU features
+/// and the OPTSELECT_KERNELS override, then immutable.
+const Ops& Active();
+
+/// Name of the active target ("scalar", "avx2", "neon") for logs and
+/// bench metadata.
+const char* ActiveName();
+
+namespace internal {
+/// Arch-specific tables; null when the build target or the running CPU
+/// lacks the feature. Defined in kernels_avx2.cc / kernels_neon.cc
+/// (each compiles to a null-returning stub off-architecture).
+const Ops* Avx2OrNull();
+const Ops* NeonOrNull();
+}  // namespace internal
+
+/// The Eq. 9 combine for one candidate:
+///   (1−λ)·m_scale·relevance + λ·weighted
+/// evaluated left-to-right. Shared by every kernel and by header-inline
+/// single-candidate call sites so the expression tree is identical
+/// everywhere. (Plain f64 mul/add cannot be FMA-contracted on targets
+/// without FMA codegen, and kernel TUs additionally force
+/// -ffp-contract=off.)
+inline double CombineOverall(double relevance, double weighted,
+                             double lambda, double m_scale) {
+  return (1.0 - lambda) * m_scale * relevance + lambda * weighted;
+}
+
+/// Convenience single-call wrappers through the dispatched table.
+inline double WeightedRowSum(const double* row, const double* prob,
+                             size_t m) {
+  return Active().weighted_row_sum(row, prob, m);
+}
+
+inline double DotAosSoa(const text::TermVector::Entry* a, size_t a_len,
+                        const uint32_t* b_terms, const double* b_weights,
+                        size_t b_len) {
+  return Active().dot_aos_soa(a, a_len, b_terms, b_weights, b_len);
+}
+
+/// cosine(a, b) ∈ [0,1] between a heap TermVector and an SoA span whose
+/// norm was computed by the same build-time recomputation — the clamp
+/// and zero-norm handling mirror TermVector::Cosine exactly, so a
+/// mapped surrogate scores bit-identically to its heap twin.
+inline double CosineAosSoa(const text::TermVector& a,
+                           const text::TermVectorSpan& b) {
+  if (a.norm() == 0.0 || b.norm == 0.0) return 0.0;
+  double c = DotAosSoa(a.entries().data(), a.size(), b.terms, b.weights,
+                       b.size) /
+             (a.norm() * b.norm);
+  if (c < 0.0) return 0.0;
+  if (c > 1.0) return 1.0;
+  return c;
+}
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace optselect
+
+#endif  // OPTSELECT_CORE_KERNELS_KERNELS_H_

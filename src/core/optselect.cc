@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/kernels.h"
 #include "core/optselect_stages.h"
 
 namespace optselect {
@@ -104,14 +105,24 @@ void DrainAndFill(const double* overall, size_t n, size_t k,
 double OptSelectDiversifier::OverallUtility(
     const DiversificationInput& input, const UtilityMatrix& utilities,
     size_t i, double lambda) {
+  // Gather the AoS probabilities, then evaluate through the same kernel
+  // path every serving scan uses — this function is the reference
+  // oracle of the differential tests, so it must share the canonical
+  // blocked accumulation order bit for bit.
   const size_t m = input.specializations.size();
-  double weighted = 0.0;
-  for (size_t j = 0; j < m; ++j) {
-    weighted += input.specializations[j].probability * utilities.At(i, j);
+  double probs_stack[16];
+  std::vector<double> probs_heap;
+  double* probs = probs_stack;
+  if (m > 16) {
+    probs_heap.resize(m);
+    probs = probs_heap.data();
   }
-  return (1.0 - lambda) * static_cast<double>(m) *
-             input.candidates[i].relevance +
-         lambda * weighted;
+  for (size_t j = 0; j < m; ++j) {
+    probs[j] = input.specializations[j].probability;
+  }
+  double weighted = utilities.WeightedRowSum(i, probs);
+  return kernels::CombineOverall(input.candidates[i].relevance, weighted,
+                                 lambda, static_cast<double>(m));
 }
 
 void OptSelectDiversifier::SelectInto(const DiversificationView& view,
@@ -123,11 +134,21 @@ void OptSelectDiversifier::SelectInto(const DiversificationView& view,
   const size_t k = std::min(params.k, n);
   if (k == 0) return;
 
-  // Ũ(d|q) for every candidate — one O(m) row scan each, or a single
-  // read when the view carries the compiled weighted block.
+  // Ũ(d|q) for every candidate in one batched kernel call — the
+  // weighted-block combine when the view carries the compiled block,
+  // the blocked row-sum scan otherwise. Both are bit-identical to
+  // per-candidate view.OverallUtility calls.
+  const size_t m = view.num_specializations;
   scratch->overall.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    scratch->overall[i] = view.OverallUtility(i, params.lambda);
+  const kernels::Ops& ops = kernels::Active();
+  if (view.weighted != nullptr) {
+    ops.overall_from_weighted(view.relevance, view.weighted, n,
+                              params.lambda, static_cast<double>(m),
+                              scratch->overall.data());
+  } else {
+    ops.overall_from_rows(view.relevance, view.utilities,
+                          view.probability, n, m, params.lambda,
+                          scratch->overall.data());
   }
 
   internal::PrepareHeaps(view, k, scratch);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/kernels/kernels.h"
 #include "core/optselect_stages.h"
 
 namespace optselect {
@@ -22,13 +23,30 @@ void ParallelOptSelectDiversifier::SelectInto(
   }
   threads = std::min(threads, std::max<size_t>(n / 1024, 1));
 
+  const size_t m = view.num_specializations;
+  const kernels::Ops& ops = kernels::Active();
+  // Batched Eq. 9 evaluation over a candidate subrange; per-element
+  // identical to view.OverallUtility, so the sharded scan's overall
+  // array matches the serial one bitwise.
+  auto eval_overall = [&](size_t begin, size_t end, double* overall) {
+    if (view.weighted != nullptr) {
+      ops.overall_from_weighted(view.relevance + begin,
+                                view.weighted + begin, end - begin,
+                                params.lambda, static_cast<double>(m),
+                                overall + begin);
+    } else {
+      ops.overall_from_rows(view.relevance + begin,
+                            view.utilities + begin * m, view.probability,
+                            end - begin, m, params.lambda,
+                            overall + begin);
+    }
+  };
+
   scratch->overall.resize(n);
   internal::PrepareHeaps(view, k, scratch);
 
   if (threads <= 1) {
-    for (size_t i = 0; i < n; ++i) {
-      scratch->overall[i] = view.OverallUtility(i, params.lambda);
-    }
+    eval_overall(0, n, scratch->overall.data());
     internal::ScanRange(view, scratch->overall.data(), 0, n, scratch);
     internal::DrainAndFill(scratch->overall.data(), n, k, scratch, out);
     return;
@@ -52,9 +70,7 @@ void ParallelOptSelectDiversifier::SelectInto(
       size_t end = std::min(n, begin + chunk);
       if (begin >= end) break;
       workers.emplace_back([&, t, begin, end]() {
-        for (size_t i = begin; i < end; ++i) {
-          overall[i] = view.OverallUtility(i, params.lambda);
-        }
+        eval_overall(begin, end, overall);
         internal::ScanRange(view, overall, begin, end, &shards[t]);
       });
     }

@@ -20,6 +20,7 @@
 
 #include "core/bounded_heap.h"
 #include "core/candidate.h"
+#include "core/kernels/kernels.h"
 
 namespace optselect {
 namespace core {
@@ -61,21 +62,18 @@ struct DiversificationView {
   /// The overall per-document utility Ũ(d|q) of Eq. 9:
   /// (1−λ)·m·P(d|q) + λ·Σ_j P(q′_j|q)·Ũ(d|R_{q′_j}). Uses the
   /// precomputed weighted block when present; the fallback row scan
-  /// accumulates in the same j order, so both paths are bit-identical.
+  /// runs the dispatched kernel's canonical blocked reduction — the
+  /// same order the plan compiler and every batch scan use, so all
+  /// paths are bit-identical.
   double OverallUtility(size_t candidate, double lambda) const {
-    double w;
-    if (weighted != nullptr) {
-      w = weighted[candidate];
-    } else {
-      w = 0.0;
-      const double* row = utilities + candidate * num_specializations;
-      for (size_t j = 0; j < num_specializations; ++j) {
-        w += probability[j] * row[j];
-      }
-    }
-    return (1.0 - lambda) * static_cast<double>(num_specializations) *
-               relevance[candidate] +
-           lambda * w;
+    double w = weighted != nullptr
+                   ? weighted[candidate]
+                   : kernels::WeightedRowSum(
+                         utilities + candidate * num_specializations,
+                         probability, num_specializations);
+    return kernels::CombineOverall(
+        relevance[candidate], w, lambda,
+        static_cast<double>(num_specializations));
   }
 };
 

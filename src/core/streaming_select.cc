@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/kernels.h"
+
 namespace optselect {
 namespace core {
 
@@ -74,22 +76,20 @@ bool StreamingTopK::CanPrune(double relevance) const {
 
 double StreamingTopK::Push(size_t index, double relevance,
                            const double* utility_row) {
-  // Ascending-j accumulation — the exact FP order of
-  // DiversificationView::OverallUtility's fallback row scan.
-  double weighted = 0.0;
-  for (size_t j = 0; j < num_specializations_; ++j) {
-    weighted += probability_[j] * utility_row[j];
-  }
+  // The dispatched kernel's blocked accumulation — the exact FP order
+  // of DiversificationView::OverallUtility's fallback row scan and the
+  // plan compiler's weighted block.
+  double weighted = kernels::WeightedRowSum(
+      utility_row, probability_.data(), num_specializations_);
   return PushWeighted(index, relevance, weighted, utility_row);
 }
 
 double StreamingTopK::PushWeighted(size_t index, double relevance,
                                    double weighted,
                                    const double* utility_row) {
-  const double overall =
-      (1.0 - lambda_) * static_cast<double>(num_specializations_) *
-          relevance +
-      lambda_ * weighted;
+  const double overall = kernels::CombineOverall(
+      relevance, weighted, lambda_,
+      static_cast<double>(num_specializations_));
   ++offered_;
   ++pushed_;
   global_.Push(overall, index);

@@ -1,16 +1,15 @@
 #include "core/utility.h"
 
+#include "core/kernels/kernels.h"
 #include "util/math_util.h"
 
 namespace optselect {
 namespace core {
 
 double UtilityMatrix::WeightedRowSum(size_t candidate,
-                                     const std::vector<double>& probs) const {
-  double sum = 0.0;
-  const double* row = values_.data() + candidate * m_;
-  for (size_t j = 0; j < m_; ++j) sum += probs[j] * row[j];
-  return sum;
+                                     const double* probs) const {
+  return kernels::WeightedRowSum(values_.data() + candidate * m_, probs,
+                                 m_);
 }
 
 void UtilityMatrix::ThresholdInPlace(double c) {
@@ -32,6 +31,17 @@ double UtilityComputer::RawUtility(
   for (size_t r = 0; r < rq_prime.size(); ++r) {
     // (1 − δ(d, d′)) = cosine(d, d′); rank is 1-based.
     u += doc.Cosine(rq_prime[r]) / static_cast<double>(r + 1);
+  }
+  return u;
+}
+
+double UtilityComputer::RawUtility(const text::TermVector& doc,
+                                   const text::TermVectorSpan* rq_prime,
+                                   size_t count) {
+  double u = 0.0;
+  for (size_t r = 0; r < count; ++r) {
+    u += kernels::CosineAosSoa(doc, rq_prime[r]) /
+         static_cast<double>(r + 1);
   }
   return u;
 }

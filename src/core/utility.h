@@ -41,9 +41,12 @@ class UtilityMatrix {
   /// zero-copy DiversificationView points at.
   const double* data() const { return values_.data(); }
 
-  /// Row view helper: sum over specializations of P(q′|q)·Ũ(d|R_q′).
-  double WeightedRowSum(size_t candidate,
-                        const std::vector<double>& probs) const;
+  /// Row view helper: sum over specializations of P(q′|q)·Ũ(d|R_q′),
+  /// evaluated by the dispatched kernel's canonical blocked reduction
+  /// (core/kernels). Takes a raw pointer so plan- and mmap-backed
+  /// probability columns feed it without a vector copy; `probs` must
+  /// have at least num_specializations() elements.
+  double WeightedRowSum(size_t candidate, const double* probs) const;
 
   /// Forces every value below `c` to 0 in place, allocation-free.
   /// Thresholding is idempotent and monotone in c (re-applying a larger
@@ -76,6 +79,13 @@ class UtilityComputer {
   /// Raw U(d|R_q′) for one document surrogate against one result list.
   static double RawUtility(const text::TermVector& doc,
                            const std::vector<text::TermVector>& rq_prime);
+
+  /// Span overload for mmap-backed result lists (store format v4): the
+  /// same ascending-rank sum over kernels::CosineAosSoa, bit-identical
+  /// to the vector overload on equal term/weight/norm bits.
+  static double RawUtility(const text::TermVector& doc,
+                           const text::TermVectorSpan* rq_prime,
+                           size_t count);
 
   /// Normalized Ũ = U / H_{|R_q′|}, thresholded at c.
   double NormalizedUtility(

@@ -12,7 +12,7 @@ std::vector<double> InverseHarmonics(
     const std::vector<SpecializationRef>& specs) {
   std::vector<double> inv(specs.size(), 0.0);
   for (size_t j = 0; j < specs.size(); ++j) {
-    size_t len = specs[j].results == nullptr ? 0 : specs[j].results->size();
+    size_t len = specs[j].result_count();
     inv[j] = len == 0 ? 0.0 : 1.0 / util::HarmonicNumber(len);
   }
   return inv;
@@ -23,9 +23,12 @@ void ComputeUtilityRow(const text::TermVector& doc,
                        const std::vector<double>& inv_harmonic,
                        double threshold_c, double* row) {
   for (size_t j = 0; j < specs.size(); ++j) {
-    double u =
-        core::UtilityComputer::RawUtility(doc, *specs[j].results) *
-        inv_harmonic[j];
+    double raw =
+        specs[j].results != nullptr
+            ? core::UtilityComputer::RawUtility(doc, *specs[j].results)
+            : core::UtilityComputer::RawUtility(
+                  doc, specs[j].spans->data(), specs[j].spans->size());
+    double u = raw * inv_harmonic[j];
     if (u < threshold_c) u = 0.0;
     row[j] = u;
   }

@@ -31,12 +31,23 @@
 namespace optselect {
 namespace pipeline {
 
-/// One specialization's reference data, viewed wherever it lives (a
-/// StoredEntry's surrogates on the serving path — no ToProfiles copy).
+/// One specialization's reference data, viewed wherever it lives: a
+/// StoredEntry's heap surrogates (results) or a mapped v4 entry's SoA
+/// spans (spans) — either way, no ToProfiles copy. Exactly one of the
+/// two pointers is set; both backings produce bit-identical utilities
+/// because the span cosine (kernels::CosineAosSoa) matches
+/// TermVector::Cosine on equal term/weight/norm bits.
 struct SpecializationRef {
   double probability = 0.0;
   /// Surrogate vectors of R_q′ in rank order. Non-owned.
   const std::vector<text::TermVector>* results = nullptr;
+  /// Mapped surrogate spans of R_q′ in rank order. Non-owned.
+  const std::vector<text::TermVectorSpan>* spans = nullptr;
+
+  size_t result_count() const {
+    if (results != nullptr) return results->size();
+    return spans != nullptr ? spans->size() : 0;
+  }
 };
 
 /// The per-specialization reciprocal normalizers 1/H_{|R_q′|} exactly

@@ -321,21 +321,22 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
 
   const pipeline::PipelineParams& params = config_.params;
   // Serving-time step (a): the store *is* the precomputed answer of
-  // Algorithm 1, so ambiguity detection is one hash lookup.
-  const store::StoredEntry* entry = snapshot.store().Find(normalized_query);
+  // Algorithm 1, so ambiguity detection is one hash lookup. Find()
+  // resolves against either backing — heap entries or spans straight
+  // into the mmapped v4 columns — without materializing anything.
+  store::EntryRef entry = snapshot.Find(normalized_query);
   const bool ambiguous =
-      entry != nullptr && entry->specializations.size() >= 2;
+      static_cast<bool>(entry) && entry.num_specializations() >= 2;
 
-  // Compiled path (store v3): the builder already retrieved R_q and
-  // computed the thresholded utilities against this same immutable
+  // Compiled path (store v3+ plans): the builder already retrieved R_q
+  // and computed the thresholded utilities against this same immutable
   // index, so the request is pure selection over the entry's flat
   // blocks — no retrieval, no snippet extraction, no cosine sums, and
-  // no allocation outside the worker's scratch.
-  if (ambiguous && !entry->plan.empty() &&
-      entry->plan.CompatibleWith(params.num_candidates,
-                                 params.threshold_c)) {
-    const store::QueryPlan& plan = entry->plan;
-    core::DiversificationView view = plan.View();
+  // no allocation outside the worker's scratch. On a mapped snapshot
+  // the view points directly at file-backed columns.
+  if (ambiguous &&
+      entry.HasCompatiblePlan(params.num_candidates, params.threshold_c)) {
+    core::DiversificationView view = entry.PlanView();
     read_span.End();
     obs::TraceSpan select_span(trace, obs::TraceStage::kSelect, 0,
                                &stages->select_us);
@@ -344,9 +345,9 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
 
     result->diversified = true;
     result->plan_served = true;
-    result->num_specializations = plan.num_specializations();
+    result->num_specializations = entry.PlanNumSpecializations();
     result->ranking = pipeline::AssembleRanking(
-        plan.docs.data(), plan.num_candidates(), scratch->picks,
+        entry.PlanDocs(), entry.PlanNumCandidates(), scratch->picks,
         params.diversify.k, &scratch->taken);
     return result;
   }
@@ -380,15 +381,14 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
   // (finalize + ranking assembly) sub-spans; select still covers both.
   if (stream != nullptr && config_.streaming_cold_path &&
       config_.intra_query_threads <= 1) {
-    const std::vector<store::StoredSpecialization>& specs =
-        entry->specializations;
-    const size_t m = specs.size();
+    const size_t m = entry.num_specializations();
     std::vector<pipeline::SpecializationRef> refs(m);
     std::vector<double> probs(m);
     for (size_t j = 0; j < m; ++j) {
-      probs[j] = specs[j].probability;
-      refs[j].probability = specs[j].probability;
-      refs[j].results = &specs[j].surrogates;
+      probs[j] = entry.spec_probability(j);
+      refs[j].probability = probs[j];
+      refs[j].results = entry.heap_surrogates(j);
+      refs[j].spans = entry.spec_spans(j);
     }
     std::vector<double> inv_harmonic = pipeline::InverseHarmonics(refs);
     read_span.End();
@@ -440,7 +440,7 @@ std::shared_ptr<const ServeResult> ServingNode::ComputeRanking(
   input.query = normalized_query;
   input.candidates =
       pipeline::BuildCandidates(rq, *snippets_, *documents_, query_terms);
-  input.specializations = store::DiversificationStore::ToProfiles(*entry);
+  input.specializations = entry.ToProfiles();
 
   core::UtilityComputer computer(
       core::UtilityComputer::Options{params.threshold_c});

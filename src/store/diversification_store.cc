@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "store/mapped_store.h"
 #include "util/hash.h"
 #include "util/strings.h"
 
@@ -12,7 +13,11 @@ namespace optselect {
 namespace store {
 namespace {
 
-// Binary layout (little-endian, as written by this process):
+// Legacy binary layout, formats v1–v3 (little-endian, as written by
+// this process). The current format is v4 — a flat mmap-able columnar
+// layout owned by store/mapped_store.h ("OSV4" magic); Save writes it
+// and Load dispatches on the magic, so everything below is read-only
+// compatibility code for files written by older builds:
 //   magic "OSDS" | u32 format_version | [v2+: u64 store_version]
 //                | u64 entry_count
 //   per entry:   u32 query_len | bytes | u32 spec_count
@@ -218,6 +223,14 @@ uint64_t DiversificationStore::SurrogatePayloadBytes() const {
 }
 
 util::Status DiversificationStore::Save(const std::string& path) const {
+  // The current on-disk format is v4 (store/mapped_store.h): flat,
+  // checksummed, mmap-able. Loading any older format and saving is the
+  // upgrade path — same content, new layout.
+  return MappedStoreFile::WriteV4(*this, path);
+}
+
+util::Status DiversificationStore::SaveLegacyV3(
+    const std::string& path) const {
   Writer w;
   w.U32(kVersion);
   w.U64(version_);
@@ -276,6 +289,21 @@ util::Result<DiversificationStore> DiversificationStore::Load(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::Status::IoError("cannot open for read: " + path);
+  // Dispatch on the magic: v4 files ("OSV4") go through the mmap
+  // reader + materialize (one shared parse/validate implementation);
+  // v1–v3 ("OSDS") through the legacy stream reader below.
+  {
+    char probe[4] = {0, 0, 0, 0};
+    in.read(probe, sizeof(probe));
+    if (in.gcount() == sizeof(probe) &&
+        std::memcmp(probe, "OSV4", sizeof(probe)) == 0) {
+      auto mapped = MappedStoreFile::Map(path);
+      if (!mapped.ok()) return mapped.status();
+      return mapped.value()->Materialize();
+    }
+    in.clear();
+    in.seekg(0);
+  }
   std::string blob((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   if (blob.size() < sizeof(kMagic) + sizeof(uint64_t)) {

@@ -95,17 +95,26 @@ class DiversificationStore {
   /// N·|S_q̂|·|R_q̂′|·L is the worst case of this number).
   uint64_t SurrogatePayloadBytes() const;
 
-  /// Serializes all entries to `path` (binary, versioned, checksummed).
-  /// Writes the current (v3) format, which carries version() and the
-  /// compiled query plans.
+  /// Serializes all entries to `path` in the current v4 format — the
+  /// flat, checksummed, mmap-able columnar layout of
+  /// store/mapped_store.h, which carries version() and the compiled
+  /// query plans and which serving nodes can map without parsing.
+  /// Deterministic: identical stores produce identical bytes.
   util::Status Save(const std::string& path) const;
 
-  /// Loads a store written by Save — the current v3 format or the
-  /// legacy v2 (no plan blocks) / v1 (pre-versioning; loads with
-  /// version() == 0) formats. v1/v2 entries load with empty plans;
-  /// store::CompilePlans recompiles them against a retrieval stack.
-  /// Fails with kCorruption on format-version mismatch, truncation, or
-  /// checksum failure.
+  /// Writes the frozen legacy v3 stream format — kept only so tests
+  /// and the fixture generator can produce old-format files; production
+  /// code saves v4.
+  util::Status SaveLegacyV3(const std::string& path) const;
+
+  /// Loads a store written by Save — the current v4 format (parsed via
+  /// the mmap reader, then materialized to heap entries) or the legacy
+  /// v3 / v2 (no plan blocks) / v1 (pre-versioning; loads with
+  /// version() == 0) stream formats. v1/v2 entries load with empty
+  /// plans; store::CompilePlans recompiles them against a retrieval
+  /// stack. Loading any older format and saving upgrades the file to
+  /// v4 with bit-identical content. Fails with kCorruption on
+  /// format-version mismatch, truncation, or checksum failure.
   static util::Result<DiversificationStore> Load(const std::string& path);
 
   /// Iteration support (read-only).

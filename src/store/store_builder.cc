@@ -123,11 +123,13 @@ QueryPlan CompileQueryPlan(const StoredEntry& entry,
     plan.probability.push_back(sp.probability);
   }
   plan.utilities.assign(matrix.data(), matrix.data() + n * m);
-  // The λ-independent half of Eq. 9; WeightedRowSum accumulates in the
-  // same j order as the serve-time row scan, so the sums match bitwise.
+  // The λ-independent half of Eq. 9; WeightedRowSum runs the kernels'
+  // canonical blocked accumulation — the same order the serve-time row
+  // scan uses — so the compiled sums match serve-time bitwise.
   plan.weighted.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    plan.weighted.push_back(matrix.WeightedRowSum(i, plan.probability));
+    plan.weighted.push_back(
+        matrix.WeightedRowSum(i, plan.probability.data()));
   }
   // "the k specializations with the largest probabilities" (3.1.3) —
   // the full order is compiled; selection truncates to its k.

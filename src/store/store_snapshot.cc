@@ -21,6 +21,67 @@ std::shared_ptr<const StoreSnapshot> StoreSnapshot::Borrow(
       new StoreSnapshot(nullptr, store));
 }
 
+std::shared_ptr<const StoreSnapshot> StoreSnapshot::FromMapped(
+    std::shared_ptr<const MappedStoreFile> file) {
+  return std::shared_ptr<const StoreSnapshot>(
+      new StoreSnapshot(std::move(file), nullptr));
+}
+
+std::shared_ptr<const StoreSnapshot> StoreSnapshot::MappedShard(
+    std::shared_ptr<const MappedStoreFile> file,
+    std::function<bool(std::string_view)> keep) {
+  return std::shared_ptr<const StoreSnapshot>(
+      new StoreSnapshot(std::move(file), std::move(keep)));
+}
+
+StoreSnapshot::StoreSnapshot(std::shared_ptr<const MappedStoreFile> file,
+                             std::function<bool(std::string_view)> keep)
+    : file_(std::move(file)), keep_(std::move(keep)), filtered_(keep_ != nullptr) {
+  if (filtered_) {
+    shard_index_.reserve(file_->entry_count());
+    for (const MappedEntry& entry : file_->entries()) {
+      if (keep_(entry.key)) shard_index_.emplace(entry.key, &entry);
+    }
+  }
+}
+
+EntryRef StoreSnapshot::Find(std::string_view normalized_key) const {
+  if (file_ != nullptr) {
+    if (filtered_) {
+      auto it = shard_index_.find(normalized_key);
+      return it == shard_index_.end() ? EntryRef() : EntryRef(it->second);
+    }
+    return EntryRef(file_->FindEntry(normalized_key));
+  }
+  return EntryRef(view_->Find(normalized_key));
+}
+
+size_t StoreSnapshot::entry_count() const {
+  if (file_ != nullptr) {
+    return filtered_ ? shard_index_.size() : file_->entry_count();
+  }
+  return view_->size();
+}
+
+const DiversificationStore& StoreSnapshot::store() const {
+  if (file_ == nullptr) return *view_;
+  std::call_once(materialize_once_, [this] {
+    auto heap =
+        std::make_unique<DiversificationStore>(file_->Materialize());
+    if (filtered_) {
+      // Shard views materialize only their slice, mirroring SplitStore.
+      std::vector<std::string> drop;
+      for (const auto& [key, entry] : heap->entries()) {
+        (void)entry;
+        if (!keep_(key)) drop.push_back(key);
+      }
+      for (const std::string& key : drop) heap->Remove(key);
+    }
+    materialized_ = std::move(heap);
+  });
+  return *materialized_;
+}
+
 SnapshotBuildResult BuildSnapshot(const StoreSnapshot* base,
                                   const StoreDelta& delta) {
   SnapshotBuildResult out;

@@ -17,6 +17,20 @@
 namespace optselect {
 namespace text {
 
+/// Non-owning SoA view of a sparse term vector: parallel term-id and
+/// weight columns (sorted by term id, ids unique, weights non-zero)
+/// plus the precomputed L2 norm. This is the shape a mapped store-v4
+/// surrogate column has on disk; kernels consume it directly so mapped
+/// serving never rebuilds heap TermVectors. The norm is stored, not
+/// recomputed — it carries the exact bits TermVector::RecomputeNorm
+/// produced at build time.
+struct TermVectorSpan {
+  const TermId* terms = nullptr;
+  const double* weights = nullptr;
+  uint32_t size = 0;
+  double norm = 0.0;
+};
+
 /// Immutable-after-build sparse vector over TermId with double weights.
 class TermVector {
  public:

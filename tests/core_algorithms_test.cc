@@ -411,7 +411,7 @@ TEST(XQuadTest, FirstPickMaximizesEquation5) {
   size_t best_i = 0;
   for (size_t i = 0; i < ri.input.candidates.size(); ++i) {
     double score = (1 - params.lambda) * ri.input.candidates[i].relevance +
-                   params.lambda * ri.utilities.WeightedRowSum(i, probs);
+                   params.lambda * ri.utilities.WeightedRowSum(i, probs.data());
     if (score > best) {
       best = score;
       best_i = i;
@@ -639,7 +639,7 @@ TEST(SelectIntoTest, PrecomputedBlocksMatchOnTheFlyComputation) {
   }
   std::vector<double> weighted(view.num_candidates);
   for (size_t i = 0; i < view.num_candidates; ++i) {
-    weighted[i] = ri.utilities.WeightedRowSum(i, probs);
+    weighted[i] = ri.utilities.WeightedRowSum(i, probs.data());
   }
   std::vector<uint32_t> order(view.num_specializations);
   for (size_t j = 0; j < order.size(); ++j) {

@@ -202,8 +202,8 @@ TEST(UtilityMatrixTest, WeightedRowSum) {
   DiversificationInput input = TinyInput();
   UtilityMatrix m = UtilityComputer().Compute(input);
   std::vector<double> probs = {0.7, 0.3};
-  EXPECT_NEAR(m.WeightedRowSum(0, probs), 0.7, 1e-12);
-  EXPECT_NEAR(m.WeightedRowSum(1, probs), 0.3, 1e-12);
+  EXPECT_NEAR(m.WeightedRowSum(0, probs.data()), 0.7, 1e-12);
+  EXPECT_NEAR(m.WeightedRowSum(1, probs.data()), 0.3, 1e-12);
 }
 
 TEST(UtilityMatrixTest, ThresholdedCopyZeroesSmallValues) {

@@ -1,0 +1,211 @@
+// Determinism tests for the runtime-dispatched selection kernels.
+//
+// The kernels' contract (core/kernels/kernels.h) is that every dispatch
+// target produces bit-identical doubles to the scalar reference — the
+// blocked reduction order and the ascending-term-order dot product are
+// the canonical definitions, not implementation details. These tests
+// compare the Active() table against Scalar() on adversarial shapes
+// (empty, single-lane, odd tails, long rows) and random data, and pin
+// the span cosine to TermVector::Cosine. On a machine without AVX2/NEON
+// (or under OPTSELECT_KERNELS=scalar, which CI forces in one matrix
+// row) Active() == Scalar() and the comparisons are trivially exact —
+// the point is that on a vector machine they STAY exact.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kernels/kernels.h"
+#include "text/term_vector.h"
+
+namespace optselect {
+namespace core {
+namespace kernels {
+namespace {
+
+std::vector<double> RandomRow(std::mt19937_64* rng, size_t n) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> row(n);
+  for (double& v : row) v = dist(*rng);
+  return row;
+}
+
+TEST(KernelsTest, ActiveTargetIsNamedAndResolved) {
+  std::string name = ActiveName();
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "neon") << name;
+  EXPECT_EQ(name, Active().name);
+  EXPECT_STREQ(Scalar().name, "scalar");
+}
+
+TEST(KernelsTest, WeightedRowSumMatchesScalarBitwise) {
+  std::mt19937_64 rng(1234);
+  // Every residue class mod 4 (full blocks, tails of 1–3) plus long
+  // rows where a vector unit actually engages.
+  for (size_t m : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 16u, 33u, 256u}) {
+    std::vector<double> row = RandomRow(&rng, m);
+    std::vector<double> prob = RandomRow(&rng, m);
+    double got = Active().weighted_row_sum(row.data(), prob.data(), m);
+    double want = Scalar().weighted_row_sum(row.data(), prob.data(), m);
+    EXPECT_EQ(got, want) << "m=" << m;  // EQ on doubles: bit-identity
+  }
+}
+
+TEST(KernelsTest, WeightedRowSumUsesTheBlockedOrder) {
+  // The canonical definition spelled out longhand: stripe accumulators
+  // combined (acc0+acc1)+(acc2+acc3). Any kernel drifting to a plain
+  // sequential sum would differ in the low bits on data like this.
+  std::mt19937_64 rng(77);
+  std::vector<double> row = RandomRow(&rng, 11);
+  std::vector<double> prob = RandomRow(&rng, 11);
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t j = 0; j < row.size(); ++j) acc[j & 3] += prob[j] * row[j];
+  double want = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  EXPECT_EQ(Active().weighted_row_sum(row.data(), prob.data(), row.size()),
+            want);
+  EXPECT_EQ(Scalar().weighted_row_sum(row.data(), prob.data(), row.size()),
+            want);
+}
+
+TEST(KernelsTest, OverallFromWeightedMatchesScalarBitwise) {
+  std::mt19937_64 rng(4321);
+  for (size_t n : {0u, 1u, 3u, 4u, 5u, 17u, 64u, 200u}) {
+    std::vector<double> rel = RandomRow(&rng, n);
+    std::vector<double> weighted = RandomRow(&rng, n);
+    std::vector<double> got(n, -1.0), want(n, -2.0);
+    const double lambda = 0.5, m_scale = 3.0;
+    Active().overall_from_weighted(rel.data(), weighted.data(), n, lambda,
+                                   m_scale, got.data());
+    Scalar().overall_from_weighted(rel.data(), weighted.data(), n, lambda,
+                                   m_scale, want.data());
+    EXPECT_EQ(got, want) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(want[i],
+                CombineOverall(rel[i], weighted[i], lambda, m_scale));
+    }
+  }
+}
+
+TEST(KernelsTest, OverallFromRowsMatchesScalarBitwise) {
+  std::mt19937_64 rng(99);
+  for (size_t n : {0u, 1u, 4u, 9u, 40u}) {
+    for (size_t m : {1u, 2u, 3u, 4u, 5u, 8u, 21u}) {
+      std::vector<double> rel = RandomRow(&rng, n);
+      std::vector<double> rows = RandomRow(&rng, n * m);
+      std::vector<double> prob = RandomRow(&rng, m);
+      std::vector<double> got(n, -1.0), want(n, -2.0);
+      const double lambda = 0.7;
+      Active().overall_from_rows(rel.data(), rows.data(), prob.data(), n, m,
+                                 lambda, got.data());
+      Scalar().overall_from_rows(rel.data(), rows.data(), prob.data(), n, m,
+                                 lambda, want.data());
+      EXPECT_EQ(got, want) << "n=" << n << " m=" << m;
+      // And the composition law: overall_from_rows == combine over
+      // weighted_row_sum, bitwise.
+      for (size_t i = 0; i < n; ++i) {
+        double w = Scalar().weighted_row_sum(rows.data() + i * m,
+                                             prob.data(), m);
+        EXPECT_EQ(want[i], CombineOverall(rel[i], w, lambda,
+                                          static_cast<double>(m)));
+      }
+    }
+  }
+}
+
+/// Builds a sorted-unique AoS entry list over the given term ids.
+std::vector<text::TermVector::Entry> Entries(
+    const std::vector<uint32_t>& terms, std::mt19937_64* rng) {
+  std::uniform_real_distribution<double> dist(0.25, 2.0);
+  std::vector<text::TermVector::Entry> e;
+  e.reserve(terms.size());
+  for (uint32_t t : terms) e.push_back({t, dist(*rng)});
+  return e;
+}
+
+TEST(KernelsTest, DotAosSoaMatchesScalarAcrossIntersectionPatterns) {
+  std::mt19937_64 rng(2026);
+  struct Case {
+    std::vector<uint32_t> a, b;
+  };
+  std::vector<Case> cases = {
+      {{}, {}},                                  // both empty
+      {{1, 2, 3}, {}},                           // one side empty
+      {{1, 2, 3}, {1, 2, 3}},                    // identical
+      {{1, 3, 5, 7}, {2, 4, 6, 8}},              // disjoint interleave
+      {{1, 2, 3, 4}, {100, 200}},                // disjoint ranges
+      {{1, 50, 100}, {50}},                      // single match mid-list
+      {{0, 7, 9, 13, 40, 41, 42}, {7, 13, 42}},  // sparse subset
+  };
+  // Plus long random sorted lists with ~50% overlap.
+  {
+    std::vector<uint32_t> a, b;
+    for (uint32_t t = 0; t < 300; ++t) {
+      if (rng() % 2) a.push_back(t);
+      if (rng() % 2) b.push_back(t);
+    }
+    cases.push_back({std::move(a), std::move(b)});
+  }
+  for (const Case& c : cases) {
+    std::vector<text::TermVector::Entry> a = Entries(c.a, &rng);
+    std::vector<text::TermVector::Entry> b = Entries(c.b, &rng);
+    std::vector<uint32_t> b_terms;
+    std::vector<double> b_weights;
+    for (const auto& [t, w] : b) {
+      b_terms.push_back(t);
+      b_weights.push_back(w);
+    }
+    double got = Active().dot_aos_soa(a.data(), a.size(), b_terms.data(),
+                                      b_weights.data(), b_terms.size());
+    double want = Scalar().dot_aos_soa(a.data(), a.size(), b_terms.data(),
+                                       b_weights.data(), b_terms.size());
+    EXPECT_EQ(got, want);
+    // The scalar AoS·SoA dot must itself match TermVector::Dot — same
+    // ascending-order merge.
+    text::TermVector va = text::TermVector::FromEntries(a);
+    text::TermVector vb = text::TermVector::FromEntries(b);
+    EXPECT_EQ(want, va.Dot(vb));
+  }
+}
+
+TEST(KernelsTest, CosineAosSoaMatchesTermVectorCosineBitwise) {
+  std::mt19937_64 rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint32_t> a_terms, b_terms;
+    for (uint32_t t = 0; t < 64; ++t) {
+      if (rng() % 3) a_terms.push_back(t);
+      if (rng() % 3) b_terms.push_back(t);
+    }
+    text::TermVector va =
+        text::TermVector::FromEntries(Entries(a_terms, &rng));
+    text::TermVector vb =
+        text::TermVector::FromEntries(Entries(b_terms, &rng));
+
+    // Build the SoA twin of vb carrying vb's exact norm bits — the
+    // store-v4 shape.
+    std::vector<uint32_t> soa_terms;
+    std::vector<double> soa_weights;
+    for (const auto& [t, w] : vb.entries()) {
+      soa_terms.push_back(t);
+      soa_weights.push_back(w);
+    }
+    text::TermVectorSpan span;
+    span.terms = soa_terms.data();
+    span.weights = soa_weights.data();
+    span.size = static_cast<uint32_t>(soa_terms.size());
+    span.norm = vb.norm();
+
+    EXPECT_EQ(CosineAosSoa(va, span), va.Cosine(vb)) << "trial " << trial;
+  }
+  // Zero-norm handling mirrors TermVector::Cosine: either side empty
+  // gives exactly 0.
+  text::TermVector empty;
+  text::TermVectorSpan empty_span;
+  EXPECT_EQ(CosineAosSoa(empty, empty_span), 0.0);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace core
+}  // namespace optselect

@@ -1,0 +1,471 @@
+// Tests for the mmap-able store format v4 and its serving lifecycle.
+//
+// Three layers of guarantees:
+//
+//   bytes  — WriteV4 → Map → Materialize round-trips content, plans,
+//            and the store version bit-identically; mapped spans view
+//            the exact term/weight/norm bits of their heap twins.
+//   views  — FromMapped/MappedShard snapshots resolve lookups zero-copy
+//            through EntryRef; shard views partition the file exactly
+//            like SplitStore partitions a heap store; the mapping's
+//            shared_ptr lifetime outlives any snapshot or unlink.
+//   serving — a node on a mapped snapshot answers bit-identically to a
+//            node on the equivalent heap snapshot, across the plan,
+//            streaming, and passthrough paths; hot reload retires a
+//            mapped snapshot RCU-style (pinned readers keep the old
+//            pages); an injected reload fault leaves the node serving
+//            the old mapping.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/testbed.h"
+#include "serving/fault_injector.h"
+#include "serving/serving_node.h"
+#include "store/diversification_store.h"
+#include "store/mapped_store.h"
+#include "store/store_builder.h"
+#include "store/store_snapshot.h"
+#include "util/strings.h"
+
+namespace optselect {
+namespace store {
+namespace {
+
+StoredEntry MakeEntry(const std::string& root, size_t n_specs) {
+  StoredEntry entry;
+  entry.query = root;
+  for (size_t s = 0; s < n_specs; ++s) {
+    StoredSpecialization sp;
+    sp.query = root + " mod" + std::to_string(s);
+    sp.probability = 1.0 / static_cast<double>(n_specs);
+    sp.surrogates.push_back(text::TermVector::FromEntries(
+        {{static_cast<text::TermId>(10 * s), 1.0},
+         {static_cast<text::TermId>(10 * s + 3), 0.5}}));
+    if (s % 2 == 0) {
+      sp.surrogates.push_back(text::TermVector::FromEntries(
+          {{static_cast<text::TermId>(100 + s), 2.0}}));
+    }
+    entry.specializations.push_back(std::move(sp));
+  }
+  return entry;
+}
+
+QueryPlan MakePlan(const StoredEntry& entry, size_t n) {
+  QueryPlan plan;
+  const size_t m = entry.specializations.size();
+  plan.num_candidates_requested = 100;
+  plan.threshold_c = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    plan.probability.push_back(entry.specializations[j].probability);
+    plan.spec_order.push_back(static_cast<uint32_t>(j));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    plan.docs.push_back(static_cast<DocId>(7 * i + 1));
+    plan.relevance.push_back(1.0 / static_cast<double>(i + 1));
+    for (size_t j = 0; j < m; ++j) {
+      plan.utilities.push_back(static_cast<double>(i + j) * 0.125);
+    }
+    double w = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      w += plan.probability[j] * plan.utilities[i * m + j];
+    }
+    plan.weighted.push_back(w);
+  }
+  return plan;
+}
+
+DiversificationStore MakeStore() {
+  DiversificationStore store;
+  StoredEntry jaguar = MakeEntry("jaguar", 2);
+  jaguar.plan = MakePlan(jaguar, 3);
+  EXPECT_TRUE(store.Put(std::move(jaguar)).ok());
+  EXPECT_TRUE(store.Put(MakeEntry("apple", 3)).ok());
+  EXPECT_TRUE(store.Put(MakeEntry("phoenix", 4)).ok());
+  EXPECT_TRUE(store.Put(MakeEntry("mercury", 2)).ok());
+  store.set_version(21);
+  return store;
+}
+
+std::string SaveToTemp(const DiversificationStore& store,
+                       const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(store.Save(path).ok());
+  return path;
+}
+
+// ------------------------------------------------------------- bytes
+
+TEST(MappedStoreTest, MapMaterializeRoundTripsBitIdentically) {
+  DiversificationStore store = MakeStore();
+  std::string path = SaveToTemp(store, "roundtrip_v4.bin");
+
+  auto mapped = MappedStoreFile::Map(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const MappedStoreFile& file = *mapped.value();
+  EXPECT_EQ(file.store_version(), 21u);
+  EXPECT_EQ(file.entry_count(), store.size());
+
+  DiversificationStore back = file.Materialize();
+  EXPECT_EQ(back.version(), 21u);
+  ASSERT_EQ(back.size(), store.size());
+  for (const auto& [key, entry] : store.entries()) {
+    const StoredEntry* re = back.Find(key);
+    ASSERT_NE(re, nullptr) << key;
+    EXPECT_TRUE(StoredEntriesEqual(*re, entry)) << key;
+    ASSERT_EQ(re->plan.empty(), entry.plan.empty()) << key;
+    if (!entry.plan.empty()) {
+      EXPECT_EQ(re->plan.docs, entry.plan.docs);
+      EXPECT_EQ(re->plan.relevance, entry.plan.relevance);
+      EXPECT_EQ(re->plan.probability, entry.plan.probability);
+      EXPECT_EQ(re->plan.spec_order, entry.plan.spec_order);
+      EXPECT_EQ(re->plan.utilities, entry.plan.utilities);
+      EXPECT_EQ(re->plan.weighted, entry.plan.weighted);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedStoreTest, MappedSpansViewTheHeapBitsExactly) {
+  DiversificationStore store = MakeStore();
+  std::string path = SaveToTemp(store, "spans_v4.bin");
+  auto mapped = MappedStoreFile::Map(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  for (const auto& [key, entry] : store.entries()) {
+    const MappedEntry* me = mapped.value()->FindEntry(key);
+    ASSERT_NE(me, nullptr) << key;
+    EXPECT_EQ(me->key, key);
+    EXPECT_EQ(me->query, entry.query);
+    ASSERT_EQ(me->specializations.size(), entry.specializations.size());
+    for (size_t j = 0; j < entry.specializations.size(); ++j) {
+      const StoredSpecialization& hs = entry.specializations[j];
+      const MappedSpecialization& ms = me->specializations[j];
+      EXPECT_EQ(ms.query, hs.query);
+      EXPECT_EQ(ms.probability, hs.probability);
+      EXPECT_EQ(me->probability_column[j], hs.probability)
+          << "probability column must duplicate the spec probabilities";
+      ASSERT_EQ(ms.surrogates.size(), hs.surrogates.size());
+      for (size_t r = 0; r < hs.surrogates.size(); ++r) {
+        const text::TermVector& hv = hs.surrogates[r];
+        const text::TermVectorSpan& span = ms.surrogates[r];
+        ASSERT_EQ(span.size, hv.size());
+        EXPECT_EQ(span.norm, hv.norm()) << "norm must carry exact bits";
+        for (size_t t = 0; t < hv.size(); ++t) {
+          EXPECT_EQ(span.terms[t], hv.entries()[t].first);
+          EXPECT_EQ(span.weights[t], hv.entries()[t].second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mapped.value()->FindEntry("never stored"), nullptr);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- views
+
+TEST(MappedStoreTest, FromMappedSnapshotFindsEntriesZeroCopy) {
+  DiversificationStore store = MakeStore();
+  std::string path = SaveToTemp(store, "snapshot_v4.bin");
+  auto mapped = MappedStoreFile::Map(path);
+  ASSERT_TRUE(mapped.ok());
+
+  auto snapshot = StoreSnapshot::FromMapped(mapped.value());
+  EXPECT_TRUE(snapshot->mapped());
+  EXPECT_EQ(snapshot->version(), 21u);
+  EXPECT_EQ(snapshot->entry_count(), store.size());
+
+  EntryRef ref = snapshot->Find("jaguar");
+  ASSERT_TRUE(static_cast<bool>(ref));
+  EXPECT_TRUE(ref.mapped());
+  EXPECT_EQ(ref.num_specializations(), 2u);
+  EXPECT_EQ(ref.spec_probability(0), 0.5);
+  EXPECT_EQ(ref.heap_surrogates(0), nullptr);
+  ASSERT_NE(ref.spec_spans(0), nullptr);
+  EXPECT_TRUE(ref.HasCompatiblePlan(100, 0.0));
+  EXPECT_FALSE(ref.HasCompatiblePlan(100, 0.5));
+  EXPECT_FALSE(ref.HasCompatiblePlan(17, 0.0));
+  EXPECT_EQ(ref.PlanNumCandidates(), 3u);
+  EXPECT_EQ(ref.PlanNumSpecializations(), 2u);
+  EXPECT_EQ(ref.PlanDocs()[0], 1u);
+
+  EXPECT_FALSE(static_cast<bool>(snapshot->Find("never stored")));
+
+  // ToProfiles materializes the same profile a heap entry produces.
+  auto heap_profiles =
+      DiversificationStore::ToProfiles(*store.Find("jaguar"));
+  auto mapped_profiles = ref.ToProfiles();
+  ASSERT_EQ(mapped_profiles.size(), heap_profiles.size());
+  for (size_t j = 0; j < heap_profiles.size(); ++j) {
+    EXPECT_EQ(mapped_profiles[j].probability, heap_profiles[j].probability);
+    ASSERT_EQ(mapped_profiles[j].results.size(),
+              heap_profiles[j].results.size());
+    for (size_t r = 0; r < heap_profiles[j].results.size(); ++r) {
+      EXPECT_EQ(mapped_profiles[j].results[r].entries(),
+                heap_profiles[j].results[r].entries());
+    }
+  }
+
+  // store() lazily materializes a heap copy with identical content.
+  const DiversificationStore& lazy = snapshot->store();
+  EXPECT_EQ(lazy.size(), store.size());
+  EXPECT_EQ(lazy.version(), 21u);
+  for (const auto& [key, entry] : store.entries()) {
+    ASSERT_NE(lazy.Find(key), nullptr) << key;
+    EXPECT_TRUE(StoredEntriesEqual(*lazy.Find(key), entry)) << key;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedStoreTest, MappedShardViewsPartitionTheStore) {
+  DiversificationStore store = MakeStore();
+  std::string path = SaveToTemp(store, "shards_v4.bin");
+  auto mapped = MappedStoreFile::Map(path);
+  ASSERT_TRUE(mapped.ok());
+
+  const size_t n = 3;
+  std::vector<std::shared_ptr<const StoreSnapshot>> shards;
+  std::vector<ShardFilter> filters(n);
+  for (size_t i = 0; i < n; ++i) {
+    filters[i].num_shards = n;
+    filters[i].shard_index = i;
+    shards.push_back(StoreSnapshot::MappedShard(
+        mapped.value(), [filter = filters[i]](std::string_view key) {
+          return filter.Keeps(key);
+        }));
+  }
+
+  // Disjoint partition: every key on exactly one shard, and the shard
+  // view agrees with both the filter and SplitStore's heap split.
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += shards[i]->entry_count();
+    DiversificationStore heap_split = SplitStore(store, filters[i]);
+    EXPECT_EQ(shards[i]->entry_count(), heap_split.size()) << i;
+    for (const auto& [key, entry] : store.entries()) {
+      EXPECT_EQ(static_cast<bool>(shards[i]->Find(key)),
+                filters[i].Keeps(key))
+          << "shard " << i << " key " << key;
+    }
+  }
+  EXPECT_EQ(total, store.size());
+
+  // Replication: a replicated key becomes visible on every shard.
+  ShardFilter replicated = filters[0];
+  replicated.replicated.insert("phoenix");
+  auto replica_view = StoreSnapshot::MappedShard(
+      mapped.value(), [replicated](std::string_view key) {
+        return replicated.Keeps(key);
+      });
+  EXPECT_TRUE(static_cast<bool>(replica_view->Find("phoenix")));
+
+  // A shard's lazy store() materializes only its slice.
+  const DiversificationStore& slice = shards[0]->store();
+  EXPECT_EQ(slice.size(), shards[0]->entry_count());
+  std::remove(path.c_str());
+}
+
+TEST(MappedStoreTest, MappingOutlivesSnapshotsAndUnlink) {
+  DiversificationStore store = MakeStore();
+  std::string path = SaveToTemp(store, "lifetime_v4.bin");
+  auto mapped = MappedStoreFile::Map(path);
+  ASSERT_TRUE(mapped.ok());
+
+  // Unlink the file: POSIX keeps the pages alive while mapped — exactly
+  // how a builder can replace store.bin under a serving node.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+
+  std::shared_ptr<const MappedStoreFile> file = mapped.value();
+  auto snapshot = StoreSnapshot::FromMapped(file);
+  EntryRef ref = snapshot->Find("apple");
+  ASSERT_TRUE(static_cast<bool>(ref));
+
+  // Retire the snapshot; the caller's shared_ptr keeps the mapping (and
+  // with it every span the ref hands out) valid.
+  snapshot.reset();
+  const MappedEntry* entry = file->FindEntry("apple");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->specializations.size(), 3u);
+  EXPECT_EQ(entry->specializations[0].surrogates[0].weights[0], 1.0);
+}
+
+// ----------------------------------------------------------- serving
+
+class MappedServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    testbed_ = new pipeline::Testbed(pipeline::TestbedConfig::Small());
+    store_ = new DiversificationStore();
+    std::vector<std::string> roots;
+    for (const auto& topic : testbed_->universe().topics) {
+      roots.push_back(topic.root_query);
+    }
+    BuildStore(testbed_->detector(), testbed_->searcher(),
+               testbed_->snippets(), testbed_->analyzer(),
+               testbed_->corpus().store, roots, {}, store_);
+    ASSERT_GE(store_->size(), 2u);
+    store_->set_version(5);
+    path_ = new std::string(::testing::TempDir() + "/serving_v4.bin");
+    ASSERT_TRUE(store_->Save(*path_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete path_;
+    delete store_;
+    delete testbed_;
+    path_ = nullptr;
+    store_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  static serving::ServingConfig Config() {
+    serving::ServingConfig config;
+    config.num_workers = 2;
+    config.queue_capacity = 256;
+    config.enable_cache = false;  // compare computed rankings, not cache
+    config.params.num_candidates = 100;
+    config.params.diversify.k = 10;
+    return config;
+  }
+
+  static std::unique_ptr<serving::ServingNode> MakeNode(
+      std::shared_ptr<const StoreSnapshot> snapshot) {
+    return std::make_unique<serving::ServingNode>(
+        std::move(snapshot), &testbed_->searcher(), &testbed_->snippets(),
+        &testbed_->analyzer(), &testbed_->corpus().store, Config());
+  }
+
+  static pipeline::Testbed* testbed_;
+  static DiversificationStore* store_;
+  static std::string* path_;
+};
+
+pipeline::Testbed* MappedServingTest::testbed_ = nullptr;
+DiversificationStore* MappedServingTest::store_ = nullptr;
+std::string* MappedServingTest::path_ = nullptr;
+
+TEST_F(MappedServingTest, MappedServingIsBitIdenticalToHeap) {
+  auto loaded = DiversificationStore::Load(*path_);
+  ASSERT_TRUE(loaded.ok());
+  auto mapped = MappedStoreFile::Map(*path_);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  auto heap_node = MakeNode(StoreSnapshot::Own(std::move(loaded).value()));
+  auto mapped_node = MakeNode(StoreSnapshot::FromMapped(mapped.value()));
+
+  // Every stored (ambiguous ⇒ diversified, streaming or plan) query and
+  // a noise (passthrough) query must answer identically.
+  std::vector<std::string> queries;
+  for (const auto& [key, entry] : store_->entries()) queries.push_back(key);
+  queries.push_back(testbed_->universe().noise_queries[0]);
+
+  size_t diversified = 0;
+  for (const std::string& q : queries) {
+    serving::ServeResult heap_result = heap_node->Serve(q);
+    serving::ServeResult mapped_result = mapped_node->Serve(q);
+    ASSERT_TRUE(heap_result.ok) << q;
+    ASSERT_TRUE(mapped_result.ok) << q;
+    EXPECT_EQ(mapped_result.diversified, heap_result.diversified) << q;
+    EXPECT_EQ(mapped_result.plan_served, heap_result.plan_served) << q;
+    EXPECT_EQ(mapped_result.ranking, heap_result.ranking) << q;
+    if (heap_result.diversified) ++diversified;
+  }
+  EXPECT_GE(diversified, 2u) << "test must exercise the diversified path";
+  EXPECT_EQ(mapped_node->Stats().store_version,
+            heap_node->Stats().store_version);
+}
+
+TEST_F(MappedServingTest, HotReloadRetiresMappedSnapshotRcuStyle) {
+  std::shared_ptr<const MappedStoreFile> file;
+  {
+    auto mapped = MappedStoreFile::Map(*path_);
+    ASSERT_TRUE(mapped.ok());
+    file = mapped.value();
+  }
+  std::weak_ptr<const MappedStoreFile> watch = file;
+  auto node = MakeNode(StoreSnapshot::FromMapped(file));
+  std::string stored_key = store_->entries().begin()->first;
+
+  // A "request in flight": pin the mapped snapshot like a worker batch
+  // does, and hold a span into the mapped pages across the swap.
+  std::shared_ptr<const StoreSnapshot> pinned = node->snapshot();
+  EntryRef pinned_ref = pinned->Find(stored_key);
+  ASSERT_TRUE(pinned_ref.mapped());
+  const std::vector<text::TermVectorSpan>* spans = pinned_ref.spec_spans(0);
+  ASSERT_NE(spans, nullptr);
+
+  // Swap to a delta-built heap snapshot (the refresher path: the mapped
+  // base materializes lazily inside BuildSnapshot).
+  StoreDelta delta;
+  delta.upserts.push_back(MakeEntry("brand new query", 2));
+  SnapshotBuildResult built = BuildSnapshot(pinned.get(), delta);
+  ASSERT_EQ(built.changed_keys.size(), 1u);
+  serving::ServingNode::ReloadOutcome outcome =
+      node->ReloadStore(built.snapshot, built.changed_keys);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.new_version, 6u);
+
+  // The pinned snapshot still reads the old mapped pages after the
+  // swap; new requests see the new content.
+  EXPECT_EQ(pinned->version(), 5u);
+  ASSERT_FALSE(spans->empty());
+  EXPECT_GT((*spans)[0].size, 0u);
+  EXPECT_TRUE(static_cast<bool>(node->snapshot()->Find("brand new query")));
+
+  // Drop every reference: node's new snapshot is heap-backed, and the
+  // local shared_ptrs go away — the mapping must actually unmap (the
+  // RCU reclamation point).
+  file.reset();
+  pinned.reset();
+  node.reset();
+  EXPECT_TRUE(watch.expired())
+      << "dropping the last reader must release the mapping";
+}
+
+TEST_F(MappedServingTest, ReloadFaultLeavesNodeOnOldMapping) {
+  if (!serving::FaultInjectionCompiledIn()) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  auto mapped = MappedStoreFile::Map(*path_);
+  ASSERT_TRUE(mapped.ok());
+  auto node = MakeNode(StoreSnapshot::FromMapped(mapped.value()));
+  std::string stored_key = store_->entries().begin()->first;
+
+  serving::ScriptedFaultInjector injector;
+  node->set_fault_injector(&injector);
+  injector.SetFailReloads(true);
+
+  StoreDelta delta;
+  delta.upserts.push_back(MakeEntry("chaos query", 2));
+  SnapshotBuildResult built =
+      BuildSnapshot(node->snapshot().get(), delta);
+  serving::ServingNode::ReloadOutcome refused =
+      node->ReloadStore(built.snapshot, built.changed_keys);
+  EXPECT_FALSE(refused.ok);
+
+  // The refused swap leaves the node on the mapped snapshot, still
+  // serving correctly off the mapped pages.
+  EXPECT_TRUE(node->snapshot()->mapped());
+  EXPECT_EQ(node->snapshot()->version(), 5u);
+  serving::ServeResult result = node->Serve(stored_key);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.diversified);
+
+  // Clearing the fault lets the retry land.
+  injector.SetFailReloads(false);
+  serving::ServingNode::ReloadOutcome landed =
+      node->ReloadStore(built.snapshot, built.changed_keys);
+  EXPECT_TRUE(landed.ok);
+  EXPECT_FALSE(node->snapshot()->mapped());
+  EXPECT_EQ(node->snapshot()->version(), 6u);
+  node->set_fault_injector(nullptr);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace optselect

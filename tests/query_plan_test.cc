@@ -128,7 +128,7 @@ TEST_F(QueryPlanTest, CompiledBlocksMatchLiveComputation) {
         ASSERT_EQ(plan.utilities[i * m + j], matrix.At(i, j));
       }
       EXPECT_EQ(plan.weighted[i],
-                matrix.WeightedRowSum(i, plan.probability));
+                matrix.WeightedRowSum(i, plan.probability.data()));
     }
     // spec_order: probability descending, ties by index ascending.
     for (size_t j = 0; j + 1 < m; ++j) {

@@ -2,18 +2,19 @@
 //
 //   optselect_make_fixtures <out_dir>
 //
-// Writes store_v1.bin, store_v2.bin, and store_v3.bin with the *same*
-// hand-chosen mined content (two entries, fixed probabilities and
-// surrogate vectors) in each of the three on-disk formats the loader
-// supports. The v1/v2 writers below are the only place the legacy
-// layouts are still spelled out byte-for-byte — they used to live
-// inline in tests; now the bytes are checked in and the formats are
-// frozen by tests/store_backcompat_test.cc, which also asserts that
-// Save() still reproduces store_v3.bin exactly.
+// Writes store_v1.bin, store_v2.bin, store_v3.bin, and store_v4.bin
+// with the *same* hand-chosen mined content (two entries, fixed
+// probabilities and surrogate vectors) in each of the four on-disk
+// formats the loader supports. The v1/v2 writers below are the only
+// place those legacy layouts are still spelled out byte-for-byte; v3
+// goes through the frozen SaveLegacyV3 writer and v4 through Save (the
+// current mmap-able columnar layout). The bytes are checked in and the
+// formats are frozen by tests/store_backcompat_test.cc, which also
+// asserts that Save() still reproduces store_v4.bin exactly.
 //
 // Rerun this tool and re-commit the outputs only when the format
-// legitimately changes (a v4): silently regenerating v1/v2 would defeat
-// the point of the freeze.
+// legitimately changes (a v5): silently regenerating the older files
+// would defeat the point of the freeze.
 
 #include <cstdint>
 #include <cstdio>
@@ -185,9 +186,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  // v3: through the current writer — the fixture doubles as a freeze of
-  // Save()'s exact output (the backcompat test byte-compares a re-Save
-  // against it).
+  // v3 and v4 carry identical content (golden plan included); v3 goes
+  // through the frozen legacy writer, v4 through the current Save — so
+  // the v4 fixture doubles as a freeze of Save()'s exact output (the
+  // backcompat test byte-compares a re-Save against it).
   {
     store::DiversificationStore store;
     for (auto& entry : entries) {
@@ -205,12 +207,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     store.set_version(13);
-    util::Status s = store.Save(dir + "/store_v3.bin");
+    util::Status s = store.SaveLegacyV3(dir + "/store_v3.bin");
     if (!s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %s/store_v3.bin (via DiversificationStore::Save)\n",
+    std::printf("wrote %s/store_v3.bin (via SaveLegacyV3)\n", dir.c_str());
+    s = store.Save(dir + "/store_v4.bin");
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s/store_v4.bin (via DiversificationStore::Save)\n",
                 dir.c_str());
   }
   return 0;

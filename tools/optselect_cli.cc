@@ -684,9 +684,12 @@ void PrintClusterStats(const cluster::ClusterStats& cs) {
 }
 
 /// Builds a cluster (when --shards > 1) plus its per-shard refreshers.
+/// A non-null `mapped` makes every shard a zero-copy view over the one
+/// shared v4 mapping instead of a SplitStore copy.
 std::unique_ptr<cluster::ShardedCluster> MakeCluster(
     const Flags& flags, const std::string& dir,
     const store::DiversificationStore& store,
+    std::shared_ptr<const store::MappedStoreFile> mapped,
     const pipeline::Testbed& testbed,
     const serving::ServingConfig& serving_config,
     std::vector<std::unique_ptr<serving::StoreRefresher>>* refreshers) {
@@ -696,8 +699,14 @@ std::unique_ptr<cluster::ShardedCluster> MakeCluster(
   cc.num_shards = shards;
   cc.replicate_hot = SizeFlag(flags, "replicate-hot", "0");
   cc.node = serving_config;
-  auto cl = std::make_unique<cluster::ShardedCluster>(
-      store, &testbed, &testbed.recommender().popularity(), cc);
+  auto cl =
+      mapped != nullptr
+          ? std::make_unique<cluster::ShardedCluster>(
+                std::move(mapped), &testbed.searcher(), &testbed.snippets(),
+                &testbed.analyzer(), &testbed.corpus().store,
+                &testbed.recommender().popularity(), cc)
+          : std::make_unique<cluster::ShardedCluster>(
+                store, &testbed, &testbed.recommender().popularity(), cc);
   for (size_t i = 0; i < cl->num_shards(); ++i) {
     // Each shard refreshes independently, applying only the slice of
     // the mined delta it holds (owner or hot replica).
@@ -735,9 +744,11 @@ std::unique_ptr<store::DiversificationStore> LoadStoreOrDie(
 /// v2 → v3 upgrade on load: compiles query plans for every entry that
 /// lacks one compatible with this node's serving params (a v3 store
 /// generated with matching --candidates/--c compiles nothing here).
-void RecompilePlansForServing(store::DiversificationStore* store,
-                              const pipeline::Testbed& testbed,
-                              const serving::ServingConfig& config) {
+/// Returns the number of plans compiled — 0 means the file on disk
+/// already matches what this node would serve.
+size_t RecompilePlansForServing(store::DiversificationStore* store,
+                                const pipeline::Testbed& testbed,
+                                const serving::ServingConfig& config) {
   store::PlanCompileOptions plan;
   plan.num_candidates = config.params.num_candidates;
   plan.threshold_c = config.params.threshold_c;
@@ -749,6 +760,23 @@ void RecompilePlansForServing(store::DiversificationStore* store,
                 "candidates=%zu c=%.2f)\n",
                 compiled, plan.num_candidates, plan.threshold_c);
   }
+  return compiled;
+}
+
+/// Map-first fast path for serve/loadtest: when <dir>/store.bin is a v4
+/// file and nothing had to be recompiled against it, the node(s) can
+/// serve zero-copy straight off the mapping instead of the heap copy
+/// Load produced. Returns nullptr (silently) when the file is not v4.
+std::shared_ptr<const store::MappedStoreFile> TryMapStore(
+    const std::string& dir, size_t plans_compiled) {
+  if (plans_compiled > 0) return nullptr;  // mapping would lack the plans
+  auto mapped = store::MappedStoreFile::Map(dir + "/store.bin");
+  if (!mapped.ok()) return nullptr;  // legacy format; heap path serves it
+  std::printf("store mapped zero-copy (v4, %zu entries, %.1f MiB)\n",
+              mapped.value()->entry_count(),
+              static_cast<double>(mapped.value()->mapped_bytes()) /
+                  (1024.0 * 1024.0));
+  return mapped.value();
 }
 
 int CmdServe(const Flags& flags) {
@@ -760,18 +788,27 @@ int CmdServe(const Flags& flags) {
   std::printf("rebuilding testbed retrieval stack...\n");
   pipeline::Testbed testbed(ConfigFor(flags));
   serving::ServingConfig serving_config = ServingConfigFor(flags);
-  RecompilePlansForServing(store.get(), testbed, serving_config);
+  size_t compiled =
+      RecompilePlansForServing(store.get(), testbed, serving_config);
+  std::shared_ptr<const store::MappedStoreFile> mapped =
+      TryMapStore(dir, compiled);
 
   // One node, or a sharded cluster behind a router (--shards N). The
   // tracer is declared before both so it outlives their worker threads.
   std::unique_ptr<obs::Tracer> tracer = MakeTracer(flags, "1");
   std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
-  std::unique_ptr<cluster::ShardedCluster> cl =
-      MakeCluster(flags, dir, *store, testbed, serving_config, &refreshers);
+  std::unique_ptr<cluster::ShardedCluster> cl = MakeCluster(
+      flags, dir, *store, mapped, testbed, serving_config, &refreshers);
   std::unique_ptr<serving::ServingNode> node;
   if (cl == nullptr) {
-    node = std::make_unique<serving::ServingNode>(store.get(), &testbed,
-                                                  serving_config);
+    node = mapped != nullptr
+               ? std::make_unique<serving::ServingNode>(
+                     store::StoreSnapshot::FromMapped(std::move(mapped)),
+                     &testbed.searcher(), &testbed.snippets(),
+                     &testbed.analyzer(), &testbed.corpus().store,
+                     serving_config)
+               : std::make_unique<serving::ServingNode>(store.get(), &testbed,
+                                                        serving_config);
     auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
     if (refresher != nullptr) refreshers.push_back(std::move(refresher));
   }
@@ -896,16 +933,23 @@ int CmdLoadtest(const Flags& flags) {
 
   serving::ServingConfig config = ServingConfigFor(flags);
   config.queue_capacity = num_requests;
-  RecompilePlansForServing(store.get(), testbed, config);
+  size_t compiled = RecompilePlansForServing(store.get(), testbed, config);
+  std::shared_ptr<const store::MappedStoreFile> mapped =
+      TryMapStore(dir, compiled);
 
   std::unique_ptr<obs::Tracer> tracer = MakeTracer(flags, "64");
   std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
   std::unique_ptr<cluster::ShardedCluster> cl =
-      MakeCluster(flags, dir, *store, testbed, config, &refreshers);
+      MakeCluster(flags, dir, *store, mapped, testbed, config, &refreshers);
   std::unique_ptr<serving::ServingNode> node;
   if (cl == nullptr) {
-    node = std::make_unique<serving::ServingNode>(store.get(), &testbed,
-                                                  config);
+    node = mapped != nullptr
+               ? std::make_unique<serving::ServingNode>(
+                     store::StoreSnapshot::FromMapped(std::move(mapped)),
+                     &testbed.searcher(), &testbed.snippets(),
+                     &testbed.analyzer(), &testbed.corpus().store, config)
+               : std::make_unique<serving::ServingNode>(store.get(), &testbed,
+                                                        config);
     auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
     if (refresher != nullptr) refreshers.push_back(std::move(refresher));
   }
