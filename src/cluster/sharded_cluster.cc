@@ -157,13 +157,17 @@ void ShardedCluster::set_tracer(obs::Tracer* tracer) {
   for (auto& shard : shards_) shard->set_tracer(tracer);
 }
 
-serving::ServeResult ShardedCluster::Serve(const std::string& query) {
-  return router_->Serve(query);
+serving::Response ShardedCluster::Submit(const serving::Request& request) {
+  return router_->ServeWithFailover(request.query);
 }
 
-bool ShardedCluster::Submit(
-    std::string query, std::function<void(serving::ServeResult)> callback) {
-  return router_->Submit(std::move(query), std::move(callback));
+bool ShardedCluster::SubmitAsync(
+    serving::Request request, std::function<void(serving::Response)> callback) {
+  return router_->Submit(std::move(request.query), std::move(callback));
+}
+
+serving::ServeResult ShardedCluster::Serve(const std::string& query) {
+  return router_->Serve(query);
 }
 
 std::vector<serving::ServeResult> ShardedCluster::ServeBatch(

@@ -83,8 +83,11 @@ struct ClusterStats {
   RouterStats router;
 };
 
-/// N independent serving shards behind one router.
-class ShardedCluster {
+/// N independent serving shards behind one router. Implements the
+/// unified serving::Frontend contract: blocking Submit takes the
+/// fault-tolerant failover path (the production answer path), async
+/// SubmitAsync takes the router's hash-routed fast path.
+class ShardedCluster : public serving::Frontend {
  public:
   /// Carves `full_store` into per-shard stores and starts one node per
   /// shard. All pointers are non-owned, used read-only, and must
@@ -124,14 +127,27 @@ class ShardedCluster {
   ShardedCluster& operator=(const ShardedCluster&) = delete;
 
   /// Shuts every shard down (drain semantics, like ServingNode).
-  ~ShardedCluster();
+  ~ShardedCluster() override;
 
-  /// Single query through the router (blocking, backpressure).
+  /// Frontend: blocking request through the fault-tolerant path
+  /// (breakers, hedging, degraded fallback) — same as ServeWithFailover.
+  serving::Response Submit(const serving::Request& request) override;
+
+  /// Frontend: async request on the router's hash-routed fast path
+  /// (load shedding; false ⇒ shed, callback never fires).
+  bool SubmitAsync(serving::Request request,
+                   std::function<void(serving::Response)> callback) override;
+
+  /// Deprecated shim: single query through the router (blocking,
+  /// backpressure, no failover) — the pre-Frontend fast path.
   serving::ServeResult Serve(const std::string& query);
 
-  /// Async single query through the router (load shedding).
+  /// Deprecated shim for SubmitAsync (old callback-submit signature).
   bool Submit(std::string query,
-              std::function<void(serving::ServeResult)> callback);
+              std::function<void(serving::ServeResult)> callback) {
+    return SubmitAsync(serving::Request(std::move(query)),
+                       std::move(callback));
+  }
 
   /// Multi-query fan-out + gather; see QueryRouter::ServeBatch.
   std::vector<serving::ServeResult> ServeBatch(

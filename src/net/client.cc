@@ -1,0 +1,410 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serving/cache_key.h"
+#include "store/store_builder.h"
+
+namespace optselect {
+namespace net {
+
+bool ParseEndpoint(const std::string& spec, Endpoint* out) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  std::string host = spec.substr(0, colon);
+  std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty()) return false;
+  unsigned long port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) return false;
+  }
+  if (port == 0) return false;
+  out->host = host.empty() ? "127.0.0.1" : host;
+  out->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+bool ParseEndpointList(const std::string& spec, std::vector<Endpoint>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    size_t end = comma == std::string::npos ? spec.size() : comma;
+    Endpoint endpoint;
+    if (!ParseEndpoint(spec.substr(start, end - start), &endpoint)) {
+      return false;
+    }
+    out->push_back(std::move(endpoint));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+RemoteClient::~RemoteClient() { Close(); }
+
+bool RemoteClient::Connect(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseLocked();
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    last_error_ = "socket(): " + std::string(strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "bad host: " + host;
+    close(fd);
+    return false;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    last_error_ = "connect(): " + std::string(strerror(errno));
+    close(fd);
+    return false;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  parser_ = FrameParser(kMaxPayload);
+  last_error_.clear();
+  return true;
+}
+
+void RemoteClient::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseLocked();
+}
+
+void RemoteClient::CloseLocked() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool RemoteClient::SendAll(const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    last_error_ = "send(): " + std::string(strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool RemoteClient::ReadFrame(Frame* frame) {
+  char buf[16 * 1024];
+  while (true) {
+    if (parser_.HasFrame()) {
+      *frame = parser_.Next();
+      return true;
+    }
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!parser_.Feed(buf, static_cast<size_t>(n))) {
+        last_error_ = "protocol error: " + parser_.error();
+        return false;
+      }
+      continue;
+    }
+    if (n == 0) {
+      last_error_ = "server closed connection";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    last_error_ = "recv(): " + std::string(strerror(errno));
+    return false;
+  }
+}
+
+serving::Response RemoteClient::Submit(const serving::Request& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  serving::Response failed;  // ok == false
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return failed;
+  }
+  serving::Request wire_request = request;
+  if (wire_request.id == 0) wire_request.id = next_id_++;
+  std::string frame_bytes = EncodeRequestFrame(wire_request);
+  if (!SendAll(frame_bytes.data(), frame_bytes.size())) {
+    CloseLocked();
+    return failed;
+  }
+  // One request in flight under the lock, so the next frame on the
+  // stream answers it — but tolerate (skip) stray ids defensively.
+  while (true) {
+    Frame frame;
+    if (!ReadFrame(&frame)) {
+      CloseLocked();
+      return failed;
+    }
+    if (frame.request_id != wire_request.id) continue;
+    if (frame.type == FrameType::kError) {
+      WireError err;
+      if (DecodeErrorPayload(frame, &err)) {
+        last_code_ = err.code;
+        last_error_ = err.message;
+      }
+      return failed;  // shed / bad request: connection stays usable
+    }
+    serving::Response response;
+    if (!DecodeResponsePayload(frame, &response)) {
+      last_error_ = "malformed response payload";
+      CloseLocked();
+      return failed;
+    }
+    return response;
+  }
+}
+
+std::vector<serving::Response> RemoteClient::SubmitPipelined(
+    const std::vector<std::string>& queries, size_t window) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<serving::Response> responses(queries.size());
+  if (window == 0) window = 1;
+  if (fd_ < 0 || queries.empty()) return responses;
+
+  // id → query index for the in-flight window.
+  std::unordered_map<uint64_t, size_t> inflight;
+  size_t next_to_send = 0;
+  size_t answered = 0;
+  bool dead = false;
+  while (answered < queries.size() && !dead) {
+    // Fill the window.
+    while (next_to_send < queries.size() && inflight.size() < window) {
+      serving::Request request(queries[next_to_send], next_id_++);
+      std::string bytes = EncodeRequestFrame(request);
+      if (!SendAll(bytes.data(), bytes.size())) {
+        dead = true;
+        break;
+      }
+      inflight[request.id] = next_to_send++;
+    }
+    if (dead || inflight.empty()) break;
+    // Drain one answer.
+    Frame frame;
+    if (!ReadFrame(&frame)) {
+      dead = true;
+      break;
+    }
+    auto it = inflight.find(frame.request_id);
+    if (it == inflight.end()) continue;  // stray id: ignore
+    size_t index = it->second;
+    inflight.erase(it);
+    ++answered;
+    if (frame.type == FrameType::kError) {
+      WireError err;
+      if (DecodeErrorPayload(frame, &err)) {
+        last_code_ = err.code;
+        last_error_ = err.message;
+      }
+      continue;  // responses[index] stays ok == false
+    }
+    if (!DecodeResponsePayload(frame, &responses[index])) {
+      last_error_ = "malformed response payload";
+      dead = true;
+      break;
+    }
+  }
+  if (dead) CloseLocked();  // unanswered tail stays ok == false
+  return responses;
+}
+
+const char* EndpointStateName(EndpointState state) {
+  switch (state) {
+    case EndpointState::kClosed:
+      return "closed";
+    case EndpointState::kOpen:
+      return "open";
+    case EndpointState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+RemoteFrontend::RemoteFrontend(std::vector<Endpoint> endpoints,
+                               RemoteFrontendConfig config)
+    : endpoints_(std::move(endpoints)),
+      config_(config),
+      health_(endpoints_.size()) {
+  clients_.reserve(endpoints_.size());
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    clients_.push_back(std::make_unique<RemoteClient>());
+  }
+  if (config_.registry != nullptr) {
+    obs::MetricsRegistry* reg = config_.registry;
+    // Effect before cause, same discipline as the in-process router.
+    reg->AddCounterFn("remote_degraded_total", {}, [this] {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      return counters_.degraded;
+    });
+    reg->AddCounterFn("remote_dropped_total", {}, [this] {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      return counters_.dropped;
+    });
+    reg->AddCounterFn("remote_breaker_opens_total", {}, [this] {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      return counters_.breaker_opens;
+    });
+    reg->AddCounterFn("remote_reconnects_total", {}, [this] {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      return counters_.reconnects;
+    });
+    reg->AddCounterFn("remote_serves_total", {}, [this] {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      return counters_.serves;
+    });
+  }
+}
+
+RemoteFrontend::~RemoteFrontend() = default;
+
+size_t RemoteFrontend::OwnerOf(const std::string& query) const {
+  return store::ShardFilter::OwnerShard(serving::NormalizeQuery(query),
+                                        endpoints_.size());
+}
+
+EndpointState RemoteFrontend::endpoint_state(size_t i) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_[i].state;
+}
+
+RemoteFrontendStats RemoteFrontend::stats() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return counters_;
+}
+
+void RemoteFrontend::DisconnectEndpoint(size_t i) { clients_[i]->Close(); }
+
+bool RemoteFrontend::AllowAttempt(size_t i) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  EndpointHealth& health = health_[i];
+  switch (health.state) {
+    case EndpointState::kClosed:
+    case EndpointState::kHalfOpen:
+      return true;
+    case EndpointState::kOpen:
+      // Count-based, strictly-greater: identical to the in-process
+      // router, so replays are deterministic.
+      if (++health.skips_while_open > config_.breaker_probe_after) {
+        health.state = EndpointState::kHalfOpen;
+        health.skips_while_open = 0;
+        ++counters_.probes;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void RemoteFrontend::RecordOutcome(size_t i, bool ok) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  EndpointHealth& health = health_[i];
+  if (ok) {
+    health.consecutive_failures = 0;
+    health.state = EndpointState::kClosed;
+    return;
+  }
+  ++health.consecutive_failures;
+  if (health.state == EndpointState::kHalfOpen) {
+    health.state = EndpointState::kOpen;
+    health.skips_while_open = 0;
+  } else if (health.state == EndpointState::kClosed &&
+             health.consecutive_failures >= config_.breaker_threshold) {
+    health.state = EndpointState::kOpen;
+    health.skips_while_open = 0;
+    ++counters_.breaker_opens;
+  }
+}
+
+serving::Response RemoteFrontend::AttemptOn(size_t i,
+                                            const serving::Request& request) {
+  RemoteClient* client = clients_[i].get();
+  if (!client->connected()) {
+    if (!client->Connect(endpoints_[i].host, endpoints_[i].port)) {
+      serving::Response failed;
+      return failed;
+    }
+    std::lock_guard<std::mutex> lock(health_mu_);
+    ++counters_.reconnects;
+  }
+  return client->Submit(request);
+}
+
+serving::Response RemoteFrontend::Submit(const serving::Request& request) {
+  const size_t n = endpoints_.size();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    ++counters_.serves;
+  }
+  const size_t owner = OwnerOf(request.query);
+  std::vector<char> attempted(n, 0);
+  size_t attempts = 0;
+  auto finish = [&](serving::Response response) {
+    if (attempts > 1) {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      ++counters_.retried;
+    }
+    return response;
+  };
+
+  // Phase 1 — the owner, breaker-gated.
+  if (AllowAttempt(owner)) {
+    attempted[owner] = 1;
+    ++attempts;
+    serving::Response response = AttemptOn(owner, request);
+    RecordOutcome(owner, response.ok);
+    if (response.ok) return finish(std::move(response));
+  }
+
+  // Phase 2 — any live endpoint; non-owner answers are passthrough
+  // (the shard lacks the entry) and tagged degraded, per the PR 5
+  // contract. Second pass ignores open breakers rather than drop.
+  for (int respect_breaker = 1; respect_breaker >= 0; --respect_breaker) {
+    for (size_t step = 0; step < n; ++step) {
+      size_t i = (owner + 1 + step) % n;
+      if (attempted[i]) continue;
+      if (respect_breaker && !AllowAttempt(i)) continue;
+      attempted[i] = 1;
+      ++attempts;
+      serving::Response response = AttemptOn(i, request);
+      RecordOutcome(i, response.ok);
+      if (response.ok) {
+        if (i != owner) {
+          response.degraded = true;
+          std::lock_guard<std::mutex> lock(health_mu_);
+          ++counters_.degraded;
+        }
+        return finish(std::move(response));
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    ++counters_.dropped;
+  }
+  serving::Response failed;
+  return finish(failed);
+}
+
+}  // namespace net
+}  // namespace optselect

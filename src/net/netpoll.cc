@@ -1,0 +1,129 @@
+#include "net/netpoll.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <utility>
+
+namespace optselect {
+namespace net {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Reactor::Reactor() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (ok()) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+Reactor::~Reactor() {
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+bool Reactor::Add(int fd, uint32_t events, IoCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  auto handler = std::make_shared<Handler>();
+  handler->callback = std::move(callback);
+  handlers_[fd] = std::move(handler);
+  return true;
+}
+
+bool Reactor::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void Reactor::Remove(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  auto it = handlers_.find(fd);
+  if (it != handlers_.end()) {
+    // Mark first: the dispatch loop may still hold a reference to this
+    // handler for an event in the current batch.
+    it->second->dead = true;
+    handlers_.erase(it);
+  }
+}
+
+void Reactor::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  uint64_t one = 1;
+  // Best-effort wake; EAGAIN means the counter is already nonzero and
+  // the loop will wake anyway.
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void Reactor::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Post([] {});  // wake
+}
+
+void Reactor::DrainWake() {
+  uint64_t count = 0;
+  while (read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void Reactor::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWake();
+        continue;
+      }
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      // Hold a reference across the call: the callback may Remove(fd)
+      // or close other connections in the same batch.
+      std::shared_ptr<Handler> handler = it->second;
+      if (!handler->dead) handler->callback(events[i].events);
+    }
+    // Cross-thread tasks, in post order.
+    std::vector<std::function<void()>> tasks;
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      tasks.swap(tasks_);
+    }
+    for (auto& task : tasks) task();
+  }
+  // Final drain so a Post racing Stop is not silently dropped.
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+}  // namespace net
+}  // namespace optselect

@@ -1,0 +1,93 @@
+// Minimal epoll reactor for the network serving edge.
+//
+// One Reactor = one epoll instance + one eventfd, driven by a single
+// thread calling Run(). Everything that touches fds or per-connection
+// state happens on that thread; other threads interact only through
+// Post() (enqueue a closure, wake the loop via the eventfd) and
+// Stop(). That single-writer discipline is what lets the NetServer
+// keep all connection state lock-free: worker-pool completion
+// callbacks never touch a connection directly — they Post() the
+// response bytes back to the reactor thread.
+//
+//        accept/read/write ──┐
+//   epoll_wait ── dispatch ──┼── per-fd callbacks (reactor thread)
+//        eventfd wakeup ─────┘        ▲
+//                                     │ Post(closure)
+//                     worker threads ─┘   (mutex + eventfd write)
+//
+// Level-triggered epoll: read callbacks drain until EAGAIN, write
+// interest is registered only while a connection has queued bytes.
+
+#ifndef OPTSELECT_NET_NETPOLL_H_
+#define OPTSELECT_NET_NETPOLL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace optselect {
+namespace net {
+
+/// Puts `fd` into non-blocking mode. Returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// Single-threaded epoll event loop with a cross-thread task queue.
+class Reactor {
+ public:
+  /// Called with the ready epoll event mask (EPOLLIN/EPOLLOUT/...).
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// False when epoll/eventfd creation failed (the loop cannot run).
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Registers `fd` for `events`; `callback` fires on the Run() thread.
+  /// Reactor-thread only (or before Run starts).
+  bool Add(int fd, uint32_t events, IoCallback callback);
+
+  /// Changes the event interest set for a registered fd.
+  bool Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd` (does not close it). Safe to call from inside
+  /// the fd's own callback; pending events for it are dropped.
+  void Remove(int fd);
+
+  /// Runs the loop on the calling thread until Stop().
+  void Run();
+
+  /// Enqueues `task` for the Run() thread and wakes it. Thread-safe;
+  /// tasks run in post order.
+  void Post(std::function<void()> task);
+
+  /// Asks the loop to exit after the current dispatch round and wakes
+  /// it. Thread-safe, idempotent.
+  void Stop();
+
+ private:
+  struct Handler {
+    IoCallback callback;
+    bool dead = false;  // Remove() during dispatch defers the erase
+  };
+
+  void DrainWake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace net
+}  // namespace optselect
+
+#endif  // OPTSELECT_NET_NETPOLL_H_

@@ -18,6 +18,16 @@ ReplayOutcome ReplayMix(ServingNode* node,
       mix);
 }
 
+ReplayOutcome ReplayMix(Frontend* frontend,
+                        const std::vector<std::string>& mix) {
+  return ReplayMix(
+      [frontend](const std::string& query,
+                 std::function<void(ServeResult)> callback) {
+        return frontend->SubmitAsync(Request(query), std::move(callback));
+      },
+      mix);
+}
+
 ReplayOutcome ReplayMix(const SubmitFn& submit,
                         const std::vector<std::string>& mix) {
   std::mutex mu;
@@ -63,6 +73,17 @@ ReplayOutcome ReplaySequential(
                 ? 1000.0 * static_cast<double>(out.accepted) / out.wall_ms
                 : 0.0;
   return out;
+}
+
+ReplayOutcome ReplaySequential(
+    Frontend* frontend, const std::vector<std::string>& mix,
+    const std::function<void(size_t)>& before_request,
+    const std::function<void(size_t, const ServeResult&)>& on_result) {
+  return ReplaySequential(
+      [frontend](const std::string& query) {
+        return frontend->Submit(Request(query));
+      },
+      mix, before_request, on_result);
 }
 
 }  // namespace serving

@@ -43,6 +43,13 @@ ReplayOutcome ReplayMix(ServingNode* node,
 ReplayOutcome ReplayMix(const SubmitFn& submit,
                         const std::vector<std::string>& mix);
 
+/// Same, through the unified Frontend contract (SubmitAsync) — the one
+/// overload every serving tier satisfies: node, cluster, or a remote
+/// client speaking the wire protocol. Local and remote replays are the
+/// same code path by construction.
+ReplayOutcome ReplayMix(Frontend* frontend,
+                        const std::vector<std::string>& mix);
+
 /// A synchronous serving front end: one query in, one answered (or
 /// failed) result out. ServingNode::Serve, ShardedCluster::Serve, and
 /// ShardedCluster::ServeWithFailover all fit.
@@ -56,6 +63,14 @@ using ServeFn = std::function<ServeResult(const std::string&)>;
 /// hook point where its fault schedule flips injector flags.
 ReplayOutcome ReplaySequential(
     const ServeFn& serve, const std::vector<std::string>& mix,
+    const std::function<void(size_t)>& before_request,
+    const std::function<void(size_t, const ServeResult&)>& on_result);
+
+/// Same, through the unified Frontend contract (blocking Submit) — used
+/// by the process-level chaos harness, where the front end is a remote
+/// client router over shard processes.
+ReplayOutcome ReplaySequential(
+    Frontend* frontend, const std::vector<std::string>& mix,
     const std::function<void(size_t)>& before_request,
     const std::function<void(size_t, const ServeResult&)>& on_result);
 

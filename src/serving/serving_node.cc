@@ -98,7 +98,7 @@ void ServingNode::RegisterMetrics() {
   }
 }
 
-void ServingNode::MaybeStartTrace(Request* request) {
+void ServingNode::MaybeStartTrace(QueuedRequest* request) {
 #if OPTSELECT_TRACING
   obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
   if (tracer == nullptr) return;
@@ -244,16 +244,16 @@ void ServingNode::Shutdown() {
   }
 }
 
-bool ServingNode::Submit(std::string query,
-                         std::function<void(ServeResult)> callback) {
+bool ServingNode::SubmitAsync(Request request,
+                              std::function<void(Response)> callback) {
   // Admission fault: a dead shard rejects before any work happens, the
   // same shape a crashed process presents to its clients.
-  if (EvaluateFault(FaultSite::kQueueSubmit, query).fail) {
+  if (EvaluateFault(FaultSite::kQueueSubmit, request.query).fail) {
     rejected_->Add();
     return false;
   }
-  Request req;
-  req.query = std::move(query);
+  QueuedRequest req;
+  req.query = std::move(request.query);
   req.callback = std::move(callback);
   req.enqueue_time = std::chrono::steady_clock::now();
   MaybeStartTrace(&req);
@@ -265,24 +265,24 @@ bool ServingNode::Submit(std::string query,
   return true;
 }
 
-ServeResult ServingNode::Serve(const std::string& query) {
+Response ServingNode::Submit(const Request& request) {
   struct SyncState {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
-    ServeResult result;
+    Response result;
   };
   auto state = std::make_shared<SyncState>();
 
-  if (EvaluateFault(FaultSite::kQueueSubmit, query).fail) {
+  if (EvaluateFault(FaultSite::kQueueSubmit, request.query).fail) {
     rejected_->Add();
-    return ServeResult{};  // ok = false, like a shutdown rejection
+    return Response{};  // ok = false, like a shutdown rejection
   }
 
-  Request req;
-  req.query = query;
+  QueuedRequest req;
+  req.query = request.query;
   req.enqueue_time = std::chrono::steady_clock::now();
-  req.callback = [state](ServeResult r) {
+  req.callback = [state](Response r) {
     std::lock_guard<std::mutex> lock(state->mu);
     state->result = std::move(r);
     state->done = true;
@@ -293,7 +293,7 @@ ServeResult ServingNode::Serve(const std::string& query) {
   // shedding. Fails only when the node is shut down.
   if (!queue_.Push(std::move(req))) {
     rejected_->Add();
-    return ServeResult{};  // ok = false
+    return Response{};  // ok = false
   }
   accepted_->Add();
 
@@ -495,7 +495,7 @@ std::shared_ptr<const ServeResult> ServingNode::LookupOrCompute(
   return computed;
 }
 
-void ServingNode::Finish(Request* request, const ServeResult& result) {
+void ServingNode::Finish(QueuedRequest* request, const Response& result) {
   if (!result.ok) {
     // Injected store-read failure: answered, but with no ranking — the
     // failover tier treats it as a shard error. Neither diversified nor
@@ -549,7 +549,7 @@ void ServingNode::Finish(Request* request, const ServeResult& result) {
 }
 
 void ServingNode::WorkerLoop() {
-  std::vector<Request> batch;
+  std::vector<QueuedRequest> batch;
   // Per-worker selection scratch: heaps, bitmaps and gather buffers are
   // reused across every request this worker ever computes, so the
   // plan-served hot path performs no per-request allocation.
@@ -574,7 +574,7 @@ void ServingNode::WorkerLoop() {
 #if OPTSELECT_TRACING
     const auto drain_time = std::chrono::steady_clock::now();
 #endif
-    for (Request& req : batch) {
+    for (QueuedRequest& req : batch) {
       obs::StageTimes stages;
 #if OPTSELECT_TRACING
       stages.queue_wait_us =

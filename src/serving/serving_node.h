@@ -64,6 +64,7 @@
 #include "pipeline/diversification_pipeline.h"
 #include "pipeline/testbed.h"
 #include "serving/fault_injector.h"
+#include "serving/frontend.h"
 #include "serving/latency_histogram.h"
 #include "serving/request_queue.h"
 #include "serving/result_cache.h"
@@ -112,48 +113,11 @@ struct ServingConfig {
   obs::Labels metric_labels;
 };
 
-/// Outcome of one request.
-struct ServeResult {
-  /// False when the node was shut down before the request ran, the
-  /// request was rejected at admission, or an (injected) store-read
-  /// fault failed the compute. The cluster's failover tier treats any
-  /// ok == false answer as a shard failure and retries elsewhere.
-  bool ok = false;
-  /// True when the fault-tolerant router answered this request from a
-  /// shard that does not hold the query's store entry (dead-owner
-  /// fallback): the ranking is the plain DPH top-k, not the stored
-  /// diversification. Set only by QueryRouter::ServeWithFailover.
-  bool degraded = false;
-  /// True when a hedged retry (a re-issue of a slow replicated-key
-  /// request on another replica) produced this answer. Replicas are
-  /// bit-identical, so the ranking is unaffected — the flag is
-  /// observability. Set only by QueryRouter::ServeWithFailover.
-  bool hedged = false;
-  /// True when the query hit the store and OptSelect re-ranked it.
-  bool diversified = false;
-  /// True when the ranking was served from the result cache.
-  bool cache_hit = false;
-  /// True when the ranking was reused from an identical request in the
-  /// same micro-batch (set even when the cache is disabled).
-  bool batch_dedup = false;
-  /// True when the ranking was computed over the entry's compiled
-  /// query-plan blocks (store v3) instead of per-request retrieval +
-  /// utility computation. Cached results keep the flag of the compute
-  /// that filled them.
-  bool plan_served = false;
-  /// True when the ranking was computed by the streaming cold path
-  /// (scan + bounded-state maintain) rather than materialize-then-
-  /// select. Mutually exclusive with plan_served; bit-identical either
-  /// way. Cached results keep the flag of the compute that filled them.
-  bool streaming_served = false;
-  /// Number of specializations diversified against (0 if passthrough).
-  size_t num_specializations = 0;
-  /// Content version of the store snapshot that computed this ranking
-  /// (cached results keep the version they were computed under).
-  uint64_t store_version = 0;
-  /// Final document ranking.
-  std::vector<DocId> ranking;
-};
+/// Deprecated alias: the per-request outcome is serving::Response
+/// (serving/frontend.h) — one struct for every Frontend implementation.
+/// Kept so call sites and tests that pin the historical name compile
+/// unchanged.
+using ServeResult = Response;
 
 /// Point-in-time stats snapshot.
 struct ServingStats {
@@ -188,7 +152,7 @@ struct ServingStats {
 };
 
 /// Multithreaded serving front end over a loaded DiversificationStore.
-class ServingNode {
+class ServingNode : public Frontend {
  public:
   /// Wires the node from serving-time components. All pointers are
   /// non-owned and must outlive the node; every component is used
@@ -228,18 +192,28 @@ class ServingNode {
   ServingNode& operator=(const ServingNode&) = delete;
 
   /// Drains and joins (Shutdown).
-  ~ServingNode();
+  ~ServingNode() override;
 
-  /// Synchronous request: enqueues (blocking while the queue is full)
-  /// and waits for the worker pool to answer. Returns ok=false only
-  /// when the node is shut down.
-  ServeResult Serve(const std::string& query);
+  /// Frontend: synchronous request — enqueues (blocking while the queue
+  /// is full) and waits for the worker pool to answer. Returns
+  /// ok=false only when the node is shut down.
+  Response Submit(const Request& request) override;
 
-  /// Asynchronous request: non-blocking enqueue; `callback` fires on a
-  /// worker thread exactly once. Returns false — and never invokes the
-  /// callback — when the queue is full or the node is shut down
-  /// (load shedding; counted in stats().rejected).
-  bool Submit(std::string query, std::function<void(ServeResult)> callback);
+  /// Frontend: asynchronous request — non-blocking enqueue; `callback`
+  /// fires on a worker thread exactly once. Returns false — and never
+  /// invokes the callback — when the queue is full or the node is shut
+  /// down (load shedding; counted in stats().rejected).
+  bool SubmitAsync(Request request,
+                   std::function<void(Response)> callback) override;
+
+  /// Deprecated shim for Submit(Request) — the signature the original
+  /// tests pin.
+  ServeResult Serve(const std::string& query) { return Submit(Request(query)); }
+
+  /// Deprecated shim for SubmitAsync — ditto.
+  bool Submit(std::string query, std::function<void(ServeResult)> callback) {
+    return SubmitAsync(Request(std::move(query)), std::move(callback));
+  }
 
   /// Stops admission, drains every queued request (their callbacks still
   /// fire), and joins the workers. Idempotent; called by the destructor.
@@ -312,9 +286,11 @@ class ServingNode {
   }
 
  private:
-  struct Request {
+  /// One queue item (distinct from serving::Request, the public API
+  /// struct — this carries the completion plumbing through the queue).
+  struct QueuedRequest {
     std::string query;
-    std::function<void(ServeResult)> callback;
+    std::function<void(Response)> callback;
     std::chrono::steady_clock::time_point enqueue_time;
     /// Sampled requests carry their trace through the queue; null for
     /// the unsampled rest (and always null with tracing compiled out).
@@ -339,7 +315,7 @@ class ServingNode {
   /// Samples the just-accepted request: assigns a sequence number and
   /// attaches a Trace when the installed tracer selects it. No-op
   /// (compiled out) without OPTSELECT_TRACING.
-  void MaybeStartTrace(Request* request);
+  void MaybeStartTrace(QueuedRequest* request);
   /// Consults the installed fault injector; a no-decision default when
   /// none is installed or the hooks are compiled out.
   FaultDecision EvaluateFault(FaultSite site, std::string_view key) const;
@@ -365,7 +341,7 @@ class ServingNode {
       const std::shared_ptr<const store::StoreSnapshot>& snapshot,
       core::SelectScratch* scratch, core::StreamingTopK* stream,
       bool* cache_hit, obs::StageTimes* stages, obs::Trace* trace);
-  void Finish(Request* request, const ServeResult& result);
+  void Finish(QueuedRequest* request, const Response& result);
 
   ServingConfig config_;
   /// Private registry when the config supplied none. Declared before
@@ -382,7 +358,7 @@ class ServingNode {
   core::ParallelOptSelectDiversifier diversifier_;
   uint64_t params_fingerprint_;
 
-  BoundedRequestQueue<Request> queue_;
+  BoundedRequestQueue<QueuedRequest> queue_;
   ShardedLruCache<ServeResult> cache_;
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

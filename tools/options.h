@@ -1,0 +1,312 @@
+// Typed command-line option parser shared by the optselect CLI's
+// serving-family subcommands (serve / loadtest / stats / chaos).
+//
+// Before this header each subcommand kept its own copy of the flag
+// list (one in the parser allow-list, one in PrintUsage, one at every
+// atoi call site) — three places to update per flag, and serve/
+// loadtest had drifted. An OptionSet declares each flag exactly once
+// with its type, default, and help line; parsing, validation
+// ("unknown flag", "needs a value", "not a number"), and `--help`
+// generation all derive from that single declaration. Bad invocations
+// keep the historical contract: the caller prints the error and exits
+// with status 2.
+//
+// The serving-family flag *sets* (serving knobs, cluster shape, store
+// refresh, and the network edge's --listen/--connect/--max-conns
+// family) are registered by the Add*Options helpers below, so a flag
+// shared by two subcommands is declared once here, not copy-pasted.
+
+#ifndef OPTSELECT_TOOLS_OPTIONS_H_
+#define OPTSELECT_TOOLS_OPTIONS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace optselect {
+namespace tools {
+
+/// One subcommand's typed flag declarations + parsed values.
+class OptionSet {
+ public:
+  /// `synopsis` is the positional-argument part of the usage line
+  /// (e.g. "<dir>"); `summary` is the one-line subcommand description.
+  OptionSet(std::string subcommand, std::string synopsis,
+            std::string summary)
+      : subcommand_(std::move(subcommand)),
+        synopsis_(std::move(synopsis)),
+        summary_(std::move(summary)) {}
+
+  /// Starts a titled group in the generated help (registration order).
+  void Group(const std::string& title) { current_group_ = title; }
+
+  void AddString(const std::string& name, const std::string& fallback,
+                 const std::string& help) {
+    Add(name, Kind::kString, fallback, help);
+  }
+  void AddInt(const std::string& name, long long fallback,
+              const std::string& help) {
+    Add(name, Kind::kInt, std::to_string(fallback), help);
+  }
+  void AddDouble(const std::string& name, double fallback,
+                 const std::string& help) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", fallback);
+    Add(name, Kind::kDouble, buf, help);
+  }
+  /// A 0|1 flag (every optselect boolean takes an explicit value).
+  void AddBool(const std::string& name, bool fallback,
+               const std::string& help) {
+    Add(name, Kind::kBool, fallback ? "1" : "0", help);
+  }
+
+  /// Parses argv[start..). False on any problem (unknown flag, missing
+  /// value, type mismatch) with the reason in error(). `--help` / `-h`
+  /// set help_requested() and stop parsing successfully.
+  bool Parse(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        help_requested_ = true;
+        return true;
+      }
+      if (std::strncmp(arg, "--", 2) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      Option* option = Find(arg + 2);
+      if (option == nullptr) {
+        error_ = "unknown flag --" + std::string(arg + 2) + " for `" +
+                 subcommand_ + "`";
+        return false;
+      }
+      if (i + 1 >= argc) {
+        error_ = std::string(arg) + " needs a value";
+        return false;
+      }
+      const char* value = argv[++i];
+      if (!TypeChecks(*option, value)) {
+        error_ = "--" + option->name + " expects " + KindName(option->kind) +
+                 ", got \"" + value + "\"";
+        return false;
+      }
+      option->value = value;
+      option->is_set = true;
+    }
+    return true;
+  }
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& subcommand() const { return subcommand_; }
+
+  bool IsSet(const std::string& name) const {
+    const Option* option = Find(name);
+    return option != nullptr && option->is_set;
+  }
+
+  std::string GetString(const std::string& name) const {
+    const Option* option = Find(name);
+    return option == nullptr ? "" : option->value;
+  }
+
+  long long GetInt(const std::string& name) const {
+    const Option* option = Find(name);
+    return option == nullptr ? 0 : std::atoll(option->value.c_str());
+  }
+
+  /// Int flag as a size: negative values fall back to the default
+  /// (mirrors the historical SizeFlag clamping).
+  size_t GetSize(const std::string& name) const {
+    const Option* option = Find(name);
+    if (option == nullptr) return 0;
+    long long v = std::atoll(option->value.c_str());
+    if (v < 0) v = std::atoll(option->fallback.c_str());
+    return static_cast<size_t>(v);
+  }
+
+  double GetDouble(const std::string& name) const {
+    const Option* option = Find(name);
+    return option == nullptr ? 0.0 : std::atof(option->value.c_str());
+  }
+
+  bool GetBool(const std::string& name) const {
+    const Option* option = Find(name);
+    return option != nullptr && option->value != "0";
+  }
+
+  /// Generated from the declarations: usage line, summary, then one
+  /// aligned row per flag (grouped, registration order) with type and
+  /// default.
+  void PrintHelp(std::FILE* out) const {
+    std::fprintf(out, "usage: optselect %s %s [flags]\n\n%s\n",
+                 subcommand_.c_str(), synopsis_.c_str(), summary_.c_str());
+    std::string group;
+    for (const Option& option : options_) {
+      if (option.group != group) {
+        group = option.group;
+        std::fprintf(out, "\n%s:\n", group.c_str());
+      }
+      std::string left = "--" + option.name + " <" +
+                         KindName(option.kind) + ">";
+      std::fprintf(out, "  %-28s %s (default %s)\n", left.c_str(),
+                   option.help.c_str(), option.fallback.c_str());
+    }
+  }
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+
+  struct Option {
+    std::string name;
+    Kind kind = Kind::kString;
+    std::string fallback;
+    std::string help;
+    std::string group;
+    std::string value;  // fallback until set
+    bool is_set = false;
+  };
+
+  static const char* KindName(Kind kind) {
+    switch (kind) {
+      case Kind::kString:
+        return "str";
+      case Kind::kInt:
+        return "int";
+      case Kind::kDouble:
+        return "num";
+      case Kind::kBool:
+        return "0|1";
+    }
+    return "?";
+  }
+
+  static bool TypeChecks(const Option& option, const char* value) {
+    char* end = nullptr;
+    switch (option.kind) {
+      case Kind::kString:
+        return true;
+      case Kind::kInt:
+        std::strtoll(value, &end, 10);
+        return end != value && *end == '\0';
+      case Kind::kDouble:
+        std::strtod(value, &end);
+        return end != value && *end == '\0';
+      case Kind::kBool:
+        return std::strcmp(value, "0") == 0 || std::strcmp(value, "1") == 0;
+    }
+    return false;
+  }
+
+  void Add(const std::string& name, Kind kind, std::string fallback,
+           const std::string& help) {
+    Option option;
+    option.name = name;
+    option.kind = kind;
+    option.value = fallback;
+    option.fallback = std::move(fallback);
+    option.help = help;
+    option.group = current_group_;
+    options_.push_back(std::move(option));
+  }
+
+  Option* Find(const std::string& name) {
+    for (Option& option : options_) {
+      if (option.name == name) return &option;
+    }
+    return nullptr;
+  }
+  const Option* Find(const std::string& name) const {
+    return const_cast<OptionSet*>(this)->Find(name);
+  }
+
+  std::string subcommand_;
+  std::string synopsis_;
+  std::string summary_;
+  std::string current_group_ = "flags";
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+/// Testbed shape shared by every subcommand that regenerates it.
+inline void AddTestbedOptions(OptionSet* opts) {
+  opts->Group("testbed (must match `generate`)");
+  opts->AddInt("topics", 20, "planted ambiguous topics");
+  opts->AddInt("seed", 17, "testbed seed (also seeds replay mixes)");
+}
+
+/// The per-node serving knobs shared by serve/loadtest/stats/chaos.
+inline void AddServingOptions(OptionSet* opts) {
+  opts->Group("serving");
+  opts->AddInt("workers", 0, "worker threads (0 = hw concurrency)");
+  opts->AddInt("batch", 8, "micro-batch size (1 disables)");
+  opts->AddBool("cache", true, "result cache");
+  opts->AddInt("cache-capacity", 4096, "cached rankings");
+  opts->AddInt("candidates", 200, "|R_q| retrieved per query");
+  opts->AddInt("k", 10, "ranking depth");
+  opts->AddDouble("c", 0.3, "utility threshold c");
+  opts->AddDouble("lambda", 0.15, "trade-off lambda");
+  opts->AddBool("streaming", true,
+                "streaming cold path for plan-less stored queries");
+  opts->AddInt("trace-every", 1,
+               "deterministic 1-in-N request trace sampling");
+}
+
+/// In-process sharded-cluster shape (serve/loadtest).
+inline void AddClusterOptions(OptionSet* opts) {
+  opts->Group("sharded cluster (default: one node)");
+  opts->AddInt("shards", 1, "hash-partition the store over N shards");
+  opts->AddInt("replicate-hot", 0,
+               "replicate the K hottest stored queries onto every shard");
+}
+
+/// Live store lifecycle (serve/loadtest).
+inline void AddRefreshOptions(OptionSet* opts) {
+  opts->Group("live store lifecycle");
+  opts->AddDouble("refresh-interval", 0,
+                  "poll the log every S seconds (0 = off)");
+  opts->AddString("log-tail", "", "log file to tail (default <dir>/log.tsv)");
+  opts->AddString("store-persist", "",
+                  "save each swapped snapshot here (.shard<i> per shard)");
+}
+
+/// Network server edge (`serve --listen`): declared once, here.
+inline void AddListenOptions(OptionSet* opts) {
+  opts->Group("network edge (server)");
+  opts->AddInt("listen", -1,
+               "serve the wire protocol on this TCP port instead of the "
+               "REPL (0 = ephemeral port)");
+  opts->AddString("port-file", "",
+                  "write the bound port here once listening");
+  opts->AddInt("shard-index", -1,
+               "serve only this shard's slice of the store (with "
+               "--num-shards; -1 = the whole store)");
+  opts->AddInt("num-shards", 1,
+               "total shards the store is partitioned over");
+  opts->AddInt("max-conns", 64, "accepted-connection ceiling");
+  opts->AddInt("max-inflight", 128,
+               "per-connection in-flight request ceiling");
+}
+
+/// Network client edge (`loadtest --connect`): declared once, here.
+inline void AddConnectOptions(OptionSet* opts) {
+  opts->Group("network edge (client)");
+  opts->AddString("connect", "",
+                  "replay against remote shard servers at "
+                  "host:port[,host:port...] instead of in-process");
+  opts->AddInt("pipeline", 32,
+               "pipelined requests in flight per connection");
+  opts->AddBool("verify-local", false,
+                "also serve the mix in-process and require bit-identical "
+                "ranking hashes (exits non-zero on mismatch)");
+}
+
+}  // namespace tools
+}  // namespace optselect
+
+#endif  // OPTSELECT_TOOLS_OPTIONS_H_

@@ -38,6 +38,13 @@
 // `optselect --help` (or any unknown flag/subcommand) prints the full
 // usage; bad invocations exit with status 2.
 
+#include <csignal>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,9 +72,16 @@
 #include "querylog/session_segmenter.h"
 #include "recommend/ambiguity_detector.h"
 #include "recommend/shortcuts_recommender.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serving/cache_key.h"
+#include "serving/frontend.h"
 #include "serving/replay.h"
 #include "serving/serving_node.h"
 #include "serving/store_refresher.h"
+#include "tools/options.h"
+#include "util/hash.h"
 #include "store/diversification_store.h"
 #include "store/store_builder.h"
 #include "store/store_snapshot.h"
@@ -114,98 +128,34 @@ void PrintUsage(std::FILE* out) {
       "\n"
       "  evaluate <dir> <run...>   score run files (alpha-NDCG, IA-P)\n"
       "\n"
-      "  serve <dir>               interactive serving REPL over store.bin\n"
-      "                            (\":stats\" = counters + per-stage\n"
-      "                            latency breakdown, \":traces\" = sampled\n"
-      "                            request traces + slow-query log,\n"
-      "                            \":refresh\" = force a refresh tick,\n"
-      "                            EOF = exit)\n"
-      "  loadtest <dir>            replay a Zipf query mix, print stats\n"
-      "      --requests N          loadtest only: replay size (default 5000)\n"
-      "      --skew Z              loadtest only: Zipf skew (default 1.0)\n"
-      "      --metrics-out F       loadtest only: write the Prometheus\n"
-      "                            text exposition of the metrics registry\n"
-      "                            to F periodically during the replay and\n"
-      "                            once after it\n"
+      "  serve <dir>               serving node over store.bin: an\n"
+      "                            interactive REPL by default, or — with\n"
+      "                            --listen PORT — a wire-protocol TCP\n"
+      "                            server (one shard process of a fleet\n"
+      "                            with --shard-index/--num-shards)\n"
+      "  loadtest <dir>            replay a Zipf query mix, print stats;\n"
+      "                            with --connect host:port[,...] the\n"
+      "                            replay drives remote shard servers over\n"
+      "                            the wire protocol (pipelined), and\n"
+      "                            --verify-local 1 asserts remote answers\n"
+      "                            are bit-identical to in-process serving\n"
       "  stats <dir>               deterministic sequential replay, then\n"
-      "                            the full metrics dump: per-stage\n"
-      "                            latency breakdown (queue-wait, cache,\n"
-      "                            store-read, select, total), counters,\n"
-      "                            slow-query log\n"
-      "      --requests N          replay size (default 2000)\n"
-      "      --skew Z              Zipf skew (default 1.0)\n"
-      "      --format table|prom|json   output format (default table)\n"
-      "                            (cache defaults OFF here so every\n"
-      "                            request runs every stage and the stage\n"
-      "                            p50s sum to the e2e p50)\n"
-      "    shared serving flags:\n"
-      "      --workers N           worker threads (0 = hw concurrency)\n"
-      "      --batch B             micro-batch size (1 disables)\n"
-      "      --cache 0|1           result cache off/on (default on)\n"
-      "      --cache-capacity N    cached rankings (default 4096)\n"
-      "      --candidates N        |R_q| retrieved (default 200)\n"
-      "      --k N  --c F  --lambda F   pipeline knobs\n"
-      "      --streaming 0|1       streaming cold path: plan-less stored\n"
-      "                            queries scan candidates lazily with\n"
-      "                            bounded top-k state instead of\n"
-      "                            materializing all of R_q (default on;\n"
-      "                            rankings bit-identical either way)\n"
-      "      --topics N  --seed S  must match `generate`\n"
-      "      --trace-every N       deterministic 1-in-N request trace\n"
-      "                            sampling (default: 1 for serve/stats,\n"
-      "                            64 for loadtest; needs a build with\n"
-      "                            -DOPTSELECT_TRACING=ON or Debug)\n"
-      "    sharded cluster (default: one node):\n"
-      "      --shards N            partition the store by query hash over\n"
-      "                            N independent serving shards behind a\n"
-      "                            fan-out router (each shard has its own\n"
-      "                            snapshot, cache, queue, workers)\n"
-      "      --replicate-hot K     replicate the K hottest stored queries\n"
-      "                            onto every shard; the router spreads\n"
-      "                            them round-robin (default 0)\n"
-      "    live store lifecycle:\n"
-      "      --refresh-interval S  poll the log every S seconds (0 = off),\n"
-      "                            re-mine dirty queries, hot-swap the\n"
-      "                            store snapshot mid-traffic (with\n"
-      "                            --shards: one refresher per shard,\n"
-      "                            each applying only its own slice)\n"
-      "      --log-tail F          log file to tail (default <dir>/log.tsv)\n"
-      "      --store-persist F     also save each swapped snapshot to F\n"
-      "                            (with --shards: F.shard<i> per shard)\n"
+      "                            the full metrics dump (per-stage\n"
+      "                            latency breakdown, counters, traces)\n"
+      "  chaos                     deterministic fault-injection scenario\n"
+      "                            on the in-process cluster (breakers,\n"
+      "                            hedges, degraded answers); with\n"
+      "                            --net <dir> it goes process-level:\n"
+      "                            spawn shard server processes, SIGKILL\n"
+      "                            one mid-replay, assert breaker opens,\n"
+      "                            degraded answers match the passthrough\n"
+      "                            contract, and recovery after respawn\n"
+      "                            is bit-identical\n"
       "\n"
-      "  chaos                     deterministic fault-injection scenario:\n"
-      "                            replay a seeded Zipf mix through the\n"
-      "                            fault-tolerant cluster path while\n"
-      "                            killing/reviving/slowing shards on a\n"
-      "                            request-indexed schedule; runs the\n"
-      "                            scenario twice plus a no-fault\n"
-      "                            reference and exits non-zero unless\n"
-      "                            outcomes are deterministic, nothing\n"
-      "                            was dropped, healthy answers are\n"
-      "                            bit-identical, and degraded answers\n"
-      "                            equal the DPH passthrough (needs a\n"
-      "                            build with fault injection compiled\n"
-      "                            in: Debug, or\n"
-      "                            -DOPTSELECT_FAULT_INJECTION=ON)\n"
-      "      --requests N          replay size (default 4000, min 64)\n"
-      "      --skew Z              Zipf skew (default 1.0)\n"
-      "      --shards N            cluster size (default 3, min 2)\n"
-      "      --replicate-hot K     hot keys on every shard (default 2)\n"
-      "      --hedge-ms F          hedge delay (default 2)\n"
-      "      --slow-ms F           injected slow-read delay (default 20)\n"
-      "      --workers N  --batch B  --cache 0|1  --cache-capacity N\n"
-      "      --candidates N  --k N  --c F  --lambda F  --streaming 0|1\n"
-      "                            (the run always appends a plans-off\n"
-      "                            scenario so the streaming cold path\n"
-      "                            is exercised under faults too)\n"
-      "      --topics N  --seed S  testbed shape (also seeds the mix)\n"
-      "      --trace-every N       trace sampling on the failover path\n"
-      "                            (default 16); with tracing compiled\n"
-      "                            in, the run also asserts the trace\n"
-      "                            invariants (sampled traces match the\n"
-      "                            outcome vector, tracer breaker log\n"
-      "                            mirrors the transition log, sampled\n"
-      "                            sequences identical across runs)\n"
+      "  The serving-family subcommands (serve, loadtest, stats, chaos)\n"
+      "  share typed flag sets — run `optselect <subcommand> --help` for\n"
+      "  the full generated list (serving knobs, cluster shape, store\n"
+      "  refresh, network edge). Bad flags exit with status 2.\n"
       "\n"
       "  help | --help | -h        this text\n");
 }
@@ -263,32 +213,97 @@ struct Flags {
   }
 };
 
-/// Flags shared by `serve` and `loadtest`.
-std::vector<std::string> ServingFlagSet(bool loadtest) {
-  std::vector<std::string> flags = {
-      "workers",        "batch",    "cache",           "cache-capacity",
-      "candidates",     "k",        "c",               "lambda",
-      "topics",         "seed",     "refresh-interval", "log-tail",
-      "store-persist",  "shards",   "replicate-hot",   "trace-every",
-      "streaming"};
-  if (loadtest) {
-    flags.push_back("requests");
-    flags.push_back("skew");
-    flags.push_back("metrics-out");
-  }
-  return flags;
+// ------------------------------------------------ serving-family options
+//
+// Each serving-family subcommand declares its typed flag surface once
+// through tools/options.h; help text, validation, and defaults all
+// derive from these declarations (`optselect serve --help` etc.).
+
+tools::OptionSet ServeOptions() {
+  tools::OptionSet opts("serve", "<dir>",
+                        "Serving node over <dir>/store.bin: interactive "
+                        "REPL, or a wire-protocol TCP server with "
+                        "--listen.");
+  tools::AddServingOptions(&opts);
+  tools::AddClusterOptions(&opts);
+  tools::AddRefreshOptions(&opts);
+  tools::AddListenOptions(&opts);
+  tools::AddTestbedOptions(&opts);
+  return opts;
 }
 
-pipeline::TestbedConfig ConfigFor(const Flags& flags) {
+tools::OptionSet LoadtestOptions() {
+  tools::OptionSet opts("loadtest", "<dir>",
+                        "Replay a Zipf query mix (in-process, or against "
+                        "remote shard servers with --connect) and print "
+                        "serving stats.");
+  opts.Group("replay");
+  opts.AddInt("requests", 5000, "replay size");
+  opts.AddDouble("skew", 1.0, "Zipf skew");
+  opts.AddString("metrics-out", "",
+                 "write the Prometheus text exposition here during and "
+                 "after the replay");
+  tools::AddServingOptions(&opts);
+  tools::AddClusterOptions(&opts);
+  tools::AddRefreshOptions(&opts);
+  tools::AddConnectOptions(&opts);
+  tools::AddTestbedOptions(&opts);
+  return opts;
+}
+
+tools::OptionSet StatsOptions() {
+  tools::OptionSet opts("stats", "<dir>",
+                        "Deterministic sequential replay, then the full "
+                        "metrics dump (stage breakdown, counters, "
+                        "traces).");
+  opts.Group("replay");
+  opts.AddInt("requests", 2000, "replay size");
+  opts.AddDouble("skew", 1.0, "Zipf skew");
+  opts.AddString("format", "table", "output format: table|prom|json");
+  tools::AddServingOptions(&opts);
+  tools::AddTestbedOptions(&opts);
+  return opts;
+}
+
+tools::OptionSet ChaosOptions() {
+  tools::OptionSet opts(
+      "chaos", "",
+      "Deterministic fault-injection scenario over the fault-tolerant "
+      "cluster path (in-process), or — with --net <dir> — over spawned "
+      "shard server processes (SIGKILL + respawn).");
+  opts.Group("scenario");
+  opts.AddInt("requests", 4000, "replay size (min 64; --net default 400)");
+  opts.AddDouble("skew", 1.0, "Zipf skew");
+  opts.AddInt("shards", 3, "cluster size (min 2; --net default 2)");
+  opts.AddDouble("hedge-ms", 2, "hedge delay (in-process mode)");
+  opts.AddDouble("slow-ms", 20, "injected slow-read delay (in-process)");
+  opts.AddString("net", "",
+                 "process-level mode: spawn shard servers over this "
+                 "generated <dir> and kill one mid-replay");
+  tools::AddServingOptions(&opts);
+  tools::AddClusterOptions(&opts);
+  tools::AddTestbedOptions(&opts);
+  return opts;
+}
+
+pipeline::TestbedConfig TestbedConfigFrom(size_t topics, uint64_t seed) {
   pipeline::TestbedConfig config = pipeline::TestbedConfig::TrecShaped();
-  config.universe.num_topics =
-      static_cast<size_t>(std::atoi(flags.Get("topics", "20").c_str()));
-  uint64_t seed =
-      static_cast<uint64_t>(std::atoll(flags.Get("seed", "17").c_str()));
+  config.universe.num_topics = topics;
   config.universe.seed = seed;
   config.corpus.seed = seed + 1;
   config.log.seed = seed + 2;
   return config;
+}
+
+pipeline::TestbedConfig ConfigFor(const tools::OptionSet& opts) {
+  return TestbedConfigFrom(opts.GetSize("topics"),
+                           static_cast<uint64_t>(opts.GetInt("seed")));
+}
+
+pipeline::TestbedConfig ConfigFor(const Flags& flags) {
+  return TestbedConfigFrom(
+      static_cast<size_t>(std::atoi(flags.Get("topics", "20").c_str())),
+      static_cast<uint64_t>(std::atoll(flags.Get("seed", "17").c_str())));
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -452,25 +467,17 @@ int CmdEvaluate(const Flags& flags) {
 
 /// Parses a non-negative integer flag; negative values (which would
 /// wrap when cast to size_t) fall back to `fallback`.
-size_t SizeFlag(const Flags& flags, const std::string& key,
-                const std::string& fallback) {
-  long long v = std::atoll(flags.Get(key, fallback).c_str());
-  if (v < 0) v = std::atoll(fallback.c_str());
-  return static_cast<size_t>(v);
-}
-
-serving::ServingConfig ServingConfigFor(const Flags& flags) {
+serving::ServingConfig ServingConfigFor(const tools::OptionSet& opts) {
   serving::ServingConfig config;
-  config.num_workers = SizeFlag(flags, "workers", "0");
-  config.max_batch = SizeFlag(flags, "batch", "8");
-  config.enable_cache = flags.Get("cache", "1") != "0";
-  config.cache.capacity = SizeFlag(flags, "cache-capacity", "4096");
-  config.params.num_candidates = SizeFlag(flags, "candidates", "200");
-  config.params.threshold_c = std::atof(flags.Get("c", "0.3").c_str());
-  config.params.diversify.lambda =
-      std::atof(flags.Get("lambda", "0.15").c_str());
-  config.params.diversify.k = SizeFlag(flags, "k", "10");
-  config.streaming_cold_path = flags.Get("streaming", "1") != "0";
+  config.num_workers = opts.GetSize("workers");
+  config.max_batch = opts.GetSize("batch");
+  config.enable_cache = opts.GetBool("cache");
+  config.cache.capacity = opts.GetSize("cache-capacity");
+  config.params.num_candidates = opts.GetSize("candidates");
+  config.params.threshold_c = opts.GetDouble("c");
+  config.params.diversify.lambda = opts.GetDouble("lambda");
+  config.params.diversify.k = opts.GetSize("k");
+  config.streaming_cold_path = opts.GetBool("streaming");
   return config;
 }
 
@@ -586,13 +593,15 @@ void PrintTraces(const obs::Tracer& tracer) {
 
 /// Makes the tool's tracer when this build evaluates tracing; null
 /// (and a one-line notice for interactive surfaces) otherwise.
-std::unique_ptr<obs::Tracer> MakeTracer(const Flags& flags,
-                                        const std::string& fallback_every) {
+/// `fallback_every` applies when --trace-every was not given: serve and
+/// stats trace every request, loadtest 1-in-64, chaos 1-in-16.
+std::unique_ptr<obs::Tracer> MakeTracer(const tools::OptionSet& opts,
+                                        uint64_t fallback_every) {
   if (!obs::TracingCompiledIn()) return nullptr;
   obs::TracerConfig config;
-  uint64_t every = static_cast<uint64_t>(
-      std::atoll(flags.Get("trace-every", fallback_every).c_str()));
-  config.sample_every = every;
+  config.sample_every = opts.IsSet("trace-every")
+                            ? static_cast<uint64_t>(opts.GetInt("trace-every"))
+                            : fallback_every;
   return std::make_unique<obs::Tracer>(config);
 }
 
@@ -602,17 +611,18 @@ std::unique_ptr<obs::Tracer> MakeTracer(const Flags& flags,
 /// the shard holds, and the persist path (if any) gets a per-shard
 /// suffix so shards never clobber each other's snapshots.
 std::unique_ptr<serving::StoreRefresher> MakeRefresher(
-    const Flags& flags, const std::string& dir, serving::ServingNode* node,
-    const pipeline::Testbed& testbed,
+    const tools::OptionSet& opts, const std::string& dir,
+    serving::ServingNode* node, const pipeline::Testbed& testbed,
     std::function<bool(const std::string&)> key_filter = nullptr,
     int shard_index = -1) {
-  double interval_s = std::atof(flags.Get("refresh-interval", "0").c_str());
+  double interval_s = opts.GetDouble("refresh-interval");
   if (interval_s <= 0) return nullptr;
   serving::StoreRefresherConfig rc;
-  rc.log_path = flags.Get("log-tail", dir + "/log.tsv");
+  rc.log_path = opts.IsSet("log-tail") ? opts.GetString("log-tail")
+                                       : dir + "/log.tsv";
   rc.interval = std::chrono::milliseconds(
       static_cast<long long>(interval_s * 1000.0));
-  rc.persist_path = flags.Get("store-persist", "");
+  rc.persist_path = opts.GetString("store-persist");
   if (!rc.persist_path.empty() && shard_index >= 0) {
     rc.persist_path += ".shard" + std::to_string(shard_index);
   }
@@ -687,17 +697,17 @@ void PrintClusterStats(const cluster::ClusterStats& cs) {
 /// A non-null `mapped` makes every shard a zero-copy view over the one
 /// shared v4 mapping instead of a SplitStore copy.
 std::unique_ptr<cluster::ShardedCluster> MakeCluster(
-    const Flags& flags, const std::string& dir,
+    const tools::OptionSet& opts, const std::string& dir,
     const store::DiversificationStore& store,
     std::shared_ptr<const store::MappedStoreFile> mapped,
     const pipeline::Testbed& testbed,
     const serving::ServingConfig& serving_config,
     std::vector<std::unique_ptr<serving::StoreRefresher>>* refreshers) {
-  size_t shards = SizeFlag(flags, "shards", "1");
+  size_t shards = opts.GetSize("shards");
   if (shards <= 1) return nullptr;
   cluster::ClusterConfig cc;
   cc.num_shards = shards;
-  cc.replicate_hot = SizeFlag(flags, "replicate-hot", "0");
+  cc.replicate_hot = opts.GetSize("replicate-hot");
   cc.node = serving_config;
   auto cl =
       mapped != nullptr
@@ -712,7 +722,7 @@ std::unique_ptr<cluster::ShardedCluster> MakeCluster(
     // the mined delta it holds (owner or hot replica).
     store::ShardFilter filter = cl->filter(i);
     auto refresher = MakeRefresher(
-        flags, dir, cl->shard(i), testbed,
+        opts, dir, cl->shard(i), testbed,
         [filter = std::move(filter)](const std::string& key) {
           return filter.Keeps(key);
         },
@@ -779,26 +789,68 @@ std::shared_ptr<const store::MappedStoreFile> TryMapStore(
   return mapped.value();
 }
 
-int CmdServe(const Flags& flags) {
-  if (flags.positional.empty()) return Usage();
-  const std::string dir = flags.positional[0];
+/// Set by SIGINT/SIGTERM: the network serve loop drains and exits.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+void OnShutdownSignal(int) { g_shutdown_requested = 1; }
+
+/// Atomically publishes the bound port (tmp + rename), so a poller
+/// (chaos --net, the CI smoke script) never reads a half-written file.
+bool WritePortFile(const std::string& path, uint16_t port) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+int CmdServe(const tools::OptionSet& opts) {
+  if (opts.positional().empty()) {
+    opts.PrintHelp(stderr);
+    return 2;
+  }
+  const std::string dir = opts.positional()[0];
   std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
   if (store == nullptr) return 1;
 
+  const bool net_mode = opts.GetInt("listen") >= 0;
+  // A shard process of a fleet serves only its slice of the store —
+  // the same SplitStore partition ShardedCluster applies in process,
+  // so a remote fleet and a local cluster pick identical owners.
+  long long shard_index = opts.GetInt("shard-index");
+  size_t num_shards = opts.GetSize("num-shards");
+  const bool sliced = shard_index >= 0 && num_shards > 1;
+  if (sliced) {
+    if (static_cast<size_t>(shard_index) >= num_shards) {
+      std::fprintf(stderr,
+                   "error: --shard-index %lld out of range for "
+                   "--num-shards %zu\n",
+                   shard_index, num_shards);
+      return 2;
+    }
+    store::ShardFilter filter;
+    filter.num_shards = num_shards;
+    filter.shard_index = static_cast<size_t>(shard_index);
+    *store = store::SplitStore(*store, filter);
+    std::printf("serving shard %lld/%zu: %zu stored entries\n", shard_index,
+                num_shards, store->size());
+  }
+
   std::printf("rebuilding testbed retrieval stack...\n");
-  pipeline::Testbed testbed(ConfigFor(flags));
-  serving::ServingConfig serving_config = ServingConfigFor(flags);
+  pipeline::Testbed testbed(ConfigFor(opts));
+  serving::ServingConfig serving_config = ServingConfigFor(opts);
   size_t compiled =
       RecompilePlansForServing(store.get(), testbed, serving_config);
-  std::shared_ptr<const store::MappedStoreFile> mapped =
-      TryMapStore(dir, compiled);
+  // A shard slice is heap-only; the v4 mapping holds the full store.
+  std::shared_ptr<const store::MappedStoreFile> mapped;
+  if (!sliced) mapped = TryMapStore(dir, compiled);
 
   // One node, or a sharded cluster behind a router (--shards N). The
   // tracer is declared before both so it outlives their worker threads.
-  std::unique_ptr<obs::Tracer> tracer = MakeTracer(flags, "1");
+  std::unique_ptr<obs::Tracer> tracer = MakeTracer(opts, 1);
   std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
   std::unique_ptr<cluster::ShardedCluster> cl = MakeCluster(
-      flags, dir, *store, mapped, testbed, serving_config, &refreshers);
+      opts, dir, *store, mapped, testbed, serving_config, &refreshers);
   std::unique_ptr<serving::ServingNode> node;
   if (cl == nullptr) {
     node = mapped != nullptr
@@ -809,7 +861,7 @@ int CmdServe(const Flags& flags) {
                      serving_config)
                : std::make_unique<serving::ServingNode>(store.get(), &testbed,
                                                         serving_config);
-    auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
+    auto refresher = MakeRefresher(opts, dir, node.get(), testbed);
     if (refresher != nullptr) refreshers.push_back(std::move(refresher));
   }
   if (tracer != nullptr) {
@@ -818,6 +870,60 @@ int CmdServe(const Flags& flags) {
     } else {
       node->set_tracer(tracer.get());
     }
+  }
+
+  if (net_mode) {
+    // Wire-protocol TCP server instead of the REPL. Either tier sits
+    // behind the same Frontend interface, so the server cannot tell a
+    // single (possibly sliced) node from a whole in-process cluster.
+    serving::Frontend* frontend =
+        cl != nullptr ? static_cast<serving::Frontend*>(cl.get())
+                      : static_cast<serving::Frontend*>(node.get());
+    obs::MetricsRegistry net_registry;
+    net::NetServerConfig sc;
+    sc.port = static_cast<uint16_t>(opts.GetInt("listen"));
+    sc.max_connections = opts.GetSize("max-conns");
+    sc.max_inflight_per_conn = opts.GetSize("max-inflight");
+    sc.registry = &net_registry;
+    net::NetServer server(frontend, sc);
+    if (!server.Start()) {
+      std::fprintf(stderr, "error: %s\n", server.last_error().c_str());
+      return 1;
+    }
+    const std::string port_file = opts.GetString("port-file");
+    if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+      std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                   port_file.c_str());
+      server.Stop();
+      return 1;
+    }
+    std::printf("listening on 127.0.0.1:%u (%zu stored queries; "
+                "SIGINT/SIGTERM stops)\n",
+                static_cast<unsigned>(server.port()), store->size());
+    std::fflush(stdout);
+    std::signal(SIGINT, OnShutdownSignal);
+    std::signal(SIGTERM, OnShutdownSignal);
+    while (g_shutdown_requested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.Stop();
+    net::NetServerStats ns = server.stats();
+    std::printf(
+        "net: %llu conns accepted (%llu rejected), %llu requests, %llu "
+        "responses, %llu shed, %llu protocol errors\n",
+        static_cast<unsigned long long>(ns.connections_accepted),
+        static_cast<unsigned long long>(ns.connections_rejected),
+        static_cast<unsigned long long>(ns.requests),
+        static_cast<unsigned long long>(ns.responses),
+        static_cast<unsigned long long>(ns.shed),
+        static_cast<unsigned long long>(ns.protocol_errors));
+    if (cl != nullptr) {
+      PrintClusterStats(cl->Stats());
+    } else {
+      PrintServingStats(node->Stats());
+    }
+    for (const auto& refresher : refreshers) refresher->Stop();
+    return 0;
   }
   // Clusters answer through the fault-tolerant path: a wedged or killed
   // shard degrades its keys instead of erroring the REPL.
@@ -903,22 +1009,141 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
-int CmdLoadtest(const Flags& flags) {
-  if (flags.positional.empty()) return Usage();
-  const std::string dir = flags.positional[0];
+/// `loadtest --connect`: drive remote shard servers over the wire
+/// protocol. The mix is partitioned by the shared owner hash — the
+/// partition `serve --shard-index` sliced the store with — and each
+/// endpoint gets one pipelined connection. With --verify-local the
+/// same mix is then served in process over the full store and every
+/// answer must be bit-identical (FNV-1a ranking hashes).
+int CmdLoadtestRemote(const tools::OptionSet& opts, const std::string& dir,
+                      const pipeline::Testbed& testbed,
+                      const std::vector<std::string>& mix) {
+  std::vector<net::Endpoint> endpoints;
+  if (!net::ParseEndpointList(opts.GetString("connect"), &endpoints) ||
+      endpoints.empty()) {
+    std::fprintf(stderr,
+                 "error: --connect expects host:port[,host:port...]\n");
+    return 2;
+  }
+  size_t window = opts.GetSize("pipeline");
+  if (window == 0) window = 1;
+
+  std::vector<std::vector<std::string>> shard_queries(endpoints.size());
+  std::vector<std::vector<size_t>> shard_indices(endpoints.size());
+  for (size_t i = 0; i < mix.size(); ++i) {
+    size_t owner = endpoints.size() == 1
+                       ? 0
+                       : store::ShardFilter::OwnerShard(
+                             serving::NormalizeQuery(mix[i]),
+                             endpoints.size());
+    shard_queries[owner].push_back(mix[i]);
+    shard_indices[owner].push_back(i);
+  }
+
+  std::printf("replaying %zu requests over %zu connection(s), window "
+              "%zu...\n",
+              mix.size(), endpoints.size(), window);
+  std::vector<std::vector<serving::Response>> shard_responses(
+      endpoints.size());
+  std::vector<std::string> connect_errors(endpoints.size());
+  util::WallTimer timer;
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < endpoints.size(); ++s) {
+    threads.emplace_back([&, s] {
+      net::RemoteClient client;
+      if (!client.Connect(endpoints[s].host, endpoints[s].port)) {
+        connect_errors[s] = client.last_error();
+        return;
+      }
+      shard_responses[s] = client.SubmitPipelined(shard_queries[s], window);
+    });
+  }
+  for (auto& t : threads) t.join();
+  double wall_ms = timer.ElapsedMillis();
+
+  for (size_t s = 0; s < endpoints.size(); ++s) {
+    if (!connect_errors[s].empty()) {
+      std::fprintf(stderr, "error: %s:%u: %s\n", endpoints[s].host.c_str(),
+                   static_cast<unsigned>(endpoints[s].port),
+                   connect_errors[s].c_str());
+      return 1;
+    }
+  }
+
+  // Stitch the per-shard response streams back into mix order.
+  std::vector<serving::Response> responses(mix.size());
+  for (size_t s = 0; s < endpoints.size(); ++s) {
+    for (size_t j = 0; j < shard_indices[s].size(); ++j) {
+      responses[shard_indices[s][j]] = std::move(shard_responses[s][j]);
+    }
+  }
+  size_t ok = 0;
+  size_t failed = 0;
+  for (const serving::Response& response : responses) {
+    if (response.ok) {
+      ++ok;
+    } else {
+      ++failed;
+    }
+  }
+  std::printf(
+      "replayed %zu/%zu requests in %.1f ms (%.0f QPS); %zu failed/shed\n",
+      ok, mix.size(), wall_ms, wall_ms > 0 ? ok * 1000.0 / wall_ms : 0.0,
+      failed);
+
+  if (!opts.GetBool("verify-local")) return failed == 0 ? 0 : 1;
+
   std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
   if (store == nullptr) return 1;
+  std::printf("verify-local: serving the same mix in process...\n");
+  serving::ServingConfig config = ServingConfigFor(opts);
+  RecompilePlansForServing(store.get(), testbed, config);
+  serving::ServingNode local(store.get(), &testbed, config);
+  size_t mismatches = 0;
+  for (size_t i = 0; i < mix.size(); ++i) {
+    if (!responses[i].ok) {
+      ++mismatches;
+      continue;
+    }
+    serving::Response reference = local.Submit(serving::Request(mix[i]));
+    if (cluster::RankingHash(reference.ranking) !=
+        cluster::RankingHash(responses[i].ranking)) {
+      ++mismatches;
+      std::fprintf(stderr, "MISMATCH: \"%s\" remote != local\n",
+                   mix[i].c_str());
+    }
+  }
+  local.Shutdown();
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FATAL: %zu of %zu remote answers diverge from "
+                 "in-process serving\n",
+                 mismatches, mix.size());
+    return 1;
+  }
+  std::printf("OK: all %zu remote answers bit-identical to in-process "
+              "serving\n",
+              mix.size());
+  return 0;
+}
+
+int CmdLoadtest(const tools::OptionSet& opts) {
+  if (opts.positional().empty()) {
+    opts.PrintHelp(stderr);
+    return 2;
+  }
+  const std::string dir = opts.positional()[0];
 
   std::printf("rebuilding testbed retrieval stack...\n");
-  pipeline::Testbed testbed(ConfigFor(flags));
+  pipeline::Testbed testbed(ConfigFor(opts));
 
-  long long requested = std::atoll(flags.Get("requests", "5000").c_str());
+  long long requested = opts.GetInt("requests");
   if (requested <= 0) {
     std::fprintf(stderr, "error: --requests must be positive\n");
     return 2;
   }
   size_t num_requests = static_cast<size_t>(requested);
-  double skew = std::atof(flags.Get("skew", "1.0").c_str());
+  double skew = opts.GetDouble("skew");
 
   if (testbed.recommender().popularity().counts().empty()) {
     std::fprintf(stderr, "error: empty query log\n");
@@ -926,21 +1151,27 @@ int CmdLoadtest(const Flags& flags) {
   }
   // Zipf-distributed replay mix over the log's popularity order — the
   // same traffic shape bench_serving_throughput measures.
-  util::Rng rng(static_cast<uint64_t>(
-      std::atoll(flags.Get("seed", "17").c_str())));
+  util::Rng rng(static_cast<uint64_t>(opts.GetInt("seed")));
   std::vector<std::string> mix = querylog::ZipfQueryMix(
       testbed.recommender().popularity(), num_requests, skew, &rng);
 
-  serving::ServingConfig config = ServingConfigFor(flags);
+  if (!opts.GetString("connect").empty()) {
+    return CmdLoadtestRemote(opts, dir, testbed, mix);
+  }
+
+  std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
+  if (store == nullptr) return 1;
+
+  serving::ServingConfig config = ServingConfigFor(opts);
   config.queue_capacity = num_requests;
   size_t compiled = RecompilePlansForServing(store.get(), testbed, config);
   std::shared_ptr<const store::MappedStoreFile> mapped =
       TryMapStore(dir, compiled);
 
-  std::unique_ptr<obs::Tracer> tracer = MakeTracer(flags, "64");
+  std::unique_ptr<obs::Tracer> tracer = MakeTracer(opts, 64);
   std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
   std::unique_ptr<cluster::ShardedCluster> cl =
-      MakeCluster(flags, dir, *store, mapped, testbed, config, &refreshers);
+      MakeCluster(opts, dir, *store, mapped, testbed, config, &refreshers);
   std::unique_ptr<serving::ServingNode> node;
   if (cl == nullptr) {
     node = mapped != nullptr
@@ -950,7 +1181,7 @@ int CmdLoadtest(const Flags& flags) {
                      &testbed.analyzer(), &testbed.corpus().store, config)
                : std::make_unique<serving::ServingNode>(store.get(), &testbed,
                                                         config);
-    auto refresher = MakeRefresher(flags, dir, node.get(), testbed);
+    auto refresher = MakeRefresher(opts, dir, node.get(), testbed);
     if (refresher != nullptr) refreshers.push_back(std::move(refresher));
   }
   if (tracer != nullptr) {
@@ -966,7 +1197,7 @@ int CmdLoadtest(const Flags& flags) {
   // --metrics-out: a Prometheus-text snapshot of the registry, written
   // periodically while the replay runs (a scrape target on disk) and
   // once more after the drain so the file always ends complete.
-  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string metrics_out = opts.GetString("metrics-out");
   auto write_metrics = [&] {
     if (metrics_out.empty()) return;
     std::FILE* f = std::fopen(metrics_out.c_str(), "w");
@@ -999,15 +1230,12 @@ int CmdLoadtest(const Flags& flags) {
               cl != nullptr ? cl->shard(0)->config().num_workers
                             : node->config().num_workers);
 
-  serving::ReplayOutcome out =
-      cl != nullptr
-          ? serving::ReplayMix(
-                [&](const std::string& q,
-                    std::function<void(serving::ServeResult)> cb) {
-                  return cl->Submit(q, std::move(cb));
-                },
-                mix)
-          : serving::ReplayMix(node.get(), mix);
+  // Both tiers replay through the one Frontend overload — the same
+  // code path a RemoteClient takes in --connect mode.
+  serving::Frontend* frontend =
+      cl != nullptr ? static_cast<serving::Frontend*>(cl.get())
+                    : static_cast<serving::Frontend*>(node.get());
+  serving::ReplayOutcome out = serving::ReplayMix(frontend, mix);
   replay_done.store(true, std::memory_order_release);
   if (metrics_writer.joinable()) metrics_writer.join();
   std::printf("replayed %zu/%zu requests in %.1f ms (%.0f QPS)\n",
@@ -1034,13 +1262,16 @@ int CmdLoadtest(const Flags& flags) {
 /// so every request runs every stage and the per-stage p50s sum to the
 /// e2e p50 — the self-check that the stage timers actually tile a
 /// request's lifetime.
-int CmdStats(const Flags& flags) {
-  if (flags.positional.empty()) return Usage();
-  const std::string dir = flags.positional[0];
+int CmdStats(const tools::OptionSet& opts) {
+  if (opts.positional().empty()) {
+    opts.PrintHelp(stderr);
+    return 2;
+  }
+  const std::string dir = opts.positional()[0];
   std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
   if (store == nullptr) return 1;
 
-  const std::string format = flags.Get("format", "table");
+  const std::string format = opts.GetString("format");
   if (format != "table" && format != "prom" && format != "json") {
     std::fprintf(stderr, "error: --format must be table, prom, or json\n");
     return 2;
@@ -1051,32 +1282,31 @@ int CmdStats(const Flags& flags) {
   std::FILE* chatter = table ? stdout : stderr;
 
   std::fprintf(chatter, "rebuilding testbed retrieval stack...\n");
-  pipeline::Testbed testbed(ConfigFor(flags));
+  pipeline::Testbed testbed(ConfigFor(opts));
 
-  size_t num_requests = SizeFlag(flags, "requests", "2000");
+  size_t num_requests = opts.GetSize("requests");
   if (num_requests == 0) {
     std::fprintf(stderr, "error: --requests must be positive\n");
     return 2;
   }
-  double skew = std::atof(flags.Get("skew", "1.0").c_str());
+  double skew = opts.GetDouble("skew");
   if (testbed.recommender().popularity().counts().empty()) {
     std::fprintf(stderr, "error: empty query log\n");
     return 1;
   }
-  util::Rng rng(static_cast<uint64_t>(
-      std::atoll(flags.Get("seed", "17").c_str())));
+  util::Rng rng(static_cast<uint64_t>(opts.GetInt("seed")));
   std::vector<std::string> mix = querylog::ZipfQueryMix(
       testbed.recommender().popularity(), num_requests, skew, &rng);
 
-  serving::ServingConfig config = ServingConfigFor(flags);
+  serving::ServingConfig config = ServingConfigFor(opts);
   // Cache OFF by default (unlike serve/loadtest): a cache hit skips
   // store-read and select, and the stage-sum identity only holds when
   // every request runs the same stages.
-  config.enable_cache = flags.Get("cache", "0") != "0";
+  config.enable_cache = opts.IsSet("cache") && opts.GetBool("cache");
   config.queue_capacity = std::max<size_t>(config.queue_capacity, 64);
   RecompilePlansForServing(store.get(), testbed, config);
 
-  std::unique_ptr<obs::Tracer> tracer = MakeTracer(flags, "16");
+  std::unique_ptr<obs::Tracer> tracer = MakeTracer(opts, 16);
   serving::ServingNode node(store.get(), &testbed, config);
   if (tracer != nullptr) node.set_tracer(tracer.get());
 
@@ -1112,7 +1342,327 @@ int CmdStats(const Flags& flags) {
   return 0;
 }
 
-int CmdChaos(const Flags& flags) {
+// ------------------------------------------------ chaos, process level
+
+/// argv[0], for self-exec of shard server processes (chaos --net).
+const char* g_argv0 = "optselect";
+
+/// Forks one `serve --listen` shard server process over <dir> (its
+/// stdout+stderr go to <dir>/shard<i>.log). Returns the child pid, or
+/// -1 on fork failure. The child inherits the parent's testbed and
+/// serving params so its answers are bit-identical by construction.
+pid_t SpawnShardServer(const tools::OptionSet& opts, const std::string& dir,
+                       size_t index, size_t shards,
+                       const std::string& listen_port,
+                       const std::string& port_file) {
+  pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::string log = dir + "/shard" + std::to_string(index) + ".log";
+  int fd = open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    dup2(fd, 1);
+    dup2(fd, 2);
+    close(fd);
+  }
+  char c_buf[64];
+  char lambda_buf[64];
+  std::snprintf(c_buf, sizeof(c_buf), "%g", opts.GetDouble("c"));
+  std::snprintf(lambda_buf, sizeof(lambda_buf), "%g",
+                opts.GetDouble("lambda"));
+  std::vector<std::string> args = {
+      g_argv0,
+      "serve",
+      dir,
+      "--listen",
+      listen_port,
+      "--port-file",
+      port_file,
+      "--shard-index",
+      std::to_string(index),
+      "--num-shards",
+      std::to_string(shards),
+      "--workers",
+      "1",
+      "--topics",
+      std::to_string(opts.GetSize("topics")),
+      "--seed",
+      std::to_string(opts.GetInt("seed")),
+      "--candidates",
+      std::to_string(opts.GetSize("candidates")),
+      "--c",
+      c_buf,
+      "--lambda",
+      lambda_buf,
+      "--k",
+      std::to_string(opts.GetSize("k")),
+      "--streaming",
+      opts.GetBool("streaming") ? "1" : "0"};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  execvp(g_argv0, argv.data());
+  _exit(127);
+}
+
+/// Polls a WritePortFile-published port (~30 s), watching the child so
+/// a crashed server fails fast instead of timing out.
+bool WaitForPortFile(const std::string& path, pid_t pid, uint16_t* port) {
+  for (int i = 0; i < 600; ++i) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f != nullptr) {
+      unsigned value = 0;
+      int got = std::fscanf(f, "%u", &value);
+      std::fclose(f);
+      if (got == 1 && value > 0 && value <= 65535) {
+        *port = static_cast<uint16_t>(value);
+        return true;
+      }
+    }
+    if (waitpid(pid, nullptr, WNOHANG) == pid) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+/// `chaos --net <dir>`: the failover contract proven across real
+/// process boundaries. Spawns one `serve --listen` process per shard
+/// (each holding its SplitStore slice), replays a seeded mix through a
+/// RemoteFrontend, SIGKILLs a shard mid-replay — zero drops, breaker
+/// opens, degraded answers equal the store-less DPH passthrough,
+/// healthy keys bit-identical — then respawns it on the same port and
+/// requires full bit-identical recovery.
+int CmdChaosNet(const tools::OptionSet& opts, const std::string& dir) {
+  size_t requests = opts.IsSet("requests") ? opts.GetSize("requests") : 400;
+  size_t shards = opts.IsSet("shards") ? opts.GetSize("shards") : 2;
+  if (requests < 64 || shards < 2) {
+    std::fprintf(stderr,
+                 "error: chaos needs --requests >= 64 and --shards >= 2 "
+                 "(something must stay alive while something dies)\n");
+    return 2;
+  }
+  {
+    auto probe = store::DiversificationStore::Load(dir + "/store.bin");
+    if (!probe.ok()) {
+      std::fprintf(stderr, "error: %s (run `optselect generate %s` first)\n",
+                   probe.status().ToString().c_str(), dir.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("rebuilding testbed retrieval stack...\n");
+  pipeline::Testbed testbed(ConfigFor(opts));
+  serving::ServingConfig node = ServingConfigFor(opts);
+  const querylog::PopularityMap& popularity =
+      testbed.recommender().popularity();
+  if (popularity.counts().empty()) {
+    std::fprintf(stderr, "error: empty query log\n");
+    return 1;
+  }
+  util::Rng rng(static_cast<uint64_t>(opts.GetInt("seed")));
+  std::vector<std::string> mix = querylog::ZipfQueryMix(
+      popularity, requests, opts.GetDouble("skew"), &rng);
+
+  // Degraded answers must equal what a store-less node serves (the
+  // PR 5 contract, shared with the in-process harness).
+  std::unordered_map<std::string, uint64_t> passthrough =
+      cluster::BuildPassthroughHashes(&testbed, node, mix);
+
+  std::vector<pid_t> pids(shards, -1);
+  std::vector<uint16_t> ports(shards, 0);
+  auto kill_fleet = [&] {
+    for (pid_t& pid : pids) {
+      if (pid > 0) {
+        kill(pid, SIGTERM);
+        waitpid(pid, nullptr, 0);
+        pid = -1;
+      }
+    }
+  };
+  for (size_t i = 0; i < shards; ++i) {
+    std::string port_file = dir + "/shard" + std::to_string(i) + ".port";
+    std::remove(port_file.c_str());
+    pids[i] = SpawnShardServer(opts, dir, i, shards, "0", port_file);
+    if (pids[i] <= 0) {
+      std::fprintf(stderr, "error: fork failed for shard %zu\n", i);
+      kill_fleet();
+      return 1;
+    }
+  }
+  for (size_t i = 0; i < shards; ++i) {
+    std::string port_file = dir + "/shard" + std::to_string(i) + ".port";
+    if (!WaitForPortFile(port_file, pids[i], &ports[i])) {
+      std::fprintf(stderr,
+                   "error: shard %zu never published its port (see "
+                   "%s/shard%zu.log)\n",
+                   i, dir.c_str(), i);
+      kill_fleet();
+      return 1;
+    }
+  }
+  std::printf("spawned %zu shard servers:", shards);
+  for (uint16_t port : ports) {
+    std::printf(" 127.0.0.1:%u", static_cast<unsigned>(port));
+  }
+  std::printf("\n");
+
+  std::vector<net::Endpoint> endpoints;
+  for (uint16_t port : ports) {
+    endpoints.push_back(net::Endpoint{"127.0.0.1", port});
+  }
+  net::RemoteFrontendConfig rc;
+  rc.breaker_threshold = 2;
+  rc.breaker_probe_after = 2;
+  net::RemoteFrontend remote(endpoints, rc);
+
+  bool failed = false;
+  auto check = [&](bool ok, const char* what, size_t count) {
+    if (ok) {
+      std::printf("OK: %s\n", what);
+    } else {
+      std::fprintf(stderr, "FATAL: %s (%zu)\n", what, count);
+      failed = true;
+    }
+  };
+
+  // Phase A: healthy replay — nothing may fail or degrade.
+  std::vector<uint64_t> healthy(mix.size(), 0);
+  size_t a_failed = 0;
+  size_t a_degraded = 0;
+  serving::ReplayOutcome out_a = serving::ReplaySequential(
+      &remote, mix, nullptr,
+      [&](size_t i, const serving::ServeResult& r) {
+        if (!r.ok) ++a_failed;
+        if (r.degraded) ++a_degraded;
+        healthy[i] = cluster::RankingHash(r.ranking);
+      });
+  std::printf("phase A (healthy): %zu requests, %.0f QPS\n", out_a.accepted,
+              out_a.qps);
+  check(a_failed == 0, "healthy replay: zero failures", a_failed);
+  check(a_degraded == 0, "healthy replay: zero degraded", a_degraded);
+
+  // Phase B: SIGKILL a shard halfway through. Its keys must degrade to
+  // the passthrough; every other answer stays bit-identical.
+  const size_t victim = 0;
+  const size_t kill_at = mix.size() / 2;
+  size_t b_failed = 0;
+  size_t b_degraded = 0;
+  size_t degraded_divergences = 0;
+  size_t healthy_divergences = 0;
+  serving::ReplayOutcome out_b = serving::ReplaySequential(
+      &remote, mix,
+      [&](size_t i) {
+        if (i == kill_at && pids[victim] > 0) {
+          std::printf("  SIGKILL shard %zu (pid %d) at request %zu\n",
+                      victim, static_cast<int>(pids[victim]), i);
+          kill(pids[victim], SIGKILL);
+          waitpid(pids[victim], nullptr, 0);
+          pids[victim] = -1;
+        }
+      },
+      [&](size_t i, const serving::ServeResult& r) {
+        if (!r.ok) {
+          ++b_failed;
+          return;
+        }
+        if (r.degraded) {
+          ++b_degraded;
+          auto it = passthrough.find(mix[i]);
+          if (it == passthrough.end() ||
+              cluster::RankingHash(r.ranking) != it->second) {
+            ++degraded_divergences;
+          }
+        } else if (cluster::RankingHash(r.ranking) != healthy[i]) {
+          ++healthy_divergences;
+        }
+      });
+  std::printf("phase B (shard %zu killed): %zu requests, %zu degraded\n",
+              victim, out_b.accepted, b_degraded);
+  check(b_failed == 0, "zero dropped requests with a dead shard", b_failed);
+  check(b_degraded > 0, "dead-owner keys were actually degraded", 0);
+  check(degraded_divergences == 0,
+        "degraded answers equal the DPH passthrough", degraded_divergences);
+  check(healthy_divergences == 0,
+        "live-shard answers bit-identical to the healthy run",
+        healthy_divergences);
+  check(remote.stats().breaker_opens > 0,
+        "a breaker opened while the shard was dead", 0);
+
+  // Phase C: respawn the shard on its old port (SO_REUSEADDR makes the
+  // rebind immediate).
+  std::string respawn_file =
+      dir + "/shard" + std::to_string(victim) + ".respawn.port";
+  std::remove(respawn_file.c_str());
+  pids[victim] = SpawnShardServer(opts, dir, victim, shards,
+                                  std::to_string(ports[victim]),
+                                  respawn_file);
+  uint16_t respawn_port = 0;
+  if (pids[victim] <= 0 ||
+      !WaitForPortFile(respawn_file, pids[victim], &respawn_port) ||
+      respawn_port != ports[victim]) {
+    std::fprintf(stderr, "error: shard %zu failed to respawn on port %u\n",
+                 victim, static_cast<unsigned>(ports[victim]));
+    kill_fleet();
+    return 1;
+  }
+  std::printf("phase C: shard %zu respawned on port %u\n", victim,
+              static_cast<unsigned>(respawn_port));
+
+  // Warm the breaker shut: after breaker_probe_after skipped routing
+  // decisions a half-open probe reconnects the owner.
+  std::string victim_key;
+  for (const std::string& query : mix) {
+    if (remote.OwnerOf(query) == victim) {
+      victim_key = query;
+      break;
+    }
+  }
+  bool recovered = victim_key.empty();
+  for (size_t i = 0; i < 32 && !recovered; ++i) {
+    serving::Response r = remote.Submit(serving::Request(victim_key));
+    recovered = r.ok && !r.degraded;
+  }
+  check(recovered, "owner recovered after respawn (probe reconnected)", 0);
+
+  // Phase D: post-recovery replay — bit-identical to the healthy run.
+  size_t d_failed = 0;
+  size_t d_degraded = 0;
+  size_t d_divergences = 0;
+  serving::ReplaySequential(
+      &remote, mix, nullptr,
+      [&](size_t i, const serving::ServeResult& r) {
+        if (!r.ok) {
+          ++d_failed;
+          return;
+        }
+        if (r.degraded) ++d_degraded;
+        if (cluster::RankingHash(r.ranking) != healthy[i]) ++d_divergences;
+      });
+  check(d_failed == 0, "recovered replay: zero failures", d_failed);
+  check(d_degraded == 0, "recovered replay: zero degraded", d_degraded);
+  check(d_divergences == 0,
+        "recovered replay bit-identical to the healthy run", d_divergences);
+
+  net::RemoteFrontendStats rs = remote.stats();
+  std::printf(
+      "remote frontend: %llu serves, %llu degraded, %llu dropped, %llu "
+      "probes, %llu breaker opens, %llu reconnects\n",
+      static_cast<unsigned long long>(rs.serves),
+      static_cast<unsigned long long>(rs.degraded),
+      static_cast<unsigned long long>(rs.dropped),
+      static_cast<unsigned long long>(rs.probes),
+      static_cast<unsigned long long>(rs.breaker_opens),
+      static_cast<unsigned long long>(rs.reconnects));
+  kill_fleet();
+  return failed ? 1 : 0;
+}
+
+int CmdChaos(const tools::OptionSet& opts) {
+  const std::string net_dir = opts.GetString("net");
+  if (!net_dir.empty()) return CmdChaosNet(opts, net_dir);
+
   if (!serving::FaultInjectionCompiledIn()) {
     std::fprintf(stderr,
                  "error: the fault-injection hooks are compiled out of "
@@ -1121,8 +1671,8 @@ int CmdChaos(const Flags& flags) {
                  "builds compile them in by default).\n");
     return 1;
   }
-  size_t requests = SizeFlag(flags, "requests", "4000");
-  size_t shards = SizeFlag(flags, "shards", "3");
+  size_t requests = opts.GetSize("requests");
+  size_t shards = opts.GetSize("shards");
   if (requests < 64 || shards < 2) {
     std::fprintf(stderr,
                  "error: chaos needs --requests >= 64 and --shards >= 2 "
@@ -1131,8 +1681,8 @@ int CmdChaos(const Flags& flags) {
   }
 
   std::printf("building testbed + store...\n");
-  pipeline::Testbed testbed(ConfigFor(flags));
-  serving::ServingConfig node = ServingConfigFor(flags);
+  pipeline::Testbed testbed(ConfigFor(opts));
+  serving::ServingConfig node = ServingConfigFor(opts);
 
   // Build the store in-memory with plans compiled at the node's exact
   // serving params, like `generate` + `serve` with matching flags.
@@ -1156,21 +1706,23 @@ int CmdChaos(const Flags& flags) {
 
   cluster::ChaosConfig chaos;
   chaos.requests = requests;
-  chaos.zipf_skew = std::atof(flags.Get("skew", "1.0").c_str());
-  chaos.seed = static_cast<uint64_t>(
-      std::atoll(flags.Get("seed", "17").c_str()));
+  chaos.zipf_skew = opts.GetDouble("skew");
+  chaos.seed = static_cast<uint64_t>(opts.GetInt("seed"));
   chaos.num_shards = shards;
-  chaos.replicate_hot = SizeFlag(flags, "replicate-hot", "2");
+  // Historical chaos default: 2 hot keys replicated (the hedge check
+  // needs replicas), while serve/loadtest default to 0.
+  chaos.replicate_hot =
+      opts.IsSet("replicate-hot") ? opts.GetSize("replicate-hot") : 2;
   chaos.node = node;
   chaos.failover.hedge_delay = std::chrono::microseconds(
-      static_cast<long long>(
-          std::atof(flags.Get("hedge-ms", "2").c_str()) * 1000.0));
+      static_cast<long long>(opts.GetDouble("hedge-ms") * 1000.0));
   chaos.slow_read_delay = std::chrono::microseconds(
-      static_cast<long long>(
-          std::atof(flags.Get("slow-ms", "20").c_str()) * 1000.0));
+      static_cast<long long>(opts.GetDouble("slow-ms") * 1000.0));
   chaos.schedule = cluster::DefaultChaosSchedule(requests, shards);
-  chaos.trace_sample_every = static_cast<uint64_t>(
-      std::atoll(flags.Get("trace-every", "16").c_str()));
+  chaos.trace_sample_every =
+      opts.IsSet("trace-every")
+          ? static_cast<uint64_t>(opts.GetInt("trace-every"))
+          : 16;
 
   const querylog::PopularityMap& popularity =
       testbed.recommender().popularity();
@@ -1329,12 +1881,37 @@ int CmdChaos(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_argv0 = argv[0];
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     PrintUsage(stdout);
     return 0;
   }
+
+  // Serving-family subcommands parse through their typed OptionSet:
+  // generated `--help`, typed validation, exit 2 on a bad flag.
+  if (cmd == "serve" || cmd == "loadtest" || cmd == "stats" ||
+      cmd == "chaos") {
+    tools::OptionSet opts = cmd == "serve"      ? ServeOptions()
+                            : cmd == "loadtest" ? LoadtestOptions()
+                            : cmd == "stats"    ? StatsOptions()
+                                                : ChaosOptions();
+    if (!opts.Parse(argc, argv, 2)) {
+      std::fprintf(stderr, "error: %s\n\n", opts.error().c_str());
+      opts.PrintHelp(stderr);
+      return 2;
+    }
+    if (opts.help_requested()) {
+      opts.PrintHelp(stdout);
+      return 0;
+    }
+    if (cmd == "serve") return CmdServe(opts);
+    if (cmd == "loadtest") return CmdLoadtest(opts);
+    if (cmd == "stats") return CmdStats(opts);
+    return CmdChaos(opts);
+  }
+
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
@@ -1364,34 +1941,6 @@ int main(int argc, char** argv) {
   if (cmd == "evaluate") {
     if (!flags.Validate("evaluate", {})) return Usage();
     return CmdEvaluate(flags);
-  }
-  if (cmd == "serve") {
-    if (!flags.Validate("serve", ServingFlagSet(false))) return Usage();
-    return CmdServe(flags);
-  }
-  if (cmd == "loadtest") {
-    if (!flags.Validate("loadtest", ServingFlagSet(true))) return Usage();
-    return CmdLoadtest(flags);
-  }
-  if (cmd == "stats") {
-    if (!flags.Validate("stats",
-                        {"workers", "batch", "cache", "cache-capacity",
-                         "candidates", "k", "c", "lambda", "topics", "seed",
-                         "requests", "skew", "format", "trace-every",
-                         "streaming"})) {
-      return Usage();
-    }
-    return CmdStats(flags);
-  }
-  if (cmd == "chaos") {
-    if (!flags.Validate("chaos",
-                        {"requests", "skew", "shards", "replicate-hot",
-                         "hedge-ms", "slow-ms", "workers", "batch", "cache",
-                         "cache-capacity", "candidates", "k", "c", "lambda",
-                         "topics", "seed", "trace-every", "streaming"})) {
-      return Usage();
-    }
-    return CmdChaos(flags);
   }
   std::fprintf(stderr, "error: unknown subcommand `%s`\n\n", cmd.c_str());
   return Usage();
