@@ -276,14 +276,25 @@ void NetServer::QueueWrite(uint64_t conn_id, Connection* conn,
 }
 
 void NetServer::FlushWrites(uint64_t conn_id, Connection* conn) {
-  while (!conn->outbuf.empty()) {
-    ssize_t n =
-        send(conn->fd, conn->outbuf.data(), conn->outbuf.size(), MSG_NOSIGNAL);
+  // A write cursor instead of erase(0, n) per partial send: erasing the
+  // sent prefix memmoves the whole remainder every time the socket
+  // takes a partial write, which is O(n²) under backpressure with
+  // pipelined clients. The cursor advances in O(1); the buffer is
+  // compacted only when it drains (below) or when the dead prefix
+  // dominates a parked buffer (the EAGAIN branch) — both amortized
+  // O(1) per byte queued.
+  while (conn->outoff < conn->outbuf.size()) {
+    ssize_t n = send(conn->fd, conn->outbuf.data() + conn->outoff,
+                     conn->outbuf.size() - conn->outoff, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->outbuf.erase(0, static_cast<size_t>(n));
+      conn->outoff += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (conn->outoff >= 4096 && conn->outoff >= conn->outbuf.size() / 2) {
+        conn->outbuf.erase(0, conn->outoff);
+        conn->outoff = 0;
+      }
       if (!conn->writable_armed) {
         conn->writable_armed = true;
         reactor_.Modify(conn->fd, EPOLLIN | EPOLLOUT);
@@ -294,6 +305,8 @@ void NetServer::FlushWrites(uint64_t conn_id, Connection* conn) {
     CloseConn(conn_id);
     return;
   }
+  conn->outbuf.clear();
+  conn->outoff = 0;
   if (conn->writable_armed) {
     conn->writable_armed = false;
     reactor_.Modify(conn->fd, EPOLLIN);

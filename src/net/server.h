@@ -102,7 +102,8 @@ class NetServer {
   struct Connection {
     int fd = -1;
     FrameParser parser;
-    std::string outbuf;       // bytes not yet written
+    std::string outbuf;       // queued bytes; [outoff, size) not yet sent
+    size_t outoff = 0;        // sent prefix of outbuf (write cursor)
     size_t inflight = 0;      // requests submitted, response not queued
     bool writable_armed = false;
     bool draining = false;    // close once outbuf flushes

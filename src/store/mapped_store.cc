@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 
@@ -379,7 +380,11 @@ util::Result<std::shared_ptr<const MappedStoreFile>> MappedStoreFile::Map(
     ::close(fd);
     return Corrupt("file too short: " + path);
   }
-  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // MAP_SHARED, read-only: every process mapping the same store.bin
+  // shares one set of physical pages through the OS page cache, so an
+  // N-shard fleet on one host pays for the file once, not N times.
+  // (The mapping is PROT_READ, so "shared" never means "writable".)
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
   if (base == MAP_FAILED) {
     ::close(fd);
     return util::Status::IoError("mmap failed: " + path);
@@ -392,6 +397,62 @@ util::Result<std::shared_ptr<const MappedStoreFile>> MappedStoreFile::Map(
   util::Status status = file->BuildIndex();
   if (!status.ok()) return status;  // dtor unmaps + closes
   return std::shared_ptr<const MappedStoreFile>(std::move(file));
+}
+
+bool MappedStoreFile::LooksLikeV4(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  char magic[sizeof(kV4Magic)] = {0};
+  file.read(magic, sizeof(magic));
+  return file.gcount() == static_cast<std::streamsize>(sizeof(magic)) &&
+         std::memcmp(magic, kV4Magic, sizeof(magic)) == 0;
+}
+
+size_t MappedStoreFile::MissingPlanCount(size_t num_candidates,
+                                         double threshold_c) const {
+  size_t missing = 0;
+  for (const MappedEntry& entry : entries_) {
+    if (!entry.has_plan ||
+        !entry.plan.CompatibleWith(num_candidates, threshold_c)) {
+      ++missing;
+    }
+  }
+  return missing;
+}
+
+bool ParseMapWarmup(std::string_view text, MapWarmup* out) {
+  if (text == "none") {
+    *out = MapWarmup::kNone;
+  } else if (text == "madvise") {
+    *out = MapWarmup::kMadvise;
+  } else if (text == "mlock") {
+    *out = MapWarmup::kMlock;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+MapWarmupOutcome MappedStoreFile::Warm(MapWarmup requested) const {
+  MapWarmupOutcome out;
+  if (requested == MapWarmup::kNone || data_ == nullptr) return out;
+  void* base = const_cast<char*>(data_);
+  if (requested == MapWarmup::kMlock) {
+    if (::mlock(base, size_) == 0) {
+      out.applied = MapWarmup::kMlock;
+      return out;
+    }
+    // RLIMIT_MEMLOCK (ENOMEM) or missing CAP_IPC_LOCK (EPERM): degrade
+    // to the async readahead hint rather than failing startup.
+    out.fell_back = true;
+    out.detail = std::strerror(errno);
+  }
+  if (::madvise(base, size_, MADV_WILLNEED) == 0) {
+    out.applied = MapWarmup::kMadvise;
+  } else if (!out.fell_back) {
+    out.fell_back = true;
+    out.detail = std::strerror(errno);
+  }
+  return out;
 }
 
 MappedStoreFile::~MappedStoreFile() {

@@ -133,13 +133,35 @@ struct MappedEntry {
   MappedPlan plan;
 };
 
+/// Page-warming strategy applied to a fresh mapping before serving.
+enum class MapWarmup {
+  kNone,     ///< demand-fault pages as requests touch them
+  kMadvise,  ///< madvise(MADV_WILLNEED): async readahead of the file
+  kMlock,    ///< mlock: fault and pin every page (falls back to madvise)
+};
+
+/// Parses "none" | "madvise" | "mlock" (the --map-warmup flag values);
+/// false on anything else, leaving *out untouched.
+bool ParseMapWarmup(std::string_view text, MapWarmup* out);
+
+/// What Warm actually did — kMlock can degrade to kMadvise when
+/// RLIMIT_MEMLOCK (or a missing CAP_IPC_LOCK) refuses the pin.
+struct MapWarmupOutcome {
+  MapWarmup applied = MapWarmup::kNone;
+  bool fell_back = false;  ///< the requested mode was refused by the OS
+  std::string detail;      ///< strerror text of the refusal, when any
+};
+
 /// An immutable, validated mmap of one v4 store file plus its
 /// pointer-only index. Create with Map; share via shared_ptr (snapshots,
 /// shard views, and in-flight requests all hold references — the
-/// mapping is released when the last one drops).
+/// mapping is released when the last one drops). The mapping is
+/// MAP_SHARED + PROT_READ: separate processes mapping the same file
+/// share physical pages through the page cache.
 class MappedStoreFile {
  public:
-  /// Opens, mmaps (PROT_READ) and fully validates `path`: header magic/
+  /// Opens, mmaps (PROT_READ, MAP_SHARED) and fully validates `path`:
+  /// header magic/
   /// version/endianness/alignment, both checksums, every descriptor and
   /// column offset bounds- and alignment-checked, ≥ 2 specializations
   /// per entry, and plan blocks consistent with their entry (size and
@@ -147,6 +169,12 @@ class MappedStoreFile {
   /// kCorruption for any structural violation, kIoError for OS errors.
   static util::Result<std::shared_ptr<const MappedStoreFile>> Map(
       const std::string& path);
+
+  /// True when the file's first bytes are the v4 magic — i.e. the file
+  /// *claims* this format. Lets a caller tell "legacy stream, not ours
+  /// to map" (fall back to the heap parser) from "claims v4 but Map
+  /// failed" (corruption — a hard error, never a silent downgrade).
+  static bool LooksLikeV4(const std::string& path);
 
   /// Serializes `store` into the v4 layout at `path`. Deterministic:
   /// identical stores produce identical bytes (entries are laid out in
@@ -174,6 +202,16 @@ class MappedStoreFile {
   DiversificationStore Materialize() const;
 
   size_t mapped_bytes() const { return size_; }
+
+  /// Entries whose compiled plan is absent or incompatible with the
+  /// given serving params. Zero means a node can serve this mapping
+  /// as-is — the same "nothing to recompile" condition the heap load
+  /// path establishes with CompilePlans, checked without materializing.
+  size_t MissingPlanCount(size_t num_candidates, double threshold_c) const;
+
+  /// Applies the requested warm-up to the whole mapping. Never fails
+  /// startup: a refused mlock degrades to madvise (outcome says so).
+  MapWarmupOutcome Warm(MapWarmup requested) const;
 
  private:
   MappedStoreFile() = default;

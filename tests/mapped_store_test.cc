@@ -16,7 +16,10 @@
 //            pages); an injected reload fault leaves the node serving
 //            the old mapping.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -270,6 +273,89 @@ TEST(MappedStoreTest, MappedShardViewsPartitionTheStore) {
   std::remove(path.c_str());
 }
 
+TEST(MappedStoreTest, LooksLikeV4DistinguishesLegacyFromV4) {
+  DiversificationStore store = MakeStore();
+  std::string path = SaveToTemp(store, "magic_v4.bin");
+  EXPECT_TRUE(MappedStoreFile::LooksLikeV4(path));
+
+  // A legacy/garbage file is "not ours to map", not corruption.
+  std::string legacy = ::testing::TempDir() + "/magic_legacy.bin";
+  std::FILE* f = std::fopen(legacy.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("OSTORE2 something else entirely", f);
+  std::fclose(f);
+  EXPECT_FALSE(MappedStoreFile::LooksLikeV4(legacy));
+  EXPECT_FALSE(MappedStoreFile::LooksLikeV4(path + ".does-not-exist"));
+
+  // A truncated v4 file still *claims* v4 — Map must reject it, and the
+  // claim is what turns that rejection into a hard error upstream.
+  std::string truncated = ::testing::TempDir() + "/magic_truncated.bin";
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::ofstream out(truncated, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_TRUE(MappedStoreFile::LooksLikeV4(truncated));
+  EXPECT_FALSE(MappedStoreFile::Map(truncated).ok());
+
+  std::remove(path.c_str());
+  std::remove(legacy.c_str());
+  std::remove(truncated.c_str());
+}
+
+TEST(MappedStoreTest, MissingPlanCountMatchesServingCompatibility) {
+  DiversificationStore store = MakeStore();  // only "jaguar" has a plan
+  std::string path = SaveToTemp(store, "plans_v4.bin");
+  auto mapped = MappedStoreFile::Map(path);
+  ASSERT_TRUE(mapped.ok());
+
+  // The plan was compiled at candidates=100, c=0.0 (MakePlan).
+  EXPECT_EQ(mapped.value()->MissingPlanCount(100, 0.0), store.size() - 1);
+  // Mismatched serving params make every entry plan-less.
+  EXPECT_EQ(mapped.value()->MissingPlanCount(100, 0.5), store.size());
+  EXPECT_EQ(mapped.value()->MissingPlanCount(42, 0.0), store.size());
+  std::remove(path.c_str());
+}
+
+TEST(MappedStoreTest, WarmupAppliesAndFallsBackGracefully) {
+  DiversificationStore store = MakeStore();
+  std::string path = SaveToTemp(store, "warmup_v4.bin");
+  auto mapped = MappedStoreFile::Map(path);
+  ASSERT_TRUE(mapped.ok());
+
+  MapWarmupOutcome none = mapped.value()->Warm(MapWarmup::kNone);
+  EXPECT_EQ(none.applied, MapWarmup::kNone);
+  EXPECT_FALSE(none.fell_back);
+
+  MapWarmupOutcome madvised = mapped.value()->Warm(MapWarmup::kMadvise);
+  EXPECT_EQ(madvised.applied, MapWarmup::kMadvise);
+  EXPECT_FALSE(madvised.fell_back);
+
+  // mlock either pins the pages or (RLIMIT_MEMLOCK / no CAP_IPC_LOCK)
+  // falls back to madvise with the refusal recorded — never a failure.
+  MapWarmupOutcome locked = mapped.value()->Warm(MapWarmup::kMlock);
+  if (locked.fell_back) {
+    EXPECT_EQ(locked.applied, MapWarmup::kMadvise);
+    EXPECT_FALSE(locked.detail.empty());
+  } else {
+    EXPECT_EQ(locked.applied, MapWarmup::kMlock);
+  }
+  // Warmed or not, the mapping serves identically.
+  EXPECT_NE(mapped.value()->FindEntry("jaguar"), nullptr);
+
+  MapWarmup parsed = MapWarmup::kNone;
+  EXPECT_TRUE(ParseMapWarmup("madvise", &parsed));
+  EXPECT_EQ(parsed, MapWarmup::kMadvise);
+  EXPECT_TRUE(ParseMapWarmup("mlock", &parsed));
+  EXPECT_EQ(parsed, MapWarmup::kMlock);
+  EXPECT_TRUE(ParseMapWarmup("none", &parsed));
+  EXPECT_EQ(parsed, MapWarmup::kNone);
+  EXPECT_FALSE(ParseMapWarmup("always", &parsed));
+  EXPECT_FALSE(ParseMapWarmup("", &parsed));
+  std::remove(path.c_str());
+}
+
 TEST(MappedStoreTest, MappingOutlivesSnapshotsAndUnlink) {
   DiversificationStore store = MakeStore();
   std::string path = SaveToTemp(store, "lifetime_v4.bin");
@@ -378,6 +464,122 @@ TEST_F(MappedServingTest, MappedServingIsBitIdenticalToHeap) {
   EXPECT_GE(diversified, 2u) << "test must exercise the diversified path";
   EXPECT_EQ(mapped_node->Stats().store_version,
             heap_node->Stats().store_version);
+}
+
+TEST_F(MappedServingTest, SlicedServingZeroCopyMatchesHeapSplit) {
+  // The `serve --listen --shard-index I --num-shards N` regression: a
+  // shard process must serve a MappedShard view over the one shared
+  // mapping, bit-identical to the heap SplitStore slice it replaced.
+  std::shared_ptr<const MappedStoreFile> file;
+  {
+    auto mapped = MappedStoreFile::Map(*path_);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    file = mapped.value();
+  }
+  std::weak_ptr<const MappedStoreFile> watch = file;
+
+  const size_t num_shards = 2;
+  std::vector<std::string> queries;
+  for (const auto& [key, entry] : store_->entries()) queries.push_back(key);
+  queries.push_back(testbed_->universe().noise_queries[0]);
+
+  size_t diversified = 0;
+  std::vector<std::shared_ptr<const StoreSnapshot>> views;
+  for (size_t i = 0; i < num_shards; ++i) {
+    ShardFilter filter;
+    filter.num_shards = num_shards;
+    filter.shard_index = i;
+    auto view = StoreSnapshot::MappedShard(
+        file, [filter](std::string_view key) { return filter.Keeps(key); });
+    DiversificationStore slice = SplitStore(*store_, filter);
+    ASSERT_EQ(view->entry_count(), slice.size()) << i;
+
+    auto mapped_node = MakeNode(view);
+    auto heap_node = MakeNode(StoreSnapshot::Own(std::move(slice)));
+    ASSERT_TRUE(mapped_node->snapshot()->mapped());
+    // The view shares the caller's mapping — no remap, no copy.
+    EXPECT_EQ(mapped_node->snapshot()->mapped_file().get(), file.get());
+
+    // Every query (owned here, owned elsewhere, never stored) answers
+    // bit-identically: misses pass through, hits serve off the slice.
+    for (const std::string& q : queries) {
+      serving::ServeResult from_view = mapped_node->Serve(q);
+      serving::ServeResult from_copy = heap_node->Serve(q);
+      ASSERT_TRUE(from_view.ok) << q;
+      ASSERT_TRUE(from_copy.ok) << q;
+      EXPECT_EQ(from_view.diversified, from_copy.diversified) << q;
+      EXPECT_EQ(from_view.plan_served, from_copy.plan_served) << q;
+      EXPECT_EQ(from_view.ranking, from_copy.ranking) << q;
+      if (from_view.diversified) ++diversified;
+    }
+    views.push_back(mapped_node->snapshot());
+  }
+  EXPECT_GE(diversified, 2u) << "slices must exercise the diversified path";
+
+  // Both shard views pin the one mapping; it stays alive past the
+  // caller's handle and dies only when the last view drops.
+  file.reset();
+  EXPECT_FALSE(watch.expired());
+  views.clear();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST_F(MappedServingTest, SharedShardViewsSurviveUnlinkAndReload) {
+  // Two "processes" (nodes) over one mapping: the store file vanishes
+  // under them, one hot-reloads away — the other keeps serving off the
+  // shared pages until it is the last reader.
+  std::string copy = ::testing::TempDir() + "/serving_unlink_v4.bin";
+  ASSERT_TRUE(store_->Save(copy).ok());
+  std::shared_ptr<const MappedStoreFile> file;
+  {
+    auto mapped = MappedStoreFile::Map(copy);
+    ASSERT_TRUE(mapped.ok());
+    file = mapped.value();
+  }
+  std::weak_ptr<const MappedStoreFile> watch = file;
+
+  // An even/odd key split (rather than the hash partition, tested
+  // above) guarantees both views are non-empty for any store >= 2.
+  std::vector<std::string> keys;
+  for (const auto& [key, entry] : store_->entries()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::unordered_set<std::string> evens;
+  for (size_t i = 0; i < keys.size(); i += 2) evens.insert(keys[i]);
+  auto node0 = MakeNode(StoreSnapshot::MappedShard(
+      file, [evens](std::string_view key) {
+        return evens.count(std::string(key)) > 0;
+      }));
+  auto node1 = MakeNode(StoreSnapshot::MappedShard(
+      file, [evens](std::string_view key) {
+        return evens.count(std::string(key)) == 0;
+      }));
+  const std::string key0 = keys[0];
+  const std::string key1 = keys[1];
+  file.reset();  // nodes now hold the only references
+
+  // A builder replacing store.bin unlinks it under the fleet; POSIX
+  // keeps the mapped pages alive for every process still serving.
+  ASSERT_EQ(std::remove(copy.c_str()), 0);
+  EXPECT_TRUE(node0->Serve(key0).diversified);
+  EXPECT_TRUE(node1->Serve(key1).diversified);
+
+  // Shard 0 RCU-reloads onto a heap snapshot: the mapping must survive
+  // for shard 1, then release once shard 1 drops too.
+  StoreDelta delta;
+  delta.upserts.push_back(MakeEntry("reload probe query", 2));
+  SnapshotBuildResult built =
+      BuildSnapshot(node0->snapshot().get(), delta);
+  ASSERT_TRUE(node0->ReloadStore(built.snapshot, built.changed_keys).ok);
+  EXPECT_FALSE(node0->snapshot()->mapped());
+  EXPECT_FALSE(watch.expired())
+      << "shard 1 still serves off the shared mapping";
+  EXPECT_TRUE(node1->Serve(key1).diversified);
+
+  node0.reset();
+  EXPECT_FALSE(watch.expired());
+  node1.reset();
+  EXPECT_TRUE(watch.expired())
+      << "the last shard view must release the mapping";
 }
 
 TEST_F(MappedServingTest, HotReloadRetiresMappedSnapshotRcuStyle) {

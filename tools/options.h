@@ -257,6 +257,15 @@ inline void AddServingOptions(OptionSet* opts) {
                "deterministic 1-in-N request trace sampling");
 }
 
+/// Mapped-store (v4 zero-copy) knobs, for the subcommands that serve
+/// off the mapping (serve/loadtest).
+inline void AddMapOptions(OptionSet* opts) {
+  opts->Group("mapped store (v4)");
+  opts->AddString("map-warmup", "none",
+                  "page warm-up for the v4 mapping: none|madvise|mlock "
+                  "(mlock falls back to madvise when refused)");
+}
+
 /// In-process sharded-cluster shape (serve/loadtest).
 inline void AddClusterOptions(OptionSet* opts) {
   opts->Group("sharded cluster (default: one node)");

@@ -225,6 +225,7 @@ tools::OptionSet ServeOptions() {
                         "REPL, or a wire-protocol TCP server with "
                         "--listen.");
   tools::AddServingOptions(&opts);
+  tools::AddMapOptions(&opts);
   tools::AddClusterOptions(&opts);
   tools::AddRefreshOptions(&opts);
   tools::AddListenOptions(&opts);
@@ -244,6 +245,7 @@ tools::OptionSet LoadtestOptions() {
                  "write the Prometheus text exposition here during and "
                  "after the replay");
   tools::AddServingOptions(&opts);
+  tools::AddMapOptions(&opts);
   tools::AddClusterOptions(&opts);
   tools::AddRefreshOptions(&opts);
   tools::AddConnectOptions(&opts);
@@ -695,10 +697,11 @@ void PrintClusterStats(const cluster::ClusterStats& cs) {
 
 /// Builds a cluster (when --shards > 1) plus its per-shard refreshers.
 /// A non-null `mapped` makes every shard a zero-copy view over the one
-/// shared v4 mapping instead of a SplitStore copy.
+/// shared v4 mapping instead of a SplitStore copy; `store` is the heap
+/// fallback and may be null whenever `mapped` is set.
 std::unique_ptr<cluster::ShardedCluster> MakeCluster(
     const tools::OptionSet& opts, const std::string& dir,
-    const store::DiversificationStore& store,
+    const store::DiversificationStore* store,
     std::shared_ptr<const store::MappedStoreFile> mapped,
     const pipeline::Testbed& testbed,
     const serving::ServingConfig& serving_config,
@@ -716,7 +719,7 @@ std::unique_ptr<cluster::ShardedCluster> MakeCluster(
                 &testbed.analyzer(), &testbed.corpus().store,
                 &testbed.recommender().popularity(), cc)
           : std::make_unique<cluster::ShardedCluster>(
-                store, &testbed, &testbed.recommender().popularity(), cc);
+                *store, &testbed, &testbed.recommender().popularity(), cc);
   for (size_t i = 0; i < cl->num_shards(); ++i) {
     // Each shard refreshes independently, applying only the slice of
     // the mined delta it holds (owner or hot replica).
@@ -773,20 +776,92 @@ size_t RecompilePlansForServing(store::DiversificationStore* store,
   return compiled;
 }
 
-/// Map-first fast path for serve/loadtest: when <dir>/store.bin is a v4
-/// file and nothing had to be recompiled against it, the node(s) can
-/// serve zero-copy straight off the mapping instead of the heap copy
-/// Load produced. Returns nullptr (silently) when the file is not v4.
-std::shared_ptr<const store::MappedStoreFile> TryMapStore(
-    const std::string& dir, size_t plans_compiled) {
-  if (plans_compiled > 0) return nullptr;  // mapping would lack the plans
-  auto mapped = store::MappedStoreFile::Map(dir + "/store.bin");
-  if (!mapped.ok()) return nullptr;  // legacy format; heap path serves it
-  std::printf("store mapped zero-copy (v4, %zu entries, %.1f MiB)\n",
-              mapped.value()->entry_count(),
-              static_cast<double>(mapped.value()->mapped_bytes()) /
-                  (1024.0 * 1024.0));
-  return mapped.value();
+/// Map-first store open shared by serve and loadtest. The result is
+/// either a v4 mapping served zero-copy (heap == nullptr, so the node
+/// never pays the parse/materialize cost at all) or a heap store from
+/// the legacy loader (mapped == nullptr) — never both. Falls back to
+/// the heap parse with a printed reason when:
+///   - the file is not v4 (legacy v1–v3 stream, or missing);
+///   - the file is v4 but its compiled plans don't match this node's
+///     --candidates/--c (the mapping is immutable; the heap path
+///     recompiles them instead).
+/// A file that *claims* v4 but fails Map's validation is a hard error
+/// (ok == false): corruption must never silently downgrade to a slower
+/// path that happens to parse the same bytes differently.
+struct OpenedStore {
+  std::shared_ptr<const store::MappedStoreFile> mapped;
+  std::unique_ptr<store::DiversificationStore> heap;
+  bool ok = false;
+};
+
+OpenedStore OpenStoreForServing(const tools::OptionSet& opts,
+                                const std::string& dir,
+                                const serving::ServingConfig& config) {
+  OpenedStore out;
+  store::MapWarmup warmup = store::MapWarmup::kNone;
+  const std::string warmup_flag = opts.GetString("map-warmup");
+  if (!store::ParseMapWarmup(warmup_flag, &warmup)) {
+    std::fprintf(stderr,
+                 "error: --map-warmup expects none|madvise|mlock, got "
+                 "\"%s\"\n",
+                 warmup_flag.c_str());
+    return out;
+  }
+
+  const std::string path = dir + "/store.bin";
+  std::string fallback_reason;
+  if (!store::MappedStoreFile::LooksLikeV4(path)) {
+    fallback_reason = "store.bin is not v4 (legacy stream, or missing)";
+  } else {
+    auto mapped = store::MappedStoreFile::Map(path);
+    if (!mapped.ok()) {
+      std::fprintf(stderr,
+                   "error: %s claims store format v4 but failed to map: "
+                   "%s\nrefusing the heap fallback for a corrupt file — "
+                   "regenerate the store\n",
+                   path.c_str(), mapped.status().ToString().c_str());
+      return out;
+    }
+    size_t missing = mapped.value()->MissingPlanCount(
+        config.params.num_candidates, config.params.threshold_c);
+    if (missing > 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%zu entries lack plans compiled for candidates=%zu "
+                    "c=%.2f (regenerate with matching flags to serve "
+                    "zero-copy)",
+                    missing, config.params.num_candidates,
+                    config.params.threshold_c);
+      fallback_reason = buf;
+    } else {
+      out.mapped = std::move(mapped).value();
+      const double mib = static_cast<double>(out.mapped->mapped_bytes()) /
+                         (1024.0 * 1024.0);
+      std::printf("store mapped zero-copy (v4, %zu entries, %.1f MiB)\n",
+                  out.mapped->entry_count(), mib);
+      if (warmup != store::MapWarmup::kNone) {
+        store::MapWarmupOutcome w = out.mapped->Warm(warmup);
+        const char* applied =
+            w.applied == store::MapWarmup::kMlock ? "mlock"
+            : w.applied == store::MapWarmup::kMadvise
+                ? "madvise(MADV_WILLNEED)"
+                : "none";
+        if (w.fell_back) {
+          std::printf("map warm-up: %s refused (%s); applied %s\n",
+                      warmup_flag.c_str(), w.detail.c_str(), applied);
+        } else {
+          std::printf("map warm-up: %s over %.1f MiB\n", applied, mib);
+        }
+      }
+      out.ok = true;
+      return out;
+    }
+  }
+  std::printf("store mapping off: %s; serving from heap parse\n",
+              fallback_reason.c_str());
+  out.heap = LoadStoreOrDie(dir);
+  out.ok = out.heap != nullptr;
+  return out;
 }
 
 /// Set by SIGINT/SIGTERM: the network serve loop drains and exits.
@@ -799,9 +874,15 @@ bool WritePortFile(const std::string& path, uint16_t port) {
   std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
-  std::fclose(f);
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  const bool wrote = std::fprintf(f, "%u\n", static_cast<unsigned>(port)) > 0;
+  // fclose flushes — ENOSPC surfaces here, not at fprintf; both must
+  // succeed or the poller could rename-in an empty port file.
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());  // never leak the tmp next to a stale port
+    return false;
+  }
+  return true;
 }
 
 int CmdServe(const tools::OptionSet& opts) {
@@ -810,58 +891,95 @@ int CmdServe(const tools::OptionSet& opts) {
     return 2;
   }
   const std::string dir = opts.positional()[0];
-  std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
-  if (store == nullptr) return 1;
 
   const bool net_mode = opts.GetInt("listen") >= 0;
   // A shard process of a fleet serves only its slice of the store —
-  // the same SplitStore partition ShardedCluster applies in process,
-  // so a remote fleet and a local cluster pick identical owners.
+  // the same FNV-1a partition ShardedCluster applies in process, so a
+  // remote fleet and a local cluster pick identical owners. Over a v4
+  // store the slice is a MappedShard *view* of the one shared mapping
+  // (every process on the host shares the physical pages); only the
+  // legacy heap path still pays for a SplitStore copy.
   long long shard_index = opts.GetInt("shard-index");
   size_t num_shards = opts.GetSize("num-shards");
   const bool sliced = shard_index >= 0 && num_shards > 1;
-  if (sliced) {
-    if (static_cast<size_t>(shard_index) >= num_shards) {
-      std::fprintf(stderr,
-                   "error: --shard-index %lld out of range for "
-                   "--num-shards %zu\n",
-                   shard_index, num_shards);
-      return 2;
-    }
-    store::ShardFilter filter;
-    filter.num_shards = num_shards;
-    filter.shard_index = static_cast<size_t>(shard_index);
+  if (sliced && static_cast<size_t>(shard_index) >= num_shards) {
+    std::fprintf(stderr,
+                 "error: --shard-index %lld out of range for "
+                 "--num-shards %zu\n",
+                 shard_index, num_shards);
+    return 2;
+  }
+  store::ShardFilter filter;
+  filter.num_shards = num_shards;
+  filter.shard_index = sliced ? static_cast<size_t>(shard_index) : 0;
+
+  serving::ServingConfig serving_config = ServingConfigFor(opts);
+  OpenedStore opened = OpenStoreForServing(opts, dir, serving_config);
+  if (!opened.ok) return 1;
+  std::unique_ptr<store::DiversificationStore>& store = opened.heap;
+  std::shared_ptr<const store::MappedStoreFile> mapped = opened.mapped;
+  if (sliced && store != nullptr) {
     *store = store::SplitStore(*store, filter);
-    std::printf("serving shard %lld/%zu: %zu stored entries\n", shard_index,
-                num_shards, store->size());
   }
 
   std::printf("rebuilding testbed retrieval stack...\n");
   pipeline::Testbed testbed(ConfigFor(opts));
-  serving::ServingConfig serving_config = ServingConfigFor(opts);
-  size_t compiled =
-      RecompilePlansForServing(store.get(), testbed, serving_config);
-  // A shard slice is heap-only; the v4 mapping holds the full store.
-  std::shared_ptr<const store::MappedStoreFile> mapped;
-  if (!sliced) mapped = TryMapStore(dir, compiled);
+  if (store != nullptr) {
+    RecompilePlansForServing(store.get(), testbed, serving_config);
+  }
 
-  // One node, or a sharded cluster behind a router (--shards N). The
-  // tracer is declared before both so it outlives their worker threads.
+  // The single-node snapshot: the whole mapping, or a zero-copy shard
+  // view over it (MakeCluster's make_snapshot lambda builds the same
+  // shapes per shard); null on the heap path (the heap node ctor).
+  std::shared_ptr<const store::StoreSnapshot> snapshot;
+  if (mapped != nullptr) {
+    snapshot = sliced ? store::StoreSnapshot::MappedShard(
+                            mapped,
+                            [filter](std::string_view key) {
+                              return filter.Keeps(key);
+                            })
+                      : store::StoreSnapshot::FromMapped(mapped);
+  }
+  const size_t stored_entries =
+      snapshot != nullptr ? snapshot->entry_count() : store->size();
+  if (sliced) {
+    std::printf("serving shard %lld/%zu: %zu stored entries%s\n",
+                shard_index, num_shards, stored_entries,
+                mapped != nullptr
+                    ? " (zero-copy view over the shared mapping)"
+                    : "");
+  }
+
+  // One node, or a sharded cluster behind a router (--shards N; a
+  // sliced process is always a single node — its fleet's other shards
+  // are other processes). The tracer is declared before both so it
+  // outlives their worker threads.
   std::unique_ptr<obs::Tracer> tracer = MakeTracer(opts, 1);
   std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
-  std::unique_ptr<cluster::ShardedCluster> cl = MakeCluster(
-      opts, dir, *store, mapped, testbed, serving_config, &refreshers);
+  std::unique_ptr<cluster::ShardedCluster> cl =
+      sliced ? nullptr
+             : MakeCluster(opts, dir, store.get(), mapped, testbed,
+                           serving_config, &refreshers);
   std::unique_ptr<serving::ServingNode> node;
   if (cl == nullptr) {
-    node = mapped != nullptr
+    node = snapshot != nullptr
                ? std::make_unique<serving::ServingNode>(
-                     store::StoreSnapshot::FromMapped(std::move(mapped)),
-                     &testbed.searcher(), &testbed.snippets(),
+                     snapshot, &testbed.searcher(), &testbed.snippets(),
                      &testbed.analyzer(), &testbed.corpus().store,
                      serving_config)
                : std::make_unique<serving::ServingNode>(store.get(), &testbed,
                                                         serving_config);
-    auto refresher = MakeRefresher(opts, dir, node.get(), testbed);
+    // A sliced node refreshes like a cluster shard: only the keys it
+    // owns, and any persisted snapshot gets the per-shard suffix so
+    // sibling processes never clobber each other.
+    auto refresher =
+        sliced ? MakeRefresher(
+                     opts, dir, node.get(), testbed,
+                     [filter](const std::string& key) {
+                       return filter.Keeps(key);
+                     },
+                     static_cast<int>(shard_index))
+               : MakeRefresher(opts, dir, node.get(), testbed);
     if (refresher != nullptr) refreshers.push_back(std::move(refresher));
   }
   if (tracer != nullptr) {
@@ -899,7 +1017,7 @@ int CmdServe(const tools::OptionSet& opts) {
     }
     std::printf("listening on 127.0.0.1:%u (%zu stored queries; "
                 "SIGINT/SIGTERM stops)\n",
-                static_cast<unsigned>(server.port()), store->size());
+                static_cast<unsigned>(server.port()), stored_entries);
     std::fflush(stdout);
     std::signal(SIGINT, OnShutdownSignal);
     std::signal(SIGTERM, OnShutdownSignal);
@@ -953,7 +1071,7 @@ int CmdServe(const tools::OptionSet& opts) {
       "one query per line; \":stats\" prints counters + stage breakdown; "
       "\":traces\" prints sampled traces; \":refresh\" forces a refresh "
       "tick; EOF exits\n",
-      store->size(), resolved.num_workers, resolved.max_batch,
+      stored_entries, resolved.num_workers, resolved.max_batch,
       resolved.enable_cache ? "on" : "off");
 
   char line[4096];
@@ -1159,19 +1277,18 @@ int CmdLoadtest(const tools::OptionSet& opts) {
     return CmdLoadtestRemote(opts, dir, testbed, mix);
   }
 
-  std::unique_ptr<store::DiversificationStore> store = LoadStoreOrDie(dir);
-  if (store == nullptr) return 1;
-
   serving::ServingConfig config = ServingConfigFor(opts);
   config.queue_capacity = num_requests;
-  size_t compiled = RecompilePlansForServing(store.get(), testbed, config);
-  std::shared_ptr<const store::MappedStoreFile> mapped =
-      TryMapStore(dir, compiled);
+  OpenedStore opened = OpenStoreForServing(opts, dir, config);
+  if (!opened.ok) return 1;
+  std::unique_ptr<store::DiversificationStore>& store = opened.heap;
+  std::shared_ptr<const store::MappedStoreFile> mapped = opened.mapped;
+  if (store != nullptr) RecompilePlansForServing(store.get(), testbed, config);
 
   std::unique_ptr<obs::Tracer> tracer = MakeTracer(opts, 64);
   std::vector<std::unique_ptr<serving::StoreRefresher>> refreshers;
-  std::unique_ptr<cluster::ShardedCluster> cl =
-      MakeCluster(opts, dir, *store, mapped, testbed, config, &refreshers);
+  std::unique_ptr<cluster::ShardedCluster> cl = MakeCluster(
+      opts, dir, store.get(), mapped, testbed, config, &refreshers);
   std::unique_ptr<serving::ServingNode> node;
   if (cl == nullptr) {
     node = mapped != nullptr
